@@ -1,0 +1,90 @@
+//! Benchmarks that regenerate every figure of the paper's evaluation.
+//!
+//! Each benchmark runs the figure's full pipeline — workload generation,
+//! deadline distribution, list scheduling and lateness aggregation — at a
+//! reduced replication count so `cargo bench` stays fast. The full-scale
+//! regeneration (128 replications, sizes 2–16) is
+//! `cargo run --release -p feast --bin figures -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use feast::experiments::{
+    all_experiments, ext_baselines, ext_bus, ext_ccr, ext_locality, ext_met, ext_par,
+    ext_placement, ext_shapes, ext_topo, fig2, fig3, fig4, fig5, ExperimentConfig,
+};
+
+fn bench_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        replications: 4,
+        base_seed: 0xFEA57,
+        system_sizes: vec![2, 8, 16],
+        threads: 1,
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_bst_metrics", |b| {
+        b.iter(|| fig2(black_box(&cfg)).expect("fig2 runs"))
+    });
+    group.bench_function("fig3_surplus_factor", |b| {
+        b.iter(|| fig3(black_box(&cfg)).expect("fig3 runs"))
+    });
+    group.bench_function("fig4_threshold", |b| {
+        b.iter(|| fig4(black_box(&cfg)).expect("fig4 runs"))
+    });
+    group.bench_function("fig5_adapt_vs_pure", |b| {
+        b.iter(|| fig5(black_box(&cfg)).expect("fig5 runs"))
+    });
+    group.finish();
+}
+
+fn extensions(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    group.bench_function("ext_met", |b| {
+        b.iter(|| ext_met(black_box(&cfg)).expect("ext-met runs"))
+    });
+    group.bench_function("ext_par", |b| {
+        b.iter(|| ext_par(black_box(&cfg)).expect("ext-par runs"))
+    });
+    group.bench_function("ext_ccr", |b| {
+        b.iter(|| ext_ccr(black_box(&cfg)).expect("ext-ccr runs"))
+    });
+    group.bench_function("ext_topo", |b| {
+        b.iter(|| ext_topo(black_box(&cfg)).expect("ext-topo runs"))
+    });
+    group.bench_function("ext_shapes", |b| {
+        b.iter(|| ext_shapes(black_box(&cfg)).expect("ext-shapes runs"))
+    });
+    group.bench_function("ext_locality", |b| {
+        b.iter(|| ext_locality(black_box(&cfg)).expect("ext-locality runs"))
+    });
+    group.bench_function("ext_bus", |b| {
+        b.iter(|| ext_bus(black_box(&cfg)).expect("ext-bus runs"))
+    });
+    group.bench_function("ext_baselines", |b| {
+        b.iter(|| ext_baselines(black_box(&cfg)).expect("ext-baselines runs"))
+    });
+    group.bench_function("ext_placement", |b| {
+        b.iter(|| ext_placement(black_box(&cfg)).expect("ext-placement runs"))
+    });
+    group.finish();
+}
+
+fn registry_sanity(c: &mut Criterion) {
+    // Keep the benchmark list in sync with the experiment registry: if an
+    // experiment is added without a bench, this assertion fires at bench
+    // time.
+    assert_eq!(all_experiments().len(), 13, "update figures.rs benches");
+    let _ = c;
+}
+
+criterion_group!(benches, figures, extensions, registry_sanity);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the workload generators (random §5.2 and structured
+//! §8 graphs) and of the graph analyses that feed the adaptive metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgraph::analysis::GraphAnalysis;
+use taskgraph::gen::{generate, generate_shape, ExecVariation, Shape, WorkloadSpec};
+
+fn random_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator/random");
+    for variation in ExecVariation::paper_scenarios() {
+        let spec = WorkloadSpec::paper(variation);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variation.label()),
+            &spec,
+            |b, spec| {
+                let mut rng = StdRng::seed_from_u64(42);
+                b.iter(|| generate(black_box(spec), &mut rng).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn shaped_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let mut group = c.benchmark_group("generator/shapes");
+    for shape in [
+        Shape::Chain { length: 50 },
+        Shape::InTree { depth: 6, branching: 2 },
+        Shape::OutTree { depth: 6, branching: 2 },
+        Shape::ForkJoin { stages: 8, width: 6 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.label()),
+            &shape,
+            |b, &shape| {
+                let mut rng = StdRng::seed_from_u64(42);
+                b.iter(|| generate_shape(black_box(shape), &spec, &mut rng).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn analyses(c: &mut Criterion) {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = generate(&spec, &mut rng).unwrap();
+    let mut group = c.benchmark_group("generator/analysis");
+    group.bench_function("avg_parallelism", |b| {
+        b.iter(|| GraphAnalysis::new(black_box(&graph)).avg_parallelism())
+    });
+    group.bench_function("avg_parallelism_with_comm", |b| {
+        b.iter(|| GraphAnalysis::new(black_box(&graph)).avg_parallelism_with_comm(1.0))
+    });
+    group.bench_function("levels_and_width", |b| {
+        b.iter(|| {
+            let an = GraphAnalysis::new(black_box(&graph));
+            (an.depth(), an.width())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, random_generation, shaped_generation, analyses);
+criterion_main!(benches);

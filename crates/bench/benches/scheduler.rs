@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the deadline-driven list scheduler: system-size
+//! scaling, placement policies and communication models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use platform::{Pinning, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{BusModel, ListScheduler, PlacementPolicy};
+use slicing::{DeadlineAssignment, Slicer};
+use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+use taskgraph::TaskGraph;
+
+fn prepared(nproc: usize) -> (TaskGraph, Platform, DeadlineAssignment) {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generate(&spec, &mut rng).expect("paper spec is valid");
+    let platform = Platform::paper(nproc).expect("valid platform");
+    let assignment = Slicer::ast_adapt()
+        .distribute(&graph, &platform)
+        .expect("distribution succeeds");
+    (graph, platform, assignment)
+}
+
+fn system_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/system_size");
+    for nproc in [2usize, 4, 8, 16] {
+        let (graph, platform, assignment) = prepared(nproc);
+        group.bench_with_input(BenchmarkId::from_parameter(nproc), &nproc, |b, _| {
+            let scheduler = ListScheduler::new();
+            b.iter(|| {
+                scheduler
+                    .schedule(
+                        black_box(&graph),
+                        black_box(&platform),
+                        black_box(&assignment),
+                        &Pinning::new(),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn placement_policies(c: &mut Criterion) {
+    let (graph, platform, assignment) = prepared(4);
+    let mut group = c.benchmark_group("scheduler/placement");
+    for (name, policy) in [
+        ("insertion", PlacementPolicy::Insertion),
+        ("append", PlacementPolicy::Append),
+    ] {
+        group.bench_function(name, |b| {
+            let scheduler = ListScheduler::new().with_placement(policy);
+            b.iter(|| {
+                scheduler
+                    .schedule(&graph, &platform, black_box(&assignment), &Pinning::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bus_models(c: &mut Criterion) {
+    let (graph, platform, assignment) = prepared(4);
+    let mut group = c.benchmark_group("scheduler/bus");
+    for (name, bus) in [
+        ("delay", BusModel::Delay),
+        ("contention", BusModel::Contention),
+    ] {
+        group.bench_function(name, |b| {
+            let scheduler = ListScheduler::new().with_bus_model(bus);
+            b.iter(|| {
+                scheduler
+                    .schedule(&graph, &platform, black_box(&assignment), &Pinning::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, system_sizes, placement_policies, bus_models);
+criterion_main!(benches);

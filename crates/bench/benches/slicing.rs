@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the deadline-distribution algorithm: each metric and
+//! estimation strategy over increasing workload sizes, plus an ablation of
+//! the critical-path search cost.
+//!
+//! §8 of the paper states AST's complexity is O(n³) for n subtasks, equal
+//! to BST's up to a constant; the `scaling` group lets that growth be
+//! checked empirically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use platform::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slicing::{CommEstimate, MetricKind, Slicer};
+use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+use taskgraph::TaskGraph;
+
+fn paper_graph(seed: u64) -> TaskGraph {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&spec, &mut rng).expect("paper spec is valid")
+}
+
+fn sized_graph(subtasks: usize, seed: u64) -> TaskGraph {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet)
+        .with_subtasks(subtasks..=subtasks)
+        .with_depth(subtasks / 5..=subtasks / 5 + 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(&spec, &mut rng).expect("spec is valid")
+}
+
+fn metrics(c: &mut Criterion) {
+    let graph = paper_graph(1);
+    let platform = Platform::paper(8).expect("valid platform");
+    let mut group = c.benchmark_group("slicing/metrics");
+    for (name, metric) in [
+        ("norm", MetricKind::norm()),
+        ("pure", MetricKind::pure()),
+        ("thres", MetricKind::thres(1.0)),
+        ("adapt", MetricKind::adapt()),
+    ] {
+        group.bench_function(name, |b| {
+            let slicer = Slicer::new(metric);
+            b.iter(|| slicer.distribute(black_box(&graph), black_box(&platform)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn estimates(c: &mut Criterion) {
+    let graph = paper_graph(2);
+    let platform = Platform::paper(8).expect("valid platform");
+    let mut group = c.benchmark_group("slicing/estimates");
+    for (name, estimate) in [("ccne", CommEstimate::Ccne), ("ccaa", CommEstimate::Ccaa)] {
+        group.bench_function(name, |b| {
+            let slicer = Slicer::bst_pure().with_estimate(estimate.clone());
+            b.iter(|| slicer.distribute(black_box(&graph), black_box(&platform)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn scaling(c: &mut Criterion) {
+    let platform = Platform::paper(8).expect("valid platform");
+    let mut group = c.benchmark_group("slicing/scaling");
+    group.sample_size(20);
+    for n in [25usize, 50, 100, 200] {
+        let graph = sized_graph(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            let slicer = Slicer::ast_adapt();
+            b.iter(|| slicer.distribute(black_box(g), black_box(&platform)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, metrics, estimates, scaling);
+criterion_main!(benches);

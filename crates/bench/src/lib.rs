@@ -1,0 +1,3 @@
+//! Benchmark support crate: see the `benches/` directory for Criterion
+//! benchmarks regenerating each figure of the paper and micro-benchmarks of
+//! the slicing and scheduling algorithms.

@@ -1,0 +1,197 @@
+//! Regenerates the paper's figures from the command line.
+//!
+//! ```text
+//! figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]
+//!         [--threads N] [--out DIR] [--quick] [--no-plot]
+//! ```
+//!
+//! Prints each experiment as aligned tables plus ASCII plots and, with
+//! `--out`, writes `<id>.csv` and `<id>.json` into the directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use feast::experiments::{all_experiments, experiment, ExperimentConfig, ExperimentDescriptor};
+use feast::ExperimentResult;
+
+#[derive(Debug)]
+struct Args {
+    experiments: Vec<ExperimentDescriptor>,
+    cfg: ExperimentConfig,
+    out: Option<PathBuf>,
+    plot: bool,
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]\n\
+         \x20               [--threads N] [--out DIR] [--quick] [--no-plot]\n\nexperiments:\n",
+    );
+    for e in all_experiments() {
+        out.push_str(&format!("  {:<13} {}\n", e.id, e.description));
+    }
+    out
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut cfg = ExperimentConfig::default();
+    let mut out = None;
+    let mut plot = true;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "all" => experiments = all_experiments(),
+            "--quick" => {
+                cfg.replications = ExperimentConfig::quick().replications;
+                cfg.system_sizes = ExperimentConfig::quick().system_sizes;
+            }
+            "--no-plot" => plot = false,
+            "--reps" => {
+                cfg.replications = next_value(&mut it, "--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--seed" => {
+                cfg.base_seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                cfg.threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--sizes" => {
+                let raw = next_value(&mut it, "--sizes")?;
+                let sizes: Result<Vec<usize>, _> =
+                    raw.split(',').map(|s| s.trim().parse()).collect();
+                cfg.system_sizes = sizes.map_err(|e| format!("--sizes: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(next_value(&mut it, "--out")?));
+            }
+            "--help" | "-h" => return Err(usage()),
+            id => {
+                let exp = experiment(id).ok_or_else(|| {
+                    format!("unknown experiment '{id}'\n\n{}", usage())
+                })?;
+                experiments.push(exp);
+            }
+        }
+    }
+    if experiments.is_empty() {
+        return Err(usage());
+    }
+    Ok(Args {
+        experiments,
+        cfg,
+        out,
+        plot,
+    })
+}
+
+fn next_value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn write_outputs(dir: &PathBuf, result: &ExperimentResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.csv", result.id)), result.to_csv())?;
+    std::fs::write(dir.join(format!("{}.json", result.id)), result.to_json())?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "running {} experiment(s): {} replications, sizes {:?}\n",
+        args.experiments.len(),
+        args.cfg.replications,
+        args.cfg.system_sizes
+    );
+
+    for exp in &args.experiments {
+        let started = Instant::now();
+        let result = match (exp.run)(&args.cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{} failed: {e}", exp.id);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", result.to_tables());
+        if args.plot {
+            println!("{}", result.to_ascii_plots(56, 14));
+        }
+        if let Some(dir) = &args.out {
+            if let Err(e) = write_outputs(dir, &result) {
+                eprintln!("failed to write outputs for {}: {e}", exp.id);
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {}/{}.csv and .json",
+                dir.display(),
+                result.id
+            );
+        }
+        println!("({} finished in {:.1?})\n", exp.id, started.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        let argv: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn parses_experiment_and_flags() {
+        let a = args(&["fig2", "--reps", "16", "--sizes", "2,4", "--seed", "9"]).unwrap();
+        assert_eq!(a.experiments.len(), 1);
+        assert_eq!(a.experiments[0].id, "fig2");
+        assert_eq!(a.cfg.replications, 16);
+        assert_eq!(a.cfg.system_sizes, vec![2, 4]);
+        assert_eq!(a.cfg.base_seed, 9);
+        assert!(a.plot);
+    }
+
+    #[test]
+    fn all_selects_every_experiment() {
+        let a = args(&["all", "--quick", "--no-plot"]).unwrap();
+        assert_eq!(a.experiments.len(), all_experiments().len());
+        assert!(!a.plot);
+        assert!(a.cfg.replications <= 16);
+    }
+
+    #[test]
+    fn rejects_unknown_experiment_and_empty() {
+        assert!(args(&["nope"]).is_err());
+        assert!(args(&[]).is_err());
+        assert!(args(&["fig2", "--reps"]).is_err());
+        assert!(args(&["fig2", "--reps", "abc"]).is_err());
+    }
+
+    #[test]
+    fn out_dir_parsed() {
+        let a = args(&["fig3", "--out", "/tmp/results"]).unwrap();
+        assert_eq!(a.out, Some(PathBuf::from("/tmp/results")));
+    }
+}

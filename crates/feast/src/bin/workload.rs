@@ -1,0 +1,253 @@
+//! Workload inspection tool: generate a task graph from the paper's
+//! parameters (or a structured shape), print its analyses, preview a
+//! distribution + schedule, and export DOT/JSON.
+//!
+//! ```text
+//! workload [--seed S] [--variation ldet|mdet|hdet] [--met N] [--olr X]
+//!          [--ccr X] [--shape chain:N|in-tree:D,B|out-tree:D,B|fork-join:S,W]
+//!          [--procs N] [--metric norm|pure|thres|adapt] [--gantt]
+//!          [--dot FILE] [--json FILE]
+//! ```
+
+use std::process::ExitCode;
+
+use platform::{Pinning, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{gantt, LatenessReport, ListScheduler};
+use slicing::{MetricKind, Slicer};
+use taskgraph::analysis::GraphAnalysis;
+use taskgraph::dot::to_dot;
+use taskgraph::gen::{generate, generate_shape, ExecVariation, Shape, WorkloadSpec};
+use taskgraph::TaskGraph;
+
+#[derive(Debug)]
+struct Args {
+    seed: u64,
+    spec: WorkloadSpec,
+    shape: Option<Shape>,
+    procs: usize,
+    metric: MetricKind,
+    gantt: bool,
+    dot: Option<String>,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 0xFEA57,
+            spec: WorkloadSpec::paper(ExecVariation::Mdet),
+            shape: None,
+            procs: 4,
+            metric: MetricKind::adapt(),
+            gantt: false,
+            dot: None,
+            json: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: workload [--seed S] [--variation ldet|mdet|hdet] [--met N] \
+[--olr X] [--ccr X]\n                [--shape chain:N|in-tree:D,B|out-tree:D,B|fork-join:S,W] \
+[--procs N]\n                [--metric norm|pure|thres|adapt] [--gantt] [--dot FILE] [--json FILE]";
+
+fn parse_shape(raw: &str) -> Result<Shape, String> {
+    let (kind, params) = raw.split_once(':').ok_or("shape needs parameters, e.g. chain:10")?;
+    let nums: Result<Vec<usize>, _> = params.split(',').map(|p| p.trim().parse()).collect();
+    let nums = nums.map_err(|e| format!("bad shape parameter: {e}"))?;
+    match (kind, nums.as_slice()) {
+        ("chain", [n]) => Ok(Shape::Chain { length: *n }),
+        ("in-tree", [d, b]) => Ok(Shape::InTree { depth: *d, branching: *b }),
+        ("out-tree", [d, b]) => Ok(Shape::OutTree { depth: *d, branching: *b }),
+        ("fork-join", [s, w]) => Ok(Shape::ForkJoin { stages: *s, width: *w }),
+        _ => Err(format!("unknown shape '{raw}'")),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--variation" => {
+                args.spec.variation = match value("--variation")?.as_str() {
+                    "ldet" => ExecVariation::Ldet,
+                    "mdet" => ExecVariation::Mdet,
+                    "hdet" => ExecVariation::Hdet,
+                    other => return Err(format!("unknown variation '{other}'")),
+                }
+            }
+            "--met" => {
+                args.spec.mean_exec_time =
+                    value("--met")?.parse().map_err(|e| format!("--met: {e}"))?
+            }
+            "--olr" => args.spec.olr = value("--olr")?.parse().map_err(|e| format!("--olr: {e}"))?,
+            "--ccr" => args.spec.ccr = value("--ccr")?.parse().map_err(|e| format!("--ccr: {e}"))?,
+            "--shape" => args.shape = Some(parse_shape(value("--shape")?)?),
+            "--procs" => {
+                args.procs = value("--procs")?.parse().map_err(|e| format!("--procs: {e}"))?
+            }
+            "--metric" => {
+                args.metric = match value("--metric")?.as_str() {
+                    "norm" => MetricKind::norm(),
+                    "pure" => MetricKind::pure(),
+                    "thres" => MetricKind::thres(1.0),
+                    "adapt" => MetricKind::adapt(),
+                    other => return Err(format!("unknown metric '{other}'")),
+                }
+            }
+            "--gantt" => args.gantt = true,
+            "--dot" => args.dot = Some(value("--dot")?.clone()),
+            "--json" => args.json = Some(value("--json")?.clone()),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let graph: TaskGraph = match args.shape {
+        Some(shape) => generate_shape(shape, &args.spec, &mut rng)?,
+        None => generate(&args.spec, &mut rng)?,
+    };
+
+    let analysis = GraphAnalysis::new(&graph);
+    println!("workload (seed {}):", args.seed);
+    println!("  subtasks          {}", graph.subtask_count());
+    println!("  messages          {}", graph.edge_count());
+    println!("  depth             {}", analysis.depth());
+    println!("  width             {}", analysis.width());
+    println!("  total work        {}", analysis.total_work());
+    println!("  longest path      {}", analysis.longest_path_work());
+    println!("  parallelism xi    {:.2}", analysis.avg_parallelism());
+    println!(
+        "  xi (incl. comm)   {:.2}",
+        analysis.avg_parallelism_with_comm(1.0)
+    );
+    println!("  mean exec (MET)   {:.1}", analysis.mean_exec_time());
+    println!("  realized CCR      {:.2}", analysis.realized_ccr(1.0));
+    if let Some(&out) = graph.outputs().first() {
+        if let Some(d) = graph.subtask(out).deadline() {
+            println!("  end-to-end D      {d}");
+        }
+    }
+
+    let platform = Platform::paper(args.procs)?;
+    let slicer = Slicer::new(args.metric);
+    let assignment = slicer.distribute(&graph, &platform)?;
+    let schedule = ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
+    let report = LatenessReport::new(&graph, &assignment, &schedule);
+    println!("\n{} on {} processors:", args.metric.label(), args.procs);
+    println!("  min laxity        {}", assignment.min_laxity(&graph));
+    println!("  makespan          {}", schedule.makespan());
+    println!("  utilization       {:.1}%", schedule.utilization(&graph) * 100.0);
+    println!("  background slack  {}", schedule.background_capacity());
+    println!("  max task lateness {}", report.max_lateness());
+    println!("  end-to-end        {}", report.end_to_end_lateness());
+    println!("  feasible          {}", report.is_feasible());
+
+    if args.gantt {
+        println!("\n{}", gantt::render(&schedule, &graph, 72));
+    }
+    if let Some(path) = &args.dot {
+        std::fs::write(path, to_dot(&graph))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, serde_json::to_string_pretty(&graph)?)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Result<Args, String> {
+        let argv: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.procs, 4);
+        assert_eq!(a.seed, 0xFEA57);
+        assert!(a.shape.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--seed", "9", "--variation", "hdet", "--met", "40", "--olr", "2.0", "--ccr",
+            "0.5", "--procs", "8", "--metric", "pure", "--gantt",
+        ])
+        .unwrap();
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.spec.variation, ExecVariation::Hdet);
+        assert_eq!(a.spec.mean_exec_time, 40);
+        assert_eq!(a.spec.olr, 2.0);
+        assert_eq!(a.spec.ccr, 0.5);
+        assert_eq!(a.procs, 8);
+        assert_eq!(a.metric, MetricKind::pure());
+        assert!(a.gantt);
+    }
+
+    #[test]
+    fn parses_shapes() {
+        assert_eq!(parse_shape("chain:7").unwrap(), Shape::Chain { length: 7 });
+        assert_eq!(
+            parse_shape("in-tree:4,2").unwrap(),
+            Shape::InTree { depth: 4, branching: 2 }
+        );
+        assert_eq!(
+            parse_shape("fork-join:3,5").unwrap(),
+            Shape::ForkJoin { stages: 3, width: 5 }
+        );
+        assert!(parse_shape("ring:3").is_err());
+        assert!(parse_shape("chain").is_err());
+        assert!(parse_shape("chain:x").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--metric", "zzz"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_works() {
+        let args = Args {
+            procs: 2,
+            gantt: true,
+            ..Args::default()
+        };
+        run(&args).expect("default workload runs");
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for experiment execution.
+
+use std::error::Error;
+use std::fmt;
+
+use platform::PlatformError;
+use sched::SchedError;
+use slicing::SliceError;
+use taskgraph::gen::GenerateError;
+
+/// Error produced while running a scenario or experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The scenario definition is unusable (empty sweep, zero replications).
+    InvalidScenario(String),
+    /// Workload generation failed.
+    Generate(GenerateError),
+    /// Deadline distribution failed.
+    Slice(SliceError),
+    /// The platform could not be constructed or a pinning was invalid.
+    Platform(PlatformError),
+    /// Scheduling failed.
+    Sched(SchedError),
+    /// Writing reports to disk failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            RunError::Generate(e) => write!(f, "workload generation failed: {e}"),
+            RunError::Slice(e) => write!(f, "deadline distribution failed: {e}"),
+            RunError::Platform(e) => write!(f, "platform error: {e}"),
+            RunError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            RunError::Io(e) => write!(f, "report i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::InvalidScenario(_) => None,
+            RunError::Generate(e) => Some(e),
+            RunError::Slice(e) => Some(e),
+            RunError::Platform(e) => Some(e),
+            RunError::Sched(e) => Some(e),
+            RunError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GenerateError> for RunError {
+    fn from(e: GenerateError) -> Self {
+        RunError::Generate(e)
+    }
+}
+
+impl From<SliceError> for RunError {
+    fn from(e: SliceError) -> Self {
+        RunError::Slice(e)
+    }
+}
+
+impl From<PlatformError> for RunError {
+    fn from(e: PlatformError) -> Self {
+        RunError::Platform(e)
+    }
+}
+
+impl From<SchedError> for RunError {
+    fn from(e: SchedError) -> Self {
+        RunError::Sched(e)
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RunError = SliceError::NoAnchoredPath.into();
+        assert!(e.to_string().contains("deadline distribution"));
+        assert!(e.source().is_some());
+
+        let e: RunError = PlatformError::NoProcessors.into();
+        assert!(e.to_string().contains("platform"));
+
+        let e = RunError::InvalidScenario("empty".into());
+        assert!(e.to_string().contains("empty"));
+        assert!(e.source().is_none());
+
+        let e: RunError = std::io::Error::other("disk").into();
+        assert!(e.to_string().contains("i/o"));
+    }
+}

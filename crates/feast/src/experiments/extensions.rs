@@ -1,0 +1,420 @@
+//! Regenerators for the complementary studies summarized in §8 of the paper
+//! (full data in the companion technical report TR-281).
+
+use sched::BusModel;
+use slicing::{BaselineStrategy, CommEstimate, MetricKind};
+use taskgraph::gen::{ExecVariation, Shape, WorkloadSpec};
+
+use crate::experiments::{run_panels, run_panels_measuring, ExperimentConfig, Measure};
+use crate::{
+    ExperimentResult, PinningPolicy, RunError, Scenario, SchedulerSpec, TopologyKind,
+    WorkloadSource,
+};
+
+fn ast_vs_bst(spec: &WorkloadSpec, cfg: &ExperimentConfig) -> Vec<Scenario> {
+    vec![
+        cfg.apply(Scenario::paper(
+            "PURE",
+            spec.clone(),
+            MetricKind::pure(),
+            CommEstimate::Ccne,
+        )),
+        cfg.apply(Scenario::paper(
+            "ADAPT",
+            spec.clone(),
+            MetricKind::adapt(),
+            CommEstimate::Ccne,
+        )),
+    ]
+}
+
+/// **ext-met** — AST vs BST across mean subtask execution times
+/// (MET ∈ {10, 20, 40}, MDET).
+///
+/// §8: "AST scales very well with these parameters when the ADAPT metric is
+/// used."
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_met(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let panels = [10, 20, 40]
+        .into_iter()
+        .map(|met| {
+            let spec = WorkloadSpec::paper(ExecVariation::Mdet).with_mean_exec_time(met);
+            (format!("MET={met}"), ast_vs_bst(&spec, cfg))
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-met".into(),
+        description: "ADAPT vs PURE for different mean subtask execution times".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-par** — AST vs BST across degrees of task-graph parallelism,
+/// controlled through the graph depth (shallow graphs are wide/parallel,
+/// deep graphs are sequential).
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_par(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let panels = [(4usize, 6usize, "wide"), (8, 12, "paper"), (14, 18, "deep")]
+        .into_iter()
+        .map(|(lo, hi, tag)| {
+            let spec = WorkloadSpec::paper(ExecVariation::Mdet).with_depth(lo..=hi);
+            (format!("depth {lo}-{hi} ({tag})"), ast_vs_bst(&spec, cfg))
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-par".into(),
+        description: "ADAPT vs PURE for different degrees of task-graph parallelism".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-ccr** — sensitivity to the communication-to-computation ratio
+/// (CCR ∈ {0.5, 1, 2}), comparing CCNE- and CCAA-based distribution.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_ccr(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let panels = [0.5, 1.0, 2.0]
+        .into_iter()
+        .map(|ccr| {
+            let spec = WorkloadSpec::paper(ExecVariation::Mdet).with_ccr(ccr);
+            let scenarios = vec![
+                cfg.apply(Scenario::paper(
+                    "PURE/CCNE",
+                    spec.clone(),
+                    MetricKind::pure(),
+                    CommEstimate::Ccne,
+                )),
+                cfg.apply(Scenario::paper(
+                    "PURE/CCAA",
+                    spec.clone(),
+                    MetricKind::pure(),
+                    CommEstimate::Ccaa,
+                )),
+                cfg.apply(Scenario::paper(
+                    "ADAPT",
+                    spec.clone(),
+                    MetricKind::adapt(),
+                    CommEstimate::Ccne,
+                )),
+            ];
+            (format!("CCR={ccr}"), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-ccr".into(),
+        description: "Sensitivity to the communication-to-computation ratio".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-topo** — AST vs BST on shared-bus, fully-connected, ring and 2-D
+/// mesh interconnects.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_topo(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let panels = [
+        TopologyKind::SharedBus,
+        TopologyKind::FullyConnected,
+        TopologyKind::Ring,
+        TopologyKind::Mesh2D,
+    ]
+    .into_iter()
+    .map(|topo| {
+        let scenarios = ast_vs_bst(&spec, cfg)
+            .into_iter()
+            .map(|s| s.with_topology(topo))
+            .collect();
+        (topo.label().to_owned(), scenarios)
+    })
+    .collect();
+    Ok(ExperimentResult {
+        id: "ext-topo".into(),
+        description: "ADAPT vs PURE across interconnect topologies".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-shapes** — AST vs BST on the regular task-graph structures named
+/// as future work in §8: in-tree, out-tree and fork–join.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_shapes(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let shapes = [
+        Shape::InTree {
+            depth: 5,
+            branching: 2,
+        },
+        Shape::OutTree {
+            depth: 5,
+            branching: 2,
+        },
+        Shape::ForkJoin {
+            stages: 5,
+            width: 5,
+        },
+    ];
+    let panels = shapes
+        .into_iter()
+        .map(|shape| {
+            let scenarios = ast_vs_bst(&spec, cfg)
+                .into_iter()
+                .map(|s| {
+                    s.with_workload(WorkloadSource::Shaped {
+                        shape,
+                        spec: spec.clone(),
+                    })
+                })
+                .collect();
+            (shape.label(), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-shapes".into(),
+        description: "ADAPT vs PURE on structured task graphs".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-locality** — fully relaxed versus partially pinned workloads
+/// (inputs and outputs pinned round-robin, modelling sensors/actuators).
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_locality(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let panels = [PinningPolicy::Relaxed, PinningPolicy::AnchoredIo]
+        .into_iter()
+        .map(|policy| {
+            let scenarios = ast_vs_bst(&spec, cfg)
+                .into_iter()
+                .map(|s| s.with_pinning(policy))
+                .collect();
+            (policy.label().to_owned(), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-locality".into(),
+        description: "ADAPT vs PURE with and without sensor/actuator pinning".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-bus** — fixed-delay versus contention-based communication on the
+/// shared bus.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_bus(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let panels = [BusModel::Delay, BusModel::Contention]
+        .into_iter()
+        .map(|bus| {
+            let scheduler = SchedulerSpec {
+                bus_model: bus,
+                ..SchedulerSpec::default()
+            };
+            let scenarios = ast_vs_bst(&spec, cfg)
+                .into_iter()
+                .map(|s| s.with_scheduler(scheduler))
+                .collect();
+            (bus.label().to_owned(), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-bus".into(),
+        description: "ADAPT vs PURE under fixed-delay and contention bus models".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-placement** — ablation of the scheduler's placement policy:
+/// insertion-based list scheduling (the default, which lets short subtasks
+/// fill idle gaps) against append-only placement.
+///
+/// This is the mechanism through which long subtasks suffer
+/// disproportionately from contention (DESIGN.md §3), so it directly shapes
+/// how much the AST metrics can gain.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_placement(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    use sched::PlacementPolicy;
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let panels = [PlacementPolicy::Insertion, PlacementPolicy::Append]
+        .into_iter()
+        .map(|placement| {
+            let scheduler = SchedulerSpec {
+                placement,
+                ..SchedulerSpec::default()
+            };
+            let scenarios = ast_vs_bst(&spec, cfg)
+                .into_iter()
+                .map(|s| s.with_scheduler(scheduler))
+                .collect();
+            (placement.label().to_owned(), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-placement".into(),
+        description: "ADAPT vs PURE under insertion-based and append-only placement".into(),
+        panels: run_panels(cfg, panels)?,
+    })
+}
+
+/// **ext-baselines** — the slicing techniques against the pre-slicing
+/// deadline-distribution baselines of Kao & Garcia-Molina (UD, ED), which
+/// the paper's related-work section positions BST/AST against.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn ext_baselines(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    // Two neutrality requirements for a fair cross-family comparison:
+    // (1) measure end-to-end lateness (baseline local deadlines are not
+    //     comparable to sliced windows);
+    // (2) run the work-conserving scheduler, so every technique influences
+    //     the schedule only through its EDF priorities — the time-driven
+    //     model would deliberately stretch sliced schedules to their
+    //     windows.
+    let work_conserving = SchedulerSpec {
+        respect_release: false,
+        ..SchedulerSpec::default()
+    };
+    let panels = ExecVariation::paper_scenarios()
+        .into_iter()
+        .map(|variation| {
+            let spec = WorkloadSpec::paper(variation);
+            let scenarios = vec![
+                cfg.apply(Scenario::baseline("UD", spec.clone(), BaselineStrategy::Ultimate)),
+                cfg.apply(Scenario::baseline(
+                    "ED",
+                    spec.clone(),
+                    BaselineStrategy::Effective,
+                )),
+                cfg.apply(Scenario::paper(
+                    "PURE",
+                    spec.clone(),
+                    MetricKind::pure(),
+                    CommEstimate::Ccne,
+                )),
+                cfg.apply(Scenario::paper(
+                    "ADAPT",
+                    spec.clone(),
+                    MetricKind::adapt(),
+                    CommEstimate::Ccne,
+                )),
+            ]
+            .into_iter()
+            .map(|s| s.with_scheduler(work_conserving))
+            .collect();
+            (variation.label(), scenarios)
+        })
+        .collect();
+    Ok(ExperimentResult {
+        id: "ext-baselines".into(),
+        description: "Slicing techniques vs the UD/ED baselines of Kao & Garcia-Molina \
+                      (end-to-end lateness: baseline local deadlines are not comparable \
+                      to sliced windows)"
+            .into(),
+        panels: run_panels_measuring(cfg, panels, Measure::EndToEnd)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            replications: 2,
+            base_seed: 5,
+            system_sizes: vec![2, 8],
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn ext_shapes_runs() {
+        let r = ext_shapes(&tiny()).unwrap();
+        assert_eq!(r.panels.len(), 3);
+        assert!(r.panels.iter().all(|p| p.series.len() == 2));
+    }
+
+    #[test]
+    fn ext_locality_runs() {
+        let r = ext_locality(&tiny()).unwrap();
+        assert_eq!(r.panels.len(), 2);
+        assert_eq!(r.panels[0].title, "relaxed");
+        assert_eq!(r.panels[1].title, "anchored-io");
+    }
+
+    #[test]
+    fn ext_bus_runs() {
+        let r = ext_bus(&tiny()).unwrap();
+        assert_eq!(r.panels.len(), 2);
+    }
+
+    #[test]
+    fn ext_topo_runs() {
+        let r = ext_topo(&tiny()).unwrap();
+        assert_eq!(r.panels.len(), 4);
+        assert_eq!(r.panels[0].title, "bus");
+    }
+
+    #[test]
+    fn ext_placement_runs_and_insertion_wins() {
+        let cfg = ExperimentConfig {
+            replications: 8,
+            base_seed: 11,
+            system_sizes: vec![2],
+            threads: 0,
+        };
+        let r = ext_placement(&cfg).unwrap();
+        assert_eq!(r.panels.len(), 2);
+        assert_eq!(r.panels[0].title, "insertion");
+        // Gap insertion never hurts the contended 2-processor case on
+        // average: it only adds placement opportunities.
+        let ins = r.series("insertion", "PURE").unwrap().points[0].1;
+        let app = r.series("append", "PURE").unwrap().points[0].1;
+        assert!(
+            ins <= app + 1e-9,
+            "insertion ({ins}) must not lose to append ({app})"
+        );
+    }
+
+    #[test]
+    fn ext_baselines_runs_and_slicing_wins() {
+        let cfg = ExperimentConfig {
+            replications: 8,
+            base_seed: 3,
+            system_sizes: vec![8],
+            threads: 0,
+        };
+        let r = ext_baselines(&cfg).unwrap();
+        assert_eq!(r.panels.len(), 3);
+        // The slicing techniques dominate the naive baselines once
+        // parallelism is exploitable: UD gives every subtask the full
+        // end-to-end deadline, so its max lateness can never drop below
+        // what the final subtasks achieve.
+        let pure = r.series("MDET", "PURE").unwrap().points[0].1;
+        let ud = r.series("MDET", "UD").unwrap().points[0].1;
+        assert!(pure <= ud, "PURE ({pure}) must beat UD ({ud})");
+    }
+}

@@ -1,0 +1,195 @@
+//! Regenerators for the paper's four evaluation figures.
+//!
+//! Each figure plots the average (over replications) of the **maximum task
+//! lateness** against system size, one panel per execution-time variation
+//! scenario (LDET ±25 %, MDET ±50 %, HDET ±99 %). More negative is better.
+
+use slicing::{CommEstimate, MetricKind, ThresholdSpec};
+use taskgraph::gen::{ExecVariation, WorkloadSpec};
+
+use crate::experiments::{run_panels, ExperimentConfig};
+use crate::{ExperimentResult, RunError, Scenario};
+
+fn paper_scenario(
+    label: &str,
+    variation: ExecVariation,
+    metric: MetricKind,
+    estimate: CommEstimate,
+    cfg: &ExperimentConfig,
+) -> Scenario {
+    cfg.apply(Scenario::paper(
+        label,
+        WorkloadSpec::paper(variation),
+        metric,
+        estimate,
+    ))
+}
+
+fn variation_panels(
+    cfg: &ExperimentConfig,
+    series: &[(&str, MetricKind, CommEstimate)],
+) -> Vec<(String, Vec<Scenario>)> {
+    ExecVariation::paper_scenarios()
+        .into_iter()
+        .map(|variation| {
+            let scenarios = series
+                .iter()
+                .map(|(label, metric, estimate)| {
+                    paper_scenario(label, variation, *metric, estimate.clone(), cfg)
+                })
+                .collect();
+            (variation.label(), scenarios)
+        })
+        .collect()
+}
+
+/// **Figure 2** — maximum task lateness for the BST metrics PURE and NORM,
+/// each under the CCNE and CCAA communication-cost estimation strategies.
+///
+/// Expected shape: lateness decreases roughly linearly with system size
+/// before saturating; CCNE dominates CCAA; PURE dominates NORM, especially
+/// under high execution-time variation (HDET).
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn fig2(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let series = [
+        ("PURE/CCNE", MetricKind::pure(), CommEstimate::Ccne),
+        ("PURE/CCAA", MetricKind::pure(), CommEstimate::Ccaa),
+        ("NORM/CCNE", MetricKind::norm(), CommEstimate::Ccne),
+        ("NORM/CCAA", MetricKind::norm(), CommEstimate::Ccaa),
+    ];
+    Ok(ExperimentResult {
+        id: "fig2".into(),
+        description: "Maximum task lateness for the PURE and NORM metrics (BST)".into(),
+        panels: run_panels(cfg, variation_panels(cfg, &series))?,
+    })
+}
+
+/// **Figure 3** — THRES with surplus factors Δ ∈ {1, 2, 4} (CCNE, c_thres =
+/// 1.25 × MET).
+///
+/// Expected shape: large Δ helps small systems (extra slack for long
+/// subtasks under contention) but hurts large systems; no Δ wins everywhere.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn fig3(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let series = [
+        ("THRES d=1", MetricKind::thres(1.0), CommEstimate::Ccne),
+        ("THRES d=2", MetricKind::thres(2.0), CommEstimate::Ccne),
+        ("THRES d=4", MetricKind::thres(4.0), CommEstimate::Ccne),
+    ];
+    Ok(ExperimentResult {
+        id: "fig3".into(),
+        description: "Maximum task lateness for different THRES surplus factors".into(),
+        panels: run_panels(cfg, variation_panels(cfg, &series))?,
+    })
+}
+
+/// **Figure 4** — THRES (Δ = 1) with c_thres at 75 %, 100 % and 125 % of the
+/// MET.
+///
+/// Expected shape: mild sensitivity — varying the threshold ±25 % around the
+/// MET moves lateness by only a few percent, improving slightly as the
+/// threshold grows.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn fig4(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let series = [
+        (
+            "thr=0.75*MET",
+            MetricKind::Thres {
+                surplus: 1.0,
+                threshold: ThresholdSpec::MetFactor(0.75),
+            },
+            CommEstimate::Ccne,
+        ),
+        (
+            "thr=1.00*MET",
+            MetricKind::Thres {
+                surplus: 1.0,
+                threshold: ThresholdSpec::MetFactor(1.0),
+            },
+            CommEstimate::Ccne,
+        ),
+        (
+            "thr=1.25*MET",
+            MetricKind::Thres {
+                surplus: 1.0,
+                threshold: ThresholdSpec::MetFactor(1.25),
+            },
+            CommEstimate::Ccne,
+        ),
+    ];
+    Ok(ExperimentResult {
+        id: "fig4".into(),
+        description: "Maximum task lateness for different THRES execution-time thresholds"
+            .into(),
+        panels: run_panels(cfg, variation_panels(cfg, &series))?,
+    })
+}
+
+/// **Figure 5** — the headline comparison: PURE (best BST) vs THRES (Δ = 1)
+/// vs ADAPT (c_thres = 1.25 × MET, CCNE).
+///
+/// Expected shape: ADAPT clearly beats PURE and THRES on small systems (up
+/// to ~2× better) and converges to PURE as the system grows; THRES trails
+/// PURE on large systems.
+///
+/// # Errors
+///
+/// Propagates scenario-execution failures.
+pub fn fig5(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
+    let series = [
+        ("PURE", MetricKind::pure(), CommEstimate::Ccne),
+        ("THRES d=1", MetricKind::thres(1.0), CommEstimate::Ccne),
+        ("ADAPT", MetricKind::adapt(), CommEstimate::Ccne),
+    ];
+    Ok(ExperimentResult {
+        id: "fig5".into(),
+        description: "Maximum task lateness for the THRES and ADAPT metrics (AST) vs PURE"
+            .into(),
+        panels: run_panels(cfg, variation_panels(cfg, &series))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            replications: 3,
+            base_seed: 1,
+            system_sizes: vec![2, 8],
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn fig2_structure() {
+        let r = fig2(&tiny()).unwrap();
+        assert_eq!(r.id, "fig2");
+        assert_eq!(r.panels.len(), 3);
+        for p in &r.panels {
+            assert_eq!(p.series.len(), 4);
+            for s in &p.series {
+                assert_eq!(s.points.len(), 2);
+            }
+        }
+        assert!(r.series("LDET", "PURE/CCNE").is_some());
+    }
+
+    #[test]
+    fn fig5_structure() {
+        let r = fig5(&tiny()).unwrap();
+        assert_eq!(r.panels.len(), 3);
+        assert_eq!(r.panels[0].series.len(), 3);
+        assert!(r.series("HDET", "ADAPT").is_some());
+    }
+}

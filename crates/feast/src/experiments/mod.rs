@@ -1,0 +1,274 @@
+//! Experiment definitions: one regenerator per figure of the paper plus the
+//! complementary studies summarized in §8.
+//!
+//! | id            | reproduces                                            |
+//! |---------------|--------------------------------------------------------|
+//! | `fig2`        | Figure 2 — BST metrics PURE/NORM under CCNE/CCAA       |
+//! | `fig3`        | Figure 3 — THRES surplus factor Δ ∈ {1, 2, 4}          |
+//! | `fig4`        | Figure 4 — THRES threshold c_thres ∈ {0.75,1,1.25}·MET |
+//! | `fig5`        | Figure 5 — PURE vs THRES(Δ=1) vs ADAPT                 |
+//! | `ext-met`     | §8 — sensitivity to mean execution time                |
+//! | `ext-par`     | §8 — sensitivity to task-graph parallelism             |
+//! | `ext-ccr`     | §8 — sensitivity to the CCR                            |
+//! | `ext-topo`    | §8 — other interconnect topologies                     |
+//! | `ext-shapes`  | §8 — in-tree / out-tree / fork-join structures         |
+//! | `ext-locality`| §8 — partially pinned (sensor/actuator) workloads      |
+//! | `ext-bus`     | §8 — contention-based communication scheduling         |
+//! | `ext-baselines`| slicing vs the UD/ED baselines of Kao & Garcia-Molina |
+
+mod extensions;
+mod figures;
+
+pub use extensions::{
+    ext_baselines, ext_bus, ext_ccr, ext_locality, ext_met, ext_par, ext_placement,
+    ext_shapes, ext_topo,
+};
+pub use figures::{fig2, fig3, fig4, fig5};
+
+use crate::{run_scenario_with_threads, ExperimentResult, Panel, RunError, Scenario, Series};
+
+/// Shared configuration for all experiment regenerators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Random workloads per scenario point (the paper uses 128).
+    pub replications: usize,
+    /// Base seed; replication `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// System sizes to sweep (the paper uses 2–16).
+    pub system_sizes: Vec<usize>,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    /// The paper's configuration: 128 replications over 2–16 processors.
+    fn default() -> Self {
+        ExperimentConfig {
+            replications: 128,
+            base_seed: 0xFEA57,
+            system_sizes: (2..=16).step_by(2).collect(),
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for quick shape checks and CI (8
+    /// replications over three sizes).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            replications: 8,
+            base_seed: 0xFEA57,
+            system_sizes: vec![2, 8, 16],
+            threads: 0,
+        }
+    }
+
+    /// Replaces the replication count.
+    #[must_use]
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Replaces the system-size sweep.
+    #[must_use]
+    pub fn with_system_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.system_sizes = sizes;
+        self
+    }
+
+    pub(crate) fn apply(&self, scenario: Scenario) -> Scenario {
+        scenario
+            .with_replications(self.replications)
+            .with_system_sizes(self.system_sizes.clone())
+            .with_base_seed(self.base_seed)
+    }
+
+    pub(crate) fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Which lateness measure an experiment plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Measure {
+    /// Maximum task lateness against assigned local deadlines (the paper's
+    /// figure of merit; only meaningful when every technique partitions the
+    /// same end-to-end deadline).
+    MaxTask,
+    /// End-to-end lateness of output subtasks against their given
+    /// deadlines (technique neutral; used against the UD/ED baselines).
+    EndToEnd,
+}
+
+/// Runs a list of `(panel title, scenarios)` pairs into panels.
+pub(crate) fn run_panels(
+    cfg: &ExperimentConfig,
+    panels: Vec<(String, Vec<Scenario>)>,
+) -> Result<Vec<Panel>, RunError> {
+    run_panels_measuring(cfg, panels, Measure::MaxTask)
+}
+
+/// Runs panels plotting the chosen lateness measure.
+pub(crate) fn run_panels_measuring(
+    cfg: &ExperimentConfig,
+    panels: Vec<(String, Vec<Scenario>)>,
+    measure: Measure,
+) -> Result<Vec<Panel>, RunError> {
+    let threads = cfg.effective_threads();
+    panels
+        .into_iter()
+        .map(|(title, scenarios)| {
+            let series: Result<Vec<Series>, RunError> = scenarios
+                .iter()
+                .map(|s| {
+                    let result = run_scenario_with_threads(s, threads)?;
+                    Ok(Series {
+                        label: result.label.clone(),
+                        points: match measure {
+                            Measure::MaxTask => result.lateness_series(),
+                            Measure::EndToEnd => result.end_to_end_series(),
+                        },
+                    })
+                })
+                .collect();
+            Ok(Panel {
+                title,
+                series: series?,
+            })
+        })
+        .collect()
+}
+
+/// A named, runnable experiment for the CLI and benches.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDescriptor {
+    /// Stable identifier (`"fig2"`, `"ext-ccr"`, ...).
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The regenerator.
+    pub run: fn(&ExperimentConfig) -> Result<ExperimentResult, RunError>,
+}
+
+/// Every experiment this repository can regenerate, in presentation order.
+pub fn all_experiments() -> Vec<ExperimentDescriptor> {
+    vec![
+        ExperimentDescriptor {
+            id: "fig2",
+            description: "BST metrics (PURE, NORM) under CCNE and CCAA estimation",
+            run: fig2,
+        },
+        ExperimentDescriptor {
+            id: "fig3",
+            description: "THRES surplus factor sensitivity (delta = 1, 2, 4)",
+            run: fig3,
+        },
+        ExperimentDescriptor {
+            id: "fig4",
+            description: "THRES execution-time threshold sensitivity (0.75-1.25 x MET)",
+            run: fig4,
+        },
+        ExperimentDescriptor {
+            id: "fig5",
+            description: "PURE vs THRES(delta=1) vs ADAPT",
+            run: fig5,
+        },
+        ExperimentDescriptor {
+            id: "ext-met",
+            description: "sensitivity to mean execution time (section 8)",
+            run: ext_met,
+        },
+        ExperimentDescriptor {
+            id: "ext-par",
+            description: "sensitivity to task-graph parallelism (section 8)",
+            run: ext_par,
+        },
+        ExperimentDescriptor {
+            id: "ext-ccr",
+            description: "sensitivity to communication-to-computation ratio (section 8)",
+            run: ext_ccr,
+        },
+        ExperimentDescriptor {
+            id: "ext-topo",
+            description: "other interconnect topologies (section 8)",
+            run: ext_topo,
+        },
+        ExperimentDescriptor {
+            id: "ext-shapes",
+            description: "structured task graphs: in-tree, out-tree, fork-join (section 8)",
+            run: ext_shapes,
+        },
+        ExperimentDescriptor {
+            id: "ext-locality",
+            description: "partially pinned workloads (sensor/actuator locality)",
+            run: ext_locality,
+        },
+        ExperimentDescriptor {
+            id: "ext-bus",
+            description: "bus contention vs fixed-delay communication",
+            run: ext_bus,
+        },
+        ExperimentDescriptor {
+            id: "ext-baselines",
+            description: "slicing techniques vs the UD/ED baselines of Kao & Garcia-Molina",
+            run: ext_baselines,
+        },
+        ExperimentDescriptor {
+            id: "ext-placement",
+            description: "ablation: insertion-based vs append-only processor placement",
+            run: ext_placement,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn experiment(id: &str) -> Option<ExperimentDescriptor> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.replications, 128);
+        assert_eq!(cfg.system_sizes, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let cfg = ExperimentConfig::quick();
+        assert!(cfg.replications <= 16);
+        assert!(cfg.system_sizes.len() <= 4);
+        assert!(cfg.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 13);
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert!(experiment("fig2").is_some());
+        assert!(experiment("nope").is_none());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = ExperimentConfig::default()
+            .with_replications(4)
+            .with_system_sizes(vec![2]);
+        assert_eq!(cfg.replications, 4);
+        assert_eq!(cfg.system_sizes, vec![2]);
+    }
+}

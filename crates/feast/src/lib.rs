@@ -1,0 +1,71 @@
+//! FEAST-style experiment framework for deadline-distribution studies.
+//!
+//! The paper evaluates its techniques inside FEAST, "a framework for
+//! evaluation of allocation and scheduling techniques for distributed hard
+//! real-time systems". This crate is that framework for the present
+//! reproduction: it sweeps [`Scenario`]s (workload × metric × estimation ×
+//! platform) over system sizes with many random replications, aggregates
+//! lateness statistics, and renders the paper's figures as tables, ASCII
+//! plots, CSV and JSON.
+//!
+//! * [`Scenario`] / [`run_scenario`] — one parameter combination, swept and
+//!   replicated; identical workload seeds across scenarios give paired
+//!   comparisons.
+//! * [`experiments`] — one regenerator per figure of the paper (`fig2` …
+//!   `fig5`) and per §8 complementary study (`ext-*`).
+//! * [`ExperimentResult`] — panels × series of mean maximum task lateness,
+//!   with renderers.
+//!
+//! # Examples
+//!
+//! Regenerate a scaled-down Figure 5 and print it:
+//!
+//! ```
+//! use feast::experiments::{fig5, ExperimentConfig};
+//!
+//! # fn main() -> Result<(), feast::RunError> {
+//! let cfg = ExperimentConfig::quick().with_replications(2);
+//! let result = fig5(&cfg)?;
+//! println!("{}", result.to_tables());
+//! assert_eq!(result.panels.len(), 3); // LDET, MDET, HDET
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod experiments;
+mod report;
+mod runner;
+mod scenario;
+mod stats;
+
+pub use error::RunError;
+pub use report::{ExperimentResult, Panel, Series};
+pub use runner::{
+    run_scenario, run_scenario_sequential, run_scenario_with_threads, ScenarioPoint,
+    ScenarioResult,
+};
+pub use scenario::{
+    PinningPolicy, Scenario, SchedulerSpec, Technique, TopologyKind, WorkloadSource,
+};
+pub use stats::SummaryStats;
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<ScenarioResult>();
+        assert_send_sync::<ExperimentResult>();
+        assert_send_sync::<RunError>();
+        assert_send_sync::<SummaryStats>();
+    }
+}

@@ -1,0 +1,284 @@
+//! Experiment results and report rendering (tables, ASCII plots, CSV,
+//! JSON).
+//!
+//! Every figure of the paper is a set of *panels* (one per execution-time
+//! variation scenario), each containing several *series* (one per technique)
+//! of mean maximum task lateness versus system size. [`ExperimentResult`]
+//! mirrors that structure so one renderer serves every experiment.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ScenarioResult;
+
+/// One plotted line: a labelled series of `(system size, value)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Display label (e.g. `"PURE/CCNE"`).
+    pub label: String,
+    /// `(system size, mean max lateness)` in sweep order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl From<&ScenarioResult> for Series {
+    fn from(result: &ScenarioResult) -> Self {
+        Series {
+            label: result.label.clone(),
+            points: result.lateness_series(),
+        }
+    }
+}
+
+/// One panel of a figure: several series over the same sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title (e.g. `"LDET"`).
+    pub title: String,
+    /// The series of the panel.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Renders the panel as an aligned text table: one row per system size,
+    /// one column per series.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header = format!("{:>6}", "procs");
+        for s in &self.series {
+            let _ = write!(header, " {:>16}", truncate(&s.label, 16));
+        }
+        let _ = writeln!(out, "{header}");
+        let sizes: Vec<usize> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(n, _)| n).collect())
+            .unwrap_or_default();
+        for (row, &n) in sizes.iter().enumerate() {
+            let mut line = format!("{n:>6}");
+            for s in &self.series {
+                match s.points.get(row) {
+                    Some(&(_, v)) => {
+                        let _ = write!(line, " {v:>16.1}");
+                    }
+                    None => {
+                        let _ = write!(line, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders the panel as a terminal line plot (lateness on the y axis,
+    /// system size on the x axis). Each series uses a distinct glyph.
+    pub fn to_ascii_plot(&self, width: usize, height: usize) -> String {
+        const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let width = width.max(16);
+        let height = height.max(6);
+
+        let mut xs: Vec<usize> = Vec::new();
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(n, v) in &s.points {
+                if !xs.contains(&n) {
+                    xs.push(n);
+                }
+                ymin = ymin.min(v);
+                ymax = ymax.max(v);
+            }
+        }
+        if xs.is_empty() {
+            return format!("## {} (no data)\n", self.title);
+        }
+        xs.sort_unstable();
+        if (ymax - ymin).abs() < 1e-9 {
+            ymax = ymin + 1.0;
+        }
+        let (xmin, xmax) = (*xs.first().unwrap() as f64, *xs.last().unwrap() as f64);
+        let xspan = (xmax - xmin).max(1.0);
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(n, v) in &s.points {
+                let col = (((n as f64 - xmin) / xspan) * (width - 1) as f64).round() as usize;
+                let row = (((ymax - v) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}  (y: mean max lateness)", self.title);
+        for (r, row) in grid.iter().enumerate() {
+            let y = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y:>10.0} |{line}");
+        }
+        let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
+        let _ = writeln!(out, "{:>10}  {:<w$}{}", "procs:", xmin as usize, xmax as usize, w = width - 2);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>10}  {} {}", "", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        s.chars().take(max.saturating_sub(1)).chain(['…']).collect()
+    }
+}
+
+/// A complete experiment: one of the paper's figures (or an extension).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Stable identifier (e.g. `"fig2"`).
+    pub id: String,
+    /// Human-readable description of what the experiment shows.
+    pub description: String,
+    /// The figure's panels.
+    pub panels: Vec<Panel>,
+}
+
+impl ExperimentResult {
+    /// Renders every panel as a table.
+    pub fn to_tables(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.description);
+        for p in &self.panels {
+            out.push_str(&p.to_table());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every panel as an ASCII plot.
+    pub fn to_ascii_plots(&self, width: usize, height: usize) -> String {
+        let mut out = String::new();
+        for p in &self.panels {
+            out.push_str(&p.to_ascii_plot(width, height));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the experiment as CSV with columns
+    /// `experiment,panel,series,system_size,mean_max_lateness`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("experiment,panel,series,system_size,mean_max_lateness\n");
+        for p in &self.panels {
+            for s in &p.series {
+                for &(n, v) in &s.points {
+                    let _ = writeln!(out, "{},{},{},{n},{v}", self.id, p.title, s.label);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the experiment as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the structure contains only serializable data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+
+    /// Retrieves a series by panel title and series label.
+    pub fn series(&self, panel: &str, label: &str) -> Option<&Series> {
+        self.panels
+            .iter()
+            .find(|p| p.title == panel)?
+            .series
+            .iter()
+            .find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: "figX".into(),
+            description: "demo".into(),
+            panels: vec![Panel {
+                title: "LDET".into(),
+                series: vec![
+                    Series {
+                        label: "PURE".into(),
+                        points: vec![(2, -100.0), (4, -300.0), (8, -500.0)],
+                    },
+                    Series {
+                        label: "ADAPT".into(),
+                        points: vec![(2, -200.0), (4, -400.0), (8, -500.0)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_values() {
+        let t = sample().to_tables();
+        for needle in ["figX", "LDET", "PURE", "ADAPT", "-100.0", "-500.0", "8"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 6);
+        assert!(csv.starts_with("experiment,panel,series"));
+        assert!(csv.contains("figX,LDET,PURE,2,-100"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = sample();
+        let json = e.to_json();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn ascii_plot_contains_series_glyphs_and_legend() {
+        let plot = sample().panels[0].to_ascii_plot(40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("PURE"));
+        assert!(plot.contains("ADAPT"));
+    }
+
+    #[test]
+    fn empty_panel_plot_does_not_panic() {
+        let p = Panel {
+            title: "empty".into(),
+            series: vec![],
+        };
+        assert!(p.to_ascii_plot(40, 10).contains("no data"));
+        assert!(p.to_table().contains("empty"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let e = sample();
+        assert!(e.series("LDET", "PURE").is_some());
+        assert!(e.series("LDET", "NOPE").is_none());
+        assert!(e.series("HDET", "PURE").is_none());
+    }
+
+    #[test]
+    fn truncate_labels() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = truncate("a-very-long-series-label", 10);
+        assert!(long.chars().count() <= 10);
+    }
+}

@@ -1,0 +1,305 @@
+//! Scenario execution: the generate → distribute → schedule → measure
+//! pipeline, swept over system sizes and replications.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use platform::Platform;
+use sched::{LatenessReport, ListScheduler};
+use slicing::{distribute_baseline, Slicer};
+use taskgraph::gen::{generate, generate_shape};
+use taskgraph::TaskGraph;
+
+use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
+
+/// Measurements of one scenario at one system size, aggregated over all
+/// replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPoint {
+    /// Number of processors.
+    pub system_size: usize,
+    /// Maximum task lateness (the paper's headline measure).
+    pub max_lateness: SummaryStats,
+    /// Lateness of output subtasks against their end-to-end deadlines.
+    pub end_to_end_lateness: SummaryStats,
+    /// Schedule makespan.
+    pub makespan: SummaryStats,
+    /// Fraction of replications whose schedules met every assigned
+    /// deadline.
+    pub feasible_fraction: f64,
+    /// Structural violations found across all replications (0 for a sound
+    /// pipeline).
+    pub violations: usize,
+}
+
+/// The outcome of running one scenario over its system-size sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario's display label.
+    pub label: String,
+    /// One point per system size, in sweep order.
+    pub points: Vec<ScenarioPoint>,
+}
+
+impl ScenarioResult {
+    /// The mean maximum task lateness per system size, in sweep order —
+    /// the series plotted in every figure of the paper.
+    pub fn lateness_series(&self) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.system_size, p.max_lateness.mean))
+            .collect()
+    }
+
+    /// The mean end-to-end lateness (output subtasks against their given
+    /// end-to-end deadlines) per system size — the technique-neutral
+    /// measure used when comparing against the UD/ED baselines, whose
+    /// local deadlines are not comparable to sliced windows.
+    pub fn end_to_end_series(&self) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.system_size, p.end_to_end_lateness.mean))
+            .collect()
+    }
+}
+
+/// Raw measurements of a single pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RunMeasurement {
+    max_lateness: f64,
+    end_to_end: f64,
+    makespan: f64,
+    feasible: bool,
+    violations: usize,
+}
+
+/// Generates the workload for replication `rep` of `scenario`.
+///
+/// Seeds depend only on `(base_seed, rep)` so different techniques see the
+/// same 128 graphs (paired comparison).
+fn workload(scenario: &Scenario, rep: usize) -> Result<TaskGraph, RunError> {
+    let mut rng = StdRng::seed_from_u64(scenario.base_seed.wrapping_add(rep as u64));
+    let graph = match &scenario.workload {
+        WorkloadSource::Random(spec) => generate(spec, &mut rng)?,
+        WorkloadSource::Shaped { shape, spec } => generate_shape(*shape, spec, &mut rng)?,
+    };
+    Ok(graph)
+}
+
+/// Runs one full pipeline: distribute deadlines, schedule, measure.
+fn run_once(
+    scenario: &Scenario,
+    graph: &TaskGraph,
+    platform: &Platform,
+) -> Result<RunMeasurement, RunError> {
+    let assignment = match &scenario.technique {
+        Technique::Slicing { metric, estimate } => Slicer::new(*metric)
+            .with_estimate(estimate.clone())
+            .distribute(graph, platform)?,
+        Technique::Baseline(strategy) => distribute_baseline(graph, *strategy),
+    };
+    // Baselines produce deliberately overlapping windows, so structural
+    // window validation only applies to the slicing techniques.
+    let mut violations = match &scenario.technique {
+        Technique::Slicing { .. } => assignment.validate(graph).violations().len(),
+        Technique::Baseline(_) => 0,
+    };
+
+    let pinning = scenario.pinning.build(graph, platform)?;
+    let scheduler = ListScheduler::new()
+        .with_respect_release(scenario.scheduler.respect_release)
+        .with_bus_model(scenario.scheduler.bus_model)
+        .with_placement(scenario.scheduler.placement);
+    let schedule = scheduler.schedule(graph, platform, &assignment, &pinning)?;
+    violations += schedule
+        .validate(
+            graph,
+            platform,
+            &pinning,
+            scenario.scheduler.bus_model == sched::BusModel::Contention,
+        )
+        .len();
+
+    let report = LatenessReport::new(graph, &assignment, &schedule);
+    Ok(RunMeasurement {
+        max_lateness: report.max_lateness().as_f64(),
+        end_to_end: report.end_to_end_lateness().as_f64(),
+        makespan: report.makespan().as_f64(),
+        feasible: report.is_feasible(),
+        violations,
+    })
+}
+
+/// Runs a scenario sequentially (all sizes × all replications on the
+/// calling thread). Prefer [`run_scenario`] which parallelizes across
+/// replications.
+pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
+    run_scenario_with_threads(scenario, 1)
+}
+
+/// Runs a scenario, parallelizing replications over the available cores.
+///
+/// # Errors
+///
+/// Propagates workload-generation, distribution, platform and scheduling
+/// errors; the first error encountered aborts the run.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_scenario_with_threads(scenario, threads)
+}
+
+/// Runs a scenario with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_scenario_with_threads(
+    scenario: &Scenario,
+    threads: usize,
+) -> Result<ScenarioResult, RunError> {
+    if scenario.replications == 0 {
+        return Err(RunError::InvalidScenario(
+            "scenario needs at least one replication".to_owned(),
+        ));
+    }
+    if scenario.system_sizes.is_empty() {
+        return Err(RunError::InvalidScenario(
+            "scenario needs at least one system size".to_owned(),
+        ));
+    }
+    let threads = threads.max(1).min(scenario.replications);
+
+    // Workloads are shared across system sizes; generate once per rep.
+    let graphs: Vec<TaskGraph> = (0..scenario.replications)
+        .map(|rep| workload(scenario, rep))
+        .collect::<Result<_, _>>()?;
+
+    let mut points = Vec::with_capacity(scenario.system_sizes.len());
+    for &size in &scenario.system_sizes {
+        let topology = scenario.topology.build(size, scenario.cost_per_item);
+        let platform = Platform::homogeneous(size, topology)?;
+
+        let measurements: Result<Vec<RunMeasurement>, RunError> = if threads == 1 {
+            graphs
+                .iter()
+                .map(|g| run_once(scenario, g, &platform))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let chunk = graphs.len().div_ceil(threads);
+                let handles: Vec<_> = graphs
+                    .chunks(chunk)
+                    .map(|chunk_graphs| {
+                        let platform = &platform;
+                        scope.spawn(move || {
+                            chunk_graphs
+                                .iter()
+                                .map(|g| run_once(scenario, g, platform))
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(graphs.len());
+                for h in handles {
+                    all.extend(h.join().expect("worker thread panicked")?);
+                }
+                Ok(all)
+            })
+        };
+        let measurements = measurements?;
+
+        let collect = |f: fn(&RunMeasurement) -> f64| -> Vec<f64> {
+            measurements.iter().map(f).collect()
+        };
+        points.push(ScenarioPoint {
+            system_size: size,
+            max_lateness: SummaryStats::from_values(&collect(|m| m.max_lateness)),
+            end_to_end_lateness: SummaryStats::from_values(&collect(|m| m.end_to_end)),
+            makespan: SummaryStats::from_values(&collect(|m| m.makespan)),
+            feasible_fraction: measurements.iter().filter(|m| m.feasible).count() as f64
+                / measurements.len() as f64,
+            violations: measurements.iter().map(|m| m.violations).sum(),
+        });
+    }
+
+    Ok(ScenarioResult {
+        label: scenario.label.clone(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use slicing::{CommEstimate, MetricKind};
+    use taskgraph::gen::{ExecVariation, WorkloadSpec};
+
+    use super::*;
+
+    fn tiny_scenario(metric: MetricKind) -> Scenario {
+        Scenario::paper(
+            "test",
+            WorkloadSpec::paper(ExecVariation::Mdet),
+            metric,
+            CommEstimate::Ccne,
+        )
+        .with_replications(4)
+        .with_system_sizes(vec![2, 8])
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let scenario = tiny_scenario(MetricKind::pure());
+        let seq = run_scenario_sequential(&scenario).unwrap();
+        let par = run_scenario_with_threads(&scenario, 4).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pipeline_produces_no_structural_violations() {
+        for metric in [
+            MetricKind::norm(),
+            MetricKind::pure(),
+            MetricKind::thres(1.0),
+            MetricKind::adapt(),
+        ] {
+            let result = run_scenario_sequential(&tiny_scenario(metric)).unwrap();
+            for p in &result.points {
+                assert_eq!(p.violations, 0, "{} at n={}", result.label, p.system_size);
+            }
+        }
+    }
+
+    #[test]
+    fn more_processors_do_not_hurt_lateness() {
+        let result = run_scenario_sequential(&tiny_scenario(MetricKind::pure())).unwrap();
+        let series = result.lateness_series();
+        assert_eq!(series.len(), 2);
+        assert!(
+            series[1].1 <= series[0].1 + 1e-9,
+            "lateness should improve (or stay) from 2 to 8 processors: {series:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_scenarios() {
+        let s = tiny_scenario(MetricKind::pure()).with_replications(0);
+        assert!(matches!(
+            run_scenario_sequential(&s),
+            Err(RunError::InvalidScenario(_))
+        ));
+        let s = tiny_scenario(MetricKind::pure()).with_system_sizes(vec![]);
+        assert!(matches!(
+            run_scenario_sequential(&s),
+            Err(RunError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let scenario = tiny_scenario(MetricKind::adapt());
+        let a = run_scenario_sequential(&scenario).unwrap();
+        let b = run_scenario_sequential(&scenario).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Summary statistics over experiment replications.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one measured quantity over all replications of a
+/// scenario point (e.g. maximum task lateness over 128 random graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator), 0 for n < 2.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Computes statistics over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use feast::SummaryStats;
+    ///
+    /// let s = SummaryStats::from_values(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.count, 3);
+    /// ```
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "statistics need at least one value");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        SummaryStats {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            count,
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean (`1.96 · σ / √n`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_min_max() {
+        let s = SummaryStats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.13809).abs() < 1e-4);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = SummaryStats::from_values(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_panics() {
+        let _ = SummaryStats::from_values(&[]);
+    }
+
+    #[test]
+    fn negative_values_supported() {
+        // Lateness is usually negative.
+        let s = SummaryStats::from_values(&[-100.0, -200.0]);
+        assert_eq!(s.mean, -150.0);
+        assert_eq!(s.min, -200.0);
+        assert_eq!(s.max, -100.0);
+    }
+}

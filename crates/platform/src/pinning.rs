@@ -1,0 +1,205 @@
+//! Strict locality constraints: pre-assigned subtask placements.
+//!
+//! In the paper's setting only a *subset* of subtasks are constrained to
+//! specific processors (e.g. those tied to sensors and actuators); the rest
+//! are placed freely by the scheduler. A [`Pinning`] records that subset.
+//! An *empty* pinning is the fully relaxed configuration used in the
+//! headline experiments; a *total* pinning (every subtask pinned) recovers
+//! the strict-locality setting assumed by prior work such as BST.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use taskgraph::{SubtaskId, TaskGraph};
+
+use crate::{Platform, PlatformError, ProcessorId};
+
+/// A partial mapping from subtasks to processors (strict locality
+/// constraints).
+///
+/// # Examples
+///
+/// ```
+/// use platform::{Pinning, ProcessorId};
+/// use taskgraph::SubtaskId;
+///
+/// # fn main() -> Result<(), platform::PlatformError> {
+/// let mut pins = Pinning::new();
+/// pins.pin(SubtaskId::new(0), ProcessorId::new(1))?;
+/// assert_eq!(pins.processor_for(SubtaskId::new(0)), Some(ProcessorId::new(1)));
+/// assert_eq!(pins.processor_for(SubtaskId::new(5)), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pinning {
+    pins: BTreeMap<SubtaskId, ProcessorId>,
+}
+
+impl Pinning {
+    /// Creates an empty pinning: fully relaxed locality constraints.
+    pub fn new() -> Self {
+        Pinning::default()
+    }
+
+    /// Pins `subtask` to `proc`.
+    ///
+    /// Re-pinning to the same processor is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ConflictingPin`] if the subtask is already
+    /// pinned to a *different* processor.
+    pub fn pin(&mut self, subtask: SubtaskId, proc: ProcessorId) -> Result<(), PlatformError> {
+        match self.pins.get(&subtask) {
+            Some(&existing) if existing != proc => Err(PlatformError::ConflictingPin(subtask)),
+            _ => {
+                self.pins.insert(subtask, proc);
+                Ok(())
+            }
+        }
+    }
+
+    /// The processor `subtask` is pinned to, if any.
+    pub fn processor_for(&self, subtask: SubtaskId) -> Option<ProcessorId> {
+        self.pins.get(&subtask).copied()
+    }
+
+    /// Returns `true` if `subtask` has a strict locality constraint.
+    pub fn is_pinned(&self, subtask: SubtaskId) -> bool {
+        self.pins.contains_key(&subtask)
+    }
+
+    /// Number of pinned subtasks.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Returns `true` if no subtask is pinned (fully relaxed constraints).
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Iterates over `(subtask, processor)` pins in subtask order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubtaskId, ProcessorId)> + '_ {
+        self.pins.iter().map(|(&t, &p)| (t, p))
+    }
+
+    /// Returns `true` if every subtask of `graph` is pinned — the
+    /// strict-locality setting of conventional deadline distribution.
+    pub fn is_total_for(&self, graph: &TaskGraph) -> bool {
+        graph.subtask_ids().all(|id| self.is_pinned(id))
+    }
+
+    /// Validates that every pinned processor exists on `platform` and every
+    /// pinned subtask exists in `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownProcessor`] for an out-of-range
+    /// processor. Unknown subtasks cannot be represented (ids are graph
+    /// scoped), so only processors are checked.
+    pub fn validate(&self, graph: &TaskGraph, platform: &Platform) -> Result<(), PlatformError> {
+        for (subtask, proc) in self.iter() {
+            platform.check_processor(proc)?;
+            // Subtask ids from a different graph are indistinguishable from
+            // valid ones unless out of range; reject those.
+            if subtask.index() >= graph.subtask_count() {
+                return Err(PlatformError::ConflictingPin(subtask));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(SubtaskId, ProcessorId)> for Pinning {
+    fn from_iter<I: IntoIterator<Item = (SubtaskId, ProcessorId)>>(iter: I) -> Self {
+        let mut pinning = Pinning::new();
+        for (t, p) in iter {
+            // Later entries win, mirroring map collection semantics.
+            pinning.pins.insert(t, p);
+        }
+        pinning
+    }
+}
+
+impl Extend<(SubtaskId, ProcessorId)> for Pinning {
+    fn extend<I: IntoIterator<Item = (SubtaskId, ProcessorId)>>(&mut self, iter: I) {
+        for (t, p) in iter {
+            self.pins.insert(t, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use taskgraph::{Subtask, Time};
+
+    use super::*;
+
+    fn two_node_graph() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(1)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(1)).due_at(Time::new(10)));
+        b.add_edge(a, z, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pin_and_query() {
+        let mut pins = Pinning::new();
+        assert!(pins.is_empty());
+        pins.pin(SubtaskId::new(0), ProcessorId::new(1)).unwrap();
+        assert!(pins.is_pinned(SubtaskId::new(0)));
+        assert!(!pins.is_pinned(SubtaskId::new(1)));
+        assert_eq!(pins.len(), 1);
+        // Same pin again is fine; different pin conflicts.
+        pins.pin(SubtaskId::new(0), ProcessorId::new(1)).unwrap();
+        assert!(matches!(
+            pins.pin(SubtaskId::new(0), ProcessorId::new(2)),
+            Err(PlatformError::ConflictingPin(_))
+        ));
+    }
+
+    #[test]
+    fn totality() {
+        let g = two_node_graph();
+        let mut pins = Pinning::new();
+        assert!(!pins.is_total_for(&g));
+        pins.pin(SubtaskId::new(0), ProcessorId::new(0)).unwrap();
+        pins.pin(SubtaskId::new(1), ProcessorId::new(0)).unwrap();
+        assert!(pins.is_total_for(&g));
+    }
+
+    #[test]
+    fn validate_against_platform_and_graph() {
+        let g = two_node_graph();
+        let platform = Platform::paper(2).unwrap();
+        let mut pins = Pinning::new();
+        pins.pin(SubtaskId::new(0), ProcessorId::new(1)).unwrap();
+        assert!(pins.validate(&g, &platform).is_ok());
+
+        let mut bad_proc = Pinning::new();
+        bad_proc.pin(SubtaskId::new(0), ProcessorId::new(9)).unwrap();
+        assert!(bad_proc.validate(&g, &platform).is_err());
+
+        let mut bad_task = Pinning::new();
+        bad_task.pin(SubtaskId::new(42), ProcessorId::new(0)).unwrap();
+        assert!(bad_task.validate(&g, &platform).is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let pins: Pinning = [
+            (SubtaskId::new(0), ProcessorId::new(0)),
+            (SubtaskId::new(1), ProcessorId::new(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pins.len(), 2);
+        let mut pins = pins;
+        pins.extend([(SubtaskId::new(2), ProcessorId::new(0))]);
+        assert_eq!(pins.len(), 3);
+        assert_eq!(pins.iter().count(), 3);
+    }
+}

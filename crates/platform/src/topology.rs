@@ -1,0 +1,254 @@
+//! Interconnection network topologies.
+//!
+//! The paper's experimental platform is a homogeneous multiprocessor with a
+//! shared-bus interconnect at one time unit per transmitted data item
+//! (§5.1); §8 reports that AST scales across other topologies and CCR
+//! values, so ring, 2-D mesh, fully-connected and custom matrices are
+//! provided as well.
+
+use serde::{Deserialize, Serialize};
+
+use taskgraph::Time;
+
+use crate::{PlatformError, ProcessorId};
+
+/// An interconnection topology together with its per-item transfer cost.
+///
+/// The *distance* between two distinct processors is measured in hops; the
+/// cost of transferring `items` data items is
+/// `hops × cost_per_item × items`. On the same processor the cost is zero
+/// (shared memory, §5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Topology {
+    /// A single time-multiplexed bus: every remote transfer costs
+    /// `cost_per_item` per item regardless of the endpoints. The paper's
+    /// headline configuration with `cost_per_item = 1`.
+    SharedBus {
+        /// Transfer cost per data item.
+        cost_per_item: Time,
+    },
+    /// Dedicated links between every pair of processors.
+    FullyConnected {
+        /// Transfer cost per data item.
+        cost_per_item: Time,
+    },
+    /// A bidirectional ring; the distance is the shorter way around.
+    Ring {
+        /// Transfer cost per data item and hop.
+        cost_per_item_hop: Time,
+    },
+    /// A 2-D mesh of `width × height` processors with Manhattan routing.
+    Mesh2D {
+        /// Mesh width (columns).
+        width: usize,
+        /// Mesh height (rows).
+        height: usize,
+        /// Transfer cost per data item and hop.
+        cost_per_item_hop: Time,
+    },
+    /// An explicit per-pair hop matrix (row-major `n × n`), for irregular
+    /// networks.
+    Custom {
+        /// `hops[i * n + j]` = hop count from processor `i` to `j`.
+        hops: Vec<u32>,
+        /// Transfer cost per data item and hop.
+        cost_per_item_hop: Time,
+    },
+}
+
+impl Topology {
+    /// The paper's interconnect: a shared bus at one time unit per item.
+    pub fn paper_bus() -> Self {
+        Topology::SharedBus {
+            cost_per_item: Time::new(1),
+        }
+    }
+
+    /// A short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::SharedBus { .. } => "shared-bus",
+            Topology::FullyConnected { .. } => "fully-connected",
+            Topology::Ring { .. } => "ring",
+            Topology::Mesh2D { .. } => "mesh-2d",
+            Topology::Custom { .. } => "custom",
+        }
+    }
+
+    /// Number of hops between two processors for a platform of `n`
+    /// processors, or an error if the topology cannot host `n` processors.
+    ///
+    /// Same-processor distance is always zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::TopologyMismatch`] if `n` is incompatible
+    /// with the topology (mesh dimensions, custom matrix size).
+    pub fn hops(
+        &self,
+        n: usize,
+        from: ProcessorId,
+        to: ProcessorId,
+    ) -> Result<u32, PlatformError> {
+        self.check_size(n)?;
+        let (a, b) = (from.index(), to.index());
+        if a >= n || b >= n {
+            return Err(PlatformError::UnknownProcessor(if a >= n { from } else { to }));
+        }
+        if a == b {
+            return Ok(0);
+        }
+        Ok(match self {
+            Topology::SharedBus { .. } | Topology::FullyConnected { .. } => 1,
+            Topology::Ring { .. } => {
+                let d = a.abs_diff(b);
+                d.min(n - d) as u32
+            }
+            Topology::Mesh2D { width, .. } => {
+                let (ax, ay) = (a % width, a / width);
+                let (bx, by) = (b % width, b / width);
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+            }
+            Topology::Custom { hops, .. } => hops[a * n + b],
+        })
+    }
+
+    /// The per-item, per-hop transfer cost.
+    pub fn cost_per_item_hop(&self) -> Time {
+        match self {
+            Topology::SharedBus { cost_per_item } | Topology::FullyConnected { cost_per_item } => {
+                *cost_per_item
+            }
+            Topology::Ring { cost_per_item_hop }
+            | Topology::Mesh2D {
+                cost_per_item_hop, ..
+            }
+            | Topology::Custom {
+                cost_per_item_hop, ..
+            } => *cost_per_item_hop,
+        }
+    }
+
+    /// The worst-case (maximum over processor pairs) per-item cost on a
+    /// platform of `n` processors. Used by the pessimistic CCAA estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::TopologyMismatch`] if `n` is incompatible
+    /// with the topology.
+    pub fn worst_case_cost_per_item(&self, n: usize) -> Result<Time, PlatformError> {
+        self.check_size(n)?;
+        let per_hop = self.cost_per_item_hop();
+        let max_hops: u32 = match self {
+            _ if n <= 1 => 0,
+            Topology::SharedBus { .. } | Topology::FullyConnected { .. } => 1,
+            Topology::Ring { .. } => (n / 2) as u32,
+            Topology::Mesh2D { width, height, .. } => ((width - 1) + (height - 1)) as u32,
+            Topology::Custom { hops, .. } => hops.iter().copied().max().unwrap_or(0),
+        };
+        Ok(per_hop * i64::from(max_hops))
+    }
+
+    /// Whether the interconnect serializes all remote transfers through one
+    /// shared medium (relevant to contention-aware communication models).
+    pub fn is_shared_medium(&self) -> bool {
+        matches!(self, Topology::SharedBus { .. })
+    }
+
+    fn check_size(&self, n: usize) -> Result<(), PlatformError> {
+        match self {
+            Topology::Mesh2D { width, height, .. }
+                if (width * height != n || *width == 0 || *height == 0) => {
+                    return Err(PlatformError::TopologyMismatch {
+                        topology: self.label(),
+                        processors: n,
+                    });
+                }
+            Topology::Custom { hops, .. }
+                if hops.len() != n * n => {
+                    return Err(PlatformError::TopologyMismatch {
+                        topology: self.label(),
+                        processors: n,
+                    });
+                }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn bus_distances() {
+        let t = Topology::paper_bus();
+        assert_eq!(t.hops(4, p(0), p(0)).unwrap(), 0);
+        assert_eq!(t.hops(4, p(0), p(3)).unwrap(), 1);
+        assert_eq!(t.cost_per_item_hop(), Time::new(1));
+        assert!(t.is_shared_medium());
+        assert_eq!(t.worst_case_cost_per_item(4).unwrap(), Time::new(1));
+        assert_eq!(t.worst_case_cost_per_item(1).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn ring_takes_shorter_way() {
+        let t = Topology::Ring {
+            cost_per_item_hop: Time::new(2),
+        };
+        assert_eq!(t.hops(6, p(0), p(1)).unwrap(), 1);
+        assert_eq!(t.hops(6, p(0), p(5)).unwrap(), 1);
+        assert_eq!(t.hops(6, p(0), p(3)).unwrap(), 3);
+        assert_eq!(t.worst_case_cost_per_item(6).unwrap(), Time::new(6));
+        assert!(!t.is_shared_medium());
+    }
+
+    #[test]
+    fn mesh_manhattan_distance() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 2,
+            cost_per_item_hop: Time::new(1),
+        };
+        // layout: 0 1 2 / 3 4 5
+        assert_eq!(t.hops(6, p(0), p(5)).unwrap(), 3);
+        assert_eq!(t.hops(6, p(1), p(4)).unwrap(), 1);
+        assert_eq!(t.worst_case_cost_per_item(6).unwrap(), Time::new(3));
+        assert!(t.hops(5, p(0), p(1)).is_err());
+    }
+
+    #[test]
+    fn custom_matrix() {
+        let t = Topology::Custom {
+            hops: vec![0, 2, 2, 0],
+            cost_per_item_hop: Time::new(1),
+        };
+        assert_eq!(t.hops(2, p(0), p(1)).unwrap(), 2);
+        assert_eq!(t.worst_case_cost_per_item(2).unwrap(), Time::new(2));
+        assert!(t.hops(3, p(0), p(1)).is_err());
+    }
+
+    #[test]
+    fn unknown_processor_rejected() {
+        let t = Topology::paper_bus();
+        assert!(matches!(
+            t.hops(2, p(0), p(7)),
+            Err(PlatformError::UnknownProcessor(_))
+        ));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Topology::paper_bus().label(), "shared-bus");
+        assert_eq!(
+            Topology::FullyConnected { cost_per_item: Time::new(1) }.label(),
+            "fully-connected"
+        );
+    }
+}

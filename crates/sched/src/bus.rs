@@ -1,0 +1,47 @@
+//! Communication models for the interconnect.
+//!
+//! The paper assumes the shared bus is time-multiplexed at one time unit per
+//! data item and that communication proceeds concurrently with computation
+//! (§5.1). Two models are provided:
+//!
+//! * [`BusModel::Delay`] — every remote message experiences exactly its
+//!   nominal cost; transfers never queue behind each other. This matches the
+//!   paper's description and is the default in all headline experiments.
+//! * [`BusModel::Contention`] — remote transfers additionally serialize
+//!   through a single shared medium: a transfer occupies the bus for its
+//!   nominal cost and queues for the earliest free slot. An extension used
+//!   by the ablation experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// How interconnect bandwidth is modelled during scheduling.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusModel {
+    /// Fixed per-message delay, unlimited bandwidth (the paper's model).
+    #[default]
+    Delay,
+    /// Transfers serialize through one shared medium (bus contention).
+    Contention,
+}
+
+impl BusModel {
+    /// A short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusModel::Delay => "delay",
+            BusModel::Contention => "contention",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(BusModel::Delay.label(), "delay");
+        assert_eq!(BusModel::Contention.label(), "contention");
+        assert_eq!(BusModel::default(), BusModel::Delay);
+    }
+}

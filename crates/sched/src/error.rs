@@ -1,0 +1,79 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use platform::PlatformError;
+use taskgraph::SubtaskId;
+
+/// Error produced by [`ListScheduler::schedule`].
+///
+/// [`ListScheduler::schedule`]: crate::ListScheduler::schedule
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The deadline assignment covers a different number of subtasks than
+    /// the graph being scheduled.
+    AssignmentMismatch {
+        /// Subtasks in the graph.
+        graph_subtasks: usize,
+        /// Subtasks in the assignment.
+        assignment_subtasks: usize,
+    },
+    /// A pinning constraint is invalid for the platform or graph.
+    Platform(PlatformError),
+    /// A subtask could not be scheduled (indicates an internal bug: list
+    /// scheduling always places every subtask of a DAG).
+    Unschedulable(SubtaskId),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::AssignmentMismatch {
+                graph_subtasks,
+                assignment_subtasks,
+            } => write!(
+                f,
+                "deadline assignment covers {assignment_subtasks} subtasks but the graph has {graph_subtasks}"
+            ),
+            SchedError::Platform(e) => write!(f, "invalid platform configuration: {e}"),
+            SchedError::Unschedulable(id) => write!(f, "subtask {id} could not be placed"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for SchedError {
+    fn from(e: PlatformError) -> Self {
+        SchedError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::AssignmentMismatch {
+            graph_subtasks: 3,
+            assignment_subtasks: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        let p = SchedError::from(PlatformError::NoProcessors);
+        assert!(p.to_string().contains("platform"));
+        assert!(p.source().is_some());
+        assert!(SchedError::Unschedulable(SubtaskId::new(2))
+            .to_string()
+            .contains("t2"));
+    }
+}

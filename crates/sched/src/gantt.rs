@@ -1,0 +1,189 @@
+//! Text Gantt charts for schedules.
+//!
+//! Renders one lane per processor (plus a bus lane when remote transfers
+//! exist) scaled to a terminal width, labelling each execution interval
+//! with its subtask id. Useful for inspecting small schedules in examples,
+//! tests and bug reports.
+
+use std::fmt::Write as _;
+
+use taskgraph::TaskGraph;
+
+use crate::Schedule;
+
+/// Renders `schedule` as a text Gantt chart of roughly `width` columns.
+///
+/// Each processor gets one lane; executing intervals are drawn with the
+/// subtask id (`t3`), truncated to the interval's width, idle time with
+/// dots. A final lane shows bus transfers (`m`-labelled) when any message
+/// crosses processors.
+///
+/// # Examples
+///
+/// ```
+/// use platform::{Pinning, Platform};
+/// use sched::{gantt, ListScheduler};
+/// use slicing::Slicer;
+/// use taskgraph::{Subtask, TaskGraph, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TaskGraph::builder();
+/// let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+/// let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(60)));
+/// b.add_edge(a, z, 4)?;
+/// let g = b.build()?;
+/// let p = Platform::paper(2)?;
+/// let asg = Slicer::bst_pure().distribute(&g, &p)?;
+/// let s = ListScheduler::new().schedule(&g, &p, &asg, &Pinning::new())?;
+/// let chart = gantt::render(&s, &g, 60);
+/// assert!(chart.contains("p0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(schedule: &Schedule, graph: &TaskGraph, width: usize) -> String {
+    let width = width.clamp(20, 400);
+    let span = schedule.makespan().as_f64().max(1.0);
+    let col = |t: taskgraph::Time| -> usize {
+        (((t.as_f64() / span) * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time 0..{} ({} processors, {} remote messages)",
+        schedule.makespan(),
+        schedule.processor_count(),
+        schedule.remote_message_count()
+    );
+
+    for proc in 0..schedule.processor_count() {
+        let mut lane = vec!['.'; width];
+        for entry in schedule.entries() {
+            if entry.processor.index() != proc {
+                continue;
+            }
+            let (s, e) = (col(entry.start), col(entry.finish).max(col(entry.start)));
+            let label = entry.subtask.to_string();
+            let mut chars = label.chars();
+            for cell in lane.iter_mut().take(e + 1).skip(s) {
+                *cell = chars.next().unwrap_or('=');
+            }
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(out, "  p{proc:<2} |{lane}|");
+    }
+
+    if schedule.remote_message_count() > 0 {
+        let mut lane = vec![' '; width];
+        for slot in schedule.messages().iter().flatten() {
+            let (s, e) = (col(slot.depart), col(slot.arrive).max(col(slot.depart)));
+            let label = slot.edge.to_string();
+            let mut chars = label.chars();
+            for cell in lane.iter_mut().take(e + 1).skip(s) {
+                *cell = chars.next().unwrap_or('~');
+            }
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(out, "  bus |{lane}|");
+    }
+
+    // Per-subtask legend for small graphs only (keeps big charts readable).
+    if graph.subtask_count() <= 12 {
+        for entry in schedule.entries() {
+            let name = graph.subtask(entry.subtask).name().unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "  {} {:<12} [{:>4}, {:>4}) on {}",
+                entry.subtask, name, entry.start, entry.finish, entry.processor
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::{Pinning, Platform};
+    use slicing::Slicer;
+    use taskgraph::{Subtask, Time};
+
+    use crate::ListScheduler;
+
+    use super::*;
+
+    fn sample() -> (TaskGraph, Schedule) {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).named("head").released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(20)));
+        let y = b.add_subtask(Subtask::new(Time::new(20)));
+        let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(200)));
+        b.add_edge(a, x, 5).unwrap();
+        b.add_edge(a, y, 5).unwrap();
+        b.add_edge(x, z, 5).unwrap();
+        b.add_edge(y, z, 5).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &asg, &Pinning::new())
+            .unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn renders_all_lanes() {
+        let (g, s) = sample();
+        let chart = render(&s, &g, 60);
+        assert!(chart.contains("p0 "));
+        assert!(chart.contains("p1 "));
+        assert!(chart.contains("time 0.."));
+        // Small graph: legend lists every subtask with its name.
+        assert!(chart.contains("head"));
+        for id in g.subtask_ids() {
+            assert!(chart.contains(&id.to_string()), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn bus_lane_only_with_remote_messages() {
+        let (g, s) = sample();
+        let chart = render(&s, &g, 60);
+        assert_eq!(
+            chart.contains("bus |"),
+            s.remote_message_count() > 0,
+            "bus lane presence must match remote messages\n{chart}"
+        );
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let (g, s) = sample();
+        let narrow = render(&s, &g, 1);
+        let lane_len = narrow
+            .lines()
+            .find(|l| l.contains("p0"))
+            .unwrap()
+            .chars()
+            .filter(|&c| c == '|')
+            .count();
+        assert_eq!(lane_len, 2);
+        let wide = render(&s, &g, 100_000);
+        assert!(wide.lines().all(|l| l.len() < 500));
+    }
+
+    #[test]
+    fn legend_suppressed_for_large_graphs() {
+        use rand::SeedableRng;
+        use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = generate(&WorkloadSpec::paper(ExecVariation::Ldet), &mut rng).unwrap();
+        let p = Platform::paper(4).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &asg, &Pinning::new())
+            .unwrap();
+        let chart = render(&s, &g, 80);
+        // 4 processor lanes + header + optional bus lane, but no legend.
+        assert!(chart.lines().count() <= 6);
+    }
+}

@@ -1,0 +1,224 @@
+//! Lateness analysis — the paper's quality measure for schedules.
+//!
+//! The *lateness* of a subtask is its completion time minus its absolute
+//! deadline: non-positive for deadline-meeting subtasks. The **maximum task
+//! lateness** (over all subtasks) is the figure of merit throughout the
+//! paper's evaluation: it measures "how far from infeasibility" a schedule
+//! is and how much additional background workload it could absorb (§4.1).
+
+use serde::{Deserialize, Serialize};
+use slicing::DeadlineAssignment;
+use taskgraph::{SubtaskId, TaskGraph, Time};
+
+use crate::Schedule;
+
+/// Lateness statistics of one schedule against one deadline assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatenessReport {
+    per_subtask: Vec<Time>,
+    max: Time,
+    argmax: SubtaskId,
+    mean: f64,
+    makespan: Time,
+    end_to_end_max: Time,
+}
+
+impl LatenessReport {
+    /// Computes the report for `schedule` under `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule or assignment does not cover `graph`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use platform::{Pinning, Platform};
+    /// use sched::{LatenessReport, ListScheduler};
+    /// use slicing::Slicer;
+    /// use taskgraph::{Subtask, TaskGraph, Time};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = TaskGraph::builder();
+    /// let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+    /// let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(100)));
+    /// b.add_edge(a, z, 4)?;
+    /// let g = b.build()?;
+    /// let p = Platform::paper(2)?;
+    /// let asg = Slicer::bst_pure().distribute(&g, &p)?;
+    /// let sched = ListScheduler::new().schedule(&g, &p, &asg, &Pinning::new())?;
+    /// let report = LatenessReport::new(&g, &asg, &sched);
+    /// assert!(report.is_feasible());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(graph: &TaskGraph, assignment: &DeadlineAssignment, schedule: &Schedule) -> Self {
+        assert!(
+            graph.subtask_count() > 0
+                && assignment.subtask_count() == graph.subtask_count()
+                && schedule.entries().len() == graph.subtask_count(),
+            "graph, assignment and schedule must cover the same subtasks"
+        );
+
+        let per_subtask: Vec<Time> = graph
+            .subtask_ids()
+            .map(|id| schedule.finish(id) - assignment.absolute_deadline(id))
+            .collect();
+        let (argmax, max) = per_subtask
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (SubtaskId::new(i as u32), l))
+            .max_by_key(|&(id, l)| (l, std::cmp::Reverse(id)))
+            .expect("non-empty graph");
+        let mean = per_subtask.iter().map(|l| l.as_f64()).sum::<f64>() / per_subtask.len() as f64;
+
+        let end_to_end_max = graph
+            .outputs()
+            .iter()
+            .map(|&o| {
+                let given = graph.subtask(o).deadline().expect("outputs are anchored");
+                schedule.finish(o) - given
+            })
+            .max()
+            .expect("validated graphs have outputs");
+
+        LatenessReport {
+            per_subtask,
+            max,
+            argmax,
+            mean,
+            makespan: schedule.makespan(),
+            end_to_end_max,
+        }
+    }
+
+    /// The lateness of a specific subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the analysed graph.
+    pub fn lateness(&self, id: SubtaskId) -> Time {
+        self.per_subtask[id.index()]
+    }
+
+    /// The maximum task lateness — the paper's headline measure. More
+    /// negative is better.
+    pub fn max_lateness(&self) -> Time {
+        self.max
+    }
+
+    /// The subtask attaining the maximum lateness.
+    pub fn critical_subtask(&self) -> SubtaskId {
+        self.argmax
+    }
+
+    /// Mean lateness over all subtasks.
+    pub fn mean_lateness(&self) -> f64 {
+        self.mean
+    }
+
+    /// Maximum lateness of output subtasks against their *given* end-to-end
+    /// deadlines (as opposed to their assigned local deadlines).
+    pub fn end_to_end_lateness(&self) -> Time {
+        self.end_to_end_max
+    }
+
+    /// `true` if every subtask met its assigned deadline.
+    pub fn is_feasible(&self) -> bool {
+        !self.max.is_positive()
+    }
+
+    /// The schedule's makespan, for convenience.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Per-subtask lateness values, indexed by subtask.
+    pub fn per_subtask(&self) -> &[Time] {
+        &self.per_subtask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::{Pinning, Platform};
+    use slicing::Slicer;
+    use taskgraph::Subtask;
+
+    use crate::ListScheduler;
+
+    use super::*;
+
+    fn chain(wcets: &[i64], deadline: i64) -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let mut prev = None;
+        for (i, &c) in wcets.iter().enumerate() {
+            let mut s = Subtask::new(Time::new(c));
+            if i == 0 {
+                s = s.released_at(Time::ZERO);
+            }
+            if i + 1 == wcets.len() {
+                s = s.due_at(Time::new(deadline));
+            }
+            let id = b.add_subtask(s);
+            if let Some(p) = prev {
+                b.add_edge(p, id, 10).unwrap();
+            }
+            prev = Some(id);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_lateness_is_negative_slack() {
+        // PURE on a chain of 3 × 20 with D = 120: slack 20 per subtask.
+        // With assigned releases honoured, each finishes exactly 20 before
+        // its local deadline.
+        let g = chain(&[20, 20, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        let report = LatenessReport::new(&g, &a, &s);
+        assert_eq!(report.max_lateness(), Time::new(-20));
+        assert!(report.is_feasible());
+        assert_eq!(report.mean_lateness(), -20.0);
+        for id in g.subtask_ids() {
+            assert_eq!(report.lateness(id), Time::new(-20));
+        }
+        // End-to-end: last finishes at 40 + 20 = ... release 80? No: starts
+        // at its window release (80), finishes 100, vs deadline 120.
+        assert_eq!(report.end_to_end_lateness(), Time::new(-20));
+        assert_eq!(report.makespan(), Time::new(100));
+    }
+
+    #[test]
+    fn infeasible_when_window_too_tight() {
+        // Chain of 2 × 50 with D = 60: any distribution is infeasible.
+        let g = chain(&[50, 50], 60);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        let report = LatenessReport::new(&g, &a, &s);
+        assert!(!report.is_feasible());
+        assert!(report.max_lateness().is_positive());
+        assert!(report.end_to_end_lateness().is_positive());
+    }
+
+    #[test]
+    fn critical_subtask_identified() {
+        let g = chain(&[10, 40], 100);
+        let p = Platform::paper(1).unwrap();
+        let a = Slicer::bst_norm().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        let report = LatenessReport::new(&g, &a, &s);
+        let crit = report.critical_subtask();
+        assert_eq!(report.lateness(crit), report.max_lateness());
+        assert_eq!(report.per_subtask().len(), 2);
+    }
+}

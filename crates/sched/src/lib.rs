@@ -1,0 +1,75 @@
+//! Deadline-driven list scheduling for distributed hard real-time task
+//! graphs.
+//!
+//! This crate implements the *task assignment algorithm* of §5.3 of the
+//! reproduced paper: a deadline-driven list scheduler that consumes the
+//! execution windows produced by deadline distribution (`slicing`) and
+//! places every subtask on the homogeneous multiprocessor (`platform`):
+//!
+//! * subtasks become schedulable when all their predecessors are scheduled;
+//! * among schedulable subtasks, the one with the **earliest assigned
+//!   absolute deadline** is selected (EDF);
+//! * it is placed on the processor yielding the **earliest start time**
+//!   under a non-preemptive, time-driven run-time model, accounting for
+//!   interprocessor communication delays (and optionally bus contention);
+//! * strict locality constraints (pinned subtasks) restrict placement.
+//!
+//! [`LatenessReport`] then computes the paper's figure of merit, the
+//! **maximum task lateness**.
+//!
+//! # Examples
+//!
+//! ```
+//! use platform::{Pinning, Platform};
+//! use rand::SeedableRng;
+//! use sched::{LatenessReport, ListScheduler};
+//! use slicing::Slicer;
+//! use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+//! let graph = generate(&spec, &mut rng)?;
+//! let platform = Platform::paper(8)?;
+//! let assignment = Slicer::ast_adapt().distribute(&graph, &platform)?;
+//!
+//! let schedule = ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
+//! let report = LatenessReport::new(&graph, &assignment, &schedule);
+//! println!("max task lateness: {}", report.max_lateness());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod bus;
+mod error;
+pub mod gantt;
+mod lateness;
+mod list;
+mod schedule;
+mod timeline;
+
+pub use bus::BusModel;
+pub use error::SchedError;
+pub use lateness::LatenessReport;
+pub use list::{ListScheduler, PlacementPolicy};
+pub use schedule::{MessageSlot, Schedule, ScheduleEntry, ScheduleViolation};
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        assert_send_sync::<ListScheduler>();
+        assert_send_sync::<Schedule>();
+        assert_send_sync::<LatenessReport>();
+        assert_send_sync::<SchedError>();
+        assert_send_sync::<BusModel>();
+    }
+}

@@ -1,0 +1,532 @@
+//! The deadline-driven list scheduler (§5.3).
+//!
+//! A deadline-driven version of classic list scheduling with interprocessor
+//! communication delays (Lee, Hwang, Chow & Anger): at every step the
+//! scheduler picks, among the *schedulable* subtasks (all predecessors
+//! scheduled), the one with the earliest assigned absolute deadline, and
+//! places it on the processor yielding the earliest start time under a
+//! non-preemptive, time-driven run-time model.
+//!
+//! Start times respect (a) data availability — a message from a different
+//! processor arrives only after its communication delay, and under the
+//! contention model after queueing for the bus; (b) processor availability;
+//! and (c) by default the *assigned release time* of the subtask, because
+//! slices are execution windows with static positions in time.
+//!
+//! Processor availability follows the [`PlacementPolicy`]:
+//! [`PlacementPolicy::Insertion`] (default) places a subtask into the
+//! earliest idle interval large enough for it, so short subtasks slot into
+//! gaps while long subtasks must wait for large contiguous windows — the
+//! contention vulnerability of long subtasks that motivates AST's
+//! threshold metrics (§7). [`PlacementPolicy::Append`] only ever schedules
+//! after the processor's last reservation.
+
+use std::collections::BTreeSet;
+
+use platform::{Pinning, Platform, ProcessorId};
+use serde::{Deserialize, Serialize};
+use slicing::DeadlineAssignment;
+use taskgraph::{SubtaskId, TaskGraph, Time};
+
+use crate::bus::BusModel;
+use crate::timeline::Timeline;
+use crate::{MessageSlot, SchedError, Schedule, ScheduleEntry};
+
+/// How a processor's idle time is allocated to subtasks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Place each subtask into the earliest idle interval that fits it
+    /// (insertion-based list scheduling). Default.
+    #[default]
+    Insertion,
+    /// Place each subtask after the processor's latest reservation.
+    Append,
+}
+
+impl PlacementPolicy {
+    /// A short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::Insertion => "insertion",
+            PlacementPolicy::Append => "append",
+        }
+    }
+}
+
+/// Deadline-driven list scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use platform::{Pinning, Platform};
+/// use rand::SeedableRng;
+/// use sched::ListScheduler;
+/// use slicing::Slicer;
+/// use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = WorkloadSpec::paper(ExecVariation::Ldet);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let graph = generate(&spec, &mut rng)?;
+/// let platform = Platform::paper(8)?;
+/// let assignment = Slicer::ast_adapt().distribute(&graph, &platform)?;
+///
+/// let schedule = ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
+/// assert!(schedule.validate(&graph, &platform, &Pinning::new(), false).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListScheduler {
+    respect_release: bool,
+    bus: BusModel,
+    placement: PlacementPolicy,
+}
+
+impl Default for ListScheduler {
+    /// Same configuration as [`ListScheduler::new`].
+    fn default() -> Self {
+        ListScheduler::new()
+    }
+}
+
+impl ListScheduler {
+    /// Creates the paper's scheduler: time-driven (assigned release times
+    /// honoured), insertion-based placement, fixed-delay communication.
+    pub fn new() -> Self {
+        ListScheduler {
+            respect_release: true,
+            bus: BusModel::Delay,
+            placement: PlacementPolicy::Insertion,
+        }
+    }
+
+    /// Sets whether assigned release times are honoured as earliest start
+    /// times (the time-driven model). Disabling lets subtasks start as soon
+    /// as data and a processor are available (a work-conserving variant).
+    #[must_use]
+    pub fn with_respect_release(mut self, respect: bool) -> Self {
+        self.respect_release = respect;
+        self
+    }
+
+    /// Sets the communication model.
+    #[must_use]
+    pub fn with_bus_model(mut self, bus: BusModel) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// Sets the processor-placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Whether assigned release times are honoured.
+    pub fn respects_release(&self) -> bool {
+        self.respect_release
+    }
+
+    /// The communication model in use.
+    pub fn bus_model(&self) -> BusModel {
+        self.bus
+    }
+
+    /// The processor-placement policy in use.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Schedules `graph` on `platform` under the given deadline assignment
+    /// and strict locality constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::AssignmentMismatch`] if `assignment` does not
+    /// cover the graph and [`SchedError::Platform`] if `pinning` refers to
+    /// processors outside the platform.
+    pub fn schedule(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+    ) -> Result<Schedule, SchedError> {
+        if assignment.subtask_count() != graph.subtask_count() {
+            return Err(SchedError::AssignmentMismatch {
+                graph_subtasks: graph.subtask_count(),
+                assignment_subtasks: assignment.subtask_count(),
+            });
+        }
+        pinning.validate(graph, platform)?;
+
+        let n = graph.subtask_count();
+        let mut placed: Vec<Option<ScheduleEntry>> = vec![None; n];
+        let mut messages: Vec<Option<MessageSlot>> = vec![None; graph.edge_count()];
+        let mut procs: Vec<Timeline> = vec![Timeline::new(); platform.processor_count()];
+        let mut bus = Timeline::new();
+
+        let mut missing_preds: Vec<usize> = graph
+            .subtask_ids()
+            .map(|id| graph.in_edges(id).len())
+            .collect();
+        let mut ready: BTreeSet<(Time, SubtaskId)> = graph
+            .subtask_ids()
+            .filter(|&id| missing_preds[id.index()] == 0)
+            .map(|id| (assignment.absolute_deadline(id), id))
+            .collect();
+
+        while let Some(&(deadline, id)) = ready.iter().next() {
+            ready.remove(&(deadline, id));
+
+            let candidates: Vec<ProcessorId> = match pinning.processor_for(id) {
+                Some(p) => vec![p],
+                None => platform.processors().collect(),
+            };
+
+            // Estimate the earliest start on each candidate without
+            // mutating shared state, then commit on the winner.
+            let mut best: Option<(Time, ProcessorId)> = None;
+            for &p in &candidates {
+                let mut trial_bus = bus.clone();
+                let start = self.start_on(
+                    graph,
+                    platform,
+                    assignment,
+                    &placed,
+                    &procs,
+                    &mut trial_bus,
+                    None,
+                    id,
+                    p,
+                )?;
+                if best.is_none_or(|(s, _)| start < s) {
+                    best = Some((start, p));
+                }
+            }
+            let (start, proc) = best.ok_or(SchedError::Unschedulable(id))?;
+            let committed_start = self.start_on(
+                graph,
+                platform,
+                assignment,
+                &placed,
+                &procs,
+                &mut bus,
+                Some(&mut messages),
+                id,
+                proc,
+            )?;
+            debug_assert_eq!(committed_start, start, "estimate must match commit");
+
+            let wcet = graph.subtask(id).wcet();
+            let finish = start + wcet;
+            procs[proc.index()].reserve(start, wcet);
+            placed[id.index()] = Some(ScheduleEntry {
+                subtask: id,
+                processor: proc,
+                start,
+                finish,
+            });
+
+            for succ in graph.successors(id) {
+                let slot = &mut missing_preds[succ.index()];
+                *slot -= 1;
+                if *slot == 0 {
+                    ready.insert((assignment.absolute_deadline(succ), succ));
+                }
+            }
+        }
+
+        let entries: Result<Vec<ScheduleEntry>, SchedError> = graph
+            .subtask_ids()
+            .map(|id| placed[id.index()].ok_or(SchedError::Unschedulable(id)))
+            .collect();
+        Ok(Schedule::new(
+            entries?,
+            messages,
+            platform.processor_count(),
+        ))
+    }
+
+    /// Earliest start of `id` on processor `p`. When `commit` is provided,
+    /// message slots for remote inputs are recorded and `bus` reservations
+    /// become permanent; callers estimating alternatives pass a clone of
+    /// the bus timeline (processor timelines are only read here).
+    #[allow(clippy::too_many_arguments)]
+    fn start_on(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        placed: &[Option<ScheduleEntry>],
+        procs: &[Timeline],
+        bus: &mut Timeline,
+        mut commit: Option<&mut Vec<Option<MessageSlot>>>,
+        id: SubtaskId,
+        p: ProcessorId,
+    ) -> Result<Time, SchedError> {
+        let mut data_ready = Time::ZERO;
+        for &eid in graph.in_edges(id) {
+            let edge = graph.edge(eid);
+            let producer =
+                placed[edge.src().index()].expect("list order guarantees scheduled preds");
+            if producer.processor == p {
+                data_ready = data_ready.max(producer.finish);
+                continue;
+            }
+            let cost = platform.comm_cost(producer.processor, p, edge.items())?;
+            let depart = match self.bus {
+                BusModel::Delay => producer.finish,
+                BusModel::Contention => bus.earliest_gap(producer.finish, cost),
+            };
+            if self.bus == BusModel::Contention {
+                bus.reserve(depart, cost);
+            }
+            let arrive = depart + cost;
+            data_ready = data_ready.max(arrive);
+            if let Some(messages) = commit.as_deref_mut() {
+                messages[eid.index()] = Some(MessageSlot {
+                    edge: eid,
+                    from: producer.processor,
+                    to: p,
+                    depart,
+                    arrive,
+                });
+            }
+        }
+
+        let mut lower_bound = data_ready;
+        if self.respect_release {
+            lower_bound = lower_bound.max(assignment.release(id));
+        }
+        if let Some(given) = graph.subtask(id).release() {
+            lower_bound = lower_bound.max(given);
+        }
+
+        let wcet = graph.subtask(id).wcet();
+        let start = match self.placement {
+            PlacementPolicy::Insertion => procs[p.index()].earliest_gap(lower_bound, wcet),
+            PlacementPolicy::Append => procs[p.index()].append_start(lower_bound),
+        };
+        Ok(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use slicing::Slicer;
+    use taskgraph::Subtask;
+
+    use super::*;
+
+    /// fork: a -> {b, c} -> d, equal weights, configurable messages.
+    fn fork_graph(items: u64, deadline: i64) -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(20)));
+        let y = b.add_subtask(Subtask::new(Time::new(20)));
+        let d = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(deadline)));
+        b.add_edge(a, x, items).unwrap();
+        b.add_edge(a, y, items).unwrap();
+        b.add_edge(x, d, items).unwrap();
+        b.add_edge(y, d, items).unwrap();
+        b.build().unwrap()
+    }
+
+    fn schedule_fork(
+        nproc: usize,
+        scheduler: ListScheduler,
+    ) -> (TaskGraph, Platform, DeadlineAssignment, Schedule) {
+        let g = fork_graph(5, 300);
+        let p = Platform::paper(nproc).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = scheduler.schedule(&g, &p, &a, &Pinning::new()).unwrap();
+        (g, p, a, s)
+    }
+
+    #[test]
+    fn schedules_all_subtasks_validly() {
+        for nproc in [1, 2, 4] {
+            for placement in [PlacementPolicy::Insertion, PlacementPolicy::Append] {
+                let (g, p, _a, s) =
+                    schedule_fork(nproc, ListScheduler::new().with_placement(placement));
+                assert!(
+                    s.validate(&g, &p, &Pinning::new(), false).is_empty(),
+                    "nproc={nproc} placement={}",
+                    placement.label()
+                );
+                assert_eq!(s.entries().len(), 4);
+                assert!(s.makespan().is_positive());
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_serializes_everything() {
+        let (g, p, _a, s) = schedule_fork(1, ListScheduler::new().with_respect_release(false));
+        assert!(s.validate(&g, &p, &Pinning::new(), false).is_empty());
+        // 4 subtasks, 60 units of work, no remote messages on 1 processor.
+        assert_eq!(s.makespan(), Time::new(60));
+        assert_eq!(s.remote_message_count(), 0);
+        assert!((s.utilization(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_assigned_release_times() {
+        let (g, _p, a, s) = schedule_fork(4, ListScheduler::new());
+        for id in g.subtask_ids() {
+            assert!(
+                s.start(id) >= a.release(id),
+                "{id}: start {} < release {}",
+                s.start(id),
+                a.release(id)
+            );
+        }
+    }
+
+    #[test]
+    fn work_conserving_variant_can_start_earlier() {
+        let time_driven = schedule_fork(4, ListScheduler::new()).3;
+        let eager = schedule_fork(4, ListScheduler::new().with_respect_release(false)).3;
+        assert!(eager.makespan() <= time_driven.makespan());
+    }
+
+    #[test]
+    fn insertion_fills_gaps_append_does_not() {
+        // One processor. A long subtask whose window starts late leaves an
+        // idle prefix; a short independent subtask released at 0 fits into
+        // that prefix only under the insertion policy.
+        let mut b = TaskGraph::builder();
+        let long = b.add_subtask(
+            Subtask::new(Time::new(50))
+                .released_at(Time::new(40)) // window opens at 40
+                .due_at(Time::new(100)),
+        );
+        let short = b.add_subtask(
+            Subtask::new(Time::new(10))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(200)),
+        );
+        let g = b.build().unwrap();
+        let p = Platform::paper(1).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        // EDF picks `long` first (deadline 100 < 200); `short` then either
+        // slots into the idle prefix [0, 40) or waits until 90.
+        let insertion = ListScheduler::new()
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        assert_eq!(insertion.start(long), Time::new(40));
+        assert_eq!(insertion.start(short), Time::ZERO);
+
+        let append = ListScheduler::new()
+            .with_placement(PlacementPolicy::Append)
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        assert_eq!(append.start(long), Time::new(40));
+        assert_eq!(append.start(short), Time::new(90));
+    }
+
+    #[test]
+    fn remote_messages_incur_delay() {
+        let g = fork_graph(50, 1000);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .with_respect_release(false)
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        assert!(s.validate(&g, &p, &Pinning::new(), false).is_empty());
+        if s.remote_message_count() > 0 {
+            let slot = s
+                .messages()
+                .iter()
+                .flatten()
+                .next()
+                .copied()
+                .expect("at least one remote message");
+            assert_eq!(slot.arrive - slot.depart, Time::new(50));
+        }
+    }
+
+    #[test]
+    fn pinning_is_respected() {
+        let g = fork_graph(5, 500);
+        let p = Platform::paper(4).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let mut pins = Pinning::new();
+        pins.pin(SubtaskId::new(0), ProcessorId::new(3)).unwrap();
+        pins.pin(SubtaskId::new(3), ProcessorId::new(3)).unwrap();
+        let s = ListScheduler::new().schedule(&g, &p, &a, &pins).unwrap();
+        assert_eq!(s.processor(SubtaskId::new(0)), ProcessorId::new(3));
+        assert_eq!(s.processor(SubtaskId::new(3)), ProcessorId::new(3));
+        assert!(s.validate(&g, &p, &pins, false).is_empty());
+    }
+
+    #[test]
+    fn contention_serializes_bus_transfers() {
+        let g = fork_graph(30, 2000);
+        let p = Platform::paper(4).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .with_respect_release(false)
+            .with_bus_model(BusModel::Contention)
+            .schedule(&g, &p, &a, &Pinning::new())
+            .unwrap();
+        assert!(
+            s.validate(&g, &p, &Pinning::new(), true).is_empty(),
+            "bus slots must be exclusive"
+        );
+    }
+
+    #[test]
+    fn mismatched_assignment_rejected() {
+        let other = fork_graph(5, 300);
+        let mut b = TaskGraph::builder();
+        b.add_subtask(
+            Subtask::new(Time::new(1))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(10)),
+        );
+        let tiny = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&other, &p).unwrap();
+        // Assignment for the 4-node graph cannot drive the 1-node graph.
+        assert!(matches!(
+            ListScheduler::new().schedule(&tiny, &p, &a, &Pinning::new()),
+            Err(SchedError::AssignmentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_pinning_rejected() {
+        let g = fork_graph(5, 300);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let mut pins = Pinning::new();
+        pins.pin(SubtaskId::new(0), ProcessorId::new(7)).unwrap();
+        assert!(matches!(
+            ListScheduler::new().schedule(&g, &p, &a, &pins),
+            Err(SchedError::Platform(_))
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = ListScheduler::new()
+            .with_bus_model(BusModel::Contention)
+            .with_respect_release(false)
+            .with_placement(PlacementPolicy::Append);
+        assert!(!s.respects_release());
+        assert_eq!(s.bus_model(), BusModel::Contention);
+        assert_eq!(s.placement(), PlacementPolicy::Append);
+        // Default matches `new` (C-COMMON-TRAITS).
+        assert_eq!(ListScheduler::default(), ListScheduler::new());
+        assert!(ListScheduler::new().respects_release());
+        assert_eq!(ListScheduler::new().placement(), PlacementPolicy::Insertion);
+        assert_eq!(PlacementPolicy::Insertion.label(), "insertion");
+        assert_eq!(PlacementPolicy::Append.label(), "append");
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Insertion);
+    }
+}

@@ -1,0 +1,413 @@
+//! Schedule representation and validation.
+
+use serde::{Deserialize, Serialize};
+use taskgraph::{EdgeId, SubtaskId, TaskGraph, Time};
+
+use platform::{Pinning, Platform, ProcessorId};
+
+/// Placement of one subtask: processor plus non-preemptive execution
+/// interval `[start, finish)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The scheduled subtask.
+    pub subtask: SubtaskId,
+    /// The processor it executes on.
+    pub processor: ProcessorId,
+    /// Execution start time.
+    pub start: Time,
+    /// Execution finish time (`start` + execution time).
+    pub finish: Time,
+}
+
+/// A remote message transfer: departure from the producer's processor and
+/// arrival at the consumer's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSlot {
+    /// The transferred message (edge).
+    pub edge: EdgeId,
+    /// Sending processor.
+    pub from: ProcessorId,
+    /// Receiving processor.
+    pub to: ProcessorId,
+    /// Transfer start time.
+    pub depart: Time,
+    /// Transfer completion time.
+    pub arrive: Time,
+}
+
+/// A complete non-preemptive schedule for one task graph on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    entries: Vec<ScheduleEntry>,
+    /// Per edge: `Some` for remote transfers, `None` for same-processor
+    /// messages (free via shared memory).
+    messages: Vec<Option<MessageSlot>>,
+    makespan: Time,
+    processors: usize,
+}
+
+impl Schedule {
+    pub(crate) fn new(
+        entries: Vec<ScheduleEntry>,
+        messages: Vec<Option<MessageSlot>>,
+        processors: usize,
+    ) -> Self {
+        let makespan = entries
+            .iter()
+            .map(|e| e.finish)
+            .max()
+            .unwrap_or(Time::ZERO);
+        Schedule {
+            entries,
+            messages,
+            makespan,
+            processors,
+        }
+    }
+
+    /// The placement of a subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the scheduled graph.
+    #[inline]
+    pub fn entry(&self, id: SubtaskId) -> ScheduleEntry {
+        self.entries[id.index()]
+    }
+
+    /// Start time of a subtask.
+    pub fn start(&self, id: SubtaskId) -> Time {
+        self.entry(id).start
+    }
+
+    /// Finish time of a subtask.
+    pub fn finish(&self, id: SubtaskId) -> Time {
+        self.entry(id).finish
+    }
+
+    /// Processor assigned to a subtask.
+    pub fn processor(&self, id: SubtaskId) -> ProcessorId {
+        self.entry(id).processor
+    }
+
+    /// All placements, indexed by subtask.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// The remote transfer for an edge, or `None` for local messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the scheduled graph.
+    pub fn message(&self, id: EdgeId) -> Option<MessageSlot> {
+        self.messages[id.index()]
+    }
+
+    /// All message slots, indexed by edge.
+    pub fn messages(&self) -> &[Option<MessageSlot>] {
+        &self.messages
+    }
+
+    /// The completion time of the latest subtask.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Number of processors the schedule targets.
+    pub fn processor_count(&self) -> usize {
+        self.processors
+    }
+
+    /// Fraction of processor capacity used up to the makespan:
+    /// `Σ execution / (processors × makespan)`.
+    pub fn utilization(&self, graph: &TaskGraph) -> f64 {
+        if !self.makespan.is_positive() {
+            return 0.0;
+        }
+        let work: Time = graph
+            .subtask_ids()
+            .map(|id| graph.subtask(id).wcet())
+            .sum();
+        work.as_f64() / (self.processors as f64 * self.makespan.as_f64())
+    }
+
+    /// Number of remote (interprocessor) messages.
+    pub fn remote_message_count(&self) -> usize {
+        self.messages.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Idle intervals of `proc` within `[0, makespan)`, in order.
+    ///
+    /// The paper motivates maximum task lateness as an indicator of "how
+    /// much additional background workload the schedule can handle"; these
+    /// intervals are where such background work would run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is outside the schedule's platform.
+    pub fn idle_intervals(&self, proc: ProcessorId) -> Vec<(Time, Time)> {
+        assert!(
+            proc.index() < self.processors,
+            "unknown processor {proc} for a {}-processor schedule",
+            self.processors
+        );
+        let mut busy: Vec<(Time, Time)> = self
+            .entries
+            .iter()
+            .filter(|e| e.processor == proc)
+            .map(|e| (e.start, e.finish))
+            .collect();
+        busy.sort_unstable();
+        let mut idle = Vec::new();
+        let mut cursor = Time::ZERO;
+        for (s, f) in busy {
+            if s > cursor {
+                idle.push((cursor, s));
+            }
+            cursor = cursor.max(f);
+        }
+        if cursor < self.makespan {
+            idle.push((cursor, self.makespan));
+        }
+        idle
+    }
+
+    /// Total idle time across all processors within `[0, makespan)` — the
+    /// capacity available for additional background workload without
+    /// disturbing this schedule.
+    pub fn background_capacity(&self) -> Time {
+        (0..self.processors as u32)
+            .flat_map(|p| self.idle_intervals(ProcessorId::new(p)))
+            .map(|(s, f)| f - s)
+            .sum()
+    }
+
+    /// The largest contiguous idle interval on any processor — an upper
+    /// bound on the longest non-preemptive background task that fits
+    /// without delaying the schedule.
+    pub fn largest_idle_gap(&self) -> Time {
+        (0..self.processors as u32)
+            .flat_map(|p| self.idle_intervals(ProcessorId::new(p)))
+            .map(|(s, f)| f - s)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Structural validation: execution intervals, processor exclusivity,
+    /// precedence + communication delays, and pinning constraints.
+    ///
+    /// `check_bus_exclusive` additionally requires remote transfers to be
+    /// pairwise disjoint (the contention model's invariant).
+    pub fn validate(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        pinning: &Pinning,
+        check_bus_exclusive: bool,
+    ) -> Vec<ScheduleViolation> {
+        let mut violations = Vec::new();
+
+        // Execution time and interval sanity.
+        for id in graph.subtask_ids() {
+            let e = self.entry(id);
+            if e.finish - e.start != graph.subtask(id).wcet() {
+                violations.push(ScheduleViolation::WrongDuration(id));
+            }
+            if let Some(pin) = pinning.processor_for(id) {
+                if pin != e.processor {
+                    violations.push(ScheduleViolation::PinIgnored(id));
+                }
+            }
+        }
+
+        // Processor exclusivity.
+        let mut per_proc: Vec<Vec<ScheduleEntry>> = vec![Vec::new(); self.processors];
+        for e in &self.entries {
+            per_proc[e.processor.index()].push(*e);
+        }
+        for entries in &mut per_proc {
+            entries.sort_by_key(|e| (e.start, e.subtask));
+            for pair in entries.windows(2) {
+                if pair[1].start < pair[0].finish {
+                    violations.push(ScheduleViolation::ProcessorOverlap(
+                        pair[0].subtask,
+                        pair[1].subtask,
+                    ));
+                }
+            }
+        }
+
+        // Precedence and communication.
+        for eid in graph.edge_ids() {
+            let edge = graph.edge(eid);
+            let producer = self.entry(edge.src());
+            let consumer = self.entry(edge.dst());
+            match self.message(eid) {
+                None => {
+                    if producer.processor != consumer.processor {
+                        violations.push(ScheduleViolation::MissingTransfer(eid));
+                    } else if consumer.start < producer.finish {
+                        violations.push(ScheduleViolation::PrecedenceViolated(eid));
+                    }
+                }
+                Some(slot) => {
+                    let nominal = platform
+                        .comm_cost(slot.from, slot.to, edge.items())
+                        .unwrap_or(Time::MAX);
+                    if slot.from != producer.processor
+                        || slot.to != consumer.processor
+                        || slot.depart < producer.finish
+                        || slot.arrive - slot.depart != nominal
+                        || consumer.start < slot.arrive
+                    {
+                        violations.push(ScheduleViolation::PrecedenceViolated(eid));
+                    }
+                }
+            }
+        }
+
+        if check_bus_exclusive {
+            let mut slots: Vec<MessageSlot> = self.messages.iter().flatten().copied().collect();
+            slots.sort_by_key(|s| (s.depart, s.edge));
+            for pair in slots.windows(2) {
+                if pair[1].depart < pair[0].arrive {
+                    violations.push(ScheduleViolation::BusOverlap(pair[0].edge, pair[1].edge));
+                }
+            }
+        }
+
+        violations
+    }
+}
+
+/// A structural violation found by [`Schedule::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// An entry's interval does not match the subtask's execution time.
+    WrongDuration(SubtaskId),
+    /// Two subtasks overlap on the same processor.
+    ProcessorOverlap(SubtaskId, SubtaskId),
+    /// A consumer starts before its input is available.
+    PrecedenceViolated(EdgeId),
+    /// A cross-processor edge has no recorded transfer.
+    MissingTransfer(EdgeId),
+    /// Two transfers overlap on the shared bus.
+    BusOverlap(EdgeId, EdgeId),
+    /// A strict locality constraint was ignored.
+    PinIgnored(SubtaskId),
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::WrongDuration(t) => write!(f, "subtask {t} has a wrong duration"),
+            ScheduleViolation::ProcessorOverlap(a, b) => {
+                write!(f, "subtasks {a} and {b} overlap on a processor")
+            }
+            ScheduleViolation::PrecedenceViolated(e) => {
+                write!(f, "edge {e} violates precedence or communication delay")
+            }
+            ScheduleViolation::MissingTransfer(e) => {
+                write!(f, "edge {e} crosses processors without a transfer")
+            }
+            ScheduleViolation::BusOverlap(a, b) => {
+                write!(f, "transfers {a} and {b} overlap on the bus")
+            }
+            ScheduleViolation::PinIgnored(t) => {
+                write!(f, "subtask {t} was placed off its pinned processor")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::Pinning;
+    use slicing::Slicer;
+    use taskgraph::Subtask;
+
+    use crate::ListScheduler;
+
+    use super::*;
+
+    fn two_task_schedule() -> (TaskGraph, Schedule) {
+        // Two independent tasks; on one processor the second waits for its
+        // window, leaving idle time.
+        let mut b = TaskGraph::builder();
+        b.add_subtask(
+            Subtask::new(Time::new(10))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(40)),
+        );
+        b.add_subtask(
+            Subtask::new(Time::new(10))
+                .released_at(Time::new(30))
+                .due_at(Time::new(100)),
+        );
+        let g = b.build().unwrap();
+        let p = Platform::paper(1).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .schedule(&g, &p, &asg, &Pinning::new())
+            .unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn idle_intervals_cover_gaps() {
+        let (g, s) = two_task_schedule();
+        let idle = s.idle_intervals(ProcessorId::new(0));
+        // t0 runs [0, 10), t1 at its release [30, 40): one gap [10, 30).
+        assert_eq!(idle, vec![(Time::new(10), Time::new(30))]);
+        assert_eq!(s.background_capacity(), Time::new(20));
+        assert_eq!(s.largest_idle_gap(), Time::new(20));
+        // Idle + busy == processors × makespan.
+        let busy: Time = g.subtask_ids().map(|id| g.subtask(id).wcet()).sum();
+        assert_eq!(
+            s.background_capacity() + busy,
+            s.makespan() * s.processor_count() as i64
+        );
+    }
+
+    #[test]
+    fn fully_packed_processor_has_no_idle() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(100)));
+        b.add_edge(a, z, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(1).unwrap();
+        let asg = Slicer::bst_norm().distribute(&g, &p).unwrap();
+        let s = ListScheduler::new()
+            .with_respect_release(false)
+            .schedule(&g, &p, &asg, &Pinning::new())
+            .unwrap();
+        assert!(s.idle_intervals(ProcessorId::new(0)).is_empty());
+        assert_eq!(s.background_capacity(), Time::ZERO);
+        assert_eq!(s.largest_idle_gap(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown processor")]
+    fn idle_intervals_reject_bad_processor() {
+        let (_, s) = two_task_schedule();
+        let _ = s.idle_intervals(ProcessorId::new(5));
+    }
+
+    #[test]
+    fn violation_display() {
+        let msgs = [
+            ScheduleViolation::WrongDuration(SubtaskId::new(0)).to_string(),
+            ScheduleViolation::ProcessorOverlap(SubtaskId::new(0), SubtaskId::new(1)).to_string(),
+            ScheduleViolation::PrecedenceViolated(EdgeId::new(0)).to_string(),
+            ScheduleViolation::MissingTransfer(EdgeId::new(1)).to_string(),
+            ScheduleViolation::BusOverlap(EdgeId::new(0), EdgeId::new(1)).to_string(),
+            ScheduleViolation::PinIgnored(SubtaskId::new(3)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

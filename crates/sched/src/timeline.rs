@@ -1,0 +1,129 @@
+//! A reservation timeline for an exclusive resource (a processor or the
+//! shared bus): disjoint busy intervals with earliest-gap queries.
+
+use taskgraph::Time;
+
+/// Disjoint, sorted busy intervals `[start, end)` on one exclusive
+/// resource.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Timeline {
+    busy: Vec<(Time, Time)>,
+    /// End of the latest reservation (for append-style allocation).
+    horizon: Time,
+}
+
+impl Timeline {
+    pub(crate) fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// The earliest start `t ≥ earliest` such that `[t, t + duration)` is
+    /// free. Zero-duration requests are always placeable at `earliest`.
+    pub(crate) fn earliest_gap(&self, earliest: Time, duration: Time) -> Time {
+        if !duration.is_positive() {
+            return earliest;
+        }
+        let mut candidate = earliest;
+        for &(s, e) in &self.busy {
+            if candidate + duration <= s {
+                break;
+            }
+            if e > candidate {
+                candidate = e;
+            }
+        }
+        candidate
+    }
+
+    /// The earliest start `t ≥ earliest` with nothing scheduled earlier
+    /// than `t + duration` — append semantics (no gap reuse).
+    pub(crate) fn append_start(&self, earliest: Time) -> Time {
+        earliest.max(self.horizon)
+    }
+
+    /// End of the latest reservation so far.
+    #[cfg(test)]
+    pub(crate) fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Reserves `[start, start + duration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the slot overlaps an existing reservation;
+    /// callers must query [`earliest_gap`](Self::earliest_gap) or
+    /// [`append_start`](Self::append_start) first.
+    pub(crate) fn reserve(&mut self, start: Time, duration: Time) {
+        if !duration.is_positive() {
+            return;
+        }
+        let end = start + duration;
+        let idx = self.busy.partition_point(|&(s, _)| s < start);
+        debug_assert!(
+            idx == 0 || self.busy[idx - 1].1 <= start,
+            "slot overlaps previous reservation"
+        );
+        debug_assert!(
+            idx == self.busy.len() || end <= self.busy[idx].0,
+            "slot overlaps next reservation"
+        );
+        self.busy.insert(idx, (start, end));
+        self.horizon = self.horizon.max(end);
+    }
+
+    /// Busy intervals, for tests.
+    #[cfg(test)]
+    pub(crate) fn busy(&self) -> &[(Time, Time)] {
+        &self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn gap_in_empty_timeline() {
+        let tl = Timeline::new();
+        assert_eq!(tl.earliest_gap(t(5), t(10)), t(5));
+        assert_eq!(tl.earliest_gap(t(5), t(0)), t(5));
+        assert_eq!(tl.append_start(t(3)), t(3));
+    }
+
+    #[test]
+    fn reservations_block_overlaps() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(0), t(10));
+        assert_eq!(tl.earliest_gap(t(0), t(5)), t(10));
+        tl.reserve(t(10), t(5));
+        assert_eq!(tl.busy(), &[(t(0), t(10)), (t(10), t(15))]);
+        assert_eq!(tl.earliest_gap(t(2), t(1)), t(15));
+        assert_eq!(tl.horizon(), t(15));
+    }
+
+    #[test]
+    fn short_requests_fit_into_gaps_long_ones_do_not() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(0), t(10));
+        tl.reserve(t(30), t(10));
+        // A 15-unit request fits between the reservations ...
+        assert_eq!(tl.earliest_gap(t(0), t(15)), t(10));
+        // ... a 25-unit request must wait until after both.
+        assert_eq!(tl.earliest_gap(t(0), t(25)), t(40));
+        // Append ignores the gap entirely.
+        assert_eq!(tl.append_start(t(0)), t(40));
+    }
+
+    #[test]
+    fn zero_duration_never_reserves() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(3), t(0));
+        assert!(tl.busy().is_empty());
+        assert_eq!(tl.horizon(), t(0));
+    }
+}

@@ -1,0 +1,506 @@
+//! The basic deadline-assignment algorithm (Figure 1 of the paper).
+//!
+//! ```text
+//! 1.  initialize set Π with all subtasks in the task graph;
+//! 2.  while Π ≠ ∅ loop
+//! 3.    find a critical path Φ in Π that minimizes metric R;
+//! 4.    distribute the end-to-end deadline of Φ by assigning
+//!       release times and deadlines to the subtasks in Φ;
+//! 5-12. attach the remaining subtasks: predecessors of spine nodes
+//!       inherit deadlines, successors inherit release times;
+//! 13.   remove all subtasks in Φ from Π;
+//! 14. end loop
+//! ```
+//!
+//! Communication subtasks participate whenever their estimated cost is
+//! non-negligible, which is what lets the algorithm run *before* task
+//! assignment (relaxed locality constraints).
+
+use std::fmt;
+
+use platform::Platform;
+use taskgraph::{TaskGraph, Time};
+
+use crate::expanded::{ExpKind, ExpandedGraph};
+use crate::path_search::{CriticalPath, PathSearch};
+use crate::{
+    CommEstimate, DeadlineAssignment, MetricContext, MetricKind, ShareRule, SliceError,
+    SliceMetric, Thres, Window,
+};
+
+/// The deadline-distribution engine: a metric plus a communication-cost
+/// estimation strategy.
+///
+/// Use the convenience constructors for the paper's configurations:
+///
+/// * [`Slicer::bst_norm`] / [`Slicer::bst_pure`] — the Basic Slicing
+///   Technique metrics of Di Natale & Stankovic evaluated in §6;
+/// * [`Slicer::ast_thres`] / [`Slicer::ast_adapt`] — the Adaptive Slicing
+///   Technique of §7 (always CCNE, per the paper's design decision).
+///
+/// # Examples
+///
+/// ```
+/// use platform::Platform;
+/// use rand::SeedableRng;
+/// use slicing::Slicer;
+/// use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let graph = generate(&spec, &mut rng)?;
+/// let platform = Platform::paper(4)?;
+///
+/// let assignment = Slicer::ast_adapt().distribute(&graph, &platform)?;
+/// assert!(assignment.validate(&graph).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Slicer {
+    metric: Box<dyn SliceMetric + Send + Sync>,
+    estimate: CommEstimate,
+}
+
+impl fmt::Debug for Slicer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slicer")
+            .field("metric", &self.metric.name())
+            .field("estimate", &self.estimate.label())
+            .finish()
+    }
+}
+
+impl Slicer {
+    /// Creates a slicer with a custom metric and the CCNE estimation
+    /// strategy.
+    pub fn new(metric: impl SliceMetric + Send + Sync + 'static) -> Self {
+        Slicer {
+            metric: Box::new(metric),
+            estimate: CommEstimate::Ccne,
+        }
+    }
+
+    /// Replaces the communication-cost estimation strategy.
+    #[must_use]
+    pub fn with_estimate(mut self, estimate: CommEstimate) -> Self {
+        self.estimate = estimate;
+        self
+    }
+
+    /// BST with the NORM metric (§6).
+    pub fn bst_norm() -> Self {
+        Slicer::new(MetricKind::Norm)
+    }
+
+    /// BST with the PURE metric (§6).
+    pub fn bst_pure() -> Self {
+        Slicer::new(MetricKind::Pure)
+    }
+
+    /// AST with the THRES metric (§7): surplus factor Δ, threshold 1.25 ×
+    /// MET, CCNE estimation.
+    pub fn ast_thres(surplus: f64) -> Self {
+        Slicer::new(MetricKind::Thres {
+            surplus,
+            threshold: crate::ThresholdSpec::PAPER,
+        })
+    }
+
+    /// AST with the THRES metric and an explicit threshold.
+    pub fn ast_thres_with(thres: Thres) -> Self {
+        Slicer::new(thres)
+    }
+
+    /// AST with the ADAPT metric (§7): surplus ξ/N_proc, threshold 1.25 ×
+    /// MET, CCNE estimation.
+    pub fn ast_adapt() -> Self {
+        Slicer::new(MetricKind::adapt())
+    }
+
+    /// The metric's display name.
+    pub fn metric_name(&self) -> &str {
+        self.metric.name()
+    }
+
+    /// The estimation strategy's label.
+    pub fn estimate_label(&self) -> &'static str {
+        self.estimate.label()
+    }
+
+    /// Distributes end-to-end deadlines over all subtasks of `graph`,
+    /// producing a window for every subtask and every non-negligible
+    /// communication subtask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceError::NoAnchoredPath`] if the internal invariant that
+    /// an anchored path always exists is violated (this would indicate a
+    /// bug, not a property of the input).
+    pub fn distribute(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+    ) -> Result<DeadlineAssignment, SliceError> {
+        let ctx = MetricContext::for_workload(graph, platform);
+        let exp = ExpandedGraph::build(graph, &self.estimate, platform);
+        let rule = self.metric.share_rule();
+
+        let n = exp.len();
+        let vweights: Vec<f64> = (0..n)
+            .map(|v| self.metric.virtual_time(exp.weight(v), &ctx))
+            .collect();
+
+        let mut assigned = vec![false; n];
+        let mut rel: Vec<Option<Time>> = vec![None; n];
+        let mut dl: Vec<Option<Time>> = vec![None; n];
+        for id in graph.subtask_ids() {
+            let v = exp.task_node(id);
+            rel[v] = graph.subtask(id).release();
+            dl[v] = graph.subtask(id).deadline();
+        }
+
+        let mut windows: Vec<Option<Window>> = vec![None; n];
+        let mut search = PathSearch::new(n, exp.max_chain());
+        let mut remaining = n;
+        let mut inverted = 0usize;
+
+        while remaining > 0 {
+            let cp = search
+                .find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule)
+                .ok_or(SliceError::NoAnchoredPath)?;
+
+            let path_weights: Vec<f64> = cp.nodes.iter().map(|&v| vweights[v]).collect();
+            let (slices, was_inverted) = slice_window(&cp, &path_weights, rule);
+            if was_inverted {
+                inverted += 1;
+            }
+
+            for (&v, &win) in cp.nodes.iter().zip(&slices) {
+                debug_assert!(windows[v].is_none(), "node sliced twice");
+                windows[v] = Some(win);
+                assigned[v] = true;
+                remaining -= 1;
+            }
+
+            // Attach step: spine predecessors inherit deadlines, spine
+            // successors inherit release times. Anchors accumulate across
+            // iterations (max for releases, min for deadlines).
+            for &v in &cp.nodes {
+                let win = windows[v].expect("just assigned");
+                for &p in exp.pred(v) {
+                    if !assigned[p] {
+                        let bound = win.release();
+                        dl[p] = Some(dl[p].map_or(bound, |d| d.min(bound)));
+                    }
+                }
+                for &s in exp.succ(v) {
+                    if !assigned[s] {
+                        let bound = win.deadline();
+                        rel[s] = Some(rel[s].map_or(bound, |r| r.max(bound)));
+                    }
+                }
+            }
+        }
+
+        let mut task_windows = Vec::with_capacity(graph.subtask_count());
+        for id in graph.subtask_ids() {
+            task_windows.push(windows[exp.task_node(id)].ok_or(SliceError::NoAnchoredPath)?);
+        }
+        let mut comm_windows = Vec::with_capacity(graph.edge_count());
+        for eid in graph.edge_ids() {
+            comm_windows.push(match exp.comm_node(eid) {
+                Some(v) => {
+                    debug_assert!(matches!(exp.kind(v), ExpKind::Comm(e) if e == eid));
+                    windows[v]
+                }
+                None => None,
+            });
+        }
+
+        Ok(DeadlineAssignment::new(
+            task_windows,
+            comm_windows,
+            inverted,
+            self.metric.name().to_owned(),
+            self.estimate.label().to_owned(),
+        ))
+    }
+}
+
+/// Partitions the critical path's window into consecutive slices according
+/// to the share rule, rounding to integer boundaries while preserving the
+/// exact window and monotonicity. Returns the slices and whether the window
+/// was inverted (deadline anchor before release anchor) and clamped.
+fn slice_window(cp: &CriticalPath, weights: &[f64], rule: ShareRule) -> (Vec<Window>, bool) {
+    let w0 = cp.window_start;
+    let inverted = cp.window_end < w0;
+    let w1 = cp.window_end.max(w0);
+    let window = w1 - w0;
+    let total: f64 = weights.iter().sum();
+    let score = rule.score(window, total, weights.len());
+
+    let mut slices = Vec::with_capacity(weights.len());
+    let mut prev = w0;
+    let mut acc = w0.as_f64();
+    for (i, &w) in weights.iter().enumerate() {
+        acc += rule.relative_deadline(w, score);
+        let bound = if i + 1 == weights.len() {
+            w1
+        } else {
+            Time::from_f64_rounded(acc).max(prev).min(w1)
+        };
+        slices.push(Window::new(prev, bound));
+        prev = bound;
+    }
+    (slices, inverted)
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::Platform;
+    use taskgraph::{Subtask, SubtaskId, TaskGraph};
+
+    use super::*;
+
+    fn chain(wcets: &[i64], deadline: i64) -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let mut prev = None;
+        for (i, &c) in wcets.iter().enumerate() {
+            let mut s = Subtask::new(Time::new(c));
+            if i == 0 {
+                s = s.released_at(Time::ZERO);
+            }
+            if i + 1 == wcets.len() {
+                s = s.due_at(Time::new(deadline));
+            }
+            let id = b.add_subtask(s);
+            if let Some(p) = prev {
+                b.add_edge(p, id, 10).unwrap();
+            }
+            prev = Some(id);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pure_assigns_equal_slack_on_a_chain() {
+        let g = chain(&[10, 30, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        // Slack = 120 - 60 = 60, three nodes => 20 each.
+        for (i, expected) in [(0, 30), (1, 50), (2, 40)] {
+            assert_eq!(
+                a.window(SubtaskId::new(i)).relative_deadline(),
+                Time::new(expected)
+            );
+        }
+        // Windows tile the end-to-end window exactly.
+        assert_eq!(a.window(SubtaskId::new(0)).release(), Time::ZERO);
+        assert_eq!(a.window(SubtaskId::new(2)).deadline(), Time::new(120));
+        assert_eq!(
+            a.window(SubtaskId::new(0)).deadline(),
+            a.window(SubtaskId::new(1)).release()
+        );
+        assert!(a.validate(&g).is_ok());
+        assert_eq!(a.metric_name(), "PURE");
+        assert_eq!(a.estimate_name(), "CCNE");
+        assert_eq!(a.inverted_paths(), 0);
+        assert_eq!(a.min_laxity(&g), Time::new(20));
+    }
+
+    #[test]
+    fn norm_assigns_proportional_slack_on_a_chain() {
+        let g = chain(&[10, 30, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_norm().distribute(&g, &p).unwrap();
+        // R = (120-60)/60 = 1 => d_i = 2 c_i.
+        for (i, expected) in [(0, 20), (1, 60), (2, 40)] {
+            assert_eq!(
+                a.window(SubtaskId::new(i)).relative_deadline(),
+                Time::new(expected)
+            );
+        }
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn ccaa_gives_windows_to_messages() {
+        let g = chain(&[10, 30], 200);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure()
+            .with_estimate(CommEstimate::Ccaa)
+            .distribute(&g, &p)
+            .unwrap();
+        let eid = g.edge_ids().next().unwrap();
+        let chi = a.comm_window(eid).expect("CCAA materializes messages");
+        // Slack = 200 - (10 + 10 + 30) = 150 over 3 nodes => 50 each.
+        assert_eq!(chi.relative_deadline(), Time::new(60));
+        assert_eq!(a.window(SubtaskId::new(0)).deadline(), chi.release());
+        assert_eq!(chi.deadline(), a.window(SubtaskId::new(1)).release());
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn ccne_messages_are_transparent() {
+        let g = chain(&[10, 30], 200);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        assert!(a.comm_window(g.edge_ids().next().unwrap()).is_none());
+    }
+
+    #[test]
+    fn diamond_distribution_is_structurally_sound() {
+        // a -> {b(60), c(20)} -> d; heavy branch sliced first, light branch
+        // attaches to the spine windows.
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(60)));
+        let y = b.add_subtask(Subtask::new(Time::new(20)));
+        let d = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(200)));
+        b.add_edge(a, x, 1).unwrap();
+        b.add_edge(a, y, 1).unwrap();
+        b.add_edge(x, d, 1).unwrap();
+        b.add_edge(y, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let report = asg.validate(&g);
+        assert!(report.is_ok(), "{report}");
+        // The light branch lives inside the window left by the spine.
+        let yw = asg.window(y);
+        assert!(yw.release() >= asg.window(a).deadline());
+        assert!(yw.deadline() <= asg.window(d).release());
+    }
+
+    #[test]
+    fn adapt_gives_long_tasks_more_slack_on_small_systems() {
+        let g = chain(&[10, 40, 10], 240); // MET = 20, threshold 25
+        let small = Platform::paper(1).unwrap();
+        let a = Slicer::ast_adapt().distribute(&g, &small).unwrap();
+        let slack_long = a.laxity(&g, SubtaskId::new(1));
+        let slack_short = a.laxity(&g, SubtaskId::new(0));
+        assert!(
+            slack_long > slack_short,
+            "long {slack_long} vs short {slack_short}"
+        );
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn thres_matches_hand_computation() {
+        // weights: 10, 40(1+1)=80, 10 => total 100; window 240 => R = 140/3.
+        let g = chain(&[10, 40, 10], 240);
+        let p = Platform::paper(4).unwrap();
+        let a = Slicer::ast_thres(1.0).distribute(&g, &p).unwrap();
+        let d0 = a.window(SubtaskId::new(0)).relative_deadline().as_i64();
+        let d1 = a.window(SubtaskId::new(1)).relative_deadline().as_i64();
+        let d2 = a.window(SubtaskId::new(2)).relative_deadline().as_i64();
+        assert_eq!(d0 + d1 + d2, 240);
+        // d0 ≈ 10 + 46.67 ≈ 57, d1 ≈ 80 + 46.67 ≈ 127, d2 rest.
+        assert!((56..=58).contains(&d0), "d0={d0}");
+        assert!((126..=128).contains(&d1), "d1={d1}");
+    }
+
+    #[test]
+    fn threshold_metrics_degenerate_to_pure_when_threshold_unreachable() {
+        // With an absolute threshold above every execution time, THRES and
+        // ADAPT inflate nothing and must reproduce PURE exactly.
+        let g = chain(&[10, 30, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        let pure = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        for metric in [
+            MetricKind::Thres {
+                surplus: 3.0,
+                threshold: crate::ThresholdSpec::Absolute(Time::new(1_000)),
+            },
+            MetricKind::Adapt {
+                threshold: crate::ThresholdSpec::Absolute(Time::new(1_000)),
+            },
+        ] {
+            let asg = Slicer::new(metric).distribute(&g, &p).unwrap();
+            for id in g.subtask_ids() {
+                assert_eq!(asg.window(id), pure.window(id), "{}", metric.label());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_metric_through_trait_object() {
+        // Users can plug their own metric: one that inflates everything 2x
+        // behaves like PURE (uniform inflation cancels in the equal share).
+        #[derive(Debug)]
+        struct Doubler;
+        impl crate::SliceMetric for Doubler {
+            fn name(&self) -> &str {
+                "DOUBLER"
+            }
+            fn virtual_time(&self, real: Time, _ctx: &MetricContext) -> f64 {
+                real.as_f64() * 2.0
+            }
+            fn share_rule(&self) -> ShareRule {
+                ShareRule::Proportional
+            }
+        }
+        let g = chain(&[10, 30, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        let asg = Slicer::new(Doubler).distribute(&g, &p).unwrap();
+        assert_eq!(asg.metric_name(), "DOUBLER");
+        // Proportional over doubled weights == proportional over weights.
+        let norm = Slicer::bst_norm().distribute(&g, &p).unwrap();
+        for id in g.subtask_ids() {
+            assert_eq!(asg.window(id), norm.window(id));
+        }
+    }
+
+    #[test]
+    fn slicer_debug_and_labels() {
+        let s = Slicer::ast_adapt();
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("ADAPT") && dbg.contains("CCNE"));
+        assert_eq!(s.metric_name(), "ADAPT");
+        assert_eq!(Slicer::bst_norm().metric_name(), "NORM");
+        assert_eq!(
+            Slicer::bst_pure()
+                .with_estimate(CommEstimate::Ccaa)
+                .estimate_label(),
+            "CCAA"
+        );
+        assert_eq!(Slicer::ast_thres(2.0).metric_name(), "THRES");
+        assert_eq!(Slicer::ast_thres_with(Thres::paper()).metric_name(), "THRES");
+    }
+
+    #[test]
+    fn single_subtask_graph() {
+        let mut b = TaskGraph::builder();
+        let only = b.add_subtask(
+            Subtask::new(Time::new(8))
+                .released_at(Time::new(2))
+                .due_at(Time::new(40)),
+        );
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        assert_eq!(a.window(only), Window::new(Time::new(2), Time::new(40)));
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn parallel_independent_chains() {
+        // Two disconnected chains must both be sliced.
+        let mut b = TaskGraph::builder();
+        let a1 = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let a2 = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(100)));
+        let b1 = b.add_subtask(Subtask::new(Time::new(20)).released_at(Time::ZERO));
+        let b2 = b.add_subtask(Subtask::new(Time::new(20)).due_at(Time::new(80)));
+        b.add_edge(a1, a2, 5).unwrap();
+        b.add_edge(b1, b2, 5).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        assert!(asg.validate(&g).is_ok());
+        // Chain B is more critical: (80-40)/2 = 20 < (100-20)/2 = 40.
+        assert_eq!(asg.window(b1).relative_deadline(), Time::new(40));
+        assert_eq!(asg.window(a1).relative_deadline(), Time::new(50));
+    }
+}

@@ -1,0 +1,93 @@
+//! Workload/system context consumed by slicing metrics.
+
+use platform::Platform;
+use taskgraph::analysis::GraphAnalysis;
+use taskgraph::TaskGraph;
+
+/// Aggregate workload and system quantities that parameterize the adaptive
+/// metrics of §7.
+///
+/// * `mean_exec_time` — the MET, anchoring the execution-time threshold
+///   c_thres;
+/// * `avg_parallelism` — ξ, the total task-graph workload divided by the
+///   execution-time length of the longest path. Paths in this task model
+///   alternate computation and communication subtasks, so the longest
+///   path's length includes message costs at the platform's nominal
+///   per-item cost;
+/// * `processors` — N_proc, the system size.
+///
+/// Computed once per distribution via [`MetricContext::for_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricContext {
+    /// Mean subtask execution time (MET) of the task graph.
+    pub mean_exec_time: f64,
+    /// Average task graph parallelism ξ.
+    pub avg_parallelism: f64,
+    /// Number of processors N_proc in the target system.
+    pub processors: usize,
+}
+
+impl MetricContext {
+    /// Computes the context for distributing `graph` onto `platform`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use platform::Platform;
+    /// use slicing::MetricContext;
+    /// use taskgraph::{Subtask, TaskGraph, Time};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = TaskGraph::builder();
+    /// b.add_subtask(Subtask::new(Time::new(20)).released_at(Time::ZERO).due_at(Time::new(60)));
+    /// let g = b.build()?;
+    /// let ctx = MetricContext::for_workload(&g, &Platform::paper(4)?);
+    /// assert_eq!(ctx.mean_exec_time, 20.0);
+    /// assert_eq!(ctx.processors, 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn for_workload(graph: &TaskGraph, platform: &Platform) -> Self {
+        let analysis = GraphAnalysis::new(graph);
+        let per_item = platform.worst_case_cost_per_item().as_f64();
+        MetricContext {
+            mean_exec_time: analysis.mean_exec_time(),
+            avg_parallelism: analysis.avg_parallelism_with_comm(per_item),
+            processors: platform.processor_count(),
+        }
+    }
+
+    /// The adaptive surplus factor ξ/N_proc used by the ADAPT metric.
+    pub fn adaptive_surplus(&self) -> f64 {
+        self.avg_parallelism / self.processors as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use taskgraph::{Subtask, Time};
+
+    use super::*;
+
+    #[test]
+    fn computes_aggregates() {
+        // chain a(10) -> b(30), plus parallel c(20): total 60, longest 40.
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(30)).due_at(Time::new(100)));
+        let c = b.add_subtask(
+            Subtask::new(Time::new(20))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(100)),
+        );
+        let _ = c;
+        b.add_edge(a, x, 1).unwrap();
+        let g = b.build().unwrap();
+        let ctx = MetricContext::for_workload(&g, &Platform::paper(3).unwrap());
+        assert_eq!(ctx.mean_exec_time, 20.0);
+        // Longest path including the 1-item message: 10 + 1 + 30 = 41.
+        assert!((ctx.avg_parallelism - 60.0 / 41.0).abs() < 1e-12);
+        assert_eq!(ctx.processors, 3);
+        assert!((ctx.adaptive_surplus() - 60.0 / 41.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for deadline distribution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Slicer::distribute`].
+///
+/// [`Slicer::distribute`]: crate::Slicer::distribute
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SliceError {
+    /// The slicing loop could not find an anchored critical path although
+    /// unassigned subtasks remain. Validated task graphs always admit one,
+    /// so this indicates an internal bug rather than a property of the
+    /// input.
+    NoAnchoredPath,
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::NoAnchoredPath => {
+                write!(f, "no anchored critical path found for remaining subtasks")
+            }
+        }
+    }
+}
+
+impl Error for SliceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error_impl() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SliceError>();
+        assert!(SliceError::NoAnchoredPath.to_string().contains("critical path"));
+    }
+}

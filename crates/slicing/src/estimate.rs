@@ -1,0 +1,169 @@
+//! Communication-cost estimation strategies (§5.4).
+//!
+//! Under relaxed locality constraints the distributor does not know which
+//! subtask pairs will communicate across processors, so the cost of each
+//! communication subtask must be *estimated*:
+//!
+//! * [`CommEstimate::Ccne`] — *Communication Cost Non-Existing*: assume no
+//!   interprocessor communication ever happens. Communication subtasks are
+//!   transparent and all slack stays with the computation subtasks. The
+//!   paper finds this the better strategy, and AST builds on it.
+//! * [`CommEstimate::Ccaa`] — *Communication Cost Always Assumed*: assume
+//!   every message crosses processors at the platform's worst-case per-item
+//!   cost. Communication subtasks consume path slack.
+//! * [`CommEstimate::Known`] — real costs from a (complete) assignment; this
+//!   recovers the strict-locality setting of the original BST and is used by
+//!   the ablation experiments.
+
+use platform::{Pinning, Platform};
+use serde::{Deserialize, Serialize};
+use taskgraph::{Edge, Time};
+
+/// A strategy for estimating the communication cost of a message before the
+/// task assignment is known.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CommEstimate {
+    /// Communication Cost Non-Existing: every message is assumed free.
+    Ccne,
+    /// Communication Cost Always Assumed: every message is assumed remote at
+    /// the platform's worst-case per-item cost.
+    Ccaa,
+    /// Real communication costs from a pre-existing (ideally total) task
+    /// assignment. Messages with an unpinned endpoint fall back to the
+    /// worst-case remote cost.
+    Known(Pinning),
+}
+
+impl CommEstimate {
+    /// The estimated cost of transferring `edge`'s message on `platform`.
+    ///
+    /// A zero cost means the communication subtask is *negligible*: it will
+    /// not receive an execution window (§4.2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use platform::Platform;
+    /// use slicing::CommEstimate;
+    /// use taskgraph::{Subtask, TaskGraph, Time};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = TaskGraph::builder();
+    /// let a = b.add_subtask(Subtask::new(Time::new(5)).released_at(Time::ZERO));
+    /// let z = b.add_subtask(Subtask::new(Time::new(5)).due_at(Time::new(50)));
+    /// b.add_edge(a, z, 12)?;
+    /// let g = b.build()?;
+    /// let platform = Platform::paper(4)?;
+    /// let edge = g.edge(g.edge_ids().next().unwrap());
+    /// assert_eq!(CommEstimate::Ccne.estimated_cost(edge, &platform), Time::ZERO);
+    /// assert_eq!(CommEstimate::Ccaa.estimated_cost(edge, &platform), Time::new(12));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn estimated_cost(&self, edge: Edge, platform: &Platform) -> Time {
+        match self {
+            CommEstimate::Ccne => Time::ZERO,
+            CommEstimate::Ccaa => worst_case(edge, platform),
+            CommEstimate::Known(pins) => {
+                match (pins.processor_for(edge.src()), pins.processor_for(edge.dst())) {
+                    (Some(from), Some(to)) => platform
+                        .comm_cost(from, to, edge.items())
+                        .unwrap_or_else(|_| worst_case(edge, platform)),
+                    _ => worst_case(edge, platform),
+                }
+            }
+        }
+    }
+
+    /// A short label used in reports (`"CCNE"`, `"CCAA"`, `"KNOWN"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommEstimate::Ccne => "CCNE",
+            CommEstimate::Ccaa => "CCAA",
+            CommEstimate::Known(_) => "KNOWN",
+        }
+    }
+}
+
+fn worst_case(edge: Edge, platform: &Platform) -> Time {
+    platform.worst_case_cost_per_item() * edge.items() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::{Pinning, ProcessorId, Topology};
+    use taskgraph::{Subtask, SubtaskId, TaskGraph};
+
+    use super::*;
+
+    fn graph_with_edge(items: u64) -> (TaskGraph, Edge) {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(5)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(5)).due_at(Time::new(50)));
+        b.add_edge(a, z, items).unwrap();
+        let g = b.build().unwrap();
+        let e = g.edge(g.edge_ids().next().unwrap());
+        (g, e)
+    }
+
+    #[test]
+    fn ccne_is_always_free() {
+        let (_, e) = graph_with_edge(100);
+        let p = Platform::paper(8).unwrap();
+        assert_eq!(CommEstimate::Ccne.estimated_cost(e, &p), Time::ZERO);
+        assert_eq!(CommEstimate::Ccne.label(), "CCNE");
+    }
+
+    #[test]
+    fn ccaa_uses_worst_case() {
+        let (_, e) = graph_with_edge(10);
+        let bus = Platform::paper(8).unwrap();
+        assert_eq!(CommEstimate::Ccaa.estimated_cost(e, &bus), Time::new(10));
+        let ring = Platform::homogeneous(
+            8,
+            Topology::Ring {
+                cost_per_item_hop: Time::new(1),
+            },
+        )
+        .unwrap();
+        // worst case on an 8-ring is 4 hops
+        assert_eq!(CommEstimate::Ccaa.estimated_cost(e, &ring), Time::new(40));
+        assert_eq!(CommEstimate::Ccaa.label(), "CCAA");
+    }
+
+    #[test]
+    fn known_uses_real_costs() {
+        let (_, e) = graph_with_edge(10);
+        let p = Platform::paper(4).unwrap();
+
+        let mut same = Pinning::new();
+        same.pin(SubtaskId::new(0), ProcessorId::new(2)).unwrap();
+        same.pin(SubtaskId::new(1), ProcessorId::new(2)).unwrap();
+        assert_eq!(
+            CommEstimate::Known(same).estimated_cost(e, &p),
+            Time::ZERO
+        );
+
+        let mut remote = Pinning::new();
+        remote.pin(SubtaskId::new(0), ProcessorId::new(0)).unwrap();
+        remote.pin(SubtaskId::new(1), ProcessorId::new(3)).unwrap();
+        assert_eq!(
+            CommEstimate::Known(remote).estimated_cost(e, &p),
+            Time::new(10)
+        );
+    }
+
+    #[test]
+    fn known_falls_back_to_worst_case_for_unpinned() {
+        let (_, e) = graph_with_edge(7);
+        let p = Platform::paper(4).unwrap();
+        let mut partial = Pinning::new();
+        partial.pin(SubtaskId::new(0), ProcessorId::new(0)).unwrap();
+        assert_eq!(
+            CommEstimate::Known(partial).estimated_cost(e, &p),
+            Time::new(7)
+        );
+        assert_eq!(CommEstimate::Known(Pinning::new()).label(), "KNOWN");
+    }
+}

@@ -1,0 +1,239 @@
+//! The expanded graph: computation subtasks plus materialized communication
+//! subtasks.
+//!
+//! The slicing algorithm operates on a graph in which every message whose
+//! estimated cost is non-negligible becomes an explicit *communication
+//! subtask* node χ between its producer and consumer (§4.2). Messages with a
+//! zero estimated cost (CCNE, or intra-processor under a known assignment)
+//! stay transparent: the producer connects directly to the consumer and no
+//! window will be assigned to the message.
+
+use platform::Platform;
+use taskgraph::{EdgeId, SubtaskId, TaskGraph, Time};
+
+use crate::CommEstimate;
+
+/// What an expanded-graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExpKind {
+    /// An ordinary computation subtask.
+    Task(SubtaskId),
+    /// A communication subtask materialized from the given edge.
+    Comm(EdgeId),
+}
+
+/// The expanded precedence graph used by the slicing algorithm.
+#[derive(Debug, Clone)]
+pub(crate) struct ExpandedGraph {
+    kinds: Vec<ExpKind>,
+    /// Real execution time (subtasks) or estimated communication cost
+    /// (communication subtasks) per node.
+    weights: Vec<Time>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    /// Expanded node index of each subtask.
+    task_node: Vec<usize>,
+    /// Expanded node index of each materialized communication subtask.
+    comm_node: Vec<Option<usize>>,
+    /// Expanded node indices in topological order.
+    topo: Vec<usize>,
+    /// Longest chain length in nodes (an upper bound for path search).
+    max_chain: usize,
+}
+
+impl ExpandedGraph {
+    /// Builds the expanded graph for `graph` under the given estimation
+    /// strategy.
+    pub(crate) fn build(
+        graph: &TaskGraph,
+        estimate: &CommEstimate,
+        platform: &Platform,
+    ) -> ExpandedGraph {
+        let n_tasks = graph.subtask_count();
+        let mut kinds: Vec<ExpKind> = Vec::with_capacity(n_tasks);
+        let mut weights: Vec<Time> = Vec::with_capacity(n_tasks);
+        let mut task_node = Vec::with_capacity(n_tasks);
+        for id in graph.subtask_ids() {
+            task_node.push(kinds.len());
+            kinds.push(ExpKind::Task(id));
+            weights.push(graph.subtask(id).wcet());
+        }
+
+        let mut comm_node = vec![None; graph.edge_count()];
+        let mut arcs: Vec<(usize, usize)> = Vec::with_capacity(graph.edge_count() * 2);
+        for eid in graph.edge_ids() {
+            let edge = graph.edge(eid);
+            let cost = estimate.estimated_cost(edge, platform);
+            let from = task_node[edge.src().index()];
+            let to = task_node[edge.dst().index()];
+            if cost.is_positive() {
+                let chi = kinds.len();
+                kinds.push(ExpKind::Comm(eid));
+                weights.push(cost);
+                comm_node[eid.index()] = Some(chi);
+                arcs.push((from, chi));
+                arcs.push((chi, to));
+            } else {
+                arcs.push((from, to));
+            }
+        }
+
+        let n = kinds.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, v) in arcs {
+            succ[u].push(v);
+            pred[v].push(u);
+        }
+
+        // Topological order (the expanded graph is a DAG because the source
+        // graph is and χ nodes subdivide arcs).
+        let mut indeg: Vec<usize> = pred.iter().map(Vec::len).collect();
+        let mut topo: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut head = 0;
+        while head < topo.len() {
+            let v = topo[head];
+            head += 1;
+            for &w in &succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    topo.push(w);
+                }
+            }
+        }
+        debug_assert_eq!(topo.len(), n, "expanded graph must remain acyclic");
+
+        // Longest chain in nodes: path-search state bound.
+        let mut chain = vec![1usize; n];
+        let mut max_chain = 1;
+        for &v in &topo {
+            for &p in &pred[v] {
+                chain[v] = chain[v].max(chain[p] + 1);
+            }
+            max_chain = max_chain.max(chain[v]);
+        }
+
+        ExpandedGraph {
+            kinds,
+            weights,
+            succ,
+            pred,
+            task_node,
+            comm_node,
+            topo,
+            max_chain,
+        }
+    }
+
+    /// Number of expanded nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// What node `v` represents.
+    pub(crate) fn kind(&self, v: usize) -> ExpKind {
+        self.kinds[v]
+    }
+
+    /// Real execution time or estimated communication cost of node `v`.
+    pub(crate) fn weight(&self, v: usize) -> Time {
+        self.weights[v]
+    }
+
+    /// Successor node indices of `v`.
+    pub(crate) fn succ(&self, v: usize) -> &[usize] {
+        &self.succ[v]
+    }
+
+    /// Predecessor node indices of `v`.
+    pub(crate) fn pred(&self, v: usize) -> &[usize] {
+        &self.pred[v]
+    }
+
+    /// Expanded node index of subtask `id`.
+    pub(crate) fn task_node(&self, id: SubtaskId) -> usize {
+        self.task_node[id.index()]
+    }
+
+    /// Expanded node index of the communication subtask for `id`, if the
+    /// message was materialized.
+    pub(crate) fn comm_node(&self, id: EdgeId) -> Option<usize> {
+        self.comm_node[id.index()]
+    }
+
+    /// Node indices in topological order.
+    pub(crate) fn topo(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Upper bound on path length in nodes.
+    pub(crate) fn max_chain(&self) -> usize {
+        self.max_chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use taskgraph::Subtask;
+
+    use super::*;
+
+    fn chain_graph() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let c = b.add_subtask(Subtask::new(Time::new(20)));
+        let z = b.add_subtask(Subtask::new(Time::new(30)).due_at(Time::new(500)));
+        b.add_edge(a, c, 15).unwrap();
+        b.add_edge(c, z, 25).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ccne_keeps_messages_transparent() {
+        let g = chain_graph();
+        let p = Platform::paper(4).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccne, &p);
+        assert_eq!(exp.len(), 3);
+        assert!(g.edge_ids().all(|e| exp.comm_node(e).is_none()));
+        assert_eq!(exp.max_chain(), 3);
+        // Direct arcs a -> c -> z.
+        let a = exp.task_node(SubtaskId::new(0));
+        let c = exp.task_node(SubtaskId::new(1));
+        assert_eq!(exp.succ(a), &[c]);
+    }
+
+    #[test]
+    fn ccaa_materializes_comm_subtasks() {
+        let g = chain_graph();
+        let p = Platform::paper(4).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccaa, &p);
+        assert_eq!(exp.len(), 5);
+        assert_eq!(exp.max_chain(), 5);
+        let e0 = g.edge_ids().next().unwrap();
+        let chi = exp.comm_node(e0).expect("materialized");
+        assert_eq!(exp.weight(chi), Time::new(15));
+        assert_eq!(exp.kind(chi), ExpKind::Comm(e0));
+        // a -> chi -> c
+        let a = exp.task_node(SubtaskId::new(0));
+        let c = exp.task_node(SubtaskId::new(1));
+        assert_eq!(exp.succ(a), &[chi]);
+        assert_eq!(exp.pred(c), &[chi]);
+        // Topological order covers all nodes exactly once.
+        let mut seen = vec![false; exp.len()];
+        for &v in exp.topo() {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn weights_mirror_wcet_for_tasks() {
+        let g = chain_graph();
+        let p = Platform::paper(2).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccne, &p);
+        for id in g.subtask_ids() {
+            assert_eq!(exp.weight(exp.task_node(id)), g.subtask(id).wcet());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The adaptive laxity ratio (ADAPT) metric of AST.
+
+use taskgraph::Time;
+
+use crate::{MetricContext, ShareRule, SliceMetric, ThresholdSpec};
+
+/// The *adaptive laxity ratio* metric: THRES whose surplus factor adapts to
+/// the degree of task-graph parallelism that the system can exploit:
+///
+/// ```text
+/// c'_i = c_i                      if c_i < c_thres
+/// c'_i = c_i (1 + ξ / N_proc)     if c_i ≥ c_thres
+/// ```
+///
+/// where ξ is the average task-graph parallelism (total workload over
+/// longest-path length) and N_proc the number of processors. On small
+/// systems (ξ ≫ N_proc) long subtasks receive generous extra slack to ride
+/// out contention; as the system grows the surplus vanishes and ADAPT
+/// converges to PURE (§7, Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use slicing::{metrics::Adapt, MetricContext, SliceMetric, ThresholdSpec};
+/// use taskgraph::Time;
+///
+/// let ctx = MetricContext { mean_exec_time: 20.0, avg_parallelism: 4.0, processors: 2 };
+/// let adapt = Adapt::paper();
+/// // surplus = 4/2 = 2 above the threshold (25):
+/// assert_eq!(adapt.virtual_time(Time::new(30), &ctx), 90.0);
+/// assert_eq!(adapt.virtual_time(Time::new(20), &ctx), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adapt {
+    threshold: ThresholdSpec,
+}
+
+impl Adapt {
+    /// Creates an ADAPT metric with the given execution-time threshold.
+    pub fn new(threshold: ThresholdSpec) -> Self {
+        Adapt { threshold }
+    }
+
+    /// The paper's configuration: c_thres = 1.25 × MET.
+    pub fn paper() -> Self {
+        Adapt::new(ThresholdSpec::PAPER)
+    }
+
+    /// The execution-time threshold specification.
+    pub fn threshold(&self) -> ThresholdSpec {
+        self.threshold
+    }
+}
+
+impl Default for Adapt {
+    fn default() -> Self {
+        Adapt::paper()
+    }
+}
+
+impl SliceMetric for Adapt {
+    fn name(&self) -> &str {
+        "ADAPT"
+    }
+
+    fn virtual_time(&self, real: Time, ctx: &MetricContext) -> f64 {
+        let c = real.as_f64();
+        if c >= self.threshold.resolve(ctx) {
+            c * (1.0 + ctx.adaptive_surplus())
+        } else {
+            c
+        }
+    }
+
+    fn share_rule(&self) -> ShareRule {
+        ShareRule::EqualShare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_ctx;
+
+    #[test]
+    fn surplus_tracks_parallelism_over_processors() {
+        let mut ctx = test_ctx(); // xi = 4, N = 2 => surplus 2
+        let m = Adapt::paper();
+        assert_eq!(m.virtual_time(Time::new(30), &ctx), 90.0);
+        // Grow the system: surplus shrinks toward zero.
+        ctx.processors = 16;
+        let inflated = m.virtual_time(Time::new(30), &ctx);
+        assert!((inflated - 30.0 * 1.25).abs() < 1e-12);
+        // And ADAPT approaches PURE behaviour.
+        ctx.processors = 1_000_000;
+        assert!((m.virtual_time(Time::new(30), &ctx) - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn below_threshold_unchanged() {
+        let ctx = test_ctx();
+        let m = Adapt::paper();
+        assert_eq!(m.virtual_time(Time::new(24), &ctx), 24.0);
+        assert_eq!(m.name(), "ADAPT");
+        assert_eq!(m.share_rule(), ShareRule::EqualShare);
+        assert_eq!(Adapt::default(), Adapt::paper());
+        assert_eq!(m.threshold(), ThresholdSpec::PAPER);
+    }
+}

@@ -1,0 +1,68 @@
+//! The normalized laxity ratio (NORM) metric of BST.
+
+use taskgraph::Time;
+
+use crate::{MetricContext, ShareRule, SliceMetric};
+
+/// The *normalized laxity ratio* metric: path slack is assigned in
+/// proportion to subtask execution time.
+///
+/// `R_NORM = (D_Φ − Σc) / Σc` and `d_i = c_i (1 + R_NORM)`.
+///
+/// §6 of the paper shows this metric degrades as execution-time variation
+/// grows: short subtasks receive proportionally little slack, so the maximum
+/// lateness is governed by the shortest subtask on a contended processor.
+///
+/// # Examples
+///
+/// ```
+/// use slicing::{metrics::Norm, MetricContext, ShareRule, SliceMetric};
+/// use taskgraph::Time;
+///
+/// let ctx = MetricContext { mean_exec_time: 20.0, avg_parallelism: 2.0, processors: 4 };
+/// assert_eq!(Norm.virtual_time(Time::new(35), &ctx), 35.0);
+/// assert_eq!(Norm.share_rule(), ShareRule::Proportional);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Norm;
+
+impl SliceMetric for Norm {
+    fn name(&self) -> &str {
+        "NORM"
+    }
+
+    fn virtual_time(&self, real: Time, _ctx: &MetricContext) -> f64 {
+        real.as_f64()
+    }
+
+    fn share_rule(&self) -> ShareRule {
+        ShareRule::Proportional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_ctx;
+
+    #[test]
+    fn identity_virtual_time() {
+        let ctx = test_ctx();
+        assert_eq!(Norm.virtual_time(Time::new(1), &ctx), 1.0);
+        assert_eq!(Norm.virtual_time(Time::new(100), &ctx), 100.0);
+        assert_eq!(Norm.name(), "NORM");
+    }
+
+    #[test]
+    fn assigns_slack_proportionally() {
+        // Path of 10 + 30 with window 80: R = (80-40)/40 = 1.0.
+        let r = Norm.share_rule().score(Time::new(80), 40.0, 2);
+        assert!((r - 1.0).abs() < 1e-12);
+        let d_short = Norm.share_rule().relative_deadline(10.0, r);
+        let d_long = Norm.share_rule().relative_deadline(30.0, r);
+        assert!((d_short - 20.0).abs() < 1e-12);
+        assert!((d_long - 60.0).abs() < 1e-12);
+        // The short subtask gets only 10 units of slack versus 30.
+        assert!(d_short - 10.0 < d_long - 30.0);
+    }
+}

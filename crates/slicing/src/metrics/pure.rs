@@ -1,0 +1,67 @@
+//! The pure laxity ratio (PURE) metric of BST.
+
+use taskgraph::Time;
+
+use crate::{MetricContext, ShareRule, SliceMetric};
+
+/// The *pure laxity ratio* metric: every path node receives an equal share
+/// of the path slack.
+///
+/// `R_PURE = (D_Φ − Σc) / n_Φ` and `d_i = c_i + R_PURE`.
+///
+/// §6 of the paper finds PURE the best BST metric — it is insensitive to
+/// execution-time variation — but it underperforms when task-graph
+/// parallelism cannot be fully exploited, because long subtasks are the most
+/// vulnerable to processor contention yet receive no extra slack.
+///
+/// # Examples
+///
+/// ```
+/// use slicing::{metrics::Pure, MetricContext, ShareRule, SliceMetric};
+/// use taskgraph::Time;
+///
+/// let ctx = MetricContext { mean_exec_time: 20.0, avg_parallelism: 2.0, processors: 4 };
+/// assert_eq!(Pure.virtual_time(Time::new(35), &ctx), 35.0);
+/// assert_eq!(Pure.share_rule(), ShareRule::EqualShare);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Pure;
+
+impl SliceMetric for Pure {
+    fn name(&self) -> &str {
+        "PURE"
+    }
+
+    fn virtual_time(&self, real: Time, _ctx: &MetricContext) -> f64 {
+        real.as_f64()
+    }
+
+    fn share_rule(&self) -> ShareRule {
+        ShareRule::EqualShare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_ctx;
+
+    #[test]
+    fn identity_virtual_time() {
+        let ctx = test_ctx();
+        assert_eq!(Pure.virtual_time(Time::new(7), &ctx), 7.0);
+        assert_eq!(Pure.name(), "PURE");
+    }
+
+    #[test]
+    fn assigns_equal_slack() {
+        // Path of 10 + 30 with window 80: R = (80-40)/2 = 20.
+        let r = Pure.share_rule().score(Time::new(80), 40.0, 2);
+        assert!((r - 20.0).abs() < 1e-12);
+        let d_short = Pure.share_rule().relative_deadline(10.0, r);
+        let d_long = Pure.share_rule().relative_deadline(30.0, r);
+        // Both subtasks get exactly 20 units of slack.
+        assert!((d_short - 30.0).abs() < 1e-12);
+        assert!((d_long - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! The threshold laxity ratio (THRES) metric of AST.
+
+use taskgraph::Time;
+
+use crate::{MetricContext, ShareRule, SliceMetric, ThresholdSpec};
+
+/// The *threshold laxity ratio* metric: PURE over **virtual** execution
+/// times, where subtasks at or above the execution-time threshold c_thres
+/// appear inflated by a fixed surplus factor Δ:
+///
+/// ```text
+/// c'_i = c_i            if c_i < c_thres
+/// c'_i = c_i (1 + Δ)    if c_i ≥ c_thres
+/// ```
+///
+/// The inflation steers extra slack toward long subtasks, which suffer the
+/// most from processor contention when parallelism cannot be fully
+/// exploited (§7). The paper finds no universally good Δ: small values win
+/// on large systems, large values on small systems (Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use slicing::{metrics::Thres, MetricContext, SliceMetric, ThresholdSpec};
+/// use taskgraph::Time;
+///
+/// let ctx = MetricContext { mean_exec_time: 20.0, avg_parallelism: 2.0, processors: 4 };
+/// let thres = Thres::new(1.0, ThresholdSpec::PAPER); // c_thres = 25
+/// assert_eq!(thres.virtual_time(Time::new(24), &ctx), 24.0);
+/// assert_eq!(thres.virtual_time(Time::new(26), &ctx), 52.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thres {
+    surplus: f64,
+    threshold: ThresholdSpec,
+}
+
+impl Thres {
+    /// Creates a THRES metric with surplus factor Δ = `surplus` and the
+    /// given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `surplus` is negative or not finite.
+    pub fn new(surplus: f64, threshold: ThresholdSpec) -> Self {
+        assert!(
+            surplus.is_finite() && surplus >= 0.0,
+            "surplus factor must be finite and non-negative, got {surplus}"
+        );
+        Thres { surplus, threshold }
+    }
+
+    /// The paper's Figure 5 configuration: Δ = 1, c_thres = 1.25 × MET.
+    pub fn paper() -> Self {
+        Thres::new(1.0, ThresholdSpec::PAPER)
+    }
+
+    /// The surplus factor Δ.
+    pub fn surplus(&self) -> f64 {
+        self.surplus
+    }
+
+    /// The execution-time threshold specification.
+    pub fn threshold(&self) -> ThresholdSpec {
+        self.threshold
+    }
+}
+
+impl SliceMetric for Thres {
+    fn name(&self) -> &str {
+        "THRES"
+    }
+
+    fn virtual_time(&self, real: Time, ctx: &MetricContext) -> f64 {
+        let c = real.as_f64();
+        if c >= self.threshold.resolve(ctx) {
+            c * (1.0 + self.surplus)
+        } else {
+            c
+        }
+    }
+
+    fn share_rule(&self) -> ShareRule {
+        ShareRule::EqualShare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_ctx;
+
+    #[test]
+    fn inflates_only_above_threshold() {
+        let ctx = test_ctx(); // MET 20 => threshold 25
+        let m = Thres::new(2.0, ThresholdSpec::PAPER);
+        assert_eq!(m.virtual_time(Time::new(24), &ctx), 24.0);
+        assert_eq!(m.virtual_time(Time::new(25), &ctx), 75.0); // boundary inclusive
+        assert_eq!(m.virtual_time(Time::new(30), &ctx), 90.0);
+        assert_eq!(m.name(), "THRES");
+        assert_eq!(m.share_rule(), ShareRule::EqualShare);
+    }
+
+    #[test]
+    fn zero_surplus_degenerates_to_pure() {
+        let ctx = test_ctx();
+        let m = Thres::new(0.0, ThresholdSpec::PAPER);
+        for c in [1, 20, 25, 40] {
+            assert_eq!(m.virtual_time(Time::new(c), &ctx), c as f64);
+        }
+    }
+
+    #[test]
+    fn absolute_threshold() {
+        let ctx = test_ctx();
+        let m = Thres::new(1.0, ThresholdSpec::Absolute(Time::new(10)));
+        assert_eq!(m.virtual_time(Time::new(9), &ctx), 9.0);
+        assert_eq!(m.virtual_time(Time::new(10), &ctx), 20.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Thres::paper();
+        assert_eq!(m.surplus(), 1.0);
+        assert_eq!(m.threshold(), ThresholdSpec::PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "surplus factor")]
+    fn rejects_negative_surplus() {
+        let _ = Thres::new(-1.0, ThresholdSpec::PAPER);
+    }
+}

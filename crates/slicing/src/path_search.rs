@@ -1,0 +1,330 @@
+//! Critical-path search (Step 3 of the basic algorithm, Figure 1).
+//!
+//! In each iteration the algorithm must find, among all *anchored* paths of
+//! not-yet-assigned nodes, the one minimizing the metric's laxity ratio R. A
+//! path is anchored when it starts at a node with a known release time and
+//! ends at a node with a known (end-to-end) deadline; interior nodes must be
+//! unanchored so that slices never contradict constraints imposed by
+//! previously-assigned neighbours.
+//!
+//! Because R is a ratio, it does not decompose over edges; instead we run a
+//! dynamic program over states `(node, path length)` tracking the maximum
+//! and minimum total virtual execution time of any admissible path reaching
+//! the node with that length. For a fixed window `D` and length `n`, R is
+//! monotone in the total weight, so evaluating both extremes at every
+//! deadline-anchored endpoint finds the exact minimum over all admissible
+//! paths. State space is `O(V · L)` where `L` is the longest chain, keeping
+//! each iteration cheap even for large graphs.
+
+use taskgraph::Time;
+
+use crate::expanded::ExpandedGraph;
+use crate::ShareRule;
+
+/// A critical path chosen by the search.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CriticalPath {
+    /// Expanded-graph node indices from start to end.
+    pub nodes: Vec<usize>,
+    /// The metric score R of the path (lower = more critical).
+    pub score: f64,
+    /// The release anchor of the start node.
+    pub window_start: Time,
+    /// The deadline anchor of the end node.
+    pub window_end: Time,
+}
+
+/// Scratch buffers reused across iterations of the slicing loop.
+#[derive(Debug)]
+pub(crate) struct PathSearch {
+    cols: usize,
+    wmax: Vec<f64>,
+    wmin: Vec<f64>,
+    pmax: Vec<u32>,
+    pmin: Vec<u32>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl PathSearch {
+    /// Creates scratch space for a graph of `nodes` nodes and longest chain
+    /// `max_chain`.
+    pub(crate) fn new(nodes: usize, max_chain: usize) -> Self {
+        let cols = max_chain + 1;
+        PathSearch {
+            cols,
+            wmax: vec![f64::NEG_INFINITY; nodes * cols],
+            wmin: vec![f64::INFINITY; nodes * cols],
+            pmax: vec![NO_PARENT; nodes * cols],
+            pmin: vec![NO_PARENT; nodes * cols],
+        }
+    }
+
+    /// Finds the admissible path minimizing `rule`'s score, or `None` if no
+    /// anchored path exists (which the slicing loop treats as an internal
+    /// invariant violation).
+    ///
+    /// `vweights` are per-node virtual execution times; `assigned` marks
+    /// nodes already sliced; `rel`/`dl` are the accumulated release/deadline
+    /// anchors.
+    pub(crate) fn find_critical_path(
+        &mut self,
+        exp: &ExpandedGraph,
+        vweights: &[f64],
+        assigned: &[bool],
+        rel: &[Option<Time>],
+        dl: &[Option<Time>],
+        rule: ShareRule,
+    ) -> Option<CriticalPath> {
+        let n = exp.len();
+        let cols = self.cols;
+        let mut best: Option<CriticalPath> = None;
+
+        for s in 0..n {
+            if assigned[s] || rel[s].is_none() {
+                continue;
+            }
+            let start_release = rel[s].expect("checked above");
+
+            // Reset only the states we may touch: all of them (cheap fill).
+            self.wmax.fill(f64::NEG_INFINITY);
+            self.wmin.fill(f64::INFINITY);
+            self.pmax.fill(NO_PARENT);
+            self.pmin.fill(NO_PARENT);
+            self.wmax[s * cols + 1] = vweights[s];
+            self.wmin[s * cols + 1] = vweights[s];
+
+            for &u in exp.topo() {
+                if assigned[u] {
+                    continue;
+                }
+                // The start may extend only if it is not deadline-anchored;
+                // interior nodes hold states only when unanchored, so they
+                // may always extend.
+                let extendable = if u == s {
+                    dl[s].is_none()
+                } else {
+                    rel[u].is_none() && dl[u].is_none()
+                };
+                if !extendable {
+                    continue;
+                }
+                for k in 1..cols {
+                    let idx = u * cols + k;
+                    let wmax_u = self.wmax[idx];
+                    let wmin_u = self.wmin[idx];
+                    if wmax_u == f64::NEG_INFINITY && wmin_u == f64::INFINITY {
+                        continue;
+                    }
+                    if k + 1 >= cols {
+                        // Paths cannot exceed the longest chain.
+                        continue;
+                    }
+                    for &z in exp.succ(u) {
+                        // Release-anchored nodes can only *start* paths: a
+                        // slice entering one from elsewhere could start
+                        // before the anchor and violate an already-assigned
+                        // predecessor's deadline.
+                        if assigned[z] || rel[z].is_some() {
+                            continue;
+                        }
+                        let zidx = z * cols + k + 1;
+                        let cand_max = wmax_u + vweights[z];
+                        if cand_max > self.wmax[zidx] {
+                            self.wmax[zidx] = cand_max;
+                            self.pmax[zidx] = u as u32;
+                        }
+                        let cand_min = wmin_u + vweights[z];
+                        if cand_min < self.wmin[zidx] {
+                            self.wmin[zidx] = cand_min;
+                            self.pmin[zidx] = u as u32;
+                        }
+                    }
+                }
+            }
+
+            // Evaluate every deadline-anchored endpoint.
+            for t in 0..n {
+                if assigned[t] || dl[t].is_none() {
+                    continue;
+                }
+                let window_end = dl[t].expect("checked above");
+                let window = window_end - start_release;
+                for k in 1..cols {
+                    let idx = t * cols + k;
+                    for (total, use_max) in [(self.wmax[idx], true), (self.wmin[idx], false)] {
+                        if !total.is_finite() {
+                            continue;
+                        }
+                        let score = rule.score(window, total, k);
+                        if best.as_ref().is_none_or(|b| score < b.score) {
+                            let nodes = self.reconstruct(t, k, use_max);
+                            best = Some(CriticalPath {
+                                nodes,
+                                score,
+                                window_start: start_release,
+                                window_end,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        best
+    }
+
+    fn reconstruct(&self, end: usize, len: usize, use_max: bool) -> Vec<usize> {
+        let parents = if use_max { &self.pmax } else { &self.pmin };
+        let mut nodes = Vec::with_capacity(len);
+        let mut v = end;
+        let mut k = len;
+        loop {
+            nodes.push(v);
+            if k == 1 {
+                break;
+            }
+            let p = parents[v * self.cols + k];
+            debug_assert_ne!(p, NO_PARENT, "state must have a parent");
+            v = p as usize;
+            k -= 1;
+        }
+        nodes.reverse();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::Platform;
+    use taskgraph::{Subtask, SubtaskId, TaskGraph};
+
+    use super::*;
+    use crate::CommEstimate;
+
+    /// Diamond a -> {b, c} -> d with distinct weights.
+    fn diamond(wb: i64, wc: i64) -> (TaskGraph, ExpandedGraph) {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(wb)));
+        let y = b.add_subtask(Subtask::new(Time::new(wc)));
+        let d = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(200)));
+        b.add_edge(a, x, 1).unwrap();
+        b.add_edge(a, y, 1).unwrap();
+        b.add_edge(x, d, 1).unwrap();
+        b.add_edge(y, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccne, &p);
+        (g, exp)
+    }
+
+    fn anchors(
+        g: &TaskGraph,
+        exp: &ExpandedGraph,
+    ) -> (Vec<bool>, Vec<Option<Time>>, Vec<Option<Time>>) {
+        let n = exp.len();
+        let mut rel = vec![None; n];
+        let mut dl = vec![None; n];
+        for id in g.subtask_ids() {
+            rel[exp.task_node(id)] = g.subtask(id).release();
+            dl[exp.task_node(id)] = g.subtask(id).deadline();
+        }
+        (vec![false; n], rel, dl)
+    }
+
+    #[test]
+    fn picks_heavier_branch_under_equal_share() {
+        let (g, exp) = diamond(60, 20);
+        let (assigned, rel, dl) = anchors(&g, &exp);
+        let w: Vec<f64> = (0..exp.len()).map(|v| exp.weight(v).as_f64()).collect();
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        let cp = search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+            .expect("path exists");
+        // Heavier branch (through x, weight 60) has less slack per node:
+        // (200 - 80)/3 = 40 < (200 - 40)/3 ≈ 53.3.
+        let heavy = exp.task_node(SubtaskId::new(1));
+        assert!(cp.nodes.contains(&heavy), "expected heavy branch in {:?}", cp.nodes);
+        assert_eq!(cp.nodes.len(), 3);
+        assert!((cp.score - 40.0).abs() < 1e-9);
+        assert_eq!(cp.window_start, Time::ZERO);
+        assert_eq!(cp.window_end, Time::new(200));
+    }
+
+    #[test]
+    fn proportional_rule_prefers_heavy_paths_too() {
+        let (g, exp) = diamond(60, 20);
+        let (assigned, rel, dl) = anchors(&g, &exp);
+        let w: Vec<f64> = (0..exp.len()).map(|v| exp.weight(v).as_f64()).collect();
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        let cp = search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::Proportional)
+            .expect("path exists");
+        // R = (200-80)/80 = 1.5 on the heavy path, (200-40)/40 = 4 on light.
+        assert!((cp.score - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_assigned_and_anchored_nodes() {
+        let (g, exp) = diamond(60, 20);
+        let (mut assigned, mut rel, mut dl) = anchors(&g, &exp);
+        let heavy = exp.task_node(SubtaskId::new(1));
+        // Pretend the heavy branch was already sliced with window [10, 150].
+        assigned[heavy] = true;
+        let a = exp.task_node(SubtaskId::new(0));
+        let d = exp.task_node(SubtaskId::new(3));
+        dl[a] = Some(Time::new(10));
+        rel[d] = Some(Time::new(150));
+        let w: Vec<f64> = (0..exp.len()).map(|v| exp.weight(v).as_f64()).collect();
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        let cp = search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+            .expect("path exists");
+        assert!(!cp.nodes.contains(&heavy));
+        // `a` is now deadline-anchored: it can only be a 1-node path; `d` is
+        // release-anchored: only a start. The light branch node is
+        // unanchored, so no admissible path contains it yet — the best must
+        // be a single-node path (`a` with window [0,10] scoring (10-10)/1=0,
+        // or `d` with window [150,200] scoring 40).
+        assert_eq!(cp.nodes.len(), 1);
+        assert_eq!(cp.nodes[0], a);
+        assert!((cp.score - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_graph_is_its_own_path() {
+        let mut b = TaskGraph::builder();
+        b.add_subtask(
+            Subtask::new(Time::new(5))
+                .released_at(Time::new(3))
+                .due_at(Time::new(30)),
+        );
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccne, &p);
+        let (assigned, rel, dl) = anchors(&g, &exp);
+        let w = vec![5.0];
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        let cp = search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+            .unwrap();
+        assert_eq!(cp.nodes, vec![0]);
+        assert!((cp.score - 22.0).abs() < 1e-9); // (27 - 5)/1
+        assert_eq!(cp.window_start, Time::new(3));
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        let (g, exp) = diamond(10, 10);
+        let (mut assigned, rel, dl) = anchors(&g, &exp);
+        for a in assigned.iter_mut() {
+            *a = true;
+        }
+        let w: Vec<f64> = vec![1.0; exp.len()];
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        assert!(search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+            .is_none());
+    }
+}

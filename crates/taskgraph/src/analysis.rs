@@ -1,0 +1,312 @@
+//! Structural and temporal analysis of task graphs.
+//!
+//! These queries back the adaptive metric of the paper: the *average task
+//! graph parallelism* ξ is the total workload divided by the execution-time
+//! length of the longest path (§7), and the *mean execution time* (MET)
+//! anchors the execution-time threshold c_thres.
+
+use crate::{SubtaskId, TaskGraph, Time};
+
+/// Read-only analysis facade over a [`TaskGraph`].
+///
+/// All queries are `O(V + E)` and computed on demand; construct once and
+/// reuse when several queries are needed.
+///
+/// # Examples
+///
+/// ```
+/// use taskgraph::{analysis::GraphAnalysis, Subtask, TaskGraph, Time};
+///
+/// # fn main() -> Result<(), taskgraph::GraphError> {
+/// let mut b = TaskGraph::builder();
+/// let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+/// let c = b.add_subtask(Subtask::new(Time::new(30)).due_at(Time::new(100)));
+/// b.add_edge(a, c, 1)?;
+/// let g = b.build()?;
+/// let analysis = GraphAnalysis::new(&g);
+/// assert_eq!(analysis.total_work(), Time::new(40));
+/// assert_eq!(analysis.longest_path_work(), Time::new(40));
+/// assert_eq!(analysis.avg_parallelism(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GraphAnalysis<'g> {
+    graph: &'g TaskGraph,
+}
+
+impl<'g> GraphAnalysis<'g> {
+    /// Creates an analysis view over `graph`.
+    pub fn new(graph: &'g TaskGraph) -> Self {
+        GraphAnalysis { graph }
+    }
+
+    /// Total workload: the sum of all subtask execution times.
+    pub fn total_work(&self) -> Time {
+        self.graph
+            .subtask_ids()
+            .map(|id| self.graph.subtask(id).wcet())
+            .sum()
+    }
+
+    /// Mean subtask execution time (MET) over all subtasks.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: validated graphs are non-empty.
+    pub fn mean_exec_time(&self) -> f64 {
+        self.total_work().as_f64() / self.graph.subtask_count() as f64
+    }
+
+    /// Execution-time length of the longest path (sum of node execution
+    /// times along the heaviest chain). Communication is not included, per
+    /// the paper's definition of ξ.
+    pub fn longest_path_work(&self) -> Time {
+        let mut best = vec![Time::ZERO; self.graph.subtask_count()];
+        let mut overall = Time::ZERO;
+        for &v in self.graph.topological_order() {
+            let own = self.graph.subtask(v).wcet();
+            let pred_best = self
+                .graph
+                .predecessors(v)
+                .map(|p| best[p.index()])
+                .max()
+                .unwrap_or(Time::ZERO);
+            best[v.index()] = pred_best + own;
+            overall = overall.max(best[v.index()]);
+        }
+        overall
+    }
+
+    /// Average task graph parallelism ξ: total workload divided by the
+    /// execution-time length of the longest path (§7 of the paper).
+    pub fn avg_parallelism(&self) -> f64 {
+        let longest = self.longest_path_work();
+        debug_assert!(longest.is_positive(), "validated graphs have positive work");
+        self.total_work().as_f64() / longest.as_f64()
+    }
+
+    /// Length of the longest path including the communication subtasks
+    /// along it, with messages costed at `cost_per_item` time units per
+    /// data item.
+    ///
+    /// In the paper's task model a path alternates computation and
+    /// communication subtasks, so the length "in execution time" of a path
+    /// includes message costs; this is the denominator used for the
+    /// platform-aware parallelism that drives the ADAPT metric.
+    pub fn longest_path_span(&self, cost_per_item: f64) -> f64 {
+        let mut best = vec![0.0f64; self.graph.subtask_count()];
+        let mut overall = 0.0f64;
+        for &v in self.graph.topological_order() {
+            let own = self.graph.subtask(v).wcet().as_f64();
+            let mut pred_best = 0.0f64;
+            for &e in self.graph.in_edges(v) {
+                let edge = self.graph.edge(e);
+                let via = best[edge.src().index()] + edge.items() as f64 * cost_per_item;
+                pred_best = pred_best.max(via);
+            }
+            best[v.index()] = pred_best + own;
+            overall = overall.max(best[v.index()]);
+        }
+        overall
+    }
+
+    /// Average parallelism over the communication-inclusive longest path:
+    /// `total workload / longest_path_span(cost_per_item)`.
+    pub fn avg_parallelism_with_comm(&self, cost_per_item: f64) -> f64 {
+        let span = self.longest_path_span(cost_per_item);
+        debug_assert!(span > 0.0, "validated graphs have positive work");
+        self.total_work().as_f64() / span
+    }
+
+    /// The level (maximum edge-count depth from any input) of each subtask,
+    /// indexed by [`SubtaskId::index`].
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.graph.subtask_count()];
+        for &v in self.graph.topological_order() {
+            let l = self
+                .graph
+                .predecessors(v)
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[v.index()] = l;
+        }
+        level
+    }
+
+    /// The depth of the graph: number of levels (longest chain measured in
+    /// subtasks).
+    pub fn depth(&self) -> usize {
+        self.levels().into_iter().max().map_or(0, |l| l + 1)
+    }
+
+    /// The width of the graph: the size of the most populous level. An upper
+    /// bound on exploitable parallelism for level-synchronous workloads.
+    pub fn width(&self) -> usize {
+        let levels = self.levels();
+        let depth = levels.iter().copied().max().map_or(0, |l| l + 1);
+        let mut counts = vec![0usize; depth];
+        for l in levels {
+            counts[l] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// One longest path (by execution time) from an input to an output, as a
+    /// sequence of subtask ids. Ties are broken toward lower ids.
+    pub fn longest_path(&self) -> Vec<SubtaskId> {
+        let n = self.graph.subtask_count();
+        let mut best = vec![Time::ZERO; n];
+        let mut parent: Vec<Option<SubtaskId>> = vec![None; n];
+        let mut end = None;
+        let mut end_work = Time::MIN;
+        for &v in self.graph.topological_order() {
+            let own = self.graph.subtask(v).wcet();
+            let mut pred_best = Time::ZERO;
+            let mut pred_id = None;
+            for p in self.graph.predecessors(v) {
+                if best[p.index()] > pred_best
+                    || (best[p.index()] == pred_best
+                        && pred_id.is_some_and(|q: SubtaskId| p < q))
+                {
+                    pred_best = best[p.index()];
+                    pred_id = Some(p);
+                }
+            }
+            best[v.index()] = pred_best + own;
+            parent[v.index()] = pred_id;
+            if self.graph.is_output(v) && best[v.index()] > end_work {
+                end_work = best[v.index()];
+                end = Some(v);
+            }
+        }
+        let mut path = Vec::new();
+        let mut cursor = end;
+        while let Some(v) = cursor {
+            path.push(v);
+            cursor = parent[v.index()];
+        }
+        path.reverse();
+        path
+    }
+
+    /// Sum of all message sizes (data items) over all edges.
+    pub fn total_message_items(&self) -> u64 {
+        self.graph
+            .edge_ids()
+            .map(|e| self.graph.edge(e).items())
+            .sum()
+    }
+
+    /// Mean message size in data items, or 0.0 for graphs without edges.
+    pub fn mean_message_items(&self) -> f64 {
+        if self.graph.edge_count() == 0 {
+            return 0.0;
+        }
+        self.total_message_items() as f64 / self.graph.edge_count() as f64
+    }
+
+    /// The communication-to-computation ratio realized by this graph under a
+    /// cost of `cost_per_item` time units per transmitted item: mean message
+    /// communication cost over mean subtask execution time (§5.2).
+    pub fn realized_ccr(&self, cost_per_item: f64) -> f64 {
+        self.mean_message_items() * cost_per_item / self.mean_exec_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Subtask, TaskGraph};
+
+    /// a(10) -> b(20) -> d(5); a -> c(40) -> d  (diamond)
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(20)));
+        let y = b.add_subtask(Subtask::new(Time::new(40)));
+        let d = b.add_subtask(Subtask::new(Time::new(5)).due_at(Time::new(1000)));
+        b.add_edge(a, x, 10).unwrap();
+        b.add_edge(a, y, 20).unwrap();
+        b.add_edge(x, d, 30).unwrap();
+        b.add_edge(y, d, 40).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn totals_and_met() {
+        let g = diamond();
+        let an = GraphAnalysis::new(&g);
+        assert_eq!(an.total_work(), Time::new(75));
+        assert!((an.mean_exec_time() - 18.75).abs() < 1e-12);
+        assert_eq!(an.total_message_items(), 100);
+        assert!((an.mean_message_items() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_inclusive_path_span() {
+        let g = diamond();
+        let an = GraphAnalysis::new(&g);
+        // Free communication: same as node-weight longest path.
+        assert_eq!(an.longest_path_span(0.0), 55.0);
+        // One unit per item: a(10) +20 items+ y(40) +40 items+ d(5) = 115.
+        assert_eq!(an.longest_path_span(1.0), 115.0);
+        let xi = an.avg_parallelism_with_comm(1.0);
+        assert!((xi - 75.0 / 115.0).abs() < 1e-12);
+        // Communication-inclusive parallelism is never larger than the
+        // computation-only figure.
+        assert!(xi <= an.avg_parallelism());
+    }
+
+    #[test]
+    fn longest_path_metrics() {
+        let g = diamond();
+        let an = GraphAnalysis::new(&g);
+        assert_eq!(an.longest_path_work(), Time::new(55)); // a + y + d
+        let xi = an.avg_parallelism();
+        assert!((xi - 75.0 / 55.0).abs() < 1e-12);
+        let path = an.longest_path();
+        let works: Time = path.iter().map(|&v| g.subtask(v).wcet()).sum();
+        assert_eq!(works, Time::new(55));
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], g.inputs()[0]);
+        assert_eq!(*path.last().unwrap(), g.outputs()[0]);
+    }
+
+    #[test]
+    fn levels_depth_width() {
+        let g = diamond();
+        let an = GraphAnalysis::new(&g);
+        assert_eq!(an.levels(), vec![0, 1, 1, 2]);
+        assert_eq!(an.depth(), 3);
+        assert_eq!(an.width(), 2);
+    }
+
+    #[test]
+    fn realized_ccr_matches_hand_computation() {
+        let g = diamond();
+        let an = GraphAnalysis::new(&g);
+        // mean message = 25 items, MET = 18.75 => CCR = 25/18.75
+        assert!((an.realized_ccr(1.0) - 25.0 / 18.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = TaskGraph::builder();
+        b.add_subtask(
+            Subtask::new(Time::new(9))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(20)),
+        );
+        let g = b.build().unwrap();
+        let an = GraphAnalysis::new(&g);
+        assert_eq!(an.total_work(), Time::new(9));
+        assert_eq!(an.longest_path_work(), Time::new(9));
+        assert_eq!(an.avg_parallelism(), 1.0);
+        assert_eq!(an.depth(), 1);
+        assert_eq!(an.width(), 1);
+        assert_eq!(an.mean_message_items(), 0.0);
+        assert_eq!(an.longest_path().len(), 1);
+    }
+}

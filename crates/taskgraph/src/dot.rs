@@ -1,0 +1,99 @@
+//! Graphviz DOT export for task graphs.
+//!
+//! Useful for visually inspecting generated workloads and for documentation.
+
+use std::fmt::Write as _;
+
+use crate::TaskGraph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Nodes are labelled with their id, optional name and execution time; input
+/// and output anchors are annotated with release time and deadline; edges
+/// carry the message size in data items.
+///
+/// # Examples
+///
+/// ```
+/// use taskgraph::{dot::to_dot, Subtask, TaskGraph, Time};
+///
+/// # fn main() -> Result<(), taskgraph::GraphError> {
+/// let mut b = TaskGraph::builder();
+/// let a = b.add_subtask(Subtask::new(Time::new(5)).named("src").released_at(Time::ZERO));
+/// let z = b.add_subtask(Subtask::new(Time::new(7)).due_at(Time::new(50)));
+/// b.add_edge(a, z, 3)?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.starts_with("digraph taskgraph"));
+/// assert!(dot.contains("src"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph taskgraph {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for id in graph.subtask_ids() {
+        let st = graph.subtask(id);
+        let mut label = match st.name() {
+            Some(name) => format!("{id} {name}\\nc={}", st.wcet()),
+            None => format!("{id}\\nc={}", st.wcet()),
+        };
+        if let Some(r) = st.release() {
+            let _ = write!(label, "\\nr={r}");
+        }
+        if let Some(d) = st.deadline() {
+            let _ = write!(label, "\\nD={d}");
+        }
+        let shape = if graph.is_input(id) {
+            ", style=filled, fillcolor=\"#e8f4ea\""
+        } else if graph.is_output(id) {
+            ", style=filled, fillcolor=\"#f4e8e8\""
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{id}\" [label=\"{label}\"{shape}];");
+    }
+    for eid in graph.edge_ids() {
+        let e = graph.edge(eid);
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"m={}\"];",
+            e.src(),
+            e.dst(),
+            e.items()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Subtask, Time};
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(1)).released_at(Time::ZERO));
+        let c = b.add_subtask(Subtask::new(Time::new(2)));
+        let z = b.add_subtask(Subtask::new(Time::new(3)).due_at(Time::new(30)));
+        b.add_edge(a, c, 4).unwrap();
+        b.add_edge(c, z, 5).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        for needle in ["digraph", "t0", "t1", "t2", "m=4", "m=5", "r=0", "D=30"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 2);
+    }
+
+    #[test]
+    fn input_and_output_highlighted() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(1)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(1)).due_at(Time::new(10)));
+        b.add_edge(a, z, 1).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert_eq!(dot.matches("fillcolor").count(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for task-graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, SubtaskId};
+
+/// Error produced while building or validating a [`TaskGraph`].
+///
+/// [`TaskGraph`]: crate::TaskGraph
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph contains no subtasks.
+    Empty,
+    /// An edge references a subtask id that does not exist.
+    UnknownSubtask(SubtaskId),
+    /// An edge connects a subtask to itself.
+    SelfLoop(SubtaskId),
+    /// Two edges connect the same ordered pair of subtasks.
+    DuplicateEdge(SubtaskId, SubtaskId),
+    /// The precedence relation contains a cycle through the given subtask.
+    Cycle(SubtaskId),
+    /// An input subtask (no predecessors) has no release time.
+    MissingRelease(SubtaskId),
+    /// An output subtask (no successors) has no end-to-end deadline.
+    MissingDeadline(SubtaskId),
+    /// A subtask was declared with a non-positive worst-case execution time.
+    NonPositiveWcet(SubtaskId),
+    /// A message was declared with zero data items.
+    EmptyMessage(EdgeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "task graph contains no subtasks"),
+            GraphError::UnknownSubtask(id) => {
+                write!(f, "edge references unknown subtask {id}")
+            }
+            GraphError::SelfLoop(id) => write!(f, "subtask {id} has a self-loop"),
+            GraphError::DuplicateEdge(src, dst) => {
+                write!(f, "duplicate edge from {src} to {dst}")
+            }
+            GraphError::Cycle(id) => {
+                write!(f, "precedence constraints form a cycle through subtask {id}")
+            }
+            GraphError::MissingRelease(id) => {
+                write!(f, "input subtask {id} has no release time")
+            }
+            GraphError::MissingDeadline(id) => {
+                write!(f, "output subtask {id} has no end-to-end deadline")
+            }
+            GraphError::NonPositiveWcet(id) => {
+                write!(f, "subtask {id} has a non-positive execution time")
+            }
+            GraphError::EmptyMessage(id) => {
+                write!(f, "message {id} carries zero data items")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::Empty,
+            GraphError::UnknownSubtask(SubtaskId::new(1)),
+            GraphError::SelfLoop(SubtaskId::new(2)),
+            GraphError::DuplicateEdge(SubtaskId::new(0), SubtaskId::new(1)),
+            GraphError::Cycle(SubtaskId::new(3)),
+            GraphError::MissingRelease(SubtaskId::new(4)),
+            GraphError::MissingDeadline(SubtaskId::new(5)),
+            GraphError::NonPositiveWcet(SubtaskId::new(6)),
+            GraphError::EmptyMessage(EdgeId::new(7)),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,14 @@
+//! Workload generators.
+//!
+//! [`generate`] produces the random task graphs of §5.2 of the paper;
+//! [`generate_shape`] produces the regular structures (chains, trees,
+//! fork–join) discussed as future work in §8. Both are deterministic given a
+//! seeded RNG, which the experiment harness uses for paired comparisons.
+
+pub(crate) mod random;
+mod shapes;
+mod spec;
+
+pub use random::{end_to_end_deadline, generate, GenerateError};
+pub use shapes::{generate_shape, Shape};
+pub use spec::{DeadlineBase, ExecVariation, WorkloadSpec};

@@ -1,0 +1,341 @@
+//! Structured task-graph generators: in-tree, out-tree, fork–join and chain.
+//!
+//! §8 of the paper lists these commonly-encountered structures as future
+//! evaluation targets for AST; the extended experiments in this repository
+//! exercise them. All generators draw execution times and message sizes from
+//! the same [`WorkloadSpec`] distributions as the random generator and anchor
+//! the end-to-end deadline at `OLR × total workload`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{GenerateError, WorkloadSpec};
+use crate::{Subtask, SubtaskId, TaskGraph, TaskGraphBuilder, Time};
+
+/// The family of regular graph shapes supported by [`generate_shape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Shape {
+    /// A single chain of `length` subtasks.
+    Chain {
+        /// Number of subtasks in the chain.
+        length: usize,
+    },
+    /// A tree that converges to one root output: `depth` levels with
+    /// branching factor `branching` (leaves are inputs).
+    InTree {
+        /// Number of levels, including the root.
+        depth: usize,
+        /// Children per node.
+        branching: usize,
+    },
+    /// A tree that diverges from one root input: mirror image of
+    /// [`Shape::InTree`].
+    OutTree {
+        /// Number of levels, including the root.
+        depth: usize,
+        /// Children per node.
+        branching: usize,
+    },
+    /// Alternating fork and join stages: a source forks into `width` parallel
+    /// subtasks which join, repeated `stages` times.
+    ForkJoin {
+        /// Number of fork–join stages.
+        stages: usize,
+        /// Parallel subtasks per stage.
+        width: usize,
+    },
+}
+
+impl Shape {
+    /// A short label used in reports.
+    pub fn label(self) -> String {
+        match self {
+            Shape::Chain { length } => format!("chain({length})"),
+            Shape::InTree { depth, branching } => format!("in-tree(d={depth},b={branching})"),
+            Shape::OutTree { depth, branching } => format!("out-tree(d={depth},b={branching})"),
+            Shape::ForkJoin { stages, width } => format!("fork-join(s={stages},w={width})"),
+        }
+    }
+}
+
+/// Generates a structured task graph of the given shape.
+///
+/// Temporal parameters (execution times, message sizes, OLR) come from
+/// `spec`; the structural fields of `spec` (`subtasks`, `depth`, `fan_in`)
+/// are ignored in favour of the shape parameters.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::InvalidSpec`] if the shape parameters are
+/// degenerate (zero length, depth or width) or the temporal parameters fail
+/// validation.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use taskgraph::gen::{generate_shape, ExecVariation, Shape, WorkloadSpec};
+///
+/// # fn main() -> Result<(), taskgraph::gen::GenerateError> {
+/// let spec = WorkloadSpec::paper(ExecVariation::Ldet);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = generate_shape(Shape::ForkJoin { stages: 3, width: 4 }, &spec, &mut rng)?;
+/// assert_eq!(g.inputs().len(), 1);
+/// assert_eq!(g.outputs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_shape<R: Rng + ?Sized>(
+    shape: Shape,
+    spec: &WorkloadSpec,
+    rng: &mut R,
+) -> Result<TaskGraph, GenerateError> {
+    spec.validate().map_err(GenerateError::InvalidSpec)?;
+    match shape {
+        Shape::Chain { length } => {
+            if length == 0 {
+                return Err(GenerateError::InvalidSpec("chain length must be positive".into()));
+            }
+            build(spec, rng, |b, s, r| {
+                let mut prev: Option<SubtaskId> = None;
+                for _ in 0..length {
+                    let id = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                    if let Some(p) = prev {
+                        add_edge(b, s, r, p, id)?;
+                    }
+                    prev = Some(id);
+                }
+                Ok(())
+            })
+        }
+        Shape::InTree { depth, branching } => {
+            if depth == 0 || branching == 0 {
+                return Err(GenerateError::InvalidSpec(
+                    "in-tree depth and branching must be positive".into(),
+                ));
+            }
+            build(spec, rng, |b, s, r| {
+                // Level 0 is the root (output); build top-down, edges child -> parent.
+                let mut parents = vec![b.add_subtask(Subtask::new(draw_exec(s, r)))];
+                for _ in 1..depth {
+                    let mut children = Vec::new();
+                    for &parent in &parents {
+                        for _ in 0..branching {
+                            let child = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                            add_edge(b, s, r, child, parent)?;
+                            children.push(child);
+                        }
+                    }
+                    parents = children;
+                }
+                Ok(())
+            })
+        }
+        Shape::OutTree { depth, branching } => {
+            if depth == 0 || branching == 0 {
+                return Err(GenerateError::InvalidSpec(
+                    "out-tree depth and branching must be positive".into(),
+                ));
+            }
+            build(spec, rng, |b, s, r| {
+                let mut parents = vec![b.add_subtask(Subtask::new(draw_exec(s, r)))];
+                for _ in 1..depth {
+                    let mut children = Vec::new();
+                    for &parent in &parents {
+                        for _ in 0..branching {
+                            let child = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                            add_edge(b, s, r, parent, child)?;
+                            children.push(child);
+                        }
+                    }
+                    parents = children;
+                }
+                Ok(())
+            })
+        }
+        Shape::ForkJoin { stages, width } => {
+            if stages == 0 || width == 0 {
+                return Err(GenerateError::InvalidSpec(
+                    "fork-join stages and width must be positive".into(),
+                ));
+            }
+            build(spec, rng, |b, s, r| {
+                let mut join = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                for _ in 0..stages {
+                    let mut workers = Vec::with_capacity(width);
+                    for _ in 0..width {
+                        let w = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                        add_edge(b, s, r, join, w)?;
+                        workers.push(w);
+                    }
+                    let next_join = b.add_subtask(Subtask::new(draw_exec(s, r)));
+                    for w in workers {
+                        add_edge(b, s, r, w, next_join)?;
+                    }
+                    join = next_join;
+                }
+                Ok(())
+            })
+        }
+    }
+}
+
+/// Runs a structural assembly closure, then anchors releases and deadlines
+/// the same way the random generator does.
+fn build<R, F>(spec: &WorkloadSpec, rng: &mut R, assemble: F) -> Result<TaskGraph, GenerateError>
+where
+    R: Rng + ?Sized,
+    F: FnOnce(&mut TaskGraphBuilder, &WorkloadSpec, &mut R) -> Result<(), GenerateError>,
+{
+    let mut builder = TaskGraph::builder();
+    assemble(&mut builder, spec, rng)?;
+
+    let n = builder.subtask_count();
+    let base = crate::gen::random::deadline_base_work(spec, &builder);
+    let deadline = crate::gen::end_to_end_deadline(spec, base);
+    for i in 0..n as u32 {
+        let id = SubtaskId::new(i);
+        if builder.in_degree(id) == 0 {
+            builder.subtask_mut(id).set_release(Some(Time::ZERO));
+        }
+        if builder.out_degree(id) == 0 {
+            builder.subtask_mut(id).set_deadline(Some(deadline));
+        }
+    }
+    builder.build().map_err(GenerateError::Graph)
+}
+
+fn draw_exec<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Time {
+    let v = spec.variation.fraction();
+    let met = spec.mean_exec_time as f64;
+    let lo = ((met * (1.0 - v)).round() as i64).max(1);
+    let hi = ((met * (1.0 + v)).round() as i64).max(lo);
+    Time::new(rng.gen_range(lo..=hi))
+}
+
+fn add_edge<R: Rng + ?Sized>(
+    builder: &mut TaskGraphBuilder,
+    spec: &WorkloadSpec,
+    rng: &mut R,
+    src: SubtaskId,
+    dst: SubtaskId,
+) -> Result<(), GenerateError> {
+    let mean = spec.mean_exec_time as f64 * spec.ccr;
+    let items = if mean < 0.5 {
+        1
+    } else {
+        let v = spec.message_variation;
+        let lo = ((mean * (1.0 - v)).round() as u64).max(1);
+        let hi = ((mean * (1.0 + v)).round() as u64).max(lo);
+        rng.gen_range(lo..=hi)
+    };
+    builder.add_edge(src, dst, items).map_err(GenerateError::Graph)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::analysis::GraphAnalysis;
+    use crate::gen::ExecVariation;
+
+    fn gen(shape: Shape) -> TaskGraph {
+        let spec = WorkloadSpec::paper(ExecVariation::Ldet);
+        let mut rng = StdRng::seed_from_u64(99);
+        generate_shape(shape, &spec, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn chain_is_a_chain() {
+        let g = gen(Shape::Chain { length: 6 });
+        assert_eq!(g.subtask_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(GraphAnalysis::new(&g).width(), 1);
+        assert_eq!(GraphAnalysis::new(&g).depth(), 6);
+    }
+
+    #[test]
+    fn in_tree_converges() {
+        let g = gen(Shape::InTree { depth: 3, branching: 2 });
+        assert_eq!(g.subtask_count(), 1 + 2 + 4);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.inputs().len(), 4);
+    }
+
+    #[test]
+    fn out_tree_diverges() {
+        let g = gen(Shape::OutTree { depth: 3, branching: 3 });
+        assert_eq!(g.subtask_count(), 1 + 3 + 9);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 9);
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let g = gen(Shape::ForkJoin { stages: 2, width: 3 });
+        // join0 + (3 workers + join) * 2 stages
+        assert_eq!(g.subtask_count(), 1 + 2 * 4);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(GraphAnalysis::new(&g).width(), 3);
+    }
+
+    #[test]
+    fn parallelism_ordering_across_shapes() {
+        let chain = GraphAnalysis::new(&gen(Shape::Chain { length: 8 })).avg_parallelism();
+        assert!((chain - 1.0).abs() < 1e-9);
+        let fj = gen(Shape::ForkJoin { stages: 2, width: 6 });
+        assert!(GraphAnalysis::new(&fj).avg_parallelism() > 1.5);
+    }
+
+    #[test]
+    fn anchors_present_on_all_shapes() {
+        for shape in [
+            Shape::Chain { length: 4 },
+            Shape::InTree { depth: 3, branching: 2 },
+            Shape::OutTree { depth: 2, branching: 4 },
+            Shape::ForkJoin { stages: 1, width: 2 },
+        ] {
+            let g = gen(shape);
+            for &i in g.inputs() {
+                assert!(g.subtask(i).release().is_some(), "{}", shape.label());
+            }
+            for &o in g.outputs() {
+                assert!(g.subtask(o).deadline().is_some(), "{}", shape.label());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        let spec = WorkloadSpec::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for shape in [
+            Shape::Chain { length: 0 },
+            Shape::InTree { depth: 0, branching: 2 },
+            Shape::OutTree { depth: 2, branching: 0 },
+            Shape::ForkJoin { stages: 0, width: 1 },
+        ] {
+            assert!(
+                matches!(
+                    generate_shape(shape, &spec, &mut rng),
+                    Err(GenerateError::InvalidSpec(_))
+                ),
+                "{}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Shape::Chain { length: 3 }.label(), "chain(3)");
+        assert!(Shape::ForkJoin { stages: 2, width: 5 }.label().contains("w=5"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Workload specification for the random task-graph generator.
+//!
+//! Defaults reproduce §5.2 of the paper: 40–60 subtasks, depth 8–12 levels,
+//! 1–3 successors/predecessors per subtask, mean execution time (MET) of 20
+//! units, an overall laxity ratio (OLR) of 1.5 and a communication-to-
+//! computation ratio (CCR) of 1.0.
+
+use std::ops::RangeInclusive;
+
+use serde::{Deserialize, Serialize};
+
+/// How far subtask execution times may deviate from the mean, as a fraction.
+///
+/// The paper's three scenarios: LDET (±25 %), MDET (±50 %) and HDET (±99 %).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecVariation {
+    /// Low distribution of execution times: ±25 % around the MET.
+    Ldet,
+    /// Medium distribution of execution times: ±50 % around the MET.
+    Mdet,
+    /// High distribution of execution times: ±99 % around the MET.
+    Hdet,
+    /// A custom symmetric deviation fraction in `[0, 1)`.
+    Custom(f64),
+}
+
+impl ExecVariation {
+    /// The deviation as a fraction of the mean (e.g. `0.25` for LDET).
+    pub fn fraction(self) -> f64 {
+        match self {
+            ExecVariation::Ldet => 0.25,
+            ExecVariation::Mdet => 0.50,
+            ExecVariation::Hdet => 0.99,
+            ExecVariation::Custom(v) => v,
+        }
+    }
+
+    /// A short label used in reports ("LDET", "MDET", "HDET", "±x%").
+    pub fn label(self) -> String {
+        match self {
+            ExecVariation::Ldet => "LDET".to_owned(),
+            ExecVariation::Mdet => "MDET".to_owned(),
+            ExecVariation::Hdet => "HDET".to_owned(),
+            ExecVariation::Custom(v) => format!("\u{b1}{:.0}%", v * 100.0),
+        }
+    }
+
+    /// The three scenarios used in every figure of the paper.
+    pub fn paper_scenarios() -> [ExecVariation; 3] {
+        [ExecVariation::Ldet, ExecVariation::Mdet, ExecVariation::Hdet]
+    }
+}
+
+/// The workload quantity that the overall laxity ratio (OLR) multiplies to
+/// obtain the end-to-end deadline.
+///
+/// The paper fixes the deadline "in such a way that the overall laxity
+/// ratio (OLR) between the end-to-end deadline and the accumulated task
+/// graph workload corresponded to 1.5" (§5.2). Two readings of "accumulated
+/// workload" are implemented:
+///
+/// * [`DeadlineBase::CriticalPath`] — the workload accumulated **along the
+///   longest path**, i.e. `D = OLR × Σc(critical path)`. This is the
+///   default: it produces the contention regime of the paper's figures
+///   (infeasible schedules on small systems, near-linear improvement with
+///   system size, saturation at the parallelism limit). Under the
+///   total-work reading, processor utilization is bounded by `1/(OLR·m)`
+///   and small systems are never contended, which contradicts the reported
+///   curves.
+/// * [`DeadlineBase::TotalWork`] — the whole graph's workload,
+///   `D = OLR × Σc(all subtasks)`; provided for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeadlineBase {
+    /// `D = OLR × (execution time along the longest path)`.
+    CriticalPath,
+    /// `D = OLR × (total execution time of all subtasks)`.
+    TotalWork,
+}
+
+/// Parameters of the random task-graph generator (§5.2).
+///
+/// Construct with [`WorkloadSpec::paper`] for the paper's configuration and
+/// adjust fields with the `with_*` builders.
+///
+/// # Examples
+///
+/// ```
+/// use taskgraph::gen::{ExecVariation, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::paper(ExecVariation::Mdet).with_ccr(2.0);
+/// assert_eq!(spec.ccr, 2.0);
+/// assert_eq!(spec.mean_exec_time, 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of subtasks, drawn uniformly from this range.
+    pub subtasks: RangeInclusive<usize>,
+    /// Graph depth in levels, drawn uniformly from this range.
+    pub depth: RangeInclusive<usize>,
+    /// Predecessors drawn per non-input subtask, uniformly from this range
+    /// (capped by the size of the previous level).
+    pub fan_in: RangeInclusive<usize>,
+    /// Mean subtask execution time (MET), in time units.
+    pub mean_exec_time: i64,
+    /// Symmetric deviation of execution times around the MET.
+    pub variation: ExecVariation,
+    /// Overall laxity ratio: end-to-end deadline = OLR × deadline base.
+    pub olr: f64,
+    /// Which workload quantity the OLR multiplies.
+    pub deadline_base: DeadlineBase,
+    /// Communication-to-computation ratio: mean message cost (at one time
+    /// unit per item) over the MET.
+    pub ccr: f64,
+    /// Symmetric deviation of message sizes around their mean (fraction).
+    pub message_variation: f64,
+}
+
+impl WorkloadSpec {
+    /// The paper's configuration (§5.2) with the chosen execution-time
+    /// variation scenario.
+    pub fn paper(variation: ExecVariation) -> Self {
+        WorkloadSpec {
+            subtasks: 40..=60,
+            depth: 8..=12,
+            fan_in: 1..=3,
+            mean_exec_time: 20,
+            variation,
+            olr: 1.5,
+            deadline_base: DeadlineBase::CriticalPath,
+            ccr: 1.0,
+            message_variation: 0.5,
+        }
+    }
+
+    /// Replaces the subtask-count range.
+    #[must_use]
+    pub fn with_subtasks(mut self, subtasks: RangeInclusive<usize>) -> Self {
+        self.subtasks = subtasks;
+        self
+    }
+
+    /// Replaces the depth range.
+    #[must_use]
+    pub fn with_depth(mut self, depth: RangeInclusive<usize>) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Replaces the fan-in range.
+    #[must_use]
+    pub fn with_fan_in(mut self, fan_in: RangeInclusive<usize>) -> Self {
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Replaces the mean execution time.
+    #[must_use]
+    pub fn with_mean_exec_time(mut self, met: i64) -> Self {
+        self.mean_exec_time = met;
+        self
+    }
+
+    /// Replaces the execution-time variation scenario.
+    #[must_use]
+    pub fn with_variation(mut self, variation: ExecVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Replaces the overall laxity ratio.
+    #[must_use]
+    pub fn with_olr(mut self, olr: f64) -> Self {
+        self.olr = olr;
+        self
+    }
+
+    /// Replaces the deadline base (what the OLR multiplies).
+    #[must_use]
+    pub fn with_deadline_base(mut self, base: DeadlineBase) -> Self {
+        self.deadline_base = base;
+        self
+    }
+
+    /// Replaces the communication-to-computation ratio.
+    #[must_use]
+    pub fn with_ccr(mut self, ccr: f64) -> Self {
+        self.ccr = ccr;
+        self
+    }
+
+    /// Validates that the specification is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.subtasks.is_empty() {
+            return Err("subtask range is empty".to_owned());
+        }
+        if self.depth.is_empty() {
+            return Err("depth range is empty".to_owned());
+        }
+        if *self.depth.start() == 0 {
+            return Err("depth must be at least 1".to_owned());
+        }
+        if *self.subtasks.start() < *self.depth.end() {
+            return Err(format!(
+                "minimum subtask count {} cannot fill maximum depth {}",
+                self.subtasks.start(),
+                self.depth.end()
+            ));
+        }
+        if self.fan_in.is_empty() || *self.fan_in.start() == 0 {
+            return Err("fan-in range must start at 1".to_owned());
+        }
+        if self.mean_exec_time <= 0 {
+            return Err("mean execution time must be positive".to_owned());
+        }
+        let v = self.variation.fraction();
+        if !(0.0..1.0).contains(&v) {
+            return Err(format!("execution-time variation {v} outside [0, 1)"));
+        }
+        if self.olr <= 0.0 {
+            return Err("overall laxity ratio must be positive".to_owned());
+        }
+        if self.ccr < 0.0 {
+            return Err("communication-to-computation ratio must be non-negative".to_owned());
+        }
+        if !(0.0..1.0).contains(&self.message_variation) {
+            return Err("message variation outside [0, 1)".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's MDET configuration.
+    fn default() -> Self {
+        WorkloadSpec::paper(ExecVariation::Mdet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_2() {
+        let spec = WorkloadSpec::paper(ExecVariation::Ldet);
+        assert_eq!(spec.subtasks, 40..=60);
+        assert_eq!(spec.depth, 8..=12);
+        assert_eq!(spec.fan_in, 1..=3);
+        assert_eq!(spec.mean_exec_time, 20);
+        assert_eq!(spec.olr, 1.5);
+        assert_eq!(spec.deadline_base, DeadlineBase::CriticalPath);
+        assert_eq!(spec.ccr, 1.0);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn variation_fractions() {
+        assert_eq!(ExecVariation::Ldet.fraction(), 0.25);
+        assert_eq!(ExecVariation::Mdet.fraction(), 0.50);
+        assert_eq!(ExecVariation::Hdet.fraction(), 0.99);
+        assert_eq!(ExecVariation::Custom(0.1).fraction(), 0.1);
+        assert_eq!(ExecVariation::Ldet.label(), "LDET");
+        assert_eq!(ExecVariation::paper_scenarios().len(), 3);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let spec = WorkloadSpec::default()
+            .with_subtasks(10..=20)
+            .with_depth(2..=4)
+            .with_fan_in(1..=2)
+            .with_mean_exec_time(40)
+            .with_variation(ExecVariation::Hdet)
+            .with_olr(2.0)
+            .with_ccr(0.5);
+        assert_eq!(spec.subtasks, 10..=20);
+        assert_eq!(spec.depth, 2..=4);
+        assert_eq!(spec.fan_in, 1..=2);
+        assert_eq!(spec.mean_exec_time, 40);
+        assert_eq!(spec.variation, ExecVariation::Hdet);
+        assert_eq!(spec.olr, 2.0);
+        assert_eq!(spec.ccr, 0.5);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        assert!(WorkloadSpec::default()
+            .with_subtasks(5..=6)
+            .with_depth(8..=12)
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec::default().with_mean_exec_time(0).validate().is_err());
+        assert!(WorkloadSpec::default().with_olr(0.0).validate().is_err());
+        assert!(WorkloadSpec::default().with_ccr(-1.0).validate().is_err());
+        assert!(WorkloadSpec::default()
+            .with_variation(ExecVariation::Custom(1.0))
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec::default().with_fan_in(0..=2).validate().is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = WorkloadSpec::default().with_depth(4..=2);
+        assert!(empty.validate().is_err());
+    }
+}

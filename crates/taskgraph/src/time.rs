@@ -1,0 +1,327 @@
+//! Discrete simulation time.
+//!
+//! The paper's experimental platform (FEAST) simulates in integer *time
+//! units*: subtask execution times are drawn as integers around a mean of 20
+//! units and the shared bus transfers one data item per unit. [`Time`] is a
+//! signed newtype over those units so that derived quantities such as
+//! *lateness* (completion time minus absolute deadline, negative for valid
+//! schedules) and *slack* can be represented directly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A signed instant or duration in discrete simulation time units.
+///
+/// `Time` is used both for points in time (release times, absolute
+/// deadlines, schedule start/finish times) and for durations (execution
+/// times, relative deadlines, slack). This mirrors the paper's unit-based
+/// model where all temporal quantities share one integer domain.
+///
+/// # Examples
+///
+/// ```
+/// use taskgraph::Time;
+///
+/// let release = Time::new(10);
+/// let wcet = Time::new(20);
+/// let finish = release + wcet;
+/// assert_eq!(finish, Time::new(30));
+/// // Lateness is negative when a deadline is met:
+/// let deadline = Time::new(45);
+/// assert_eq!(finish - deadline, Time::new(-15));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero instant/duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time value.
+    pub const MAX: Time = Time(i64::MAX);
+    /// The smallest (most negative) representable time value.
+    pub const MIN: Time = Time(i64::MIN);
+
+    /// Creates a time value from raw units.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use taskgraph::Time;
+    /// assert_eq!(Time::new(3).as_i64(), 3);
+    /// ```
+    #[inline]
+    pub const fn new(units: i64) -> Self {
+        Time(units)
+    }
+
+    /// Returns the raw number of time units.
+    #[inline]
+    pub const fn as_i64(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value as a floating-point number of units.
+    ///
+    /// Used when computing fractional metrics such as laxity ratios.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Creates a time value by rounding a floating-point number of units to
+    /// the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is not finite or does not fit in `i64`.
+    #[inline]
+    pub fn from_f64_rounded(units: f64) -> Self {
+        assert!(units.is_finite(), "time from non-finite float");
+        let rounded = units.round();
+        assert!(
+            rounded >= i64::MIN as f64 && rounded <= i64::MAX as f64,
+            "time out of range: {units}"
+        );
+        Time(rounded as i64)
+    }
+
+    /// Returns `true` if the value is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Saturating addition; clamps at the numeric bounds instead of
+    /// overflowing.
+    #[inline]
+    pub fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction; clamps at the numeric bounds instead of
+    /// overflowing.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Clamps the value to be at least `floor`.
+    #[inline]
+    pub fn at_least(self, floor: Time) -> Time {
+        self.max(floor)
+    }
+
+    /// Returns the absolute value.
+    #[inline]
+    pub const fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(units: i64) -> Self {
+        Time(units)
+    }
+}
+
+impl From<u32> for Time {
+    fn from(units: u32) -> Self {
+        Time(i64::from(units))
+    }
+}
+
+impl From<Time> for i64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        Time(iter.map(|t| t.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Time {
+        Time(iter.map(|t| t.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::new(7).as_i64(), 7);
+        assert_eq!(Time::ZERO.as_i64(), 0);
+        assert_eq!(Time::from(5u32), Time::new(5));
+        assert_eq!(Time::from(-3i64), Time::new(-3));
+        assert_eq!(i64::from(Time::new(9)), 9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(10);
+        let b = Time::new(4);
+        assert_eq!(a + b, Time::new(14));
+        assert_eq!(a - b, Time::new(6));
+        assert_eq!(-a, Time::new(-10));
+        assert_eq!(a * 3, Time::new(30));
+        assert_eq!(3 * a, Time::new(30));
+        assert_eq!(a / 2, Time::new(5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::new(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let xs = [Time::new(1), Time::new(2), Time::new(3)];
+        let owned: Time = xs.iter().copied().sum();
+        let borrowed: Time = xs.iter().sum();
+        assert_eq!(owned, Time::new(6));
+        assert_eq!(borrowed, Time::new(6));
+    }
+
+    #[test]
+    fn predicates_and_clamps() {
+        assert!(Time::new(-1).is_negative());
+        assert!(Time::ZERO.is_zero());
+        assert!(Time::new(1).is_positive());
+        assert_eq!(Time::new(3).max(Time::new(5)), Time::new(5));
+        assert_eq!(Time::new(3).min(Time::new(5)), Time::new(3));
+        assert_eq!(Time::new(-2).at_least(Time::ZERO), Time::ZERO);
+        assert_eq!(Time::new(2).at_least(Time::ZERO), Time::new(2));
+        assert_eq!(Time::new(-4).abs(), Time::new(4));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
+        assert_eq!(Time::MIN.saturating_sub(Time::new(1)), Time::MIN);
+        assert_eq!(Time::new(1).saturating_add(Time::new(2)), Time::new(3));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        assert_eq!(Time::from_f64_rounded(2.4), Time::new(2));
+        assert_eq!(Time::from_f64_rounded(2.5), Time::new(3));
+        assert_eq!(Time::from_f64_rounded(-2.5), Time::new(-3));
+        assert_eq!(Time::new(8).as_f64(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn float_nan_panics() {
+        let _ = Time::from_f64_rounded(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::new(1) < Time::new(2));
+        assert_eq!(format!("{}", Time::new(-7)), "-7");
+        assert_eq!(format!("{:?}", Time::new(7)), "Time(7)");
+    }
+}

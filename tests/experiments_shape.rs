@@ -1,0 +1,128 @@
+//! Qualitative shape checks for the paper's figures, run at reduced scale.
+//!
+//! These tests assert the *relationships* the paper reports (who wins,
+//! where), not absolute values: the full-scale regeneration lives in the
+//! `figures` binary and the `bench` crate, and EXPERIMENTS.md records the
+//! measured curves.
+
+use feast::experiments::{ext_shapes, fig2, fig5, ExperimentConfig};
+use feast::ExperimentResult;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        replications: 24,
+        base_seed: 0xFEA57,
+        system_sizes: vec![2, 4, 16],
+        threads: 0,
+    }
+}
+
+fn mean_at(result: &ExperimentResult, panel: &str, series: &str, size: usize) -> f64 {
+    result
+        .series(panel, series)
+        .unwrap_or_else(|| panic!("missing series {series} in {panel}"))
+        .points
+        .iter()
+        .find(|&&(n, _)| n == size)
+        .map(|&(_, v)| v)
+        .unwrap_or_else(|| panic!("missing size {size} in {panel}/{series}"))
+}
+
+#[test]
+fn fig2_shapes_hold() {
+    let r = fig2(&cfg()).unwrap();
+
+    for panel in ["LDET", "MDET", "HDET"] {
+        // Lateness decreases (improves) with system size for the best
+        // configuration.
+        let small = mean_at(&r, panel, "PURE/CCNE", 2);
+        let large = mean_at(&r, panel, "PURE/CCNE", 16);
+        assert!(large < small, "{panel}: no improvement with system size");
+
+        // CCNE beats (or at worst matches) CCAA once parallelism is
+        // exploitable: all slack stays with the computation subtasks.
+        let ccne = mean_at(&r, panel, "PURE/CCNE", 16);
+        let ccaa = mean_at(&r, panel, "PURE/CCAA", 16);
+        assert!(
+            ccne <= ccaa + 1e-9,
+            "{panel}: CCNE ({ccne}) should beat CCAA ({ccaa}) at 16 procs"
+        );
+    }
+
+    // NORM degrades sharply as execution-time variation grows: at high
+    // variation its best-case lateness is far worse than PURE's because
+    // short subtasks receive almost no slack.
+    let pure_hdet = mean_at(&r, "HDET", "PURE/CCNE", 16);
+    let norm_hdet = mean_at(&r, "HDET", "NORM/CCNE", 16);
+    assert!(
+        pure_hdet < norm_hdet,
+        "HDET at 16 procs: PURE ({pure_hdet}) must beat NORM ({norm_hdet})"
+    );
+}
+
+#[test]
+fn fig5_shapes_hold() {
+    let r = fig5(&cfg()).unwrap();
+
+    let mut pure_total_small = 0.0;
+    let mut adapt_total_small = 0.0;
+    for panel in ["LDET", "MDET", "HDET"] {
+        // On the smallest system, ADAPT must track or beat PURE on every
+        // panel (within replication noise), and beat it in aggregate (the
+        // assertion after this loop).
+        let pure2 = mean_at(&r, panel, "PURE", 2);
+        let adapt2 = mean_at(&r, panel, "ADAPT", 2);
+        pure_total_small += pure2;
+        adapt_total_small += adapt2;
+        assert!(
+            adapt2 <= pure2 + 0.10 * pure2.abs(),
+            "{panel}: ADAPT ({adapt2}) must track PURE ({pure2}) on 2 processors"
+        );
+
+        // On large systems ADAPT converges towards PURE (the paper's
+        // Figure 5 even shows it saturating slightly *worse* under HDET).
+        let pure16 = mean_at(&r, panel, "PURE", 16);
+        let adapt16 = mean_at(&r, panel, "ADAPT", 16);
+        assert!(
+            (pure16 - adapt16).abs() <= 0.15 * pure16.abs(),
+            "{panel}: ADAPT ({adapt16}) must converge to PURE ({pure16}) at 16 processors"
+        );
+
+        // THRES with a fixed surplus trails PURE once parallelism is
+        // exploitable (lateness is less negative).
+        let thres16 = mean_at(&r, panel, "THRES d=1", 16);
+        if panel != "LDET" {
+            assert!(
+                thres16 > pure16,
+                "{panel}: THRES ({thres16}) must trail PURE ({pure16}) at 16 processors"
+            );
+        }
+    }
+
+    // Aggregate direction over the three panels: ADAPT wins on the small
+    // system.
+    assert!(
+        adapt_total_small <= pure_total_small,
+        "ADAPT ({adapt_total_small}) must beat PURE ({pure_total_small}) at 2 processors in aggregate"
+    );
+}
+
+#[test]
+fn structured_graphs_run_cleanly() {
+    let cfg = ExperimentConfig {
+        replications: 6,
+        base_seed: 7,
+        system_sizes: vec![2, 8],
+        threads: 0,
+    };
+    let r = ext_shapes(&cfg).unwrap();
+    assert_eq!(r.panels.len(), 3);
+    for panel in &r.panels {
+        for series in &panel.series {
+            assert_eq!(series.points.len(), 2, "{}/{}", panel.title, series.label);
+            for &(_, v) in &series.points {
+                assert!(v.is_finite());
+            }
+        }
+    }
+}

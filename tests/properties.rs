@@ -1,0 +1,181 @@
+//! Property-based tests over randomly generated workloads: invariants of
+//! the generator, the slicing algorithm and the scheduler that must hold
+//! for *every* input, not just the paper's parameter points.
+
+use platform::{Pinning, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{BusModel, LatenessReport, ListScheduler};
+use slicing::{CommEstimate, MetricKind, Slicer, ThresholdSpec};
+use taskgraph::analysis::GraphAnalysis;
+use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+use taskgraph::{TaskGraph, Time};
+
+/// Strategy: a workload spec spanning a wide parameter space (beyond the
+/// paper's defaults).
+fn workload_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        8usize..40,     // min subtasks
+        2usize..8,      // depth lower bound
+        5i64..60,       // MET
+        0.0f64..0.99,   // exec variation
+        1.05f64..3.0,   // OLR
+        0.0f64..2.5,    // CCR
+    )
+        .prop_map(|(n_min, d_min, met, var, olr, ccr)| {
+            // The subtask count must be able to fill the deepest graph.
+            let lo = n_min.max(d_min + 3);
+            WorkloadSpec::paper(ExecVariation::Custom(var))
+                .with_subtasks(lo..=lo + 20)
+                .with_depth(d_min..=d_min + 3)
+                .with_mean_exec_time(met)
+                .with_olr(olr)
+                .with_ccr(ccr)
+        })
+}
+
+fn metric() -> impl Strategy<Value = MetricKind> {
+    prop_oneof![
+        Just(MetricKind::norm()),
+        Just(MetricKind::pure()),
+        (0.1f64..6.0, 0.5f64..2.0).prop_map(|(surplus, factor)| MetricKind::Thres {
+            surplus,
+            threshold: ThresholdSpec::MetFactor(factor),
+        }),
+        (0.5f64..2.0).prop_map(|factor| MetricKind::Adapt {
+            threshold: ThresholdSpec::MetFactor(factor),
+        }),
+    ]
+}
+
+fn graph_from(spec: &WorkloadSpec, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(spec, &mut rng).expect("strategy produces valid specs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generator invariants: anchored inputs/outputs, positive execution
+    /// times, size within spec, acyclic by construction (build() validates).
+    #[test]
+    fn generated_graphs_are_well_formed(spec in workload_spec(), seed in 0u64..1_000) {
+        let g = graph_from(&spec, seed);
+        prop_assert!(g.subtask_count() >= *spec.subtasks.start());
+        prop_assert!(g.subtask_count() <= *spec.subtasks.end());
+        for id in g.subtask_ids() {
+            prop_assert!(g.subtask(id).wcet().is_positive());
+        }
+        for &i in g.inputs() {
+            prop_assert!(g.subtask(i).release().is_some());
+        }
+        for &o in g.outputs() {
+            prop_assert!(g.subtask(o).deadline().is_some());
+        }
+        let an = GraphAnalysis::new(&g);
+        prop_assert!(an.avg_parallelism() >= 1.0 - 1e-9);
+        prop_assert!(an.depth() >= *spec.depth.start());
+    }
+
+    /// Slicing invariants, for every metric and estimation strategy:
+    /// every subtask gets a window, windows respect precedence, inputs and
+    /// outputs respect their anchors, and no path window is inverted for
+    /// feasible OLRs.
+    #[test]
+    fn slicing_preserves_structure(
+        spec in workload_spec(),
+        seed in 0u64..500,
+        m in metric(),
+        ccaa in proptest::bool::ANY,
+        nproc in 1usize..17,
+    ) {
+        let g = graph_from(&spec, seed);
+        let platform = Platform::paper(nproc).unwrap();
+        let estimate = if ccaa { CommEstimate::Ccaa } else { CommEstimate::Ccne };
+        let asg = Slicer::new(m).with_estimate(estimate).distribute(&g, &platform).unwrap();
+        // Inversion-free distributions are always structurally sound;
+        // inverted windows (overconstrained instances) are reported and
+        // surface as positive lateness instead.
+        let report = asg.validate(&g);
+        prop_assert!(report.is_ok() || asg.inverted_paths() > 0, "{report}");
+        // Window tiling: each window is non-degenerate in the aggregate —
+        // the sum of relative deadlines along any edge chain stays within
+        // the end-to-end deadline (validated), and laxity is bounded below
+        // by -wcet (a window is never negative).
+        for id in g.subtask_ids() {
+            prop_assert!(asg.window(id).relative_deadline() >= Time::ZERO);
+            prop_assert!(asg.laxity(&g, id) >= -g.subtask(id).wcet());
+        }
+    }
+
+    /// Scheduler invariants: structural validation passes under both bus
+    /// models and both release policies, for any pinning-free workload.
+    #[test]
+    fn schedules_are_structurally_valid(
+        spec in workload_spec(),
+        seed in 0u64..500,
+        m in metric(),
+        nproc in 1usize..17,
+        respect in proptest::bool::ANY,
+        contention in proptest::bool::ANY,
+    ) {
+        let g = graph_from(&spec, seed);
+        let platform = Platform::paper(nproc).unwrap();
+        let asg = Slicer::new(m).distribute(&g, &platform).unwrap();
+        let bus = if contention { BusModel::Contention } else { BusModel::Delay };
+        let schedule = ListScheduler::new()
+            .with_respect_release(respect)
+            .with_bus_model(bus)
+            .schedule(&g, &platform, &asg, &Pinning::new())
+            .unwrap();
+        let violations = schedule.validate(&g, &platform, &Pinning::new(), contention);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+
+        // Lateness is conservative: finish >= start + wcet implies lateness
+        // >= laxity lower bound; and makespan bounds every finish.
+        let report = LatenessReport::new(&g, &asg, &schedule);
+        for id in g.subtask_ids() {
+            prop_assert!(schedule.finish(id) <= schedule.makespan());
+            prop_assert_eq!(
+                schedule.finish(id) - schedule.start(id),
+                g.subtask(id).wcet()
+            );
+        }
+        prop_assert_eq!(report.per_subtask().len(), g.subtask_count());
+    }
+
+    /// The time-driven schedule on an unlimited machine achieves exactly
+    /// -min laxity as its max lateness: with one processor per subtask and
+    /// CCNE windows, each subtask starts at its release (messages may delay
+    /// receivers, consuming slack, so lateness can exceed the bound but
+    /// never beat it).
+    #[test]
+    fn unlimited_processors_lateness_bounded_by_min_laxity(
+        spec in workload_spec(),
+        seed in 0u64..200,
+    ) {
+        let g = graph_from(&spec, seed);
+        let nproc = g.subtask_count();
+        let platform = Platform::paper(nproc).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &platform).unwrap();
+        let schedule = ListScheduler::new()
+            .schedule(&g, &platform, &asg, &Pinning::new())
+            .unwrap();
+        let report = LatenessReport::new(&g, &asg, &schedule);
+        // No schedule can finish earlier than release + wcet, so max
+        // lateness is at least -(max laxity); with ample processors it is
+        // at least -min_laxity as messages only push finishes later.
+        prop_assert!(report.max_lateness() >= -asg.min_laxity(&g));
+    }
+
+    /// Paired workloads: the same (base_seed, rep) pair yields identical
+    /// graphs regardless of the metric under test — the property the
+    /// experiment harness relies on for fair comparisons.
+    #[test]
+    fn workload_generation_is_metric_independent(spec in workload_spec(), seed in 0u64..300) {
+        let a = graph_from(&spec, seed);
+        let b = graph_from(&spec, seed);
+        prop_assert_eq!(a, b);
+    }
+}
