@@ -30,9 +30,18 @@ fn shaped_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generator/shapes");
     for shape in [
         Shape::Chain { length: 50 },
-        Shape::InTree { depth: 6, branching: 2 },
-        Shape::OutTree { depth: 6, branching: 2 },
-        Shape::ForkJoin { stages: 8, width: 6 },
+        Shape::InTree {
+            depth: 6,
+            branching: 2,
+        },
+        Shape::OutTree {
+            depth: 6,
+            branching: 2,
+        },
+        Shape::ForkJoin {
+            stages: 8,
+            width: 6,
+        },
     ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(shape.label()),

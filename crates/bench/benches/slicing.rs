@@ -42,7 +42,11 @@ fn metrics(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             let slicer = Slicer::new(metric);
-            b.iter(|| slicer.distribute(black_box(&graph), black_box(&platform)).unwrap())
+            b.iter(|| {
+                slicer
+                    .distribute(black_box(&graph), black_box(&platform))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -55,7 +59,11 @@ fn estimates(c: &mut Criterion) {
     for (name, estimate) in [("ccne", CommEstimate::Ccne), ("ccaa", CommEstimate::Ccaa)] {
         group.bench_function(name, |b| {
             let slicer = Slicer::bst_pure().with_estimate(estimate.clone());
-            b.iter(|| slicer.distribute(black_box(&graph), black_box(&platform)).unwrap())
+            b.iter(|| {
+                slicer
+                    .distribute(black_box(&graph), black_box(&platform))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -69,7 +77,11 @@ fn scaling(c: &mut Criterion) {
         let graph = sized_graph(n, 3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
             let slicer = Slicer::ast_adapt();
-            b.iter(|| slicer.distribute(black_box(g), black_box(&platform)).unwrap())
+            b.iter(|| {
+                slicer
+                    .distribute(black_box(g), black_box(&platform))
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -3,17 +3,26 @@
 //! ```text
 //! figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]
 //!         [--threads N] [--out DIR] [--quick] [--no-plot]
+//!         [--verbose] [--quiet] [--events PATH] [--no-events]
 //! ```
 //!
 //! Prints each experiment as aligned tables plus ASCII plots and, with
-//! `--out`, writes `<id>.csv` and `<id>.json` into the directory.
+//! `--out`, writes `<id>.csv` and `<id>.json` into the directory. Results
+//! go to stdout; diagnostics go to stderr through `tracing`, filtered by
+//! `RUST_LOG` (overridden by `--verbose`/`--quiet`). Every run also
+//! streams machine-readable per-replication events to `events.jsonl`
+//! (next to `--out` when given, else the working directory) unless
+//! `--no-events` is passed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use feast::experiments::{all_experiments, experiment, ExperimentConfig, ExperimentDescriptor};
+use feast::telemetry::{self, EventSink, RunEvent};
 use feast::ExperimentResult;
+use tracing::{error, info, warn};
+use tracing_subscriber::EnvFilter;
 
 #[derive(Debug)]
 struct Args {
@@ -21,12 +30,17 @@ struct Args {
     cfg: ExperimentConfig,
     out: Option<PathBuf>,
     plot: bool,
+    verbose: bool,
+    quiet: bool,
+    events: Option<PathBuf>,
+    no_events: bool,
 }
 
 fn usage() -> String {
     let mut out = String::from(
         "usage: figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]\n\
-         \x20               [--threads N] [--out DIR] [--quick] [--no-plot]\n\nexperiments:\n",
+         \x20               [--threads N] [--out DIR] [--quick] [--no-plot]\n\
+         \x20               [--verbose] [--quiet] [--events PATH] [--no-events]\n\nexperiments:\n",
     );
     for e in all_experiments() {
         out.push_str(&format!("  {:<13} {}\n", e.id, e.description));
@@ -39,6 +53,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cfg = ExperimentConfig::default();
     let mut out = None;
     let mut plot = true;
+    let mut verbose = false;
+    let mut quiet = false;
+    let mut events = None;
+    let mut no_events = false;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -49,6 +67,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 cfg.system_sizes = ExperimentConfig::quick().system_sizes;
             }
             "--no-plot" => plot = false,
+            "--verbose" | "-v" => verbose = true,
+            "--quiet" | "-q" => quiet = true,
+            "--no-events" => no_events = true,
+            "--events" => {
+                events = Some(PathBuf::from(next_value(&mut it, "--events")?));
+            }
             "--reps" => {
                 cfg.replications = next_value(&mut it, "--reps")?
                     .parse()
@@ -75,9 +99,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--help" | "-h" => return Err(usage()),
             id => {
-                let exp = experiment(id).ok_or_else(|| {
-                    format!("unknown experiment '{id}'\n\n{}", usage())
-                })?;
+                let exp = experiment(id)
+                    .ok_or_else(|| format!("unknown experiment '{id}'\n\n{}", usage()))?;
                 experiments.push(exp);
             }
         }
@@ -90,6 +113,39 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cfg,
         out,
         plot,
+        verbose,
+        quiet,
+        events,
+        no_events,
+    })
+}
+
+/// Installs the stderr subscriber: `--verbose` forces `debug`, `--quiet`
+/// forces `warn`, otherwise `RUST_LOG` applies (default `info`).
+fn init_tracing(verbose: bool, quiet: bool) {
+    let filter = if verbose {
+        EnvFilter::new("debug")
+    } else if quiet {
+        EnvFilter::new("warn")
+    } else {
+        EnvFilter::try_from_default_env().unwrap_or_else(|_| EnvFilter::new("info"))
+    };
+    tracing_subscriber::fmt()
+        .with_env_filter(filter)
+        .with_target(false)
+        .init();
+}
+
+/// Where the event stream goes: `--events` wins, else next to `--out`,
+/// else the working directory. `None` with `--no-events`.
+fn events_path(args: &Args) -> Option<PathBuf> {
+    if args.no_events {
+        return None;
+    }
+    Some(match (&args.events, &args.out) {
+        (Some(path), _) => path.clone(),
+        (None, Some(dir)) => dir.join("events.jsonl"),
+        (None, None) => PathBuf::from("events.jsonl"),
     })
 }
 
@@ -112,16 +168,36 @@ fn main() -> ExitCode {
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
+            // Help/usage precedes subscriber setup; print it directly.
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    init_tracing(args.verbose, args.quiet);
 
-    println!(
-        "running {} experiment(s): {} replications, sizes {:?}\n",
-        args.experiments.len(),
-        args.cfg.replications,
-        args.cfg.system_sizes
+    if let Some(path) = events_path(&args) {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match EventSink::create(&path) {
+            Ok(sink) => {
+                info!(path = %path.display(), "streaming run events");
+                telemetry::install(sink);
+            }
+            Err(e) => warn!(path = %path.display(), "cannot create event stream: {e}"),
+        }
+    }
+    let ids: Vec<&str> = args.experiments.iter().map(|e| e.id).collect();
+    telemetry::emit_with(|| RunEvent::RunStart {
+        command: format!("figures {}", ids.join(" ")),
+        replications: args.cfg.replications,
+        system_sizes: args.cfg.system_sizes.clone(),
+    });
+    info!(
+        experiments = args.experiments.len(),
+        replications = args.cfg.replications,
+        sizes = ?args.cfg.system_sizes,
+        "starting run"
     );
 
     for exp in &args.experiments {
@@ -129,7 +205,7 @@ fn main() -> ExitCode {
         let result = match (exp.run)(&args.cfg) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("{} failed: {e}", exp.id);
+                error!(experiment = exp.id, "experiment failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -139,17 +215,26 @@ fn main() -> ExitCode {
         }
         if let Some(dir) = &args.out {
             if let Err(e) = write_outputs(dir, &result) {
-                eprintln!("failed to write outputs for {}: {e}", exp.id);
+                error!(experiment = exp.id, "failed to write outputs: {e}");
                 return ExitCode::FAILURE;
             }
-            println!(
-                "wrote {}/{}.csv and .json",
-                dir.display(),
-                result.id
+            info!(
+                experiment = exp.id,
+                dir = %dir.display(),
+                "wrote CSV and JSON outputs"
             );
         }
-        println!("({} finished in {:.1?})\n", exp.id, started.elapsed());
+        info!(
+            experiment = exp.id,
+            elapsed = ?started.elapsed(),
+            "experiment finished"
+        );
     }
+
+    telemetry::emit_with(|| RunEvent::RunEnd {
+        metrics: telemetry::global().snapshot(),
+    });
+    telemetry::uninstall();
     ExitCode::SUCCESS
 }
 
@@ -193,5 +278,29 @@ mod tests {
     fn out_dir_parsed() {
         let a = args(&["fig3", "--out", "/tmp/results"]).unwrap();
         assert_eq!(a.out, Some(PathBuf::from("/tmp/results")));
+    }
+
+    #[test]
+    fn verbosity_and_event_flags_parsed() {
+        let a = args(&["fig2", "--verbose", "--events", "/tmp/ev.jsonl"]).unwrap();
+        assert!(a.verbose && !a.quiet && !a.no_events);
+        assert_eq!(a.events, Some(PathBuf::from("/tmp/ev.jsonl")));
+        let a = args(&["fig2", "-q", "--no-events"]).unwrap();
+        assert!(a.quiet && a.no_events);
+    }
+
+    #[test]
+    fn events_path_resolution() {
+        let a = args(&["fig2"]).unwrap();
+        assert_eq!(events_path(&a), Some(PathBuf::from("events.jsonl")));
+        let a = args(&["fig2", "--out", "/tmp/results"]).unwrap();
+        assert_eq!(
+            events_path(&a),
+            Some(PathBuf::from("/tmp/results/events.jsonl"))
+        );
+        let a = args(&["fig2", "--out", "/tmp/results", "--events", "/tmp/e.jsonl"]).unwrap();
+        assert_eq!(events_path(&a), Some(PathBuf::from("/tmp/e.jsonl")));
+        let a = args(&["fig2", "--no-events"]).unwrap();
+        assert_eq!(events_path(&a), None);
     }
 }

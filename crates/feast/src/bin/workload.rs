@@ -6,8 +6,11 @@
 //! workload [--seed S] [--variation ldet|mdet|hdet] [--met N] [--olr X]
 //!          [--ccr X] [--shape chain:N|in-tree:D,B|out-tree:D,B|fork-join:S,W]
 //!          [--procs N] [--metric norm|pure|thres|adapt] [--gantt]
-//!          [--dot FILE] [--json FILE]
+//!          [--dot FILE] [--json FILE] [--verbose] [--quiet]
 //! ```
+//!
+//! Analyses print to stdout; diagnostics go to stderr through `tracing`,
+//! filtered by `RUST_LOG` (overridden by `--verbose`/`--quiet`).
 
 use std::process::ExitCode;
 
@@ -20,6 +23,8 @@ use taskgraph::analysis::GraphAnalysis;
 use taskgraph::dot::to_dot;
 use taskgraph::gen::{generate, generate_shape, ExecVariation, Shape, WorkloadSpec};
 use taskgraph::TaskGraph;
+use tracing::{error, info};
+use tracing_subscriber::EnvFilter;
 
 #[derive(Debug)]
 struct Args {
@@ -31,6 +36,8 @@ struct Args {
     gantt: bool,
     dot: Option<String>,
     json: Option<String>,
+    verbose: bool,
+    quiet: bool,
 }
 
 impl Default for Args {
@@ -44,23 +51,37 @@ impl Default for Args {
             gantt: false,
             dot: None,
             json: None,
+            verbose: false,
+            quiet: false,
         }
     }
 }
 
 const USAGE: &str = "usage: workload [--seed S] [--variation ldet|mdet|hdet] [--met N] \
 [--olr X] [--ccr X]\n                [--shape chain:N|in-tree:D,B|out-tree:D,B|fork-join:S,W] \
-[--procs N]\n                [--metric norm|pure|thres|adapt] [--gantt] [--dot FILE] [--json FILE]";
+[--procs N]\n                [--metric norm|pure|thres|adapt] [--gantt] [--dot FILE] [--json FILE]\
+\n                [--verbose] [--quiet]";
 
 fn parse_shape(raw: &str) -> Result<Shape, String> {
-    let (kind, params) = raw.split_once(':').ok_or("shape needs parameters, e.g. chain:10")?;
+    let (kind, params) = raw
+        .split_once(':')
+        .ok_or("shape needs parameters, e.g. chain:10")?;
     let nums: Result<Vec<usize>, _> = params.split(',').map(|p| p.trim().parse()).collect();
     let nums = nums.map_err(|e| format!("bad shape parameter: {e}"))?;
     match (kind, nums.as_slice()) {
         ("chain", [n]) => Ok(Shape::Chain { length: *n }),
-        ("in-tree", [d, b]) => Ok(Shape::InTree { depth: *d, branching: *b }),
-        ("out-tree", [d, b]) => Ok(Shape::OutTree { depth: *d, branching: *b }),
-        ("fork-join", [s, w]) => Ok(Shape::ForkJoin { stages: *s, width: *w }),
+        ("in-tree", [d, b]) => Ok(Shape::InTree {
+            depth: *d,
+            branching: *b,
+        }),
+        ("out-tree", [d, b]) => Ok(Shape::OutTree {
+            depth: *d,
+            branching: *b,
+        }),
+        ("fork-join", [s, w]) => Ok(Shape::ForkJoin {
+            stages: *s,
+            width: *w,
+        }),
         _ => Err(format!("unknown shape '{raw}'")),
     }
 }
@@ -73,7 +94,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             it.next().ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--variation" => {
                 args.spec.variation = match value("--variation")?.as_str() {
                     "ldet" => ExecVariation::Ldet,
@@ -86,11 +111,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.spec.mean_exec_time =
                     value("--met")?.parse().map_err(|e| format!("--met: {e}"))?
             }
-            "--olr" => args.spec.olr = value("--olr")?.parse().map_err(|e| format!("--olr: {e}"))?,
-            "--ccr" => args.spec.ccr = value("--ccr")?.parse().map_err(|e| format!("--ccr: {e}"))?,
+            "--olr" => {
+                args.spec.olr = value("--olr")?.parse().map_err(|e| format!("--olr: {e}"))?
+            }
+            "--ccr" => {
+                args.spec.ccr = value("--ccr")?.parse().map_err(|e| format!("--ccr: {e}"))?
+            }
             "--shape" => args.shape = Some(parse_shape(value("--shape")?)?),
             "--procs" => {
-                args.procs = value("--procs")?.parse().map_err(|e| format!("--procs: {e}"))?
+                args.procs = value("--procs")?
+                    .parse()
+                    .map_err(|e| format!("--procs: {e}"))?
             }
             "--metric" => {
                 args.metric = match value("--metric")?.as_str() {
@@ -104,6 +135,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--gantt" => args.gantt = true,
             "--dot" => args.dot = Some(value("--dot")?.clone()),
             "--json" => args.json = Some(value("--json")?.clone()),
+            "--verbose" | "-v" => args.verbose = true,
+            "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -142,12 +175,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::paper(args.procs)?;
     let slicer = Slicer::new(args.metric);
     let assignment = slicer.distribute(&graph, &platform)?;
-    let schedule = ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
+    let schedule =
+        ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
     let report = LatenessReport::new(&graph, &assignment, &schedule);
     println!("\n{} on {} processors:", args.metric.label(), args.procs);
     println!("  min laxity        {}", assignment.min_laxity(&graph));
     println!("  makespan          {}", schedule.makespan());
-    println!("  utilization       {:.1}%", schedule.utilization(&graph) * 100.0);
+    println!(
+        "  utilization       {:.1}%",
+        schedule.utilization(&graph) * 100.0
+    );
     println!("  background slack  {}", schedule.background_capacity());
     println!("  max task lateness {}", report.max_lateness());
     println!("  end-to-end        {}", report.end_to_end_lateness());
@@ -158,26 +195,46 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = &args.dot {
         std::fs::write(path, to_dot(&graph))?;
-        println!("wrote {path}");
+        info!(path = %path, "wrote DOT export");
     }
     if let Some(path) = &args.json {
         std::fs::write(path, serde_json::to_string_pretty(&graph)?)?;
-        println!("wrote {path}");
+        info!(path = %path, "wrote JSON export");
     }
     Ok(())
+}
+
+/// Installs the stderr subscriber: `--verbose` forces `debug`, `--quiet`
+/// forces `warn`, otherwise `RUST_LOG` applies (default `info`).
+fn init_tracing(verbose: bool, quiet: bool) {
+    let filter = if verbose {
+        EnvFilter::new("debug")
+    } else if quiet {
+        EnvFilter::new("warn")
+    } else {
+        EnvFilter::try_from_default_env().unwrap_or_else(|_| EnvFilter::new("info"))
+    };
+    tracing_subscriber::fmt()
+        .with_env_filter(filter)
+        .with_target(false)
+        .init();
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&argv) {
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok(args) => {
+            init_tracing(args.verbose, args.quiet);
+            match run(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    error!("workload run failed: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(msg) => {
+            // Help/usage precedes subscriber setup; print it directly.
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
@@ -204,8 +261,21 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = parse(&[
-            "--seed", "9", "--variation", "hdet", "--met", "40", "--olr", "2.0", "--ccr",
-            "0.5", "--procs", "8", "--metric", "pure", "--gantt",
+            "--seed",
+            "9",
+            "--variation",
+            "hdet",
+            "--met",
+            "40",
+            "--olr",
+            "2.0",
+            "--ccr",
+            "0.5",
+            "--procs",
+            "8",
+            "--metric",
+            "pure",
+            "--gantt",
         ])
         .unwrap();
         assert_eq!(a.seed, 9);
@@ -223,11 +293,17 @@ mod tests {
         assert_eq!(parse_shape("chain:7").unwrap(), Shape::Chain { length: 7 });
         assert_eq!(
             parse_shape("in-tree:4,2").unwrap(),
-            Shape::InTree { depth: 4, branching: 2 }
+            Shape::InTree {
+                depth: 4,
+                branching: 2
+            }
         );
         assert_eq!(
             parse_shape("fork-join:3,5").unwrap(),
-            Shape::ForkJoin { stages: 3, width: 5 }
+            Shape::ForkJoin {
+                stages: 3,
+                width: 5
+            }
         );
         assert!(parse_shape("ring:3").is_err());
         assert!(parse_shape("chain").is_err());

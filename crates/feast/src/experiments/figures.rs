@@ -128,8 +128,7 @@ pub fn fig4(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
     ];
     Ok(ExperimentResult {
         id: "fig4".into(),
-        description: "Maximum task lateness for different THRES execution-time thresholds"
-            .into(),
+        description: "Maximum task lateness for different THRES execution-time thresholds".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
     })
 }
@@ -152,8 +151,7 @@ pub fn fig5(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
     ];
     Ok(ExperimentResult {
         id: "fig5".into(),
-        description: "Maximum task lateness for the THRES and ADAPT metrics (AST) vs PURE"
-            .into(),
+        description: "Maximum task lateness for the THRES and ADAPT metrics (AST) vs PURE".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
     })
 }

@@ -20,8 +20,8 @@ mod extensions;
 mod figures;
 
 pub use extensions::{
-    ext_baselines, ext_bus, ext_ccr, ext_locality, ext_met, ext_par, ext_placement,
-    ext_shapes, ext_topo,
+    ext_baselines, ext_bus, ext_ccr, ext_locality, ext_met, ext_par, ext_placement, ext_shapes,
+    ext_topo,
 };
 pub use figures::{fig2, fig3, fig4, fig5};
 
@@ -134,6 +134,7 @@ pub(crate) fn run_panels_measuring(
                             Measure::MaxTask => result.lateness_series(),
                             Measure::EndToEnd => result.end_to_end_series(),
                         },
+                        violations: result.points.iter().map(|p| p.violations).sum(),
                     })
                 })
                 .collect();

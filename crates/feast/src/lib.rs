@@ -42,12 +42,12 @@ mod report;
 mod runner;
 mod scenario;
 mod stats;
+pub mod telemetry;
 
 pub use error::RunError;
 pub use report::{ExperimentResult, Panel, Series};
 pub use runner::{
-    run_scenario, run_scenario_sequential, run_scenario_with_threads, ScenarioPoint,
-    ScenarioResult,
+    run_scenario, run_scenario_sequential, run_scenario_with_threads, ScenarioPoint, ScenarioResult,
 };
 pub use scenario::{
     PinningPolicy, Scenario, SchedulerSpec, Technique, TopologyKind, WorkloadSource,

@@ -19,6 +19,9 @@ pub struct Series {
     pub label: String,
     /// `(system size, mean max lateness)` in sweep order.
     pub points: Vec<(usize, f64)>,
+    /// Structural violations summed over every replication behind the
+    /// series (0 for a sound pipeline); surfaced as a table warning.
+    pub violations: usize,
 }
 
 impl From<&ScenarioResult> for Series {
@@ -26,6 +29,7 @@ impl From<&ScenarioResult> for Series {
         Series {
             label: result.label.clone(),
             points: result.lateness_series(),
+            violations: result.points.iter().map(|p| p.violations).sum(),
         }
     }
 }
@@ -68,6 +72,15 @@ impl Panel {
                 }
             }
             let _ = writeln!(out, "{line}");
+        }
+        for s in &self.series {
+            if s.violations > 0 {
+                let _ = writeln!(
+                    out,
+                    "!! {}: {} structural violation(s) across replications",
+                    s.label, s.violations
+                );
+            }
         }
         out
     }
@@ -118,7 +131,14 @@ impl Panel {
             let _ = writeln!(out, "{y:>10.0} |{line}");
         }
         let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
-        let _ = writeln!(out, "{:>10}  {:<w$}{}", "procs:", xmin as usize, xmax as usize, w = width - 2);
+        let _ = writeln!(
+            out,
+            "{:>10}  {:<w$}{}",
+            "procs:",
+            xmin as usize,
+            xmax as usize,
+            w = width - 2
+        );
         for (si, s) in self.series.iter().enumerate() {
             let _ = writeln!(out, "{:>10}  {} {}", "", GLYPHS[si % GLYPHS.len()], s.label);
         }
@@ -214,10 +234,12 @@ mod tests {
                     Series {
                         label: "PURE".into(),
                         points: vec![(2, -100.0), (4, -300.0), (8, -500.0)],
+                        violations: 0,
                     },
                     Series {
                         label: "ADAPT".into(),
                         points: vec![(2, -200.0), (4, -400.0), (8, -500.0)],
+                        violations: 0,
                     },
                 ],
             }],
@@ -265,6 +287,18 @@ mod tests {
         };
         assert!(p.to_ascii_plot(40, 10).contains("no data"));
         assert!(p.to_table().contains("empty"));
+    }
+
+    #[test]
+    fn violations_are_surfaced_in_tables() {
+        let mut e = sample();
+        assert!(!e.to_tables().contains("violation"));
+        e.panels[0].series[1].violations = 7;
+        let table = e.panels[0].to_table();
+        assert!(
+            table.contains("!! ADAPT: 7 structural violation(s)"),
+            "missing violation warning in:\n{table}"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Scenario execution: the generate → distribute → schedule → measure
 //! pipeline, swept over system sizes and replications.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -11,6 +13,7 @@ use slicing::{distribute_baseline, Slicer};
 use taskgraph::gen::{generate, generate_shape};
 use taskgraph::TaskGraph;
 
+use crate::telemetry::{self, RunEvent, Stage};
 use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
 
 /// Measurements of one scenario at one system size, aggregated over all
@@ -88,11 +91,14 @@ fn workload(scenario: &Scenario, rep: usize) -> Result<TaskGraph, RunError> {
 }
 
 /// Runs one full pipeline: distribute deadlines, schedule, measure.
+/// `rep` only labels telemetry; it never influences the measurement.
 fn run_once(
     scenario: &Scenario,
     graph: &TaskGraph,
     platform: &Platform,
+    rep: usize,
 ) -> Result<RunMeasurement, RunError> {
+    let distribute_started = Instant::now();
     let assignment = match &scenario.technique {
         Technique::Slicing { metric, estimate } => Slicer::new(*metric)
             .with_estimate(estimate.clone())
@@ -105,12 +111,14 @@ fn run_once(
         Technique::Slicing { .. } => assignment.validate(graph).violations().len(),
         Technique::Baseline(_) => 0,
     };
+    let distribute_elapsed = distribute_started.elapsed();
 
     let pinning = scenario.pinning.build(graph, platform)?;
     let scheduler = ListScheduler::new()
         .with_respect_release(scenario.scheduler.respect_release)
         .with_bus_model(scenario.scheduler.bus_model)
         .with_placement(scenario.scheduler.placement);
+    let schedule_started = Instant::now();
     let schedule = scheduler.schedule(graph, platform, &assignment, &pinning)?;
     violations += schedule
         .validate(
@@ -120,15 +128,32 @@ fn run_once(
             scenario.scheduler.bus_model == sched::BusModel::Contention,
         )
         .len();
+    let schedule_elapsed = schedule_started.elapsed();
 
     let report = LatenessReport::new(graph, &assignment, &schedule);
-    Ok(RunMeasurement {
+    let measurement = RunMeasurement {
         max_lateness: report.max_lateness().as_f64(),
         end_to_end: report.end_to_end_lateness().as_f64(),
         makespan: report.makespan().as_f64(),
         feasible: report.is_feasible(),
         violations,
-    })
+    };
+
+    let registry = telemetry::global();
+    registry.record_stage(Stage::Distribute, distribute_elapsed);
+    registry.record_stage(Stage::Schedule, schedule_elapsed);
+    registry.count_schedule(measurement.feasible, violations);
+    telemetry::emit_with(|| RunEvent::Replication {
+        scenario: scenario.label.clone(),
+        system_size: platform.processor_count(),
+        replication: rep,
+        distribute_us: distribute_elapsed.as_micros() as u64,
+        schedule_us: schedule_elapsed.as_micros() as u64,
+        feasible: measurement.feasible,
+        violations,
+        max_lateness: measurement.max_lateness,
+    });
+    Ok(measurement)
 }
 
 /// Runs a scenario sequentially (all sizes × all replications on the
@@ -170,32 +195,60 @@ pub fn run_scenario_with_threads(
     }
     let threads = threads.max(1).min(scenario.replications);
 
+    let _span = tracing::info_span!(
+        "scenario",
+        label = %scenario.label,
+        replications = scenario.replications,
+        threads = threads
+    )
+    .entered();
+
     // Workloads are shared across system sizes; generate once per rep.
     let graphs: Vec<TaskGraph> = (0..scenario.replications)
-        .map(|rep| workload(scenario, rep))
-        .collect::<Result<_, _>>()?;
+        .map(|rep| {
+            let started = Instant::now();
+            let graph = workload(scenario, rep)?;
+            let elapsed = started.elapsed();
+            let registry = telemetry::global();
+            registry.record_stage(Stage::Generate, elapsed);
+            registry.count_graph();
+            telemetry::emit_with(|| RunEvent::GraphGenerated {
+                replication: rep,
+                subtasks: graph.subtask_count(),
+                messages: graph.edge_count(),
+                generate_us: elapsed.as_micros() as u64,
+            });
+            Ok(graph)
+        })
+        .collect::<Result<_, RunError>>()?;
 
     let mut points = Vec::with_capacity(scenario.system_sizes.len());
     for &size in &scenario.system_sizes {
+        let _size_span = tracing::debug_span!("system_size", procs = size).entered();
         let topology = scenario.topology.build(size, scenario.cost_per_item);
         let platform = Platform::homogeneous(size, topology)?;
 
         let measurements: Result<Vec<RunMeasurement>, RunError> = if threads == 1 {
             graphs
                 .iter()
-                .map(|g| run_once(scenario, g, &platform))
+                .enumerate()
+                .map(|(rep, g)| run_once(scenario, g, &platform, rep))
                 .collect()
         } else {
             std::thread::scope(|scope| {
                 let chunk = graphs.len().div_ceil(threads);
                 let handles: Vec<_> = graphs
                     .chunks(chunk)
-                    .map(|chunk_graphs| {
+                    .enumerate()
+                    .map(|(chunk_index, chunk_graphs)| {
                         let platform = &platform;
                         scope.spawn(move || {
                             chunk_graphs
                                 .iter()
-                                .map(|g| run_once(scenario, g, platform))
+                                .enumerate()
+                                .map(|(i, g)| {
+                                    run_once(scenario, g, platform, chunk_index * chunk + i)
+                                })
                                 .collect::<Result<Vec<_>, _>>()
                         })
                     })
@@ -209,10 +262,9 @@ pub fn run_scenario_with_threads(
         };
         let measurements = measurements?;
 
-        let collect = |f: fn(&RunMeasurement) -> f64| -> Vec<f64> {
-            measurements.iter().map(f).collect()
-        };
-        points.push(ScenarioPoint {
+        let collect =
+            |f: fn(&RunMeasurement) -> f64| -> Vec<f64> { measurements.iter().map(f).collect() };
+        let point = ScenarioPoint {
             system_size: size,
             max_lateness: SummaryStats::from_values(&collect(|m| m.max_lateness)),
             end_to_end_lateness: SummaryStats::from_values(&collect(|m| m.end_to_end)),
@@ -220,7 +272,30 @@ pub fn run_scenario_with_threads(
             feasible_fraction: measurements.iter().filter(|m| m.feasible).count() as f64
                 / measurements.len() as f64,
             violations: measurements.iter().map(|m| m.violations).sum(),
+        };
+        if point.violations > 0 {
+            tracing::warn!(
+                scenario = %scenario.label,
+                system_size = size,
+                violations = point.violations,
+                "structural violations detected"
+            );
+        }
+        tracing::debug!(
+            scenario = %scenario.label,
+            system_size = size,
+            mean_max_lateness = point.max_lateness.mean,
+            feasible_fraction = point.feasible_fraction,
+            "scenario point complete"
+        );
+        telemetry::emit_with(|| RunEvent::Point {
+            scenario: scenario.label.clone(),
+            system_size: size,
+            mean_max_lateness: point.max_lateness.mean,
+            feasible_fraction: point.feasible_fraction,
+            violations: point.violations,
         });
+        points.push(point);
     }
 
     Ok(ScenarioResult {

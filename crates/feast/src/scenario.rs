@@ -80,12 +80,8 @@ impl TopologyKind {
     /// per-item (per hop, where applicable) cost.
     pub fn build(self, n: usize, cost_per_item: Time) -> Topology {
         match self {
-            TopologyKind::SharedBus => Topology::SharedBus {
-                cost_per_item,
-            },
-            TopologyKind::FullyConnected => Topology::FullyConnected {
-                cost_per_item,
-            },
+            TopologyKind::SharedBus => Topology::SharedBus { cost_per_item },
+            TopologyKind::FullyConnected => Topology::FullyConnected { cost_per_item },
             TopologyKind::Ring => Topology::Ring {
                 cost_per_item_hop: cost_per_item,
             },
@@ -145,11 +141,7 @@ impl PinningPolicy {
     ///
     /// Returns an error if a pin refers to an invalid processor (cannot
     /// happen for round-robin pins on a valid platform).
-    pub fn build(
-        self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Pinning, PlatformError> {
+    pub fn build(self, graph: &TaskGraph, platform: &Platform) -> Result<Pinning, PlatformError> {
         let mut pins = Pinning::new();
         match self {
             PinningPolicy::Relaxed => {}
@@ -422,7 +414,10 @@ mod tests {
             estimate: CommEstimate::Ccaa,
         };
         assert_eq!(slicing.label(), "PURE/CCAA");
-        assert_eq!(Technique::Baseline(BaselineStrategy::Ultimate).label(), "UD");
+        assert_eq!(
+            Technique::Baseline(BaselineStrategy::Ultimate).label(),
+            "UD"
+        );
     }
 
     #[test]

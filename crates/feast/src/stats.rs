@@ -94,6 +94,17 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_values_have_zero_spread() {
+        let s = SummaryStats::from_values(&[7.25; 64]);
+        assert_eq!(s.mean, 7.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.25);
+        assert_eq!(s.max, 7.25);
+        assert_eq!(s.count, 64);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
     fn negative_values_supported() {
         // Lateness is usually negative.
         let s = SummaryStats::from_values(&[-100.0, -200.0]);

@@ -1,0 +1,558 @@
+//! Run-wide pipeline metrics and the machine-readable run-event stream.
+//!
+//! Two complementary mechanisms:
+//!
+//! * a process-global [`Registry`] of lock-free counters and log-scale
+//!   duration histograms, fed by the runner for every pipeline stage
+//!   (generate → distribute → schedule) and summarized by
+//!   [`Registry::snapshot`];
+//! * an optional [`EventSink`] writing one JSON object per line
+//!   (`events.jsonl`): install it with [`install`] and every replication
+//!   the runner executes is recorded as a [`RunEvent`] with its per-stage
+//!   timings and feasibility outcome.
+//!
+//! Both are no-ops by default: with no sink installed [`emit_with`] never
+//! even constructs the event, and the registry is a handful of relaxed
+//! atomic increments per replication.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The pipeline stages measured by the [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Random task-graph generation.
+    Generate,
+    /// Deadline distribution (slicing or a baseline).
+    Distribute,
+    /// List scheduling.
+    Schedule,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::Generate, Stage::Distribute, Stage::Schedule];
+
+    /// The stage's snake_case label, as used in event fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Generate => "generate",
+            Stage::Distribute => "distribute",
+            Stage::Schedule => "schedule",
+        }
+    }
+}
+
+/// Number of power-of-two histogram buckets; bucket `i` counts durations
+/// with `floor(log2(µs)) == i - 1` (bucket 0 is `< 1 µs`), so the top
+/// bucket covers everything from ~35 minutes up.
+const BUCKETS: usize = 32;
+
+/// A lock-free histogram of wall-clock durations with power-of-two
+/// microsecond buckets.
+#[derive(Debug)]
+pub struct DurationHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.total_us.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let total = self.total_us.load(Ordering::Relaxed);
+        total
+            .checked_div(self.count())
+            .map_or(Duration::ZERO, Duration::from_micros)
+    }
+
+    /// An immutable copy of the histogram's state.
+    pub fn snapshot(&self) -> StageSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| (upper_bound_us(i), count))
+            })
+            .collect();
+        StageSnapshot {
+            count: self.count(),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            mean_us: self.mean().as_micros() as u64,
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Exclusive upper bound (µs) of histogram bucket `i`.
+fn upper_bound_us(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Aggregated pipeline metrics: counters plus one duration histogram per
+/// [`Stage`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    graphs_generated: AtomicU64,
+    schedules_built: AtomicU64,
+    feasibility_failures: AtomicU64,
+    structural_violations: AtomicU64,
+    generate: DurationHistogram,
+    distribute: DurationHistogram,
+    schedule: DurationHistogram,
+}
+
+impl Registry {
+    /// The stage's histogram.
+    pub fn stage(&self, stage: Stage) -> &DurationHistogram {
+        match stage {
+            Stage::Generate => &self.generate,
+            Stage::Distribute => &self.distribute,
+            Stage::Schedule => &self.schedule,
+        }
+    }
+
+    /// Records a stage's wall-clock time.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage(stage).record(elapsed);
+    }
+
+    /// Counts one generated task graph.
+    pub fn count_graph(&self) {
+        self.graphs_generated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one completed schedule, its feasibility outcome and any
+    /// structural violations found by validation.
+    pub fn count_schedule(&self, feasible: bool, violations: usize) {
+        self.schedules_built.fetch_add(1, Ordering::Relaxed);
+        if !feasible {
+            self.feasibility_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.structural_violations
+            .fetch_add(violations as u64, Ordering::Relaxed);
+    }
+
+    /// Number of graphs generated so far.
+    pub fn graphs_generated(&self) -> u64 {
+        self.graphs_generated.load(Ordering::Relaxed)
+    }
+
+    /// Number of schedules built so far.
+    pub fn schedules_built(&self) -> u64 {
+        self.schedules_built.load(Ordering::Relaxed)
+    }
+
+    /// Number of schedules that missed at least one assigned deadline.
+    pub fn feasibility_failures(&self) -> u64 {
+        self.feasibility_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total structural violations across all replications.
+    pub fn structural_violations(&self) -> u64 {
+        self.structural_violations.load(Ordering::Relaxed)
+    }
+
+    /// An immutable, serializable copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            graphs_generated: self.graphs_generated(),
+            schedules_built: self.schedules_built(),
+            feasibility_failures: self.feasibility_failures(),
+            structural_violations: self.structural_violations(),
+            generate: self.generate.snapshot(),
+            distribute: self.distribute.snapshot(),
+            schedule: self.schedule.snapshot(),
+        }
+    }
+
+    /// Zeroes every counter and histogram (for tests and repeated runs).
+    pub fn reset(&self) {
+        self.graphs_generated.store(0, Ordering::Relaxed);
+        self.schedules_built.store(0, Ordering::Relaxed);
+        self.feasibility_failures.store(0, Ordering::Relaxed);
+        self.structural_violations.store(0, Ordering::Relaxed);
+        self.generate.reset();
+        self.distribute.reset();
+        self.schedule.reset();
+    }
+}
+
+/// The process-global registry the runner feeds.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Serializable copy of one stage's histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub total_us: u64,
+    /// Mean observation, µs.
+    pub mean_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+    /// Non-empty `(exclusive upper bound µs, count)` power-of-two buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Serializable copy of the whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Task graphs generated.
+    pub graphs_generated: u64,
+    /// Schedules built.
+    pub schedules_built: u64,
+    /// Schedules that missed at least one assigned deadline.
+    pub feasibility_failures: u64,
+    /// Structural violations across all replications.
+    pub structural_violations: u64,
+    /// Generation-stage timings.
+    pub generate: StageSnapshot,
+    /// Distribution-stage timings.
+    pub distribute: StageSnapshot,
+    /// Scheduling-stage timings.
+    pub schedule: StageSnapshot,
+}
+
+/// One record of the `events.jsonl` stream, serialized externally tagged:
+/// `{"Replication": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// A run began (emitted once by the driving binary).
+    RunStart {
+        /// Free-form description of what is being run (experiment ids,
+        /// CLI arguments, …).
+        command: String,
+        /// Replications per scenario point.
+        replications: usize,
+        /// System sizes swept.
+        system_sizes: Vec<usize>,
+    },
+    /// A workload was generated.
+    GraphGenerated {
+        /// Replication index (also the seed offset).
+        replication: usize,
+        /// Subtasks in the graph.
+        subtasks: usize,
+        /// Messages (edges) in the graph.
+        messages: usize,
+        /// Generation wall-clock, µs.
+        generate_us: u64,
+    },
+    /// One full pipeline replication (distribute + schedule + measure)
+    /// finished.
+    Replication {
+        /// Scenario label.
+        scenario: String,
+        /// Processors.
+        system_size: usize,
+        /// Replication index.
+        replication: usize,
+        /// Deadline-distribution wall-clock, µs.
+        distribute_us: u64,
+        /// List-scheduling wall-clock, µs.
+        schedule_us: u64,
+        /// Did the schedule meet every assigned deadline?
+        feasible: bool,
+        /// Structural violations found by validation.
+        violations: usize,
+        /// Maximum task lateness of this replication.
+        max_lateness: f64,
+    },
+    /// A scenario point (all replications at one system size) was
+    /// aggregated.
+    Point {
+        /// Scenario label.
+        scenario: String,
+        /// Processors.
+        system_size: usize,
+        /// Mean maximum task lateness over the replications.
+        mean_max_lateness: f64,
+        /// Fraction of feasible replications.
+        feasible_fraction: f64,
+        /// Structural violations summed over the replications.
+        violations: usize,
+    },
+    /// The run finished (emitted once by the driving binary).
+    RunEnd {
+        /// Final registry snapshot.
+        metrics: MetricsSnapshot,
+    },
+}
+
+/// A line-buffered JSONL writer for [`RunEvent`]s.
+#[derive(Debug)]
+pub struct EventSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl EventSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<EventSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(EventSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event as a JSON line. I/O errors are reported once as a
+    /// tracing error and otherwise ignored: diagnostics must never abort an
+    /// experiment.
+    pub fn emit(&self, event: &RunEvent) {
+        let line = serde_json::to_string(event).expect("plain data serializes");
+        let mut writer = self.writer.lock().expect("event sink poisoned");
+        if let Err(e) = writeln!(writer, "{line}") {
+            tracing::error!(path = %self.path.display(), "event sink write failed: {e}");
+        }
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("event sink poisoned").flush();
+    }
+}
+
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn sink_slot() -> &'static Mutex<Option<Arc<EventSink>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<EventSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `sink` as the process-wide event stream, replacing (and
+/// flushing) any previous one.
+pub fn install(sink: EventSink) {
+    *sink_slot().lock().expect("sink slot poisoned") = Some(Arc::new(sink));
+}
+
+/// Removes and returns the installed sink, flushing it first.
+pub fn uninstall() -> Option<Arc<EventSink>> {
+    let sink = sink_slot().lock().expect("sink slot poisoned").take();
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    sink
+}
+
+/// The currently installed sink, if any.
+pub fn installed() -> Option<Arc<EventSink>> {
+    sink_slot().lock().expect("sink slot poisoned").clone()
+}
+
+/// Emits the event built by `f` to the installed sink; without a sink the
+/// closure is never called.
+pub fn emit_with(f: impl FnOnce() -> RunEvent) {
+    if let Some(sink) = installed() {
+        sink.emit(&f());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_counts_totals_and_buckets() {
+        let h = DurationHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+
+        h.record(Duration::from_micros(3)); // bucket for 2..4 µs
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(900)); // bucket for 512..1024 µs
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), Duration::from_micros(906));
+        assert_eq!(h.mean(), Duration::from_micros(302));
+
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.total_us, 906);
+        assert_eq!(snap.max_us, 900);
+        assert_eq!(snap.buckets, vec![(4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = DurationHistogram::default();
+        h.record(Duration::ZERO); // sub-microsecond → bucket 0
+        h.record(Duration::from_secs(1 << 30)); // saturates in the top bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.buckets.first().unwrap().0, 1);
+        assert_eq!(snap.buckets.last().unwrap().0, u64::MAX);
+    }
+
+    #[test]
+    fn registry_counters_accumulate_and_reset() {
+        let r = Registry::default();
+        r.count_graph();
+        r.count_graph();
+        r.count_schedule(true, 0);
+        r.count_schedule(false, 3);
+        r.record_stage(Stage::Generate, Duration::from_micros(10));
+        r.record_stage(Stage::Distribute, Duration::from_micros(20));
+        r.record_stage(Stage::Schedule, Duration::from_micros(30));
+
+        assert_eq!(r.graphs_generated(), 2);
+        assert_eq!(r.schedules_built(), 2);
+        assert_eq!(r.feasibility_failures(), 1);
+        assert_eq!(r.structural_violations(), 3);
+        for stage in Stage::ALL {
+            assert_eq!(r.stage(stage).count(), 1, "{}", stage.label());
+        }
+
+        let snap = r.snapshot();
+        assert_eq!(snap.graphs_generated, 2);
+        assert_eq!(snap.distribute.total_us, 20);
+
+        r.reset();
+        assert_eq!(r.graphs_generated(), 0);
+        assert_eq!(r.schedules_built(), 0);
+        assert_eq!(r.stage(Stage::Schedule).count(), 0);
+        assert_eq!(r.snapshot().schedule.buckets, vec![]);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let r = Registry::default();
+        r.count_schedule(false, 1);
+        r.record_stage(Stage::Schedule, Duration::from_micros(100));
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn event_sink_writes_one_json_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("feast-telemetry-test-{}.jsonl", std::process::id()));
+        let sink = EventSink::create(&path).unwrap();
+        sink.emit(&RunEvent::RunStart {
+            command: "test".into(),
+            replications: 2,
+            system_sizes: vec![2, 4],
+        });
+        sink.emit(&RunEvent::Replication {
+            scenario: "PURE/CCNE".into(),
+            system_size: 4,
+            replication: 0,
+            distribute_us: 11,
+            schedule_us: 22,
+            feasible: true,
+            violations: 0,
+            max_lateness: -12.5,
+        });
+        sink.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: RunEvent = serde_json::from_str(lines[0]).unwrap();
+        assert!(matches!(
+            first,
+            RunEvent::RunStart {
+                replications: 2,
+                ..
+            }
+        ));
+        let second: RunEvent = serde_json::from_str(lines[1]).unwrap();
+        match second {
+            RunEvent::Replication {
+                scenario,
+                distribute_us,
+                feasible,
+                ..
+            } => {
+                assert_eq!(scenario, "PURE/CCNE");
+                assert_eq!(distribute_us, 11);
+                assert!(feasible);
+            }
+            other => panic!("expected Replication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emit_with_skips_construction_without_a_sink() {
+        // `installed()` may race with other tests only if one installs a
+        // global sink; none does, so the closure must not run.
+        if installed().is_none() {
+            emit_with(|| panic!("no sink installed: closure must not run"));
+        }
+    }
+}

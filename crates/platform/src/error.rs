@@ -36,10 +36,7 @@ impl fmt::Display for PlatformError {
             PlatformError::TopologyMismatch {
                 topology,
                 processors,
-            } => write!(
-                f,
-                "topology {topology} cannot host {processors} processors"
-            ),
+            } => write!(f, "topology {topology} cannot host {processors} processors"),
             PlatformError::ConflictingPin(t) => {
                 write!(f, "subtask {t} is already pinned to a different processor")
             }
@@ -55,7 +52,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PlatformError::NoProcessors.to_string().contains("no processors"));
+        assert!(PlatformError::NoProcessors
+            .to_string()
+            .contains("no processors"));
         assert!(PlatformError::UnknownProcessor(ProcessorId::new(9))
             .to_string()
             .contains("p9"));

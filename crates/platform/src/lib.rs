@@ -45,9 +45,7 @@ pub use pinning::Pinning;
 pub use topology::Topology;
 
 /// Identifier of a processor within one [`Platform`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ProcessorId(u32);
 

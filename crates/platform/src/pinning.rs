@@ -180,11 +180,15 @@ mod tests {
         assert!(pins.validate(&g, &platform).is_ok());
 
         let mut bad_proc = Pinning::new();
-        bad_proc.pin(SubtaskId::new(0), ProcessorId::new(9)).unwrap();
+        bad_proc
+            .pin(SubtaskId::new(0), ProcessorId::new(9))
+            .unwrap();
         assert!(bad_proc.validate(&g, &platform).is_err());
 
         let mut bad_task = Pinning::new();
-        bad_task.pin(SubtaskId::new(42), ProcessorId::new(0)).unwrap();
+        bad_task
+            .pin(SubtaskId::new(42), ProcessorId::new(0))
+            .unwrap();
         assert!(bad_task.validate(&g, &platform).is_err());
     }
 

@@ -85,16 +85,15 @@ impl Topology {
     ///
     /// Returns [`PlatformError::TopologyMismatch`] if `n` is incompatible
     /// with the topology (mesh dimensions, custom matrix size).
-    pub fn hops(
-        &self,
-        n: usize,
-        from: ProcessorId,
-        to: ProcessorId,
-    ) -> Result<u32, PlatformError> {
+    pub fn hops(&self, n: usize, from: ProcessorId, to: ProcessorId) -> Result<u32, PlatformError> {
         self.check_size(n)?;
         let (a, b) = (from.index(), to.index());
         if a >= n || b >= n {
-            return Err(PlatformError::UnknownProcessor(if a >= n { from } else { to }));
+            return Err(PlatformError::UnknownProcessor(if a >= n {
+                from
+            } else {
+                to
+            }));
         }
         if a == b {
             return Ok(0);
@@ -159,19 +158,19 @@ impl Topology {
     fn check_size(&self, n: usize) -> Result<(), PlatformError> {
         match self {
             Topology::Mesh2D { width, height, .. }
-                if (width * height != n || *width == 0 || *height == 0) => {
-                    return Err(PlatformError::TopologyMismatch {
-                        topology: self.label(),
-                        processors: n,
-                    });
-                }
-            Topology::Custom { hops, .. }
-                if hops.len() != n * n => {
-                    return Err(PlatformError::TopologyMismatch {
-                        topology: self.label(),
-                        processors: n,
-                    });
-                }
+                if (width * height != n || *width == 0 || *height == 0) =>
+            {
+                return Err(PlatformError::TopologyMismatch {
+                    topology: self.label(),
+                    processors: n,
+                });
+            }
+            Topology::Custom { hops, .. } if hops.len() != n * n => {
+                return Err(PlatformError::TopologyMismatch {
+                    topology: self.label(),
+                    processors: n,
+                });
+            }
             _ => {}
         }
         Ok(())
@@ -247,7 +246,10 @@ mod tests {
     fn labels() {
         assert_eq!(Topology::paper_bus().label(), "shared-bus");
         assert_eq!(
-            Topology::FullyConnected { cost_per_item: Time::new(1) }.label(),
+            Topology::FullyConnected {
+                cost_per_item: Time::new(1)
+            }
+            .label(),
             "fully-connected"
         );
     }

@@ -113,7 +113,11 @@ mod tests {
 
     fn sample() -> (TaskGraph, Schedule) {
         let mut b = TaskGraph::builder();
-        let a = b.add_subtask(Subtask::new(Time::new(10)).named("head").released_at(Time::ZERO));
+        let a = b.add_subtask(
+            Subtask::new(Time::new(10))
+                .named("head")
+                .released_at(Time::ZERO),
+        );
         let x = b.add_subtask(Subtask::new(Time::new(20)));
         let y = b.add_subtask(Subtask::new(Time::new(20)));
         let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(200)));

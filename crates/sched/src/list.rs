@@ -162,6 +162,15 @@ impl ListScheduler {
         }
         pinning.validate(graph, platform)?;
 
+        let _span = tracing::debug_span!(
+            "schedule",
+            subtasks = graph.subtask_count(),
+            processors = platform.processor_count(),
+            bus = ?self.bus,
+            placement = self.placement.label()
+        )
+        .entered();
+
         let n = graph.subtask_count();
         let mut placed: Vec<Option<ScheduleEntry>> = vec![None; n];
         let mut messages: Vec<Option<MessageSlot>> = vec![None; graph.edge_count()];
@@ -229,6 +238,26 @@ impl ListScheduler {
                 start,
                 finish,
             });
+            tracing::trace!(
+                subtask = %id,
+                processor = proc.index(),
+                start = %start,
+                finish = %finish,
+                deadline = %deadline,
+                candidates = candidates.len(),
+                "dispatched"
+            );
+            if finish > deadline {
+                tracing::warn!(
+                    subtask = %id,
+                    processor = proc.index(),
+                    release = %assignment.release(id),
+                    deadline = %deadline,
+                    finish = %finish,
+                    lateness = %(finish - deadline),
+                    "deadline miss"
+                );
+            }
 
             for succ in graph.successors(id) {
                 let slot = &mut missing_preds[succ.index()];
@@ -510,6 +539,61 @@ mod tests {
             ListScheduler::new().schedule(&g, &p, &a, &pins),
             Err(SchedError::Platform(_))
         ));
+    }
+
+    #[test]
+    fn deadline_miss_emits_warn_event_naming_the_window() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Capture(Arc<Mutex<Vec<tracing::Event>>>);
+        impl tracing::Subscriber for Capture {
+            fn enabled(&self, level: tracing::Level, _target: &str) -> bool {
+                level <= tracing::Level::Warn
+            }
+            fn event(&self, event: &tracing::Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        // One subtask whose execution time exceeds its end-to-end deadline:
+        // the assigned window is [0, 10] but the subtask runs for 50, so the
+        // scheduler must report the miss with the offending window.
+        let mut b = TaskGraph::builder();
+        let only = b.add_subtask(
+            Subtask::new(Time::new(50))
+                .released_at(Time::ZERO)
+                .due_at(Time::new(10)),
+        );
+        let g = b.build().unwrap();
+        let p = Platform::paper(1).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+
+        let capture = Capture::default();
+        tracing::subscriber::with_default(capture.clone(), || {
+            ListScheduler::new()
+                .schedule(&g, &p, &a, &Pinning::new())
+                .unwrap();
+        });
+
+        let events = capture.0.lock().unwrap();
+        let miss = events
+            .iter()
+            .find(|e| e.message == "deadline miss")
+            .expect("scheduling past the deadline must emit a warn event");
+        assert_eq!(miss.level, tracing::Level::Warn);
+        let field = |key: &str| {
+            miss.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_else(|| panic!("missing field `{key}`"))
+        };
+        assert_eq!(field("subtask"), only.to_string());
+        assert_eq!(field("release"), "0");
+        assert_eq!(field("deadline"), "10");
+        assert_eq!(field("finish"), "50");
+        assert_eq!(field("lateness"), "40");
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl Schedule {
         messages: Vec<Option<MessageSlot>>,
         processors: usize,
     ) -> Self {
-        let makespan = entries
-            .iter()
-            .map(|e| e.finish)
-            .max()
-            .unwrap_or(Time::ZERO);
+        let makespan = entries.iter().map(|e| e.finish).max().unwrap_or(Time::ZERO);
         Schedule {
             entries,
             messages,
@@ -125,10 +121,7 @@ impl Schedule {
         if !self.makespan.is_positive() {
             return 0.0;
         }
-        let work: Time = graph
-            .subtask_ids()
-            .map(|id| graph.subtask(id).wcet())
-            .sum();
+        let work: Time = graph.subtask_ids().map(|id| graph.subtask(id).wcet()).sum();
         work.as_f64() / (self.processors as f64 * self.makespan.as_f64())
     }
 

@@ -142,6 +142,14 @@ impl Slicer {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> Result<DeadlineAssignment, SliceError> {
+        let _span = tracing::debug_span!(
+            "distribute",
+            metric = self.metric.name(),
+            estimate = self.estimate.label(),
+            subtasks = graph.subtask_count()
+        )
+        .entered();
+
         let ctx = MetricContext::for_workload(graph, platform);
         let exp = ExpandedGraph::build(graph, &self.estimate, platform);
         let rule = self.metric.share_rule();
@@ -164,6 +172,7 @@ impl Slicer {
         let mut search = PathSearch::new(n, exp.max_chain());
         let mut remaining = n;
         let mut inverted = 0usize;
+        let mut paths = 0usize;
 
         while remaining > 0 {
             let cp = search
@@ -175,6 +184,17 @@ impl Slicer {
             if was_inverted {
                 inverted += 1;
             }
+            paths += 1;
+            tracing::trace!(
+                path = paths,
+                len = cp.nodes.len(),
+                window_start = %cp.window_start,
+                window_end = %cp.window_end,
+                slack = (cp.window_end.max(cp.window_start) - cp.window_start).as_f64()
+                    - path_weights.iter().sum::<f64>(),
+                inverted = was_inverted,
+                "sliced critical path"
+            );
 
             for (&v, &win) in cp.nodes.iter().zip(&slices) {
                 debug_assert!(windows[v].is_none(), "node sliced twice");
@@ -202,6 +222,13 @@ impl Slicer {
                 }
             }
         }
+
+        tracing::debug!(
+            paths = paths,
+            inverted = inverted,
+            expanded_nodes = n,
+            "deadline distribution complete"
+        );
 
         let mut task_windows = Vec::with_capacity(graph.subtask_count());
         for id in graph.subtask_ids() {
@@ -467,7 +494,10 @@ mod tests {
             "CCAA"
         );
         assert_eq!(Slicer::ast_thres(2.0).metric_name(), "THRES");
-        assert_eq!(Slicer::ast_thres_with(Thres::paper()).metric_name(), "THRES");
+        assert_eq!(
+            Slicer::ast_thres_with(Thres::paper()).metric_name(),
+            "THRES"
+        );
     }
 
     #[test]

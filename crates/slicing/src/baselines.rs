@@ -106,9 +106,7 @@ pub fn distribute_baseline(graph: &TaskGraph, strategy: BaselineStrategy) -> Dea
         for s in graph.successors(v) {
             let via = match strategy {
                 BaselineStrategy::Ultimate => deadline[s.index()],
-                BaselineStrategy::Effective => {
-                    deadline[s.index()] - graph.subtask(s).wcet()
-                }
+                BaselineStrategy::Effective => deadline[s.index()] - graph.subtask(s).wcet(),
             };
             d = d.min(via);
         }
@@ -211,8 +209,7 @@ mod tests {
                 // Windows always hold their subtask.
                 assert!(
                     ed.window(id).relative_deadline() >= g.subtask(id).wcet()
-                        || ed.absolute_deadline(id)
-                            == ed.release(id) + g.subtask(id).wcet()
+                        || ed.absolute_deadline(id) == ed.release(id) + g.subtask(id).wcet()
                 );
             }
         }
@@ -251,11 +248,7 @@ mod tests {
             assert!(schedule.is_some(), "{}", strategy.label());
         }
 
-        fn sched_for_test(
-            g: &TaskGraph,
-            p: &Platform,
-            asg: &DeadlineAssignment,
-        ) -> Option<()> {
+        fn sched_for_test(g: &TaskGraph, p: &Platform, asg: &DeadlineAssignment) -> Option<()> {
             // The sched crate depends on slicing, so tests here cannot use
             // it without a cycle; emulate the check by validating windows.
             for id in g.subtask_ids() {

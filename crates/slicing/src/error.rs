@@ -36,6 +36,8 @@ mod tests {
     fn display_and_error_impl() {
         fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
         assert_error::<SliceError>();
-        assert!(SliceError::NoAnchoredPath.to_string().contains("critical path"));
+        assert!(SliceError::NoAnchoredPath
+            .to_string()
+            .contains("critical path"));
     }
 }

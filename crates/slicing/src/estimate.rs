@@ -66,7 +66,10 @@ impl CommEstimate {
             CommEstimate::Ccne => Time::ZERO,
             CommEstimate::Ccaa => worst_case(edge, platform),
             CommEstimate::Known(pins) => {
-                match (pins.processor_for(edge.src()), pins.processor_for(edge.dst())) {
+                match (
+                    pins.processor_for(edge.src()),
+                    pins.processor_for(edge.dst()),
+                ) {
                     (Some(from), Some(to)) => platform
                         .comm_cost(from, to, edge.items())
                         .unwrap_or_else(|_| worst_case(edge, platform)),
@@ -140,10 +143,7 @@ mod tests {
         let mut same = Pinning::new();
         same.pin(SubtaskId::new(0), ProcessorId::new(2)).unwrap();
         same.pin(SubtaskId::new(1), ProcessorId::new(2)).unwrap();
-        assert_eq!(
-            CommEstimate::Known(same).estimated_cost(e, &p),
-            Time::ZERO
-        );
+        assert_eq!(CommEstimate::Known(same).estimated_cost(e, &p), Time::ZERO);
 
         let mut remote = Pinning::new();
         remote.pin(SubtaskId::new(0), ProcessorId::new(0)).unwrap();

@@ -61,14 +61,12 @@ pub mod metrics;
 mod path_search;
 
 pub use algorithm::Slicer;
-pub use baselines::{distribute_baseline, BaselineStrategy};
 pub use assignment::{DeadlineAssignment, SliceViolation, ValidationReport, Window};
+pub use baselines::{distribute_baseline, BaselineStrategy};
 pub use context::MetricContext;
 pub use error::SliceError;
 pub use estimate::CommEstimate;
-pub use metrics::{
-    Adapt, MetricKind, Norm, Pure, ShareRule, SliceMetric, Thres, ThresholdSpec,
-};
+pub use metrics::{Adapt, MetricKind, Norm, Pure, ShareRule, SliceMetric, Thres, ThresholdSpec};
 
 #[cfg(test)]
 mod send_sync_tests {

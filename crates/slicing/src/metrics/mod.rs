@@ -197,9 +197,7 @@ impl SliceMetric for MetricKind {
             MetricKind::Thres { surplus, threshold } => {
                 Thres::new(*surplus, *threshold).virtual_time(real, ctx)
             }
-            MetricKind::Adapt { threshold } => {
-                Adapt::new(*threshold).virtual_time(real, ctx)
-            }
+            MetricKind::Adapt { threshold } => Adapt::new(*threshold).virtual_time(real, ctx),
         }
     }
 
@@ -276,10 +274,18 @@ mod tests {
             MetricKind::thres(1.0),
             MetricKind::adapt(),
         ] {
-            assert_eq!(kind.virtual_time(Time::new(10), &ctx), 10.0, "{}", kind.label());
+            assert_eq!(
+                kind.virtual_time(Time::new(10), &ctx),
+                10.0,
+                "{}",
+                kind.label()
+            );
         }
         // Above threshold: THRES inflates by (1+Δ), ADAPT by (1+ξ/N).
-        assert_eq!(MetricKind::thres(1.0).virtual_time(Time::new(30), &ctx), 60.0);
+        assert_eq!(
+            MetricKind::thres(1.0).virtual_time(Time::new(30), &ctx),
+            60.0
+        );
         assert_eq!(MetricKind::adapt().virtual_time(Time::new(30), &ctx), 90.0);
         assert_eq!(MetricKind::pure().virtual_time(Time::new(30), &ctx), 30.0);
         assert_eq!(MetricKind::norm().virtual_time(Time::new(30), &ctx), 30.0);

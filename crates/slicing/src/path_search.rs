@@ -245,7 +245,11 @@ mod tests {
         // Heavier branch (through x, weight 60) has less slack per node:
         // (200 - 80)/3 = 40 < (200 - 40)/3 ≈ 53.3.
         let heavy = exp.task_node(SubtaskId::new(1));
-        assert!(cp.nodes.contains(&heavy), "expected heavy branch in {:?}", cp.nodes);
+        assert!(
+            cp.nodes.contains(&heavy),
+            "expected heavy branch in {:?}",
+            cp.nodes
+        );
         assert_eq!(cp.nodes.len(), 3);
         assert!((cp.score - 40.0).abs() < 1e-9);
         assert_eq!(cp.window_start, Time::ZERO);

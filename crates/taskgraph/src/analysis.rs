@@ -167,8 +167,7 @@ impl<'g> GraphAnalysis<'g> {
             let mut pred_id = None;
             for p in self.graph.predecessors(v) {
                 if best[p.index()] > pred_best
-                    || (best[p.index()] == pred_best
-                        && pred_id.is_some_and(|q: SubtaskId| p < q))
+                    || (best[p.index()] == pred_best && pred_id.is_some_and(|q: SubtaskId| p < q))
                 {
                     pred_best = best[p.index()];
                     pred_id = Some(p);

@@ -43,7 +43,10 @@ impl fmt::Display for GraphError {
                 write!(f, "duplicate edge from {src} to {dst}")
             }
             GraphError::Cycle(id) => {
-                write!(f, "precedence constraints form a cycle through subtask {id}")
+                write!(
+                    f,
+                    "precedence constraints form a cycle through subtask {id}"
+                )
             }
             GraphError::MissingRelease(id) => {
                 write!(f, "input subtask {id} has no release time")

@@ -51,6 +51,15 @@ pub fn generate<R: Rng + ?Sized>(
 ) -> Result<TaskGraph, GenerateError> {
     spec.validate().map_err(GenerateError::InvalidSpec)?;
 
+    let _span = tracing::debug_span!(
+        "generate",
+        met = spec.mean_exec_time,
+        olr = spec.olr,
+        ccr = spec.ccr,
+        variation = ?spec.variation
+    )
+    .entered();
+
     let depth = rng.gen_range(spec.depth.clone());
     let min_n = (*spec.subtasks.start()).max(depth);
     let max_n = (*spec.subtasks.end()).max(min_n);
@@ -129,7 +138,15 @@ pub fn generate<R: Rng + ?Sized>(
         }
     }
 
-    builder.build().map_err(GenerateError::Graph)
+    let graph = builder.build().map_err(GenerateError::Graph)?;
+    tracing::debug!(
+        subtasks = graph.subtask_count(),
+        messages = graph.edge_count(),
+        depth = depth,
+        deadline = %deadline,
+        "generated task graph"
+    );
+    Ok(graph)
 }
 
 /// End-to-end deadline the generator would assign for a given deadline-base
@@ -145,10 +162,7 @@ pub fn end_to_end_deadline(spec: &WorkloadSpec, base_work: Time) -> Time {
 }
 
 /// The workload quantity the OLR multiplies, computed from a builder.
-pub(crate) fn deadline_base_work(
-    spec: &WorkloadSpec,
-    builder: &crate::TaskGraphBuilder,
-) -> Time {
+pub(crate) fn deadline_base_work(spec: &WorkloadSpec, builder: &crate::TaskGraphBuilder) -> Time {
     match spec.deadline_base {
         crate::gen::DeadlineBase::CriticalPath => builder
             .longest_path_work()
@@ -190,7 +204,9 @@ fn add_message<R: Rng + ?Sized>(
     dst: SubtaskId,
 ) -> Result<(), GenerateError> {
     let items = draw_message_items(spec, rng);
-    builder.add_edge(src, dst, items).map_err(GenerateError::Graph)?;
+    builder
+        .add_edge(src, dst, items)
+        .map_err(GenerateError::Graph)?;
     Ok(())
 }
 
@@ -254,7 +270,11 @@ mod tests {
     fn respects_size_and_depth_ranges() {
         for seed in 0..20 {
             let g = paper_graph(seed, ExecVariation::Mdet);
-            assert!((40..=60).contains(&g.subtask_count()), "n={}", g.subtask_count());
+            assert!(
+                (40..=60).contains(&g.subtask_count()),
+                "n={}",
+                g.subtask_count()
+            );
             let depth = GraphAnalysis::new(&g).depth();
             assert!((8..=12).contains(&depth), "depth={depth}");
         }
@@ -328,7 +348,10 @@ mod tests {
                 // above the last level are only acceptable if they were
                 // created at the last *constructed* level. The generator
                 // guarantees no interior node is successor-less.
-                panic!("interior node {id} has no successors (level {})", levels[id.index()]);
+                panic!(
+                    "interior node {id} has no successors (level {})",
+                    levels[id.index()]
+                );
             }
         }
     }

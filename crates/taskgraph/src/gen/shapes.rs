@@ -92,10 +92,13 @@ pub fn generate_shape<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<TaskGraph, GenerateError> {
     spec.validate().map_err(GenerateError::InvalidSpec)?;
+    let _span = tracing::debug_span!("generate_shape", shape = ?shape).entered();
     match shape {
         Shape::Chain { length } => {
             if length == 0 {
-                return Err(GenerateError::InvalidSpec("chain length must be positive".into()));
+                return Err(GenerateError::InvalidSpec(
+                    "chain length must be positive".into(),
+                ));
             }
             build(spec, rng, |b, s, r| {
                 let mut prev: Option<SubtaskId> = None;
@@ -230,7 +233,9 @@ fn add_edge<R: Rng + ?Sized>(
         let hi = ((mean * (1.0 + v)).round() as u64).max(lo);
         rng.gen_range(lo..=hi)
     };
-    builder.add_edge(src, dst, items).map_err(GenerateError::Graph)?;
+    builder
+        .add_edge(src, dst, items)
+        .map_err(GenerateError::Graph)?;
     Ok(())
 }
 
@@ -262,7 +267,10 @@ mod tests {
 
     #[test]
     fn in_tree_converges() {
-        let g = gen(Shape::InTree { depth: 3, branching: 2 });
+        let g = gen(Shape::InTree {
+            depth: 3,
+            branching: 2,
+        });
         assert_eq!(g.subtask_count(), 1 + 2 + 4);
         assert_eq!(g.outputs().len(), 1);
         assert_eq!(g.inputs().len(), 4);
@@ -270,7 +278,10 @@ mod tests {
 
     #[test]
     fn out_tree_diverges() {
-        let g = gen(Shape::OutTree { depth: 3, branching: 3 });
+        let g = gen(Shape::OutTree {
+            depth: 3,
+            branching: 3,
+        });
         assert_eq!(g.subtask_count(), 1 + 3 + 9);
         assert_eq!(g.inputs().len(), 1);
         assert_eq!(g.outputs().len(), 9);
@@ -278,7 +289,10 @@ mod tests {
 
     #[test]
     fn fork_join_structure() {
-        let g = gen(Shape::ForkJoin { stages: 2, width: 3 });
+        let g = gen(Shape::ForkJoin {
+            stages: 2,
+            width: 3,
+        });
         // join0 + (3 workers + join) * 2 stages
         assert_eq!(g.subtask_count(), 1 + 2 * 4);
         assert_eq!(g.inputs().len(), 1);
@@ -290,7 +304,10 @@ mod tests {
     fn parallelism_ordering_across_shapes() {
         let chain = GraphAnalysis::new(&gen(Shape::Chain { length: 8 })).avg_parallelism();
         assert!((chain - 1.0).abs() < 1e-9);
-        let fj = gen(Shape::ForkJoin { stages: 2, width: 6 });
+        let fj = gen(Shape::ForkJoin {
+            stages: 2,
+            width: 6,
+        });
         assert!(GraphAnalysis::new(&fj).avg_parallelism() > 1.5);
     }
 
@@ -298,9 +315,18 @@ mod tests {
     fn anchors_present_on_all_shapes() {
         for shape in [
             Shape::Chain { length: 4 },
-            Shape::InTree { depth: 3, branching: 2 },
-            Shape::OutTree { depth: 2, branching: 4 },
-            Shape::ForkJoin { stages: 1, width: 2 },
+            Shape::InTree {
+                depth: 3,
+                branching: 2,
+            },
+            Shape::OutTree {
+                depth: 2,
+                branching: 4,
+            },
+            Shape::ForkJoin {
+                stages: 1,
+                width: 2,
+            },
         ] {
             let g = gen(shape);
             for &i in g.inputs() {
@@ -318,9 +344,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for shape in [
             Shape::Chain { length: 0 },
-            Shape::InTree { depth: 0, branching: 2 },
-            Shape::OutTree { depth: 2, branching: 0 },
-            Shape::ForkJoin { stages: 0, width: 1 },
+            Shape::InTree {
+                depth: 0,
+                branching: 2,
+            },
+            Shape::OutTree {
+                depth: 2,
+                branching: 0,
+            },
+            Shape::ForkJoin {
+                stages: 0,
+                width: 1,
+            },
         ] {
             assert!(
                 matches!(
@@ -336,6 +371,11 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert_eq!(Shape::Chain { length: 3 }.label(), "chain(3)");
-        assert!(Shape::ForkJoin { stages: 2, width: 5 }.label().contains("w=5"));
+        assert!(Shape::ForkJoin {
+            stages: 2,
+            width: 5
+        }
+        .label()
+        .contains("w=5"));
     }
 }

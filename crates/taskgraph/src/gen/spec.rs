@@ -47,7 +47,11 @@ impl ExecVariation {
 
     /// The three scenarios used in every figure of the paper.
     pub fn paper_scenarios() -> [ExecVariation; 3] {
-        [ExecVariation::Ldet, ExecVariation::Mdet, ExecVariation::Hdet]
+        [
+            ExecVariation::Ldet,
+            ExecVariation::Mdet,
+            ExecVariation::Hdet,
+        ]
     }
 }
 
@@ -294,14 +298,20 @@ mod tests {
             .with_depth(8..=12)
             .validate()
             .is_err());
-        assert!(WorkloadSpec::default().with_mean_exec_time(0).validate().is_err());
+        assert!(WorkloadSpec::default()
+            .with_mean_exec_time(0)
+            .validate()
+            .is_err());
         assert!(WorkloadSpec::default().with_olr(0.0).validate().is_err());
         assert!(WorkloadSpec::default().with_ccr(-1.0).validate().is_err());
         assert!(WorkloadSpec::default()
             .with_variation(ExecVariation::Custom(1.0))
             .validate()
             .is_err());
-        assert!(WorkloadSpec::default().with_fan_in(0..=2).validate().is_err());
+        assert!(WorkloadSpec::default()
+            .with_fan_in(0..=2)
+            .validate()
+            .is_err());
         #[allow(clippy::reversed_empty_ranges)]
         let empty = WorkloadSpec::default().with_depth(4..=2);
         assert!(empty.validate().is_err());

@@ -15,9 +15,7 @@ use crate::{GraphError, Time};
 ///
 /// Ids are dense indices assigned in insertion order, so they can be used to
 /// index per-subtask side tables.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SubtaskId(u32);
 
@@ -43,9 +41,7 @@ impl fmt::Display for SubtaskId {
 
 /// Identifier of a precedence edge (and its message) within one
 /// [`TaskGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EdgeId(u32);
 
@@ -286,12 +282,16 @@ impl TaskGraph {
 
     /// Successor subtasks of `id`.
     pub fn successors(&self, id: SubtaskId) -> impl Iterator<Item = SubtaskId> + '_ {
-        self.succ[id.index()].iter().map(|&e| self.edges[e.index()].dst)
+        self.succ[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].dst)
     }
 
     /// Predecessor subtasks of `id`.
     pub fn predecessors(&self, id: SubtaskId) -> impl Iterator<Item = SubtaskId> + '_ {
-        self.pred[id.index()].iter().map(|&e| self.edges[e.index()].src)
+        self.pred[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].src)
     }
 
     /// Input subtasks (no predecessors), in insertion order.
@@ -620,10 +620,19 @@ mod tests {
         let mut b = TaskGraph::builder();
         let x = b.add_subtask(anchored(1));
         let ghost = SubtaskId::new(99);
-        assert_eq!(b.add_edge(x, ghost, 1), Err(GraphError::UnknownSubtask(ghost)));
-        assert_eq!(b.add_edge(ghost, x, 1), Err(GraphError::UnknownSubtask(ghost)));
+        assert_eq!(
+            b.add_edge(x, ghost, 1),
+            Err(GraphError::UnknownSubtask(ghost))
+        );
+        assert_eq!(
+            b.add_edge(ghost, x, 1),
+            Err(GraphError::UnknownSubtask(ghost))
+        );
         let y = b.add_subtask(anchored(1));
-        assert!(matches!(b.add_edge(x, y, 0), Err(GraphError::EmptyMessage(_))));
+        assert!(matches!(
+            b.add_edge(x, y, 0),
+            Err(GraphError::EmptyMessage(_))
+        ));
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_mean_exec_time(25)
         .with_olr(2.0)
         .with_ccr(0.8);
-    let shape = Shape::ForkJoin { stages: 5, width: 6 };
+    let shape = Shape::ForkJoin {
+        stages: 5,
+        width: 6,
+    };
     let mut rng = StdRng::seed_from_u64(0xA110C);
     let graph = generate_shape(shape, &spec, &mut rng)?;
 
@@ -49,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare estimation strategies and bus models on the same workload.
     let configs = [
-        ("ADAPT + CCNE, fixed delay", Slicer::ast_adapt(), BusModel::Delay),
+        (
+            "ADAPT + CCNE, fixed delay",
+            Slicer::ast_adapt(),
+            BusModel::Delay,
+        ),
         (
             "ADAPT + CCAA, fixed delay",
             Slicer::ast_adapt().with_estimate(CommEstimate::Ccaa),
@@ -62,15 +69,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("\n{:<28}{:>14}{:>14}{:>10}", "configuration", "max lateness", "end-to-end", "makespan");
+    println!(
+        "\n{:<28}{:>14}{:>14}{:>10}",
+        "configuration", "max lateness", "end-to-end", "makespan"
+    );
     for (label, slicer, bus) in configs {
         let assignment = slicer.distribute(&graph, &platform)?;
         assert!(assignment.validate(&graph).is_ok());
-        let schedule = ListScheduler::new()
-            .with_bus_model(bus)
-            .schedule(&graph, &platform, &assignment, &Pinning::new())?;
+        let schedule = ListScheduler::new().with_bus_model(bus).schedule(
+            &graph,
+            &platform,
+            &assignment,
+            &Pinning::new(),
+        )?;
         assert!(schedule
-            .validate(&graph, &platform, &Pinning::new(), bus == BusModel::Contention)
+            .validate(
+                &graph,
+                &platform,
+                &Pinning::new(),
+                bus == BusModel::Contention
+            )
             .is_empty());
         let report = LatenessReport::new(&graph, &assignment, &schedule);
         println!(

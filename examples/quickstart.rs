@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("structural check: {report}");
 
     // Now assign and schedule with the deadline-driven list scheduler.
-    let schedule = ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
+    let schedule =
+        ListScheduler::new().schedule(&graph, &platform, &assignment, &Pinning::new())?;
     println!("\nschedule (makespan {}):", schedule.makespan());
     for entry in schedule.entries() {
         let name = graph.subtask(entry.subtask).name().unwrap_or("?");
@@ -79,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or("?")
     );
     println!("end-to-end lateness: {}", lateness.end_to_end_lateness());
-    assert!(lateness.is_feasible(), "the quickstart workload is feasible");
+    assert!(
+        lateness.is_feasible(),
+        "the quickstart workload is feasible"
+    );
     Ok(())
 }

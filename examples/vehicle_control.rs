@@ -30,18 +30,21 @@ fn build_pipeline() -> Result<Pipeline, Box<dyn std::error::Error>> {
 
     let mut wheel_sensors = Vec::new();
     for name in ["fl_speed", "fr_speed", "rl_speed", "rr_speed"] {
-        wheel_sensors.push(b.add_subtask(
-            Subtask::new(Time::new(8)).named(name).released_at(Time::ZERO),
-        ));
+        wheel_sensors.push(
+            b.add_subtask(
+                Subtask::new(Time::new(8))
+                    .named(name)
+                    .released_at(Time::ZERO),
+            ),
+        );
     }
     let front_slip = b.add_subtask(Subtask::new(Time::new(35)).named("front_slip"));
     let rear_slip = b.add_subtask(Subtask::new(Time::new(35)).named("rear_slip"));
     let controller = b.add_subtask(Subtask::new(Time::new(50)).named("abs_controller"));
     let mut brake_actuators = Vec::new();
     for name in ["fl_brake", "fr_brake", "rl_brake", "rr_brake"] {
-        brake_actuators.push(
-            b.add_subtask(Subtask::new(Time::new(6)).named(name).due_at(deadline)),
-        );
+        brake_actuators
+            .push(b.add_subtask(Subtask::new(Time::new(6)).named(name).due_at(deadline)));
     }
 
     b.add_edge(wheel_sensors[0], front_slip, 12)?;
@@ -85,8 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deadline distribution happens *before* the floating tasks are placed.
     for slicer in [Slicer::bst_pure(), Slicer::ast_adapt()] {
         let assignment = slicer.distribute(graph, &platform)?;
-        let schedule =
-            ListScheduler::new().schedule(graph, &platform, &assignment, &pins)?;
+        let schedule = ListScheduler::new().schedule(graph, &platform, &assignment, &pins)?;
         assert!(
             schedule.validate(graph, &platform, &pins, false).is_empty(),
             "schedule must honour pins, precedence and bus delays"
@@ -102,7 +104,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for entry in schedule.entries() {
             let name = graph.subtask(entry.subtask).name().unwrap_or("?");
-            let pinned = if pins.is_pinned(entry.subtask) { " (pinned)" } else { "" };
+            let pinned = if pins.is_pinned(entry.subtask) {
+                " (pinned)"
+            } else {
+                ""
+            };
             println!(
                 "  {name:<15} {} [{:>3}, {:>3}){pinned}",
                 entry.processor, entry.start, entry.finish

@@ -10,7 +10,10 @@ use feast::ExperimentResult;
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig {
-        replications: 24,
+        // High enough that the qualitative orderings below sit outside
+        // replication noise (at 24 reps the ADAPT/PURE ratio on 2
+        // processors still swings by ±0.1 across RNG streams).
+        replications: 96,
         base_seed: 0xFEA57,
         system_sizes: vec![2, 4, 16],
         threads: 0,

@@ -49,8 +49,7 @@ fn full_pipeline_is_sound_for_every_metric_and_estimate() {
                     let schedule = ListScheduler::new()
                         .schedule(&graph, &platform, &assignment, &Pinning::new())
                         .unwrap();
-                    let violations =
-                        schedule.validate(&graph, &platform, &Pinning::new(), false);
+                    let violations = schedule.validate(&graph, &platform, &Pinning::new(), false);
                     assert!(
                         violations.is_empty(),
                         "seed {seed} nproc {nproc} {}: {violations:?}",
@@ -139,7 +138,9 @@ fn strict_locality_baseline_reproduces_bst_setting() {
     let schedule = ListScheduler::new()
         .schedule(&graph, &platform, &assignment, &pins)
         .unwrap();
-    assert!(schedule.validate(&graph, &platform, &pins, false).is_empty());
+    assert!(schedule
+        .validate(&graph, &platform, &pins, false)
+        .is_empty());
     // Every subtask sits on its pinned processor.
     for id in graph.subtask_ids() {
         assert_eq!(Some(schedule.processor(id)), pins.processor_for(id));
@@ -214,5 +215,7 @@ fn work_conserving_scheduler_is_also_sound() {
         .with_respect_release(false)
         .schedule(&graph, &platform, &assignment, &Pinning::new())
         .unwrap();
-    assert!(schedule.validate(&graph, &platform, &Pinning::new(), false).is_empty());
+    assert!(schedule
+        .validate(&graph, &platform, &Pinning::new(), false)
+        .is_empty());
 }

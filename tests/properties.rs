@@ -16,12 +16,12 @@ use taskgraph::{TaskGraph, Time};
 /// paper's defaults).
 fn workload_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        8usize..40,     // min subtasks
-        2usize..8,      // depth lower bound
-        5i64..60,       // MET
-        0.0f64..0.99,   // exec variation
-        1.05f64..3.0,   // OLR
-        0.0f64..2.5,    // CCR
+        8usize..40,   // min subtasks
+        2usize..8,    // depth lower bound
+        5i64..60,     // MET
+        0.0f64..0.99, // exec variation
+        1.05f64..3.0, // OLR
+        0.0f64..2.5,  // CCR
     )
         .prop_map(|(n_min, d_min, met, var, olr, ccr)| {
             // The subtask count must be able to fill the deepest graph.

@@ -1,0 +1,536 @@
+//! Offline shim for the subset of `serde` 1 used by this workspace.
+//!
+//! Upstream serde abstracts over data formats through a visitor-based data
+//! model; this repository only ever serializes to and from JSON, so the shim
+//! collapses the model to one concrete [`Value`] tree. [`Serialize`] renders
+//! a value tree, [`Deserialize`] rebuilds a type from one, and the companion
+//! `serde_json` shim renders/parses the tree as JSON text. The derive macros
+//! (`features = ["derive"]`) generate structurally identical JSON to
+//! upstream serde's defaults (externally tagged enums, transparent newtype
+//! structs, struct maps in field order).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the single data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer outside `i64` range (or naturally unsigned).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first structural mismatch.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization error (structural mismatch or out-of-range number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Creates a "expected X while deserializing Y, found Z" error.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        DeError(format!(
+            "expected {what} while deserializing {ty}, found {}",
+            found.kind()
+        ))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n: i128 = match value {
+                    Value::I64(n) => *n as i128,
+                    Value::U64(n) => *n as i128,
+                    other => return Err(DeError::expected("integer", stringify!($ty), other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n: u64 = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(DeError::expected("unsigned integer", stringify!($ty), other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(f) => Ok(*f as $ty),
+                    Value::I64(n) => Ok(*n as $ty),
+                    Value::U64(n) => Ok(*n as $ty),
+                    // serde_json renders non-finite floats as null.
+                    Value::Null => Ok(<$ty>::NAN),
+                    other => Err(DeError::expected("number", stringify!($ty), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", "char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("fixed-size array", "tuple", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<T: Serialize> Serialize for std::ops::RangeInclusive<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_owned(), self.start().to_value()),
+            ("end".to_owned(), self.end().to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::RangeInclusive<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "RangeInclusive", value))?;
+        let start = T::from_value(field(obj, "start"))?;
+        let end = T::from_value(field(obj, "end"))?;
+        Ok(start..=end)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_owned(), self.start.to_value()),
+            ("end".to_owned(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Range", value))?;
+        Ok(T::from_value(field(obj, "start"))?..T::from_value(field(obj, "end"))?)
+    }
+}
+
+/// Renders a map key as the JSON object key, mirroring serde_json's rule
+/// that keys must be strings or integers.
+fn key_string(key: Value) -> String {
+    match key {
+        Value::Str(s) => s,
+        Value::I64(n) => n.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize to a string or integer, got {}",
+            other.kind()
+        ),
+    }
+}
+
+/// Rebuilds a map key from its JSON object-key string: integer keys were
+/// stringified on the way out, so numeric strings are retried as integers.
+fn key_from_str<K: Deserialize>(raw: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(raw.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = raw.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = raw.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if raw == "true" || raw == "false" {
+        if let Ok(k) = K::from_value(&Value::Bool(raw == "true")) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::custom(format!(
+        "cannot rebuild map key from {raw:?}"
+    )))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support for derived code
+// ---------------------------------------------------------------------------
+
+static NULL: Value = Value::Null;
+
+/// Looks up `name` in an object's entries; missing fields read as `null`
+/// (which deserializes to `None` for `Option` fields and errors otherwise).
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find_map(|(k, v)| (k == name).then_some(v))
+        .unwrap_or(&NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(usize::from_value(&42usize.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn integer_cross_width_and_sign() {
+        assert_eq!(u32::from_value(&Value::I64(7)), Ok(7));
+        assert_eq!(i32::from_value(&Value::U64(7)), Ok(7));
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::I64(2)), Ok(2.0));
+    }
+
+    #[test]
+    fn option_vec_tuple_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&v.to_value()), Ok(None));
+        let v = Some(3u32);
+        assert_eq!(Option::<u32>::from_value(&v.to_value()), Ok(Some(3)));
+        let xs = vec![(2usize, -1.5f64), (4, 0.25)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&xs.to_value()), Ok(xs));
+    }
+
+    #[test]
+    fn range_inclusive_round_trip() {
+        let r = 40usize..=60;
+        assert_eq!(
+            std::ops::RangeInclusive::<usize>::from_value(&r.to_value()),
+            Ok(r)
+        );
+    }
+
+    #[test]
+    fn map_keys_stringify_and_parse_back() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "a".to_string());
+        m.insert(7, "b".to_string());
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "3");
+        assert_eq!(BTreeMap::<u32, String>::from_value(&v), Ok(m));
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let e = Vec::<u32>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(e.to_string().contains("expected array"));
+    }
+}

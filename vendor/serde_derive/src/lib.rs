@@ -1,0 +1,515 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`.
+//!
+//! Hand-rolled on top of `proc_macro` alone (no syn/quote, which are not
+//! available offline). The parser extracts only what codegen needs — the type
+//! name, field names, and variant shapes; field *types* never matter because
+//! the generated code calls trait methods and lets inference resolve them.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs: named fields, tuple (newtype serializes transparently, like
+//!   upstream), unit; `#[serde(transparent)]` on single-field structs
+//! - enums with unit / newtype / tuple / struct variants, externally tagged
+//!   exactly like upstream serde's default representation
+//!
+//! Not supported (rejected with `compile_error!`): generic types, unions,
+//! and `#[serde(...)]` attributes other than `transparent`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree model; see the vendored `serde`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree model; see the vendored `serde`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => {
+            let code = gen(&parsed);
+            code.parse()
+                .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+        }
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) => {
+                    transparent |= attr_is_serde_transparent(g);
+                    i += 2;
+                }
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic types (`{name}`)"
+            ));
+        }
+    }
+
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        }),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Input {
+        name,
+        transparent,
+        data,
+    })
+}
+
+/// Does an attribute group (the `[...]` after `#`) read `serde(transparent)`?
+fn attr_is_serde_transparent(group: &Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Extracts field names from `{ ... }` contents, skipping attributes,
+/// visibility, and types. Commas inside generic arguments (`BTreeMap<K, V>`)
+/// are ignored by tracking angle-bracket depth.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2; // `#` + bracket group
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("expected field name".into()),
+        }
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    names.last().unwrap()
+                ))
+            }
+        }
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Counts fields in `( ... )` contents: depth-0 commas delimit fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut in_segment = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                    in_segment = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected variant name".into()),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn join(parts: impl Iterator<Item = String>, sep: &str) -> String {
+    parts.collect::<Vec<_>>().join(sep)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) if input.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let entries = join(
+                fields.iter().map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                }),
+                ", ",
+            );
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        // Newtype structs serialize as their inner value (upstream default).
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items = join(
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")),
+                ", ",
+            );
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Data::Enum(variants) => {
+            let arms = join(
+                variants.iter().map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = join((0..*n).map(|k| format!("__f{k}")), ", ");
+                            let items = join(
+                                (0..*n).map(|k| format!("::serde::Serialize::to_value(__f{k})")),
+                                ", ",
+                            );
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Array(::std::vec![{items}]))])"
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries = join(
+                                fs.iter().map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                }),
+                                ", ",
+                            );
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))])"
+                            )
+                        }
+                    }
+                }),
+                ", ",
+            );
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) if input.transparent && fields.len() == 1 => {
+            format!(
+                "::core::result::Result::Ok({name} {{ {}: \
+                 ::serde::Deserialize::from_value(value)? }})",
+                fields[0]
+            )
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let lets = join(fields.iter().map(|f| field_let(name, f, "__entries")), " ");
+            let build = fields.join(", ");
+            format!(
+                "let __entries = match value.as_object() {{ \
+                 ::core::option::Option::Some(e) => e, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"object\", {name:?}, value)) }}; \
+                 {lets} ::core::result::Result::Ok({name} {{ {build} }})"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items = join(
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?")),
+                ", ",
+            );
+            format!(
+                "let __items = match value.as_array() {{ \
+                 ::core::option::Option::Some(a) if a.len() == {n} => a, \
+                 _ => return ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"array of {n}\", {name:?}, value)) }}; \
+                 ::core::result::Result::Ok({name}({items}))"
+            )
+        }
+        Data::Struct(Fields::Unit) => format!(
+            "match value {{ ::serde::Value::Null => ::core::result::Result::Ok({name}), \
+             other => ::core::result::Result::Err(\
+             ::serde::DeError::expected(\"null\", {name:?}, other)) }}"
+        ),
+        Data::Enum(variants) => {
+            let unit_arms = join(
+                variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, Fields::Unit))
+                    .map(|v| {
+                        let vn = &v.name;
+                        format!("{vn:?} => ::core::result::Result::Ok({name}::{vn})")
+                    }),
+                ", ",
+            );
+            let str_match = if unit_arms.is_empty() {
+                format!(
+                    "::core::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __s)))"
+                )
+            } else {
+                format!(
+                    "match __s.as_str() {{ {unit_arms}, \
+                     __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))) }}"
+                )
+            };
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            let object_arm = if tagged.is_empty() {
+                String::new()
+            } else {
+                let arms = join(
+                    tagged.iter().map(|v| {
+                        let vn = &v.name;
+                        match &v.fields {
+                            Fields::Tuple(1) => format!(
+                                "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__payload)?))"
+                            ),
+                            Fields::Tuple(n) => {
+                                let items = join(
+                                    (0..*n).map(|k| {
+                                        format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                    }),
+                                    ", ",
+                                );
+                                format!(
+                                    "{vn:?} => {{ let __items = match __payload.as_array() {{ \
+                                     ::core::option::Option::Some(a) if a.len() == {n} => a, \
+                                     _ => return ::core::result::Result::Err(\
+                                     ::serde::DeError::expected(\"array of {n}\", \
+                                     \"{name}::{vn}\", __payload)) }}; \
+                                     ::core::result::Result::Ok({name}::{vn}({items})) }}"
+                                )
+                            }
+                            Fields::Named(fs) => {
+                                let lets = join(
+                                    fs.iter()
+                                        .map(|f| field_let(&format!("{name}::{vn}"), f, "__ve")),
+                                    " ",
+                                );
+                                let build = fs.join(", ");
+                                format!(
+                                    "{vn:?} => {{ let __ve = match __payload.as_object() {{ \
+                                     ::core::option::Option::Some(e) => e, \
+                                     ::core::option::Option::None => return \
+                                     ::core::result::Result::Err(::serde::DeError::expected(\
+                                     \"object\", \"{name}::{vn}\", __payload)) }}; \
+                                     {lets} ::core::result::Result::Ok(\
+                                     {name}::{vn} {{ {build} }}) }}"
+                                )
+                            }
+                            Fields::Unit => unreachable!(),
+                        }
+                    }),
+                    ", ",
+                );
+                format!(
+                    "::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __payload) = &__entries[0]; \
+                     match __tag.as_str() {{ {arms}, \
+                     __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))) }} }},"
+                )
+            };
+            format!(
+                "match value {{ \
+                 ::serde::Value::Str(__s) => {str_match}, \
+                 {object_arm} \
+                 __other => ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"string or single-entry object\", {name:?}, __other)) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+/// A `let <field> = ...;` statement that reads a named field from object
+/// entries and annotates errors with the owning type and field name.
+fn field_let(owner: &str, field: &str, entries_var: &str) -> String {
+    format!(
+        "let {field} = match ::serde::Deserialize::from_value(\
+         ::serde::field({entries_var}, {field:?})) {{ \
+         ::core::result::Result::Ok(v) => v, \
+         ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+         ::serde::DeError::custom(::std::format!(\"{owner}.{field}: {{}}\", e))) }};"
+    )
+}

@@ -1,0 +1,297 @@
+//! Offline shim for the subset of `tracing-subscriber` 0.3 used by this
+//! workspace: a [`fmt()`] builder that writes human-readable, span-scoped
+//! lines to stderr, filtered by an [`EnvFilter`] parsed from `RUST_LOG`
+//! style directives (`debug`, `feast=debug,slicing=trace`, `off`).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use tracing::{Event, Level, SpanData, Subscriber};
+
+/// A `RUST_LOG`-style filter: an optional default level plus per-target
+/// directives. Target matching is by module-path prefix; the most specific
+/// (longest) matching directive wins.
+#[derive(Debug, Clone, Default)]
+pub struct EnvFilter {
+    default: Option<Level>,
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl EnvFilter {
+    /// Parses a directive string such as `info` or `feast=debug,sched=trace`.
+    /// Unparseable fragments are ignored (upstream warns and skips them too).
+    pub fn new(directives: impl AsRef<str>) -> Self {
+        let mut filter = EnvFilter::default();
+        for part in directives.as_ref().split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(level) = parse_level(level.trim()) {
+                        filter.directives.push((target.trim().to_owned(), level));
+                    }
+                }
+                None => {
+                    if let Some(level) = parse_level(part) {
+                        filter.default = level;
+                    }
+                }
+            }
+        }
+        // Most specific first, so the first match wins.
+        filter
+            .directives
+            .sort_by_key(|d| std::cmp::Reverse(d.0.len()));
+        filter
+    }
+
+    /// Builds the filter from the `RUST_LOG` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::env::VarError`] when `RUST_LOG` is
+    /// unset or not unicode.
+    pub fn try_from_default_env() -> Result<Self, std::env::VarError> {
+        std::env::var("RUST_LOG").map(EnvFilter::new)
+    }
+
+    /// Builds the filter from `RUST_LOG`, defaulting to `error` when unset
+    /// (upstream's behavior).
+    pub fn from_default_env() -> Self {
+        Self::try_from_default_env().unwrap_or_else(|_| EnvFilter::new("error"))
+    }
+
+    /// Would an event or span at `level` from `target` pass this filter?
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        for (prefix, directive) in &self.directives {
+            if target == prefix
+                || target.starts_with(prefix) && {
+                    let rest = &target[prefix.len()..];
+                    rest.starts_with("::")
+                }
+            {
+                return directive.is_some_and(|max| level <= max);
+            }
+        }
+        self.default.is_some_and(|max| level <= max)
+    }
+}
+
+/// `Some(Some(level))` syntax collapsed: `None` = unparseable,
+/// `Some(None)` = explicitly off.
+fn parse_level(text: &str) -> Option<Option<Level>> {
+    if text.eq_ignore_ascii_case("off") {
+        return Some(None);
+    }
+    text.parse::<Level>().ok().map(Some)
+}
+
+/// Starts building a stderr-formatting subscriber.
+pub fn fmt() -> FmtBuilder {
+    FmtBuilder {
+        filter: EnvFilter::new("info"),
+        show_target: true,
+    }
+}
+
+/// Builder for the stderr formatter; see [`fmt()`].
+#[derive(Debug)]
+pub struct FmtBuilder {
+    filter: EnvFilter,
+    show_target: bool,
+}
+
+impl FmtBuilder {
+    /// Filters output through `filter`.
+    #[must_use]
+    pub fn with_env_filter(mut self, filter: EnvFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Caps verbosity at `level` for every target (replaces the filter).
+    #[must_use]
+    pub fn with_max_level(mut self, level: Level) -> Self {
+        self.filter = EnvFilter {
+            default: Some(level),
+            directives: Vec::new(),
+        };
+        self
+    }
+
+    /// Shows or hides the module path on each line (default: shown).
+    #[must_use]
+    pub fn with_target(mut self, show: bool) -> Self {
+        self.show_target = show;
+        self
+    }
+
+    /// Installs the subscriber globally.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a global subscriber is already installed.
+    pub fn try_init(self) -> Result<(), tracing::subscriber::SetGlobalDefaultError> {
+        tracing::subscriber::set_global_default(FmtSubscriber {
+            filter: self.filter,
+            show_target: self.show_target,
+            started: Instant::now(),
+        })
+    }
+
+    /// Installs the subscriber globally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a global subscriber is already installed.
+    pub fn init(self) {
+        self.try_init()
+            .expect("global subscriber already installed");
+    }
+}
+
+/// The subscriber built by [`fmt()`]: one line per event on stderr, prefixed
+/// with elapsed time, level, the active span stack, and the target.
+pub struct FmtSubscriber {
+    filter: EnvFilter,
+    show_target: bool,
+    started: Instant,
+}
+
+thread_local! {
+    /// Rendered labels of this thread's active spans, innermost last.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+impl FmtSubscriber {
+    fn write_line(&self, level: Level, target: &str, body: &str) {
+        let elapsed = self.started.elapsed();
+        let mut line = String::with_capacity(body.len() + 64);
+        let _ = write!(
+            line,
+            "{:>10.6}s {:>5} ",
+            elapsed.as_secs_f64(),
+            level.as_str()
+        );
+        SPAN_STACK.with(|stack| {
+            for label in stack.borrow().iter() {
+                let _ = write!(line, "{label}:");
+            }
+        });
+        if self.show_target {
+            let _ = write!(line, " {target}:");
+        }
+        let _ = write!(line, " {body}");
+        line.push('\n');
+        // Single write keeps concurrent threads' lines from interleaving.
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
+    }
+}
+
+fn render_fields(into: &mut String, fields: &tracing::Fields) {
+    for (key, value) in fields {
+        if !into.is_empty() {
+            into.push(' ');
+        }
+        let _ = write!(into, "{key}={value}");
+    }
+}
+
+impl Subscriber for FmtSubscriber {
+    fn enabled(&self, level: Level, target: &str) -> bool {
+        self.filter.enabled(level, target)
+    }
+
+    fn event(&self, event: &Event) {
+        let mut body = String::new();
+        if !event.message.is_empty() {
+            body.push_str(&event.message);
+        }
+        render_fields(&mut body, &event.fields);
+        self.write_line(event.level, event.target, &body);
+    }
+
+    fn enter_span(&self, span: &SpanData) {
+        let mut label = String::from(span.name);
+        if !span.fields.is_empty() {
+            label.push('{');
+            let mut rendered = String::new();
+            render_fields(&mut rendered, &span.fields);
+            label.push_str(&rendered);
+            label.push('}');
+        }
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(label));
+    }
+
+    fn exit_span(&self, span: &SpanData, elapsed: Option<Duration>) {
+        if let Some(elapsed) = elapsed {
+            self.write_line(
+                span.level,
+                span.target,
+                &format!("close span={} span_us={}", span.name, elapsed.as_micros()),
+            );
+        }
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_the_default() {
+        let f = EnvFilter::new("debug");
+        assert!(f.enabled(Level::Debug, "feast::runner"));
+        assert!(f.enabled(Level::Info, "anything"));
+        assert!(!f.enabled(Level::Trace, "anything"));
+    }
+
+    #[test]
+    fn per_target_directives_override_default() {
+        let f = EnvFilter::new("warn,feast=debug,slicing::algorithm=trace");
+        assert!(f.enabled(Level::Debug, "feast"));
+        assert!(f.enabled(Level::Debug, "feast::runner"));
+        assert!(!f.enabled(Level::Debug, "feastlike")); // prefix, not path
+        assert!(f.enabled(Level::Trace, "slicing::algorithm"));
+        assert!(!f.enabled(Level::Trace, "slicing"));
+        assert!(f.enabled(Level::Warn, "sched"));
+        assert!(!f.enabled(Level::Info, "sched"));
+    }
+
+    #[test]
+    fn longest_directive_wins() {
+        let f = EnvFilter::new("feast=info,feast::telemetry=trace");
+        assert!(f.enabled(Level::Trace, "feast::telemetry"));
+        assert!(!f.enabled(Level::Trace, "feast::runner"));
+    }
+
+    #[test]
+    fn off_silences() {
+        let f = EnvFilter::new("info,sched=off");
+        assert!(!f.enabled(Level::Error, "sched"));
+        assert!(f.enabled(Level::Info, "feast"));
+    }
+
+    #[test]
+    fn malformed_directives_are_skipped() {
+        let f = EnvFilter::new("bogus_level,feast=debug,=,x=notalevel");
+        assert!(f.enabled(Level::Debug, "feast"));
+        assert!(!f.enabled(Level::Error, "other")); // no default installed
+    }
+
+    #[test]
+    fn unset_env_defaults_to_error() {
+        std::env::remove_var("RUST_LOG_SHIM_TEST");
+        let f = EnvFilter::from_default_env(); // RUST_LOG may be unset in CI
+                                               // Can't assert on RUST_LOG itself (environment-dependent); at least
+                                               // the constructor must not panic and yield a usable filter.
+        let _ = f.enabled(Level::Error, "feast");
+    }
+}

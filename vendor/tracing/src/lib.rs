@@ -1,0 +1,562 @@
+//! Offline shim for the subset of `tracing` 0.1 used by this workspace.
+//!
+//! Structured, leveled diagnostics: event macros ([`info!`], [`warn!`], …)
+//! carrying typed key–value fields plus an optional formatted message, and
+//! span macros ([`info_span!`], …) that scope work and notify the active
+//! [`Subscriber`] on enter/exit. Dispatch goes to a thread-local subscriber
+//! if one is installed (see [`subscriber::with_default`], used by tests) and
+//! otherwise to the global one ([`subscriber::set_global_default`]).
+//!
+//! Differences from upstream: field values are captured eagerly into
+//! [`FieldValue`] (no visitor API), there is no `#[instrument]` attribute
+//! macro, and span durations are only measured when the `timing` cargo
+//! feature is enabled — with it off, spans never read the clock.
+
+use std::fmt;
+
+pub mod subscriber;
+
+use std::time::Duration;
+#[cfg(feature = "timing")]
+use std::time::Instant;
+
+/// Severity of an event or span, ordered `Error < Warn < Info < Debug <
+/// Trace` so that `event_level <= max_level` means "verbose enough".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or must-see problems.
+    Error,
+    /// Suspicious conditions (e.g. deadline misses, violations).
+    Warn,
+    /// High-level progress.
+    Info,
+    /// Per-stage detail.
+    Debug,
+    /// Per-decision detail (e.g. individual dispatch choices).
+    Trace,
+}
+
+impl Level {
+    /// Upstream-style associated const.
+    pub const ERROR: Level = Level::Error;
+    /// Upstream-style associated const.
+    pub const WARN: Level = Level::Warn;
+    /// Upstream-style associated const.
+    pub const INFO: Level = Level::Info;
+    /// Upstream-style associated const.
+    pub const DEBUG: Level = Level::Debug;
+    /// Upstream-style associated const.
+    pub const TRACE: Level = Level::Trace;
+
+    /// The canonical uppercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown level `{other}`")),
+        }
+    }
+}
+
+/// An eagerly captured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (also produced by `?value` / `%value` captures).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Captures a value via its `Debug` rendering (the `?value` sigil).
+    pub fn debug(value: &impl fmt::Debug) -> Self {
+        FieldValue::Str(format!("{value:?}"))
+    }
+
+    /// Captures a value via its `Display` rendering (the `%value` sigil).
+    pub fn display(value: &impl fmt::Display) -> Self {
+        FieldValue::Str(value.to_string())
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($ty:ty => $variant:ident as $repr:ty),* $(,)?) => {$(
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v as $repr)
+            }
+        }
+    )*};
+}
+
+impl_field_from!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+/// The key–value pairs attached to an event or span.
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// One emitted diagnostic event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Module path of the call site.
+    pub target: &'static str,
+    /// The formatted message (may be empty).
+    pub message: String,
+    /// Structured fields, in call-site order.
+    pub fields: Fields,
+}
+
+/// A scope of work. Created by the span macros; inert unless the active
+/// subscriber enabled its level/target at creation time.
+#[derive(Debug)]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+/// The observable contents of an enabled span.
+#[derive(Debug, Clone)]
+pub struct SpanData {
+    /// Span name (first macro argument).
+    pub name: &'static str,
+    /// Severity.
+    pub level: Level,
+    /// Module path of the call site.
+    pub target: &'static str,
+    /// Structured fields, in call-site order.
+    pub fields: Fields,
+}
+
+impl Span {
+    /// Used by the span macros; prefer those.
+    #[doc(hidden)]
+    pub fn new(
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Fields,
+        enabled: bool,
+    ) -> Self {
+        Span {
+            data: enabled.then_some(SpanData {
+                name,
+                level,
+                target,
+                fields,
+            }),
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn none() -> Self {
+        Span { data: None }
+    }
+
+    /// Whether a subscriber is observing this span.
+    pub fn is_enabled(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Enters the span until the returned guard drops.
+    pub fn entered(self) -> EnteredSpan {
+        if let Some(data) = &self.data {
+            subscriber::enter_span(data);
+        }
+        EnteredSpan {
+            #[cfg(feature = "timing")]
+            entered_at: self.data.as_ref().map(|_| Instant::now()),
+            span: self,
+        }
+    }
+
+    /// Runs `f` inside the span.
+    pub fn in_scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        match &self.data {
+            Some(data) => {
+                subscriber::enter_span(data);
+                #[cfg(feature = "timing")]
+                let started = Instant::now();
+                let result = f();
+                #[cfg(feature = "timing")]
+                subscriber::exit_span(data, Some(started.elapsed()));
+                #[cfg(not(feature = "timing"))]
+                subscriber::exit_span(data, None);
+                result
+            }
+            None => f(),
+        }
+    }
+}
+
+/// Guard returned by [`Span::entered`]; exits the span on drop.
+#[derive(Debug)]
+pub struct EnteredSpan {
+    span: Span,
+    #[cfg(feature = "timing")]
+    entered_at: Option<Instant>,
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let Some(data) = &self.span.data {
+            #[cfg(feature = "timing")]
+            let elapsed = self.entered_at.map(|at| at.elapsed());
+            #[cfg(not(feature = "timing"))]
+            let elapsed: Option<Duration> = None;
+            subscriber::exit_span(data, elapsed);
+        }
+    }
+}
+
+/// Observes events and span activity. Implementations must be cheap in
+/// `enabled`: it gates every macro call site.
+pub trait Subscriber: Send + Sync {
+    /// Is this (level, target) worth recording?
+    fn enabled(&self, level: Level, target: &str) -> bool;
+
+    /// Called for each enabled event.
+    fn event(&self, event: &Event);
+
+    /// Called when an enabled span is entered.
+    fn enter_span(&self, _span: &SpanData) {}
+
+    /// Called when an enabled span exits. `elapsed` is `Some` only when the
+    /// `timing` feature is active.
+    fn exit_span(&self, _span: &SpanData, _elapsed: Option<Duration>) {}
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Emits an event at the given level. Structured fields come first, then an
+/// optional format string with args: `event!(Level::INFO, n = 3, "msg {x}")`.
+/// Field sigils: `k = ?v` captures `Debug`, `k = %v` captures `Display`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $($rest:tt)*) => {{
+        let __level = $level;
+        if $crate::subscriber::enabled(__level, ::core::module_path!()) {
+            let mut __fields: $crate::Fields = ::std::vec::Vec::new();
+            #[allow(clippy::redundant_closure_call)]
+            let __message = $crate::__capture!(__fields; $($rest)*);
+            $crate::subscriber::event(&$crate::Event {
+                level: __level,
+                target: ::core::module_path!(),
+                message: __message,
+                fields: __fields,
+            });
+        }
+    }};
+}
+
+/// Creates a span at the given level: `span!(Level::DEBUG, "name", k = v)`.
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr $(, $($rest:tt)*)?) => {{
+        let __level = $level;
+        let __enabled = $crate::subscriber::enabled(__level, ::core::module_path!());
+        let mut __fields: $crate::Fields = ::std::vec::Vec::new();
+        if __enabled {
+            let _ = $crate::__capture!(__fields; $($($rest)*)?);
+        }
+        $crate::Span::new(__level, ::core::module_path!(), $name, __fields, __enabled)
+    }};
+}
+
+/// Captures `k = v` fields into `$fields`, returning the formatted trailing
+/// message (empty if none). Internal to the event/span macros.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __capture {
+    ($fields:ident;) => { ::std::string::String::new() };
+    ($fields:ident; $fmt:literal $(, $arg:expr)* $(,)?) => {
+        ::std::format!($fmt $(, $arg)*)
+    };
+    ($fields:ident; $key:ident = ?$value:expr) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::debug(&$value)));
+        ::std::string::String::new()
+    }};
+    ($fields:ident; $key:ident = %$value:expr) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::display(&$value)));
+        ::std::string::String::new()
+    }};
+    ($fields:ident; $key:ident = $value:expr) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::from($value)));
+        ::std::string::String::new()
+    }};
+    ($fields:ident; $key:ident = ?$value:expr, $($rest:tt)*) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::debug(&$value)));
+        $crate::__capture!($fields; $($rest)*)
+    }};
+    ($fields:ident; $key:ident = %$value:expr, $($rest:tt)*) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::display(&$value)));
+        $crate::__capture!($fields; $($rest)*)
+    }};
+    ($fields:ident; $key:ident = $value:expr, $($rest:tt)*) => {{
+        $fields.push((::core::stringify!($key), $crate::FieldValue::from($value)));
+        $crate::__capture!($fields; $($rest)*)
+    }};
+}
+
+/// Emits an event at `Level::ERROR`.
+#[macro_export]
+macro_rules! error {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::ERROR, $($rest)*) };
+}
+
+/// Emits an event at `Level::WARN`.
+#[macro_export]
+macro_rules! warn {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::WARN, $($rest)*) };
+}
+
+/// Emits an event at `Level::INFO`.
+#[macro_export]
+macro_rules! info {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::INFO, $($rest)*) };
+}
+
+/// Emits an event at `Level::DEBUG`.
+#[macro_export]
+macro_rules! debug {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::DEBUG, $($rest)*) };
+}
+
+/// Emits an event at `Level::TRACE`.
+#[macro_export]
+macro_rules! trace {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::TRACE, $($rest)*) };
+}
+
+/// Creates a span at `Level::ERROR`.
+#[macro_export]
+macro_rules! error_span {
+    ($($rest:tt)*) => { $crate::span!($crate::Level::ERROR, $($rest)*) };
+}
+
+/// Creates a span at `Level::WARN`.
+#[macro_export]
+macro_rules! warn_span {
+    ($($rest:tt)*) => { $crate::span!($crate::Level::WARN, $($rest)*) };
+}
+
+/// Creates a span at `Level::INFO`.
+#[macro_export]
+macro_rules! info_span {
+    ($($rest:tt)*) => { $crate::span!($crate::Level::INFO, $($rest)*) };
+}
+
+/// Creates a span at `Level::DEBUG`.
+#[macro_export]
+macro_rules! debug_span {
+    ($($rest:tt)*) => { $crate::span!($crate::Level::DEBUG, $($rest)*) };
+}
+
+/// Creates a span at `Level::TRACE`.
+#[macro_export]
+macro_rules! trace_span {
+    ($($rest:tt)*) => { $crate::span!($crate::Level::TRACE, $($rest)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct Capture {
+        events: Mutex<Vec<Event>>,
+        spans: Mutex<Vec<(String, bool)>>, // (name, is_enter)
+        min_level: Option<Level>,
+    }
+
+    impl Subscriber for Arc<Capture> {
+        fn enabled(&self, level: Level, _target: &str) -> bool {
+            level <= self.min_level.unwrap_or(Level::Trace)
+        }
+
+        fn event(&self, event: &Event) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+
+        fn enter_span(&self, span: &SpanData) {
+            self.spans
+                .lock()
+                .unwrap()
+                .push((span.name.to_owned(), true));
+        }
+
+        fn exit_span(&self, span: &SpanData, _elapsed: Option<Duration>) {
+            self.spans
+                .lock()
+                .unwrap()
+                .push((span.name.to_owned(), false));
+        }
+    }
+
+    #[test]
+    fn events_carry_fields_and_message() {
+        let capture = Arc::new(Capture::default());
+        subscriber::with_default(capture.clone(), || {
+            let late = 42;
+            info!(
+                subtask = 7usize,
+                lateness = late,
+                "deadline missed by {late}"
+            );
+        });
+        let events = capture.events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, Level::Info);
+        assert_eq!(events[0].message, "deadline missed by 42");
+        assert_eq!(
+            events[0].fields,
+            vec![
+                ("subtask", FieldValue::U64(7)),
+                ("lateness", FieldValue::I64(42)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sigils_capture_debug_and_display() {
+        let capture = Arc::new(Capture::default());
+        subscriber::with_default(capture.clone(), || {
+            debug!(shape = ?Some(3), pct = %"12%");
+        });
+        let events = capture.events.lock().unwrap();
+        assert_eq!(
+            events[0].fields,
+            vec![
+                ("shape", FieldValue::Str("Some(3)".into())),
+                ("pct", FieldValue::Str("12%".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_enter_and_exit_in_order() {
+        let capture = Arc::new(Capture::default());
+        subscriber::with_default(capture.clone(), || {
+            let outer = info_span!("outer", size = 4usize).entered();
+            info_span!("inner").in_scope(|| {});
+            drop(outer);
+        });
+        let spans = capture.spans.lock().unwrap();
+        assert_eq!(
+            *spans,
+            vec![
+                ("outer".to_owned(), true),
+                ("inner".to_owned(), true),
+                ("inner".to_owned(), false),
+                ("outer".to_owned(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_levels_are_skipped_entirely() {
+        let capture = Arc::new(Capture {
+            min_level: Some(Level::Warn),
+            ..Capture::default()
+        });
+        subscriber::with_default(capture.clone(), || {
+            info!("not recorded");
+            let span = debug_span!("invisible");
+            assert!(!span.is_enabled());
+            let _guard = span.entered();
+            warn!(violations = 2usize, "recorded");
+        });
+        assert!(capture.spans.lock().unwrap().is_empty());
+        let events = capture.events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn no_subscriber_means_no_dispatch() {
+        // Must not panic or loop; global default is unset in this test run.
+        trace!(x = 1, "dropped");
+        let _span = trace_span!("dropped").entered();
+    }
+
+    #[test]
+    fn level_ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info <= Level::Debug);
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!(Level::Debug.to_string(), "DEBUG");
+    }
+}

@@ -1,0 +1,85 @@
+//! Subscriber dispatch: one process-global subscriber plus an optional
+//! thread-local override used by tests to capture output in isolation.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::{Event, Level, SpanData, Subscriber};
+
+static GLOBAL: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: RefCell<Vec<Arc<dyn Subscriber>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Error returned when a global subscriber was already installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetGlobalDefaultError;
+
+impl std::fmt::Display for SetGlobalDefaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("a global default subscriber has already been set")
+    }
+}
+
+impl std::error::Error for SetGlobalDefaultError {}
+
+/// Installs the process-wide subscriber. Fails if one is already set.
+///
+/// # Errors
+///
+/// Returns [`SetGlobalDefaultError`] when called a second time.
+pub fn set_global_default(
+    subscriber: impl Subscriber + 'static,
+) -> Result<(), SetGlobalDefaultError> {
+    GLOBAL
+        .set(Box::new(subscriber))
+        .map_err(|_| SetGlobalDefaultError)
+}
+
+/// Runs `f` with `subscriber` receiving this thread's output, restoring the
+/// previous dispatch afterwards. Worker threads spawned inside `f` still
+/// dispatch to the global subscriber.
+pub fn with_default<T>(subscriber: impl Subscriber + 'static, f: impl FnOnce() -> T) -> T {
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            LOCAL.with(|stack| stack.borrow_mut().pop());
+        }
+    }
+    LOCAL.with(|stack| stack.borrow_mut().push(Arc::new(subscriber)));
+    let _guard = PopGuard;
+    f()
+}
+
+/// Dispatches to the innermost thread-local subscriber, else the global one.
+fn with_current<T>(f: impl FnOnce(&dyn Subscriber) -> T) -> Option<T> {
+    let local = LOCAL.with(|stack| stack.borrow().last().cloned());
+    match local {
+        Some(subscriber) => Some(f(subscriber.as_ref())),
+        None => GLOBAL.get().map(|subscriber| f(subscriber.as_ref())),
+    }
+}
+
+/// Is any subscriber interested in this (level, target)? Gates every event
+/// and span macro call site; with no subscriber installed this is a
+/// thread-local read plus a `OnceLock` load.
+pub fn enabled(level: Level, target: &str) -> bool {
+    with_current(|s| s.enabled(level, target)).unwrap_or(false)
+}
+
+/// Forwards an event to the active subscriber.
+pub fn event(event: &Event) {
+    with_current(|s| s.event(event));
+}
+
+/// Forwards a span entry to the active subscriber.
+pub fn enter_span(span: &SpanData) {
+    with_current(|s| s.enter_span(span));
+}
+
+/// Forwards a span exit to the active subscriber.
+pub fn exit_span(span: &SpanData, elapsed: Option<Duration>) {
+    with_current(|s| s.exit_span(span, elapsed));
+}
