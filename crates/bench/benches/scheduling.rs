@@ -1,0 +1,56 @@
+//! End-to-end scheduling benchmark over the paper's operating points:
+//! one paper-size task graph scheduled on {2, 8, 32} processors under
+//! both bus models. Complements `scheduler.rs` (which varies policies at
+//! a fixed size) by sweeping the size × contention grid the experiments
+//! actually exercise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use platform::{Pinning, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{BusModel, ListScheduler};
+use slicing::{DeadlineAssignment, Slicer};
+use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+use taskgraph::TaskGraph;
+
+fn prepared(nproc: usize) -> (TaskGraph, Platform, DeadlineAssignment) {
+    let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = generate(&spec, &mut rng).expect("paper spec is valid");
+    let platform = Platform::paper(nproc).expect("valid platform");
+    let assignment = Slicer::ast_adapt()
+        .distribute(&graph, &platform)
+        .expect("distribution succeeds");
+    (graph, platform, assignment)
+}
+
+fn scheduling_grid(c: &mut Criterion) {
+    for (bus_name, bus) in [
+        ("delay", BusModel::Delay),
+        ("contention", BusModel::Contention),
+    ] {
+        let mut group = c.benchmark_group(format!("scheduling/{bus_name}"));
+        for nproc in [2usize, 8, 32] {
+            let (graph, platform, assignment) = prepared(nproc);
+            group.bench_with_input(BenchmarkId::from_parameter(nproc), &nproc, |b, _| {
+                let scheduler = ListScheduler::new().with_bus_model(bus);
+                b.iter(|| {
+                    scheduler
+                        .schedule(
+                            black_box(&graph),
+                            black_box(&platform),
+                            black_box(&assignment),
+                            &Pinning::new(),
+                        )
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, scheduling_grid);
+criterion_main!(benches);

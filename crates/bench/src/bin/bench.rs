@@ -1,0 +1,267 @@
+//! Fixed-seed, fixed-iteration wall-clock benchmark of the FEAST pipeline.
+//!
+//! Measures the three pipeline stages — workload **generation**, deadline
+//! **distribution** and list **scheduling** — for every paper metric at the
+//! paper workload size and at 2× / 4× that size, then appends the results
+//! to `BENCH_pipeline.json` so the repository carries a committed
+//! performance trajectory that every future change extends.
+//!
+//! Unlike the Criterion benches (`cargo bench -p bench`), this binary uses
+//! plain `Instant` timing with a deterministic workload sequence, so its
+//! output is a small, diffable JSON file rather than an HTML report.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench -- [--label NAME] \
+//!     [--iterations N] [--out PATH] [--fresh]
+//! ```
+//!
+//! * `--label NAME`       tag for this run (default `run`);
+//! * `--iterations N`     override the per-size iteration counts;
+//! * `--out PATH`         output file (default `BENCH_pipeline.json`);
+//! * `--fresh`            overwrite instead of appending to existing runs.
+
+use std::time::Instant;
+
+use platform::{Pinning, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::ListScheduler;
+use serde::{Deserialize, Serialize};
+use slicing::{MetricKind, Slicer};
+use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+
+/// Base seed for workload generation; iteration `i` uses `SEED + i`, so the
+/// same graphs recur across metrics, sizes and runs (paired measurement).
+const SEED: u64 = 0x000F_EA57_BE5C;
+
+/// Processor count used for the distribute and schedule stages.
+const PROCESSORS: usize = 8;
+
+/// Aggregate wall-clock statistics of one pipeline stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StageStats {
+    total_us: u64,
+    mean_us: f64,
+    min_us: u64,
+}
+
+impl StageStats {
+    fn from_samples(samples: &[u64]) -> StageStats {
+        let total: u64 = samples.iter().sum();
+        StageStats {
+            total_us: total,
+            mean_us: total as f64 / samples.len() as f64,
+            min_us: samples.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+/// Per-stage timings of one (workload size, metric) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchPoint {
+    size: String,
+    subtasks_min: usize,
+    subtasks_max: usize,
+    processors: usize,
+    metric: String,
+    iterations: usize,
+    generate: StageStats,
+    distribute: StageStats,
+    schedule: StageStats,
+}
+
+/// One invocation of this binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchRun {
+    label: String,
+    seed: u64,
+    points: Vec<BenchPoint>,
+}
+
+/// The committed trajectory: one run per recorded invocation, oldest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchFile {
+    schema: u32,
+    description: String,
+    runs: Vec<BenchRun>,
+}
+
+impl BenchFile {
+    fn empty() -> BenchFile {
+        BenchFile {
+            schema: 1,
+            description: "FEAST pipeline wall-clock trajectory; see README.md \
+                          §Performance. Stages are microseconds per run of \
+                          generate/distribute/schedule at fixed seeds."
+                .to_owned(),
+            runs: Vec::new(),
+        }
+    }
+}
+
+/// A workload size under measurement.
+struct SizeSpec {
+    label: &'static str,
+    spec: WorkloadSpec,
+    iterations: usize,
+}
+
+fn sizes() -> Vec<SizeSpec> {
+    let paper = WorkloadSpec::paper(ExecVariation::Mdet);
+    vec![
+        SizeSpec {
+            label: "paper",
+            spec: paper.clone(),
+            iterations: 32,
+        },
+        SizeSpec {
+            label: "2x",
+            spec: paper.clone().with_subtasks(80..=120).with_depth(16..=24),
+            iterations: 12,
+        },
+        SizeSpec {
+            label: "4x",
+            spec: paper.with_subtasks(160..=240).with_depth(32..=48),
+            iterations: 4,
+        },
+    ]
+}
+
+fn metrics() -> [(&'static str, MetricKind); 4] {
+    [
+        ("NORM", MetricKind::norm()),
+        ("PURE", MetricKind::pure()),
+        ("THRES", MetricKind::thres(1.0)),
+        ("ADAPT", MetricKind::adapt()),
+    ]
+}
+
+fn measure(
+    size: &SizeSpec,
+    metric_label: &str,
+    metric: MetricKind,
+    iterations: usize,
+) -> BenchPoint {
+    let platform = Platform::paper(PROCESSORS).expect("paper platform is valid");
+    let slicer = Slicer::new(metric);
+    let scheduler = ListScheduler::new();
+    let pinning = Pinning::new();
+
+    let mut gen_us = Vec::with_capacity(iterations);
+    let mut dist_us = Vec::with_capacity(iterations);
+    let mut sched_us = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let mut rng = StdRng::seed_from_u64(SEED.wrapping_add(i as u64));
+
+        let t = Instant::now();
+        let graph = generate(&size.spec, &mut rng).expect("workload spec is valid");
+        gen_us.push(t.elapsed().as_micros() as u64);
+
+        let t = Instant::now();
+        let assignment = slicer
+            .distribute(&graph, &platform)
+            .expect("distribution succeeds");
+        dist_us.push(t.elapsed().as_micros() as u64);
+
+        let t = Instant::now();
+        let schedule = scheduler
+            .schedule(&graph, &platform, &assignment, &pinning)
+            .expect("scheduling succeeds");
+        sched_us.push(t.elapsed().as_micros() as u64);
+        std::hint::black_box(schedule);
+    }
+
+    BenchPoint {
+        size: size.label.to_owned(),
+        subtasks_min: *size.spec.subtasks.start(),
+        subtasks_max: *size.spec.subtasks.end(),
+        processors: PROCESSORS,
+        metric: metric_label.to_owned(),
+        iterations,
+        generate: StageStats::from_samples(&gen_us),
+        distribute: StageStats::from_samples(&dist_us),
+        schedule: StageStats::from_samples(&sched_us),
+    }
+}
+
+struct Args {
+    label: String,
+    iterations: Option<usize>,
+    out: String,
+    fresh: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        label: "run".to_owned(),
+        iterations: None,
+        out: "BENCH_pipeline.json".to_owned(),
+        fresh: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--label" => args.label = value("--label"),
+            "--iterations" => {
+                args.iterations = Some(
+                    value("--iterations")
+                        .parse()
+                        .expect("--iterations takes a positive integer"),
+                )
+            }
+            "--out" => args.out = value("--out"),
+            "--fresh" => args.fresh = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench [--label NAME] [--iterations N] [--out PATH] [--fresh]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut file = if args.fresh {
+        BenchFile::empty()
+    } else {
+        std::fs::read_to_string(&args.out)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(BenchFile::empty)
+    };
+
+    let mut run = BenchRun {
+        label: args.label,
+        seed: SEED,
+        points: Vec::new(),
+    };
+    for size in sizes() {
+        let iterations = args.iterations.unwrap_or(size.iterations).max(1);
+        for (label, metric) in metrics() {
+            let point = measure(&size, label, metric, iterations);
+            eprintln!(
+                "{:>5} × {:<5} gen {:>9.1}us  distribute {:>11.1}us  schedule {:>9.1}us  ({} iters)",
+                point.size,
+                point.metric,
+                point.generate.mean_us,
+                point.distribute.mean_us,
+                point.schedule.mean_us,
+                point.iterations,
+            );
+            run.points.push(point);
+        }
+    }
+    file.runs.push(run);
+
+    let json = serde_json::to_string_pretty(&file).expect("serialization cannot fail");
+    std::fs::write(&args.out, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}

@@ -203,24 +203,50 @@ pub fn run_scenario_with_threads(
     )
     .entered();
 
-    // Workloads are shared across system sizes; generate once per rep.
-    let graphs: Vec<TaskGraph> = (0..scenario.replications)
-        .map(|rep| {
-            let started = Instant::now();
-            let graph = workload(scenario, rep)?;
-            let elapsed = started.elapsed();
-            let registry = telemetry::global();
-            registry.record_stage(Stage::Generate, elapsed);
-            registry.count_graph();
-            telemetry::emit_with(|| RunEvent::GraphGenerated {
-                replication: rep,
-                subtasks: graph.subtask_count(),
-                messages: graph.edge_count(),
-                generate_us: elapsed.as_micros() as u64,
-            });
-            Ok(graph)
+    // Workloads are shared across system sizes; generate once per rep,
+    // fanning the replications out over the worker threads. Telemetry is
+    // emitted afterwards on the caller thread so `GraphGenerated` events
+    // stay ordered by replication index regardless of worker interleaving.
+    let timed = |rep: usize| -> Result<(TaskGraph, std::time::Duration), RunError> {
+        let started = Instant::now();
+        let graph = workload(scenario, rep)?;
+        Ok((graph, started.elapsed()))
+    };
+    let generated: Vec<Result<(TaskGraph, std::time::Duration), RunError>> = if threads == 1 {
+        (0..scenario.replications).map(timed).collect()
+    } else {
+        let chunk = scenario.replications.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let timed = &timed;
+                    scope.spawn(move || {
+                        let lo = worker * chunk;
+                        let hi = (lo + chunk).min(scenario.replications);
+                        (lo..hi).map(timed).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("generator thread panicked"))
+                .collect()
         })
-        .collect::<Result<_, RunError>>()?;
+    };
+    let mut graphs: Vec<TaskGraph> = Vec::with_capacity(scenario.replications);
+    for (rep, result) in generated.into_iter().enumerate() {
+        let (graph, elapsed) = result?;
+        let registry = telemetry::global();
+        registry.record_stage(Stage::Generate, elapsed);
+        registry.count_graph();
+        telemetry::emit_with(|| RunEvent::GraphGenerated {
+            replication: rep,
+            subtasks: graph.subtask_count(),
+            messages: graph.edge_count(),
+            generate_us: elapsed.as_micros() as u64,
+        });
+        graphs.push(graph);
+    }
 
     let mut points = Vec::with_capacity(scenario.system_sizes.len());
     for &size in &scenario.system_sizes {

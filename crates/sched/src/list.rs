@@ -187,19 +187,26 @@ impl ListScheduler {
             .map(|id| (assignment.absolute_deadline(id), id))
             .collect();
 
+        // Scratch reused across dispatches: the candidate list and the
+        // trial bus snapshot would otherwise be reallocated for every
+        // subtask (and every candidate processor, respectively).
+        let mut candidates: Vec<ProcessorId> = Vec::with_capacity(platform.processor_count());
+        let mut trial_bus = Timeline::new();
+
         while let Some(&(deadline, id)) = ready.iter().next() {
             ready.remove(&(deadline, id));
 
-            let candidates: Vec<ProcessorId> = match pinning.processor_for(id) {
-                Some(p) => vec![p],
-                None => platform.processors().collect(),
-            };
+            candidates.clear();
+            match pinning.processor_for(id) {
+                Some(p) => candidates.push(p),
+                None => candidates.extend(platform.processors()),
+            }
 
             // Estimate the earliest start on each candidate without
             // mutating shared state, then commit on the winner.
             let mut best: Option<(Time, ProcessorId)> = None;
             for &p in &candidates {
-                let mut trial_bus = bus.clone();
+                trial_bus.clone_from(&bus);
                 let start = self.start_on(
                     graph,
                     platform,

@@ -5,11 +5,28 @@ use taskgraph::Time;
 
 /// Disjoint, sorted busy intervals `[start, end)` on one exclusive
 /// resource.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub(crate) struct Timeline {
     busy: Vec<(Time, Time)>,
     /// End of the latest reservation (for append-style allocation).
     horizon: Time,
+}
+
+impl Clone for Timeline {
+    fn clone(&self) -> Self {
+        Timeline {
+            busy: self.busy.clone(),
+            horizon: self.horizon,
+        }
+    }
+
+    /// Reuses the existing interval buffer: the scheduler re-snapshots the
+    /// bus timeline for every candidate processor of every dispatch, so
+    /// this must not allocate once the buffer has grown.
+    fn clone_from(&mut self, source: &Self) {
+        self.busy.clone_from(&source.busy);
+        self.horizon = source.horizon;
+    }
 }
 
 impl Timeline {

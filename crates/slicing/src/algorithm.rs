@@ -173,14 +173,19 @@ impl Slicer {
         let mut remaining = n;
         let mut inverted = 0usize;
         let mut paths = 0usize;
+        // Scratch reused across loop iterations: the hot loop runs once per
+        // critical path and must not allocate per path.
+        let mut path_weights: Vec<f64> = Vec::new();
+        let mut slices: Vec<Window> = Vec::new();
 
         while remaining > 0 {
             let cp = search
                 .find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule)
                 .ok_or(SliceError::NoAnchoredPath)?;
 
-            let path_weights: Vec<f64> = cp.nodes.iter().map(|&v| vweights[v]).collect();
-            let (slices, was_inverted) = slice_window(&cp, &path_weights, rule);
+            path_weights.clear();
+            path_weights.extend(cp.nodes.iter().map(|&v| vweights[v]));
+            let was_inverted = slice_window(&cp, &path_weights, rule, &mut slices);
             if was_inverted {
                 inverted += 1;
             }
@@ -209,12 +214,14 @@ impl Slicer {
             for &v in &cp.nodes {
                 let win = windows[v].expect("just assigned");
                 for &p in exp.pred(v) {
+                    let p = p as usize;
                     if !assigned[p] {
                         let bound = win.release();
                         dl[p] = Some(dl[p].map_or(bound, |d| d.min(bound)));
                     }
                 }
                 for &s in exp.succ(v) {
+                    let s = s as usize;
                     if !assigned[s] {
                         let bound = win.deadline();
                         rel[s] = Some(rel[s].map_or(bound, |r| r.max(bound)));
@@ -257,9 +264,15 @@ impl Slicer {
 
 /// Partitions the critical path's window into consecutive slices according
 /// to the share rule, rounding to integer boundaries while preserving the
-/// exact window and monotonicity. Returns the slices and whether the window
-/// was inverted (deadline anchor before release anchor) and clamped.
-fn slice_window(cp: &CriticalPath, weights: &[f64], rule: ShareRule) -> (Vec<Window>, bool) {
+/// exact window and monotonicity. Fills `slices` (a reusable scratch
+/// buffer, cleared first) and returns whether the window was inverted
+/// (deadline anchor before release anchor) and clamped.
+fn slice_window(
+    cp: &CriticalPath,
+    weights: &[f64],
+    rule: ShareRule,
+    slices: &mut Vec<Window>,
+) -> bool {
     let w0 = cp.window_start;
     let inverted = cp.window_end < w0;
     let w1 = cp.window_end.max(w0);
@@ -267,7 +280,8 @@ fn slice_window(cp: &CriticalPath, weights: &[f64], rule: ShareRule) -> (Vec<Win
     let total: f64 = weights.iter().sum();
     let score = rule.score(window, total, weights.len());
 
-    let mut slices = Vec::with_capacity(weights.len());
+    slices.clear();
+    slices.reserve(weights.len());
     let mut prev = w0;
     let mut acc = w0.as_f64();
     for (i, &w) in weights.iter().enumerate() {
@@ -280,7 +294,7 @@ fn slice_window(cp: &CriticalPath, weights: &[f64], rule: ShareRule) -> (Vec<Win
         slices.push(Window::new(prev, bound));
         prev = bound;
     }
-    (slices, inverted)
+    inverted
 }
 
 #[cfg(test)]

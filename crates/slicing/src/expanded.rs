@@ -7,6 +7,12 @@
 //! zero estimated cost (CCNE, or intra-processor under a known assignment)
 //! stay transparent: the producer connects directly to the consumer and no
 //! window will be assigned to the message.
+//!
+//! Adjacency is stored in CSR form (one offset array plus one contiguous
+//! index array per direction) rather than `Vec<Vec<_>>`: the critical-path
+//! search walks successor lists millions of times per slicing sweep, and the
+//! flat layout keeps those walks on a handful of cache lines with no
+//! per-node pointer chase.
 
 use platform::Platform;
 use taskgraph::{EdgeId, SubtaskId, TaskGraph, Time};
@@ -29,16 +35,47 @@ pub(crate) struct ExpandedGraph {
     /// Real execution time (subtasks) or estimated communication cost
     /// (communication subtasks) per node.
     weights: Vec<Time>,
-    succ: Vec<Vec<usize>>,
-    pred: Vec<Vec<usize>>,
+    /// CSR successors: node `v`'s successors are
+    /// `succ_idx[succ_off[v] .. succ_off[v + 1]]`, in arc-insertion order.
+    succ_off: Vec<u32>,
+    succ_idx: Vec<u32>,
+    /// CSR predecessors, same encoding.
+    pred_off: Vec<u32>,
+    pred_idx: Vec<u32>,
     /// Expanded node index of each subtask.
     task_node: Vec<usize>,
     /// Expanded node index of each materialized communication subtask.
     comm_node: Vec<Option<usize>>,
     /// Expanded node indices in topological order.
-    topo: Vec<usize>,
+    topo: Vec<u32>,
+    /// Position of each node in `topo` (inverse permutation).
+    topo_pos: Vec<u32>,
     /// Longest chain length in nodes (an upper bound for path search).
     max_chain: usize,
+}
+
+/// Builds a CSR adjacency (offsets + flat index array) from an arc list,
+/// preserving the per-endpoint arc order.
+fn csr<F: Fn(&(usize, usize)) -> (usize, usize)>(
+    n: usize,
+    arcs: &[(usize, usize)],
+    endpoint: F,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut off = vec![0u32; n + 1];
+    for arc in arcs {
+        off[endpoint(arc).0 + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut idx = vec![0u32; arcs.len()];
+    let mut cursor = off.clone();
+    for arc in arcs {
+        let (from, to) = endpoint(arc);
+        idx[cursor[from] as usize] = to as u32;
+        cursor[from] += 1;
+    }
+    (off, idx)
 }
 
 impl ExpandedGraph {
@@ -79,36 +116,37 @@ impl ExpandedGraph {
         }
 
         let n = kinds.len();
-        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (u, v) in arcs {
-            succ[u].push(v);
-            pred[v].push(u);
-        }
+        let (succ_off, succ_idx) = csr(n, &arcs, |&(u, v)| (u, v));
+        let (pred_off, pred_idx) = csr(n, &arcs, |&(u, v)| (v, u));
 
         // Topological order (the expanded graph is a DAG because the source
         // graph is and χ nodes subdivide arcs).
-        let mut indeg: Vec<usize> = pred.iter().map(Vec::len).collect();
-        let mut topo: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut indeg: Vec<u32> = (0..n).map(|v| pred_off[v + 1] - pred_off[v]).collect();
+        let mut topo: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut head = 0;
         while head < topo.len() {
-            let v = topo[head];
+            let v = topo[head] as usize;
             head += 1;
-            for &w in &succ[v] {
-                indeg[w] -= 1;
-                if indeg[w] == 0 {
+            for &w in &succ_idx[succ_off[v] as usize..succ_off[v + 1] as usize] {
+                indeg[w as usize] -= 1;
+                if indeg[w as usize] == 0 {
                     topo.push(w);
                 }
             }
         }
         debug_assert_eq!(topo.len(), n, "expanded graph must remain acyclic");
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &v) in topo.iter().enumerate() {
+            topo_pos[v as usize] = pos as u32;
+        }
 
         // Longest chain in nodes: path-search state bound.
         let mut chain = vec![1usize; n];
         let mut max_chain = 1;
         for &v in &topo {
-            for &p in &pred[v] {
-                chain[v] = chain[v].max(chain[p] + 1);
+            let v = v as usize;
+            for &p in &pred_idx[pred_off[v] as usize..pred_off[v + 1] as usize] {
+                chain[v] = chain[v].max(chain[p as usize] + 1);
             }
             max_chain = max_chain.max(chain[v]);
         }
@@ -116,11 +154,14 @@ impl ExpandedGraph {
         ExpandedGraph {
             kinds,
             weights,
-            succ,
-            pred,
+            succ_off,
+            succ_idx,
+            pred_off,
+            pred_idx,
             task_node,
             comm_node,
             topo,
+            topo_pos,
             max_chain,
         }
     }
@@ -141,13 +182,15 @@ impl ExpandedGraph {
     }
 
     /// Successor node indices of `v`.
-    pub(crate) fn succ(&self, v: usize) -> &[usize] {
-        &self.succ[v]
+    #[inline]
+    pub(crate) fn succ(&self, v: usize) -> &[u32] {
+        &self.succ_idx[self.succ_off[v] as usize..self.succ_off[v + 1] as usize]
     }
 
     /// Predecessor node indices of `v`.
-    pub(crate) fn pred(&self, v: usize) -> &[usize] {
-        &self.pred[v]
+    #[inline]
+    pub(crate) fn pred(&self, v: usize) -> &[u32] {
+        &self.pred_idx[self.pred_off[v] as usize..self.pred_off[v + 1] as usize]
     }
 
     /// Expanded node index of subtask `id`.
@@ -162,8 +205,14 @@ impl ExpandedGraph {
     }
 
     /// Node indices in topological order.
-    pub(crate) fn topo(&self) -> &[usize] {
+    pub(crate) fn topo(&self) -> &[u32] {
         &self.topo
+    }
+
+    /// Position of node `v` in the topological order.
+    #[inline]
+    pub(crate) fn topo_pos(&self, v: usize) -> u32 {
+        self.topo_pos[v]
     }
 
     /// Upper bound on path length in nodes.
@@ -199,7 +248,7 @@ mod tests {
         // Direct arcs a -> c -> z.
         let a = exp.task_node(SubtaskId::new(0));
         let c = exp.task_node(SubtaskId::new(1));
-        assert_eq!(exp.succ(a), &[c]);
+        assert_eq!(exp.succ(a), &[c as u32]);
     }
 
     #[test]
@@ -216,13 +265,15 @@ mod tests {
         // a -> chi -> c
         let a = exp.task_node(SubtaskId::new(0));
         let c = exp.task_node(SubtaskId::new(1));
-        assert_eq!(exp.succ(a), &[chi]);
-        assert_eq!(exp.pred(c), &[chi]);
-        // Topological order covers all nodes exactly once.
+        assert_eq!(exp.succ(a), &[chi as u32]);
+        assert_eq!(exp.pred(c), &[chi as u32]);
+        // Topological order covers all nodes exactly once, and `topo_pos`
+        // is its inverse.
         let mut seen = vec![false; exp.len()];
-        for &v in exp.topo() {
-            assert!(!seen[v]);
-            seen[v] = true;
+        for (pos, &v) in exp.topo().iter().enumerate() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+            assert_eq!(exp.topo_pos(v as usize), pos as u32);
         }
         assert!(seen.into_iter().all(|s| s));
     }
@@ -235,5 +286,29 @@ mod tests {
         for id in g.subtask_ids() {
             assert_eq!(exp.weight(exp.task_node(id)), g.subtask(id).wcet());
         }
+    }
+
+    #[test]
+    fn csr_adjacency_matches_arc_insertion_order() {
+        // Diamond with an extra skip edge: multi-entry successor lists must
+        // preserve the order the arcs were materialized in.
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(1)).released_at(Time::ZERO));
+        let x = b.add_subtask(Subtask::new(Time::new(1)));
+        let y = b.add_subtask(Subtask::new(Time::new(1)));
+        let d = b.add_subtask(Subtask::new(Time::new(1)).due_at(Time::new(100)));
+        b.add_edge(a, x, 1).unwrap();
+        b.add_edge(a, y, 1).unwrap();
+        b.add_edge(a, d, 1).unwrap();
+        b.add_edge(x, d, 1).unwrap();
+        b.add_edge(y, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(2).unwrap();
+        let exp = ExpandedGraph::build(&g, &CommEstimate::Ccne, &p);
+        let node = |i: u32| exp.task_node(SubtaskId::new(i)) as u32;
+        assert_eq!(exp.succ(node(0) as usize), &[node(1), node(2), node(3)]);
+        assert_eq!(exp.pred(node(3) as usize), &[node(0), node(1), node(2)]);
+        assert_eq!(exp.succ(node(3) as usize), &[] as &[u32]);
+        assert_eq!(exp.pred(node(0) as usize), &[] as &[u32]);
     }
 }

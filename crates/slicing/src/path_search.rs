@@ -13,8 +13,21 @@
 //! the node with that length. For a fixed window `D` and length `n`, R is
 //! monotone in the total weight, so evaluating both extremes at every
 //! deadline-anchored endpoint finds the exact minimum over all admissible
-//! paths. State space is `O(V · L)` where `L` is the longest chain, keeping
-//! each iteration cheap even for large graphs.
+//! paths.
+//!
+//! The state space is `O(V · L)` (`L` = longest chain), but the search never
+//! sweeps it: state slots carry a generation stamp (`epoch`), so starting a
+//! new DP costs one counter increment instead of four `O(V · L)` array
+//! fills, and each start only ever touches slots its paths actually reach.
+//! Traversal is driven by a frontier of live topological positions — nodes
+//! that hold at least one live state — popped in topological order, so a
+//! start's DP visits exactly the admissible nodes reachable from it rather
+//! than every node times every chain length. Relaxations happen in the same
+//! order as a full topological sweep, which keeps results bit-identical to
+//! the naive DP (asserted by the `reference` equivalence suite below).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use taskgraph::Time;
 
@@ -34,17 +47,49 @@ pub(crate) struct CriticalPath {
     pub window_end: Time,
 }
 
+const NO_PARENT: u32 = u32::MAX;
+
+/// One DP state slot: extremes of total virtual time over admissible paths
+/// reaching `(node, length)`, their parent choices, and the generation that
+/// last wrote the slot. Interleaved so one cache line serves the whole
+/// relax-and-compare sequence.
+#[derive(Debug, Clone, Copy)]
+struct State {
+    wmax: f64,
+    wmin: f64,
+    pmax: u32,
+    pmin: u32,
+    stamp: u32,
+}
+
+const STALE: State = State {
+    wmax: f64::NEG_INFINITY,
+    wmin: f64::INFINITY,
+    pmax: NO_PARENT,
+    pmin: NO_PARENT,
+    stamp: 0,
+};
+
 /// Scratch buffers reused across iterations of the slicing loop.
 #[derive(Debug)]
 pub(crate) struct PathSearch {
     cols: usize,
-    wmax: Vec<f64>,
-    wmin: Vec<f64>,
-    pmax: Vec<u32>,
-    pmin: Vec<u32>,
+    /// Current generation; a state slot or node marker is live iff its
+    /// stamp equals this.
+    epoch: u32,
+    /// `(node, length)` DP slots, row-major by node.
+    states: Vec<State>,
+    /// Per-node liveness stamp: the node holds ≥ 1 live state.
+    node_stamp: Vec<u32>,
+    /// Live length range per node (valid when `node_stamp` matches).
+    kmin: Vec<u32>,
+    kmax: Vec<u32>,
+    /// Topological positions of live, not-yet-processed nodes.
+    frontier: BinaryHeap<Reverse<u32>>,
+    /// Per-call node classification (reused allocations).
+    can_enter: Vec<bool>,
+    endpoints: Vec<u32>,
 }
-
-const NO_PARENT: u32 = u32::MAX;
 
 impl PathSearch {
     /// Creates scratch space for a graph of `nodes` nodes and longest chain
@@ -53,11 +98,32 @@ impl PathSearch {
         let cols = max_chain + 1;
         PathSearch {
             cols,
-            wmax: vec![f64::NEG_INFINITY; nodes * cols],
-            wmin: vec![f64::INFINITY; nodes * cols],
-            pmax: vec![NO_PARENT; nodes * cols],
-            pmin: vec![NO_PARENT; nodes * cols],
+            epoch: 0,
+            states: vec![STALE; nodes * cols],
+            node_stamp: vec![0; nodes],
+            kmin: vec![0; nodes],
+            kmax: vec![0; nodes],
+            frontier: BinaryHeap::new(),
+            can_enter: Vec::with_capacity(nodes),
+            endpoints: Vec::with_capacity(nodes),
         }
+    }
+
+    /// Starts a new generation; on (absurdly unlikely) wrap-around, resets
+    /// every stamp so stale slots cannot alias the new generation.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            for st in &mut self.states {
+                st.stamp = 0;
+            }
+            for s in &mut self.node_stamp {
+                *s = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.epoch
     }
 
     /// Finds the admissible path minimizing `rule`'s score, or `None` if no
@@ -80,85 +146,119 @@ impl PathSearch {
         let cols = self.cols;
         let mut best: Option<CriticalPath> = None;
 
+        // Classify nodes once per call: paths may *enter* a node only when
+        // it is unassigned and not release-anchored (a slice entering an
+        // anchored node from elsewhere could start before the anchor and
+        // violate an already-assigned predecessor's deadline), and may *end*
+        // at any unassigned deadline-anchored node.
+        self.can_enter.clear();
+        self.can_enter
+            .extend((0..n).map(|v| !assigned[v] && rel[v].is_none()));
+        self.endpoints.clear();
+        self.endpoints
+            .extend((0..n as u32).filter(|&t| !assigned[t as usize] && dl[t as usize].is_some()));
+        if self.endpoints.is_empty() {
+            return None;
+        }
+
         for s in 0..n {
             if assigned[s] || rel[s].is_none() {
                 continue;
             }
             let start_release = rel[s].expect("checked above");
+            let epoch = self.next_epoch();
 
-            // Reset only the states we may touch: all of them (cheap fill).
-            self.wmax.fill(f64::NEG_INFINITY);
-            self.wmin.fill(f64::INFINITY);
-            self.pmax.fill(NO_PARENT);
-            self.pmin.fill(NO_PARENT);
-            self.wmax[s * cols + 1] = vweights[s];
-            self.wmin[s * cols + 1] = vweights[s];
+            // Seed the single-node path (s, length 1).
+            self.states[s * cols + 1] = State {
+                wmax: vweights[s],
+                wmin: vweights[s],
+                pmax: NO_PARENT,
+                pmin: NO_PARENT,
+                stamp: epoch,
+            };
+            self.node_stamp[s] = epoch;
+            self.kmin[s] = 1;
+            self.kmax[s] = 1;
+            debug_assert!(self.frontier.is_empty());
+            self.frontier.push(Reverse(exp.topo_pos(s)));
 
-            for &u in exp.topo() {
-                if assigned[u] {
+            // Process live nodes in topological order. Every node on the
+            // frontier already satisfies the interior admissibility rules
+            // (it is the start, or it was entered through `can_enter`), so
+            // it may extend iff it is not deadline-anchored.
+            while let Some(Reverse(pos)) = self.frontier.pop() {
+                let u = exp.topo()[pos as usize] as usize;
+                if dl[u].is_some() {
                     continue;
                 }
-                // The start may extend only if it is not deadline-anchored;
-                // interior nodes hold states only when unanchored, so they
-                // may always extend.
-                let extendable = if u == s {
-                    dl[s].is_none()
-                } else {
-                    rel[u].is_none() && dl[u].is_none()
-                };
-                if !extendable {
-                    continue;
-                }
-                for k in 1..cols {
-                    let idx = u * cols + k;
-                    let wmax_u = self.wmax[idx];
-                    let wmin_u = self.wmin[idx];
-                    if wmax_u == f64::NEG_INFINITY && wmin_u == f64::INFINITY {
+                let (lo, hi) = (self.kmin[u], self.kmax[u]);
+                for k in lo..=hi {
+                    let idx = u * cols + k as usize;
+                    let st = self.states[idx];
+                    if st.stamp != epoch {
                         continue;
                     }
-                    if k + 1 >= cols {
+                    if k as usize + 1 >= cols {
                         // Paths cannot exceed the longest chain.
                         continue;
                     }
                     for &z in exp.succ(u) {
-                        // Release-anchored nodes can only *start* paths: a
-                        // slice entering one from elsewhere could start
-                        // before the anchor and violate an already-assigned
-                        // predecessor's deadline.
-                        if assigned[z] || rel[z].is_some() {
+                        let z = z as usize;
+                        if !self.can_enter[z] {
                             continue;
                         }
-                        let zidx = z * cols + k + 1;
-                        let cand_max = wmax_u + vweights[z];
-                        if cand_max > self.wmax[zidx] {
-                            self.wmax[zidx] = cand_max;
-                            self.pmax[zidx] = u as u32;
+                        let zidx = z * cols + k as usize + 1;
+                        let zst = &mut self.states[zidx];
+                        if zst.stamp != epoch {
+                            *zst = State {
+                                stamp: epoch,
+                                ..STALE
+                            };
                         }
-                        let cand_min = wmin_u + vweights[z];
-                        if cand_min < self.wmin[zidx] {
-                            self.wmin[zidx] = cand_min;
-                            self.pmin[zidx] = u as u32;
+                        let cand_max = st.wmax + vweights[z];
+                        if cand_max > zst.wmax {
+                            zst.wmax = cand_max;
+                            zst.pmax = u as u32;
+                        }
+                        let cand_min = st.wmin + vweights[z];
+                        if cand_min < zst.wmin {
+                            zst.wmin = cand_min;
+                            zst.pmin = u as u32;
+                        }
+                        if self.node_stamp[z] != epoch {
+                            self.node_stamp[z] = epoch;
+                            self.kmin[z] = k + 1;
+                            self.kmax[z] = k + 1;
+                            // First live state: z joins the frontier. Arcs
+                            // only point forward in topological order, so z
+                            // has not been popped yet.
+                            self.frontier.push(Reverse(exp.topo_pos(z)));
+                        } else {
+                            self.kmin[z] = self.kmin[z].min(k + 1);
+                            self.kmax[z] = self.kmax[z].max(k + 1);
                         }
                     }
                 }
             }
 
-            // Evaluate every deadline-anchored endpoint.
-            for t in 0..n {
-                if assigned[t] || dl[t].is_none() {
+            // Evaluate every deadline-anchored endpoint this start reached.
+            for i in 0..self.endpoints.len() {
+                let t = self.endpoints[i] as usize;
+                if self.node_stamp[t] != epoch {
                     continue;
                 }
-                let window_end = dl[t].expect("checked above");
+                let window_end = dl[t].expect("endpoint is deadline-anchored");
                 let window = window_end - start_release;
-                for k in 1..cols {
-                    let idx = t * cols + k;
-                    for (total, use_max) in [(self.wmax[idx], true), (self.wmin[idx], false)] {
-                        if !total.is_finite() {
-                            continue;
-                        }
-                        let score = rule.score(window, total, k);
+                for k in self.kmin[t]..=self.kmax[t] {
+                    let idx = t * cols + k as usize;
+                    let st = self.states[idx];
+                    if st.stamp != epoch {
+                        continue;
+                    }
+                    for (total, use_max) in [(st.wmax, true), (st.wmin, false)] {
+                        let score = rule.score(window, total, k as usize);
                         if best.as_ref().is_none_or(|b| score < b.score) {
-                            let nodes = self.reconstruct(t, k, use_max);
+                            let nodes = self.reconstruct(t, k as usize, use_max);
                             best = Some(CriticalPath {
                                 nodes,
                                 score,
@@ -175,7 +275,6 @@ impl PathSearch {
     }
 
     fn reconstruct(&self, end: usize, len: usize, use_max: bool) -> Vec<usize> {
-        let parents = if use_max { &self.pmax } else { &self.pmin };
         let mut nodes = Vec::with_capacity(len);
         let mut v = end;
         let mut k = len;
@@ -184,13 +283,299 @@ impl PathSearch {
             if k == 1 {
                 break;
             }
-            let p = parents[v * self.cols + k];
+            let st = &self.states[v * self.cols + k];
+            let p = if use_max { st.pmax } else { st.pmin };
             debug_assert_ne!(p, NO_PARENT, "state must have a parent");
             v = p as usize;
             k -= 1;
         }
         nodes.reverse();
         nodes
+    }
+}
+
+/// The original quadratic-sweep DP, kept verbatim as the behavioural oracle
+/// for the optimized search: the proptest suite below asserts both return
+/// identical critical paths across random graphs and anchor patterns.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Naive search: four full `O(V · L)` array fills and a whole-graph
+    /// topological sweep per start node.
+    #[derive(Debug)]
+    pub(crate) struct ReferencePathSearch {
+        cols: usize,
+        wmax: Vec<f64>,
+        wmin: Vec<f64>,
+        pmax: Vec<u32>,
+        pmin: Vec<u32>,
+    }
+
+    impl ReferencePathSearch {
+        pub(crate) fn new(nodes: usize, max_chain: usize) -> Self {
+            let cols = max_chain + 1;
+            ReferencePathSearch {
+                cols,
+                wmax: vec![f64::NEG_INFINITY; nodes * cols],
+                wmin: vec![f64::INFINITY; nodes * cols],
+                pmax: vec![NO_PARENT; nodes * cols],
+                pmin: vec![NO_PARENT; nodes * cols],
+            }
+        }
+
+        pub(crate) fn find_critical_path(
+            &mut self,
+            exp: &ExpandedGraph,
+            vweights: &[f64],
+            assigned: &[bool],
+            rel: &[Option<Time>],
+            dl: &[Option<Time>],
+            rule: ShareRule,
+        ) -> Option<CriticalPath> {
+            let n = exp.len();
+            let cols = self.cols;
+            let mut best: Option<CriticalPath> = None;
+
+            for s in 0..n {
+                if assigned[s] || rel[s].is_none() {
+                    continue;
+                }
+                let start_release = rel[s].expect("checked above");
+
+                // Reset only the states we may touch: all of them.
+                self.wmax.fill(f64::NEG_INFINITY);
+                self.wmin.fill(f64::INFINITY);
+                self.pmax.fill(NO_PARENT);
+                self.pmin.fill(NO_PARENT);
+                self.wmax[s * cols + 1] = vweights[s];
+                self.wmin[s * cols + 1] = vweights[s];
+
+                for &u in exp.topo() {
+                    let u = u as usize;
+                    if assigned[u] {
+                        continue;
+                    }
+                    let extendable = if u == s {
+                        dl[s].is_none()
+                    } else {
+                        rel[u].is_none() && dl[u].is_none()
+                    };
+                    if !extendable {
+                        continue;
+                    }
+                    for k in 1..cols {
+                        let idx = u * cols + k;
+                        let wmax_u = self.wmax[idx];
+                        let wmin_u = self.wmin[idx];
+                        if wmax_u == f64::NEG_INFINITY && wmin_u == f64::INFINITY {
+                            continue;
+                        }
+                        if k + 1 >= cols {
+                            continue;
+                        }
+                        for &z in exp.succ(u) {
+                            let z = z as usize;
+                            if assigned[z] || rel[z].is_some() {
+                                continue;
+                            }
+                            let zidx = z * cols + k + 1;
+                            let cand_max = wmax_u + vweights[z];
+                            if cand_max > self.wmax[zidx] {
+                                self.wmax[zidx] = cand_max;
+                                self.pmax[zidx] = u as u32;
+                            }
+                            let cand_min = wmin_u + vweights[z];
+                            if cand_min < self.wmin[zidx] {
+                                self.wmin[zidx] = cand_min;
+                                self.pmin[zidx] = u as u32;
+                            }
+                        }
+                    }
+                }
+
+                for t in 0..n {
+                    if assigned[t] || dl[t].is_none() {
+                        continue;
+                    }
+                    let window_end = dl[t].expect("checked above");
+                    let window = window_end - start_release;
+                    for k in 1..cols {
+                        let idx = t * cols + k;
+                        for (total, use_max) in [(self.wmax[idx], true), (self.wmin[idx], false)] {
+                            if !total.is_finite() {
+                                continue;
+                            }
+                            let score = rule.score(window, total, k);
+                            if best.as_ref().is_none_or(|b| score < b.score) {
+                                let nodes = self.reconstruct(t, k, use_max);
+                                best = Some(CriticalPath {
+                                    nodes,
+                                    score,
+                                    window_start: start_release,
+                                    window_end,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            best
+        }
+
+        fn reconstruct(&self, end: usize, len: usize, use_max: bool) -> Vec<usize> {
+            let parents = if use_max { &self.pmax } else { &self.pmin };
+            let mut nodes = Vec::with_capacity(len);
+            let mut v = end;
+            let mut k = len;
+            loop {
+                nodes.push(v);
+                if k == 1 {
+                    break;
+                }
+                let p = parents[v * self.cols + k];
+                debug_assert_ne!(p, NO_PARENT, "state must have a parent");
+                v = p as usize;
+                k -= 1;
+            }
+            nodes.reverse();
+            nodes
+        }
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! The optimized search against the [`reference`] oracle: identical
+    //! critical paths (same score, same window, same node sequence) across
+    //! random DAGs, random anchor/assignment patterns, both communication
+    //! estimates and both share rules.
+
+    use platform::Platform;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use taskgraph::{Subtask, TaskGraph, Time};
+
+    use super::reference::ReferencePathSearch;
+    use super::PathSearch;
+    use crate::expanded::ExpandedGraph;
+    use crate::{CommEstimate, ShareRule};
+
+    /// A random DAG: edges only point from lower to higher node index, so
+    /// acyclicity is structural. The edge set is drawn first so that input
+    /// subtasks can be given the release and output subtasks the deadline
+    /// the builder requires; interior nodes carry anchors at random, as
+    /// generated workloads do.
+    fn random_graph(rng: &mut StdRng, n: usize, density: f64) -> TaskGraph {
+        let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+        let mut has_pred = vec![false; n];
+        let mut has_succ = vec![false; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(density) {
+                    edges.push((i, j, rng.gen_range(1..=20)));
+                    has_succ[i] = true;
+                    has_pred[j] = true;
+                }
+            }
+        }
+
+        let mut b = TaskGraph::builder();
+        let ids: Vec<_> = (0..n)
+            .map(|v| {
+                let mut s = Subtask::new(Time::new(rng.gen_range(1..=50)));
+                if !has_pred[v] || rng.gen_bool(0.4) {
+                    s = s.released_at(Time::new(rng.gen_range(0..=30)));
+                }
+                if !has_succ[v] || rng.gen_bool(0.4) {
+                    s = s.due_at(Time::new(rng.gen_range(40..=400)));
+                }
+                b.add_subtask(s)
+            })
+            .collect();
+        for (i, j, items) in edges {
+            b.add_edge(ids[i], ids[j], items)
+                .expect("forward edges cannot cycle or duplicate");
+        }
+        b.build()
+            .expect("non-empty graph with anchored inputs/outputs")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn optimized_search_matches_reference(
+            seed in 0u64..u64::MAX,
+            n in 1usize..=14,
+            density in 0.0f64..0.7,
+            ccaa in proptest::bool::ANY,
+            proportional in proptest::bool::ANY,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = random_graph(&mut rng, n, density);
+            let platform = Platform::paper(2).expect("valid platform");
+            let estimate = if ccaa { CommEstimate::Ccaa } else { CommEstimate::Ccne };
+            let rule = if proportional {
+                ShareRule::Proportional
+            } else {
+                ShareRule::EqualShare
+            };
+            let exp = ExpandedGraph::build(&graph, &estimate, &platform);
+            let en = exp.len();
+
+            // Random anchor/assignment pattern over the *expanded* nodes,
+            // layered on top of the graph's own anchors — mirrors the
+            // accumulated state of a mid-flight slicing loop.
+            let mut assigned = vec![false; en];
+            let mut rel: Vec<Option<Time>> = vec![None; en];
+            let mut dl: Vec<Option<Time>> = vec![None; en];
+            for id in graph.subtask_ids() {
+                rel[exp.task_node(id)] = graph.subtask(id).release();
+                dl[exp.task_node(id)] = graph.subtask(id).deadline();
+            }
+            for v in 0..en {
+                if rng.gen_bool(0.2) {
+                    assigned[v] = true;
+                }
+                if rng.gen_bool(0.25) {
+                    rel[v] = Some(Time::new(rng.gen_range(0..=60)));
+                }
+                if rng.gen_bool(0.25) {
+                    dl[v] = Some(Time::new(rng.gen_range(20..=500)));
+                }
+            }
+            let vweights: Vec<f64> = (0..en).map(|_| rng.gen_range(0.5f64..50.0)).collect();
+
+            let mut optimized = PathSearch::new(en, exp.max_chain());
+            let mut naive = ReferencePathSearch::new(en, exp.max_chain());
+            let fast = optimized.find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule);
+            let slow = naive.find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule);
+            prop_assert_eq!(&fast, &slow);
+
+            // When a path exists, re-deriving its score from the returned
+            // nodes must reproduce it: the path really scores what the DP
+            // claims (an "equally-scoring path", independently of parents).
+            if let Some(cp) = &fast {
+                let total: f64 = cp.nodes.iter().map(|&v| vweights[v]).sum();
+                let window = cp.window_end - cp.window_start;
+                let rescored = rule.score(window, total, cp.nodes.len());
+                prop_assert!(
+                    (rescored - cp.score).abs() < 1e-9,
+                    "path rescoring drifted: {} vs {}",
+                    rescored,
+                    cp.score
+                );
+            }
+
+            // The scratch state must be reusable: a second run over the same
+            // inputs sees only epoch-stamped slots, never stale data.
+            let again = optimized.find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule);
+            prop_assert_eq!(&again, &slow);
+        }
     }
 }
 
@@ -330,5 +715,24 @@ mod tests {
         assert!(search
             .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
             .is_none());
+    }
+
+    #[test]
+    fn scratch_state_is_reusable_across_searches() {
+        // The same PathSearch must give identical answers when reused: the
+        // epoch stamps must fully isolate consecutive searches.
+        let (g, exp) = diamond(60, 20);
+        let (assigned, rel, dl) = anchors(&g, &exp);
+        let w: Vec<f64> = (0..exp.len()).map(|v| exp.weight(v).as_f64()).collect();
+        let mut search = PathSearch::new(exp.len(), exp.max_chain());
+        let first = search
+            .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+            .unwrap();
+        for _ in 0..3 {
+            let again = search
+                .find_critical_path(&exp, &w, &assigned, &rel, &dl, ShareRule::EqualShare)
+                .unwrap();
+            assert_eq!(first, again);
+        }
     }
 }

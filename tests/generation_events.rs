@@ -1,0 +1,51 @@
+//! Workload generation fans out over worker threads, but the telemetry
+//! stream must stay deterministic: `GraphGenerated` events are required to
+//! appear in replication order no matter how the workers interleave.
+//!
+//! This lives in its own integration-test binary because the event sink is
+//! process-global; sharing a process with other tests that run scenarios
+//! would interleave their events into the capture.
+
+use feast::telemetry::{self, EventSink, RunEvent};
+use feast::{run_scenario_with_threads, Scenario};
+use slicing::{CommEstimate, MetricKind};
+use taskgraph::gen::{ExecVariation, WorkloadSpec};
+
+#[test]
+fn graph_generated_events_stay_ordered_under_parallel_generation() {
+    let scenario = Scenario::paper(
+        "events-order",
+        WorkloadSpec::paper(ExecVariation::Mdet),
+        MetricKind::pure(),
+        CommEstimate::Ccne,
+    )
+    .with_replications(16)
+    .with_system_sizes(vec![2]);
+
+    let dir = std::env::temp_dir().join(format!("feast-events-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("events.jsonl");
+    telemetry::install(EventSink::create(&path).expect("create sink"));
+    let result = run_scenario_with_threads(&scenario, 4).expect("scenario runs");
+    telemetry::uninstall();
+
+    let text = std::fs::read_to_string(&path).expect("events written");
+    let reps: Vec<usize> = text
+        .lines()
+        .filter_map(|line| match serde_json::from_str::<RunEvent>(line) {
+            Ok(RunEvent::GraphGenerated { replication, .. }) => Some(replication),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        reps,
+        (0..16).collect::<Vec<_>>(),
+        "GraphGenerated events must be ordered by replication index"
+    );
+
+    // Parallel generation must not change the measurements either.
+    let serial = run_scenario_with_threads(&scenario, 1).expect("scenario runs");
+    assert_eq!(serial, result);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,44 @@
+//! Golden pin of one `ScenarioPoint`: the fig2 PURE/CCNE scenario at paper
+//! settings (128 replications, base seed 0xFEA57, MDET workloads, shared
+//! bus), evaluated at system size 8.
+//!
+//! The values below were produced by the pre-optimization implementation;
+//! the hot-path rework of the critical-path search (epoch-stamped DP, CSR
+//! adjacency, reachability pruning) must keep `run_scenario` byte-identical,
+//! so any drift here means an optimization changed observable behaviour.
+
+use feast::{run_scenario_sequential, Scenario};
+use slicing::{CommEstimate, MetricKind};
+use taskgraph::gen::{ExecVariation, WorkloadSpec};
+
+#[test]
+fn fig2_pure_ccne_point_matches_golden_values() {
+    let scenario = Scenario::paper(
+        "PURE/CCNE",
+        WorkloadSpec::paper(ExecVariation::Mdet),
+        MetricKind::pure(),
+        CommEstimate::Ccne,
+    )
+    .with_system_sizes(vec![8]);
+    let result = run_scenario_sequential(&scenario).expect("scenario runs");
+    assert_eq!(result.points.len(), 1);
+    let p = &result.points[0];
+
+    assert_eq!(p.system_size, 8);
+    assert_eq!(p.violations, 0);
+    assert_eq!(p.max_lateness.count, 128);
+
+    // Exact float equality is intentional: the pipeline is deterministic and
+    // the optimized search must reproduce it bit for bit.
+    assert_eq!(p.max_lateness.mean, -28.1875);
+    assert_eq!(p.max_lateness.std_dev, 5.223734447194186);
+    assert_eq!(p.max_lateness.min, -39.0);
+    assert_eq!(p.max_lateness.max, -16.0);
+    assert_eq!(p.end_to_end_lateness.mean, -35.9296875);
+    assert_eq!(p.end_to_end_lateness.std_dev, 3.507435507401765);
+    assert_eq!(p.makespan.mean, 583.0234375);
+    assert_eq!(p.makespan.std_dev, 81.77205352500847);
+    assert_eq!(p.makespan.min, 419.0);
+    assert_eq!(p.makespan.max, 746.0);
+    assert_eq!(p.feasible_fraction, 1.0);
+}
