@@ -23,15 +23,15 @@
 use std::time::Instant;
 
 use platform::{Pinning, Platform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sched::ListScheduler;
 use serde::{Deserialize, Serialize};
 use slicing::{MetricKind, Slicer};
-use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+use taskgraph::gen::{generate_seeded, stream_label, stream_seed, ExecVariation, WorkloadSpec};
 
-/// Base seed for workload generation; iteration `i` uses `SEED + i`, so the
-/// same graphs recur across metrics, sizes and runs (paired measurement).
+/// Base seed for workload generation; iteration `i` draws from the seed
+/// stream `stream_seed(SEED, size stream, 0, i)`, so the same graphs recur
+/// across metrics and runs (paired measurement) while staying decorrelated
+/// across workload sizes.
 const SEED: u64 = 0x000F_EA57_BE5C;
 
 /// Processor count used for the distribute and schedule stages.
@@ -147,14 +147,15 @@ fn measure(
     let scheduler = ListScheduler::new();
     let pinning = Pinning::new();
 
+    let stream = stream_label(size.label.as_bytes());
     let mut gen_us = Vec::with_capacity(iterations);
     let mut dist_us = Vec::with_capacity(iterations);
     let mut sched_us = Vec::with_capacity(iterations);
     for i in 0..iterations {
-        let mut rng = StdRng::seed_from_u64(SEED.wrapping_add(i as u64));
+        let seed = stream_seed(SEED, stream, 0, i as u64);
 
         let t = Instant::now();
-        let graph = generate(&size.spec, &mut rng).expect("workload spec is valid");
+        let graph = generate_seeded(&size.spec, seed).expect("workload spec is valid");
         gen_us.push(t.elapsed().as_micros() as u64);
 
         let t = Instant::now();

@@ -1,0 +1,370 @@
+//! Sharded, resumable scenario sweeps from the command line.
+//!
+//! ```text
+//! sweep run   [--metric pure|norm|adapt|thres:D] [--estimate ccne|ccaa]
+//!             [--variation ldet|mdet|hdet] [--label S] [--reps N]
+//!             [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
+//!             [--checkpoint PATH] [--events PATH] [--out PATH]
+//! sweep merge [--out PATH] PART.json...
+//! ```
+//!
+//! `run` executes one scenario through the [`Runner`] engine. Without
+//! `--shard` it prints the aggregated `ScenarioResult` as JSON; with
+//! `--shard I/N` it computes shard `I` only and prints its
+//! `PartialResult`, which `merge` folds back into the full
+//! `ScenarioResult` — bit-identical to an unsharded run. `--checkpoint`
+//! makes the run resumable: completed replications are appended to a
+//! JSONL file and skipped on restart.
+//!
+//! A two-worker sweep, merged:
+//!
+//! ```text
+//! sweep run --shard 0/2 --out part0.json
+//! sweep run --shard 1/2 --out part1.json
+//! sweep merge --out full.json part0.json part1.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use feast::telemetry::EventSink;
+use feast::{PartialResult, Runner, Scenario, ShardSpec};
+use slicing::{CommEstimate, MetricKind};
+use taskgraph::gen::{ExecVariation, WorkloadSpec};
+use tracing_subscriber::EnvFilter;
+
+const USAGE: &str = "usage:
+  sweep run   [--metric pure|norm|adapt|thres:D] [--estimate ccne|ccaa]
+              [--variation ldet|mdet|hdet] [--label S] [--reps N]
+              [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
+              [--checkpoint PATH] [--events PATH] [--out PATH]
+  sweep merge [--out PATH] PART.json...";
+
+#[derive(Debug)]
+struct RunArgs {
+    metric: MetricKind,
+    estimate: CommEstimate,
+    variation: ExecVariation,
+    label: Option<String>,
+    reps: usize,
+    sizes: Vec<usize>,
+    seed: u64,
+    threads: usize,
+    shard: ShardSpec,
+    checkpoint: Option<PathBuf>,
+    events: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+#[derive(Debug)]
+struct MergeArgs {
+    parts: Vec<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+#[derive(Debug)]
+enum Command {
+    Run(RunArgs),
+    Merge(MergeArgs),
+}
+
+/// Parses `"0x..."` as hex and anything else as decimal.
+fn parse_seed(raw: &str) -> Result<u64, String> {
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.map_err(|e| format!("--seed: {e}"))
+}
+
+fn parse_metric(raw: &str) -> Result<MetricKind, String> {
+    match raw {
+        "pure" => Ok(MetricKind::pure()),
+        "norm" => Ok(MetricKind::norm()),
+        "adapt" => Ok(MetricKind::adapt()),
+        other => match other.strip_prefix("thres:") {
+            Some(d) => d
+                .parse()
+                .map(MetricKind::thres)
+                .map_err(|e| format!("--metric thres:D: {e}")),
+            None => Err(format!("--metric: unknown metric '{other}'")),
+        },
+    }
+}
+
+fn parse_shard(raw: &str) -> Result<ShardSpec, String> {
+    let (index, count) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("--shard: expected I/N, got '{raw}'"))?;
+    let index = index.parse().map_err(|e| format!("--shard index: {e}"))?;
+    let count = count.parse().map_err(|e| format!("--shard count: {e}"))?;
+    Ok(ShardSpec::new(index, count))
+}
+
+fn next_value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
+    let mut args = RunArgs {
+        metric: MetricKind::pure(),
+        estimate: CommEstimate::Ccne,
+        variation: ExecVariation::Mdet,
+        label: None,
+        reps: 128,
+        sizes: (2..=16).step_by(2).collect(),
+        seed: 0xFEA57,
+        threads: 0,
+        shard: ShardSpec::FULL,
+        checkpoint: None,
+        events: None,
+        out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metric" => args.metric = parse_metric(next_value(&mut it, "--metric")?)?,
+            "--estimate" => {
+                args.estimate = match next_value(&mut it, "--estimate")?.as_str() {
+                    "ccne" => CommEstimate::Ccne,
+                    "ccaa" => CommEstimate::Ccaa,
+                    other => return Err(format!("--estimate: unknown estimate '{other}'")),
+                };
+            }
+            "--variation" => {
+                args.variation = match next_value(&mut it, "--variation")?.as_str() {
+                    "ldet" => ExecVariation::Ldet,
+                    "mdet" => ExecVariation::Mdet,
+                    "hdet" => ExecVariation::Hdet,
+                    other => return Err(format!("--variation: unknown variation '{other}'")),
+                };
+            }
+            "--label" => args.label = Some(next_value(&mut it, "--label")?.clone()),
+            "--reps" => {
+                args.reps = next_value(&mut it, "--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--sizes" => {
+                let raw = next_value(&mut it, "--sizes")?;
+                let sizes: Result<Vec<usize>, _> =
+                    raw.split(',').map(|s| s.trim().parse()).collect();
+                args.sizes = sizes.map_err(|e| format!("--sizes: {e}"))?;
+            }
+            "--seed" => args.seed = parse_seed(next_value(&mut it, "--seed")?)?,
+            "--threads" => {
+                args.threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--shard" => args.shard = parse_shard(next_value(&mut it, "--shard")?)?,
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(next_value(&mut it, "--checkpoint")?));
+            }
+            "--events" => args.events = Some(PathBuf::from(next_value(&mut it, "--events")?)),
+            "--out" => args.out = Some(PathBuf::from(next_value(&mut it, "--out")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_merge(argv: &[String]) -> Result<MergeArgs, String> {
+    let mut parts = Vec::new();
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(next_value(&mut it, "--out")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument '{flag}'\n\n{USAGE}"));
+            }
+            path => parts.push(PathBuf::from(path)),
+        }
+    }
+    if parts.is_empty() {
+        return Err(format!(
+            "merge needs at least one partial result\n\n{USAGE}"
+        ));
+    }
+    Ok(MergeArgs { parts, out })
+}
+
+fn parse_args(argv: &[String]) -> Result<Command, String> {
+    match argv.first().map(String::as_str) {
+        Some("run") => Ok(Command::Run(parse_run(&argv[1..])?)),
+        Some("merge") => Ok(Command::Merge(parse_merge(&argv[1..])?)),
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+/// Writes `json` to `--out` when given, else stdout.
+fn deliver(out: &Option<PathBuf>, json: &str) -> std::io::Result<()> {
+    match out {
+        Some(path) => std::fs::write(path, format!("{json}\n")),
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+fn run(args: RunArgs) -> Result<(), String> {
+    let technique = feast::Technique::Slicing {
+        metric: args.metric,
+        estimate: args.estimate,
+    };
+    let label = args.label.clone().unwrap_or_else(|| technique.label());
+    let scenario = Scenario::with_technique(label, WorkloadSpec::paper(args.variation), technique)
+        .with_replications(args.reps)
+        .with_system_sizes(args.sizes.clone())
+        .with_base_seed(args.seed);
+
+    let mut runner = Runner::new(scenario)
+        .threads(args.threads)
+        .shard(args.shard);
+    if let Some(path) = &args.checkpoint {
+        runner = runner.checkpoint(path);
+    }
+    if let Some(path) = &args.events {
+        let sink =
+            EventSink::create(path).map_err(|e| format!("--events {}: {e}", path.display()))?;
+        runner = runner.events(sink);
+    }
+
+    let json = if args.shard.is_full() {
+        let result = runner.run().map_err(|e| e.to_string())?;
+        serde_json::to_string_pretty(&result).expect("plain data serializes")
+    } else {
+        let partial = runner.run_partial().map_err(|e| e.to_string())?;
+        serde_json::to_string_pretty(&partial).expect("plain data serializes")
+    };
+    deliver(&args.out, &json).map_err(|e| format!("writing output: {e}"))
+}
+
+fn merge(args: MergeArgs) -> Result<(), String> {
+    let parts: Vec<PartialResult> = args
+        .parts
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+        })
+        .collect::<Result<_, String>>()?;
+    let result = PartialResult::merge(&parts).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&result).expect("plain data serializes");
+    deliver(&args.out, &json).map_err(|e| format!("writing output: {e}"))
+}
+
+fn main() -> ExitCode {
+    tracing_subscriber::fmt()
+        .with_env_filter(
+            EnvFilter::try_from_default_env().unwrap_or_else(|_| EnvFilter::new("warn")),
+        )
+        .with_target(false)
+        .init();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command {
+        Command::Run(args) => run(args),
+        Command::Merge(args) => merge(args),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sweep: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_defaults_and_flags() {
+        let Command::Run(a) = parse_args(&argv(&["run"])).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.reps, 128);
+        assert!(a.shard.is_full());
+        assert_eq!(a.seed, 0xFEA57);
+
+        let Command::Run(a) = parse_args(&argv(&[
+            "run",
+            "--metric",
+            "thres:2",
+            "--estimate",
+            "ccaa",
+            "--variation",
+            "hdet",
+            "--reps",
+            "16",
+            "--sizes",
+            "2,8",
+            "--seed",
+            "0xABC",
+            "--shard",
+            "1/4",
+            "--checkpoint",
+            "/tmp/c.jsonl",
+        ]))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.reps, 16);
+        assert_eq!(a.sizes, vec![2, 8]);
+        assert_eq!(a.seed, 0xABC);
+        assert_eq!(a.shard, ShardSpec::new(1, 4));
+        assert_eq!(a.checkpoint, Some(PathBuf::from("/tmp/c.jsonl")));
+    }
+
+    #[test]
+    fn parses_merge() {
+        let Command::Merge(a) = parse_args(&argv(&[
+            "merge",
+            "--out",
+            "full.json",
+            "p0.json",
+            "p1.json",
+        ]))
+        .unwrap() else {
+            panic!("expected merge");
+        };
+        assert_eq!(a.parts.len(), 2);
+        assert_eq!(a.out, Some(PathBuf::from("full.json")));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["run", "--metric", "nope"])).is_err());
+        assert!(parse_args(&argv(&["run", "--shard", "3"])).is_err());
+        assert!(parse_args(&argv(&["merge"])).is_err());
+    }
+
+    #[test]
+    fn seed_parses_hex_and_decimal() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xFEA57").unwrap(), 0xFEA57);
+        assert!(parse_seed("zzz").is_err());
+    }
+}

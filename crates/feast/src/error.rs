@@ -2,38 +2,137 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 use platform::PlatformError;
 use sched::SchedError;
 use slicing::SliceError;
 use taskgraph::gen::GenerateError;
 
+use crate::ScenarioError;
+
 /// Error produced while running a scenario or experiment.
+///
+/// Every failure mode of the engine is a typed variant: degenerate
+/// scenarios, invalid shards, exhausted workload retries, cancellation,
+/// worker panics and checkpoint problems all surface here instead of
+/// panicking mid-sweep.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum RunError {
-    /// The scenario definition is unusable (empty sweep, zero replications).
-    InvalidScenario(String),
-    /// Workload generation failed.
+    /// The scenario definition is unusable (empty sweep, zero
+    /// replications, inconsistent workload spec).
+    Scenario(ScenarioError),
+    /// A shard specification is out of range (`index >= count` or
+    /// `count == 0`).
+    InvalidShard {
+        /// Shard index.
+        index: usize,
+        /// Shard count.
+        count: usize,
+    },
+    /// [`Runner::run`] was called on a sharded runner; a shard covers only
+    /// a subset of the replications, so it must be executed with
+    /// [`Runner::run_partial`] and folded with [`PartialResult::merge`].
+    ///
+    /// [`Runner::run`]: crate::Runner::run
+    /// [`Runner::run_partial`]: crate::Runner::run_partial
+    /// [`PartialResult::merge`]: crate::PartialResult::merge
+    ShardedRun {
+        /// Configured shard count.
+        count: usize,
+    },
+    /// Workload generation failed deterministically (invalid spec).
     Generate(GenerateError),
+    /// Workload generation kept failing after bounded retries on fresh
+    /// sub-streams.
+    GenerateRejected {
+        /// Replication whose workload could not be generated.
+        replication: usize,
+        /// Number of sub-stream attempts made.
+        attempts: usize,
+        /// The last rejection.
+        last: GenerateError,
+    },
     /// Deadline distribution failed.
     Slice(SliceError),
     /// The platform could not be constructed or a pinning was invalid.
     Platform(PlatformError),
     /// Scheduling failed.
     Sched(SchedError),
-    /// Writing reports to disk failed.
+    /// The run was cancelled via its [`CancelToken`]; completed
+    /// replications are preserved in the checkpoint, if one is configured.
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Cancelled,
+    /// A worker thread panicked during the named stage.
+    WorkerPanic(&'static str),
+    /// The checkpoint at `path` belongs to a different scenario (its
+    /// header fingerprint does not match).
+    CheckpointMismatch {
+        /// Checkpoint file.
+        path: PathBuf,
+    },
+    /// The checkpoint at `path` could not be parsed.
+    CheckpointCorrupt {
+        /// Checkpoint file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Partial results could not be merged (different scenarios, labels or
+    /// sweep shapes).
+    MergeMismatch(String),
+    /// The merged partial results do not cover every replication of the
+    /// sweep.
+    MergeIncomplete {
+        /// Number of `(system size, replication)` cells missing.
+        missing: usize,
+    },
+    /// Writing reports or checkpoints to disk failed.
     Io(std::io::Error),
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            RunError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            RunError::InvalidShard { index, count } => {
+                write!(f, "invalid shard {index}/{count}: index must be < count and count > 0")
+            }
+            RunError::ShardedRun { count } => write!(
+                f,
+                "runner is sharded 1-of-{count}: use run_partial() and PartialResult::merge()"
+            ),
             RunError::Generate(e) => write!(f, "workload generation failed: {e}"),
+            RunError::GenerateRejected {
+                replication,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "workload generation for replication {replication} rejected after {attempts} attempts: {last}"
+            ),
             RunError::Slice(e) => write!(f, "deadline distribution failed: {e}"),
             RunError::Platform(e) => write!(f, "platform error: {e}"),
             RunError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::WorkerPanic(stage) => write!(f, "worker thread panicked during {stage}"),
+            RunError::CheckpointMismatch { path } => write!(
+                f,
+                "checkpoint {} belongs to a different scenario",
+                path.display()
+            ),
+            RunError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint {} is corrupt: {detail}", path.display())
+            }
+            RunError::MergeMismatch(detail) => {
+                write!(f, "partial results cannot be merged: {detail}")
+            }
+            RunError::MergeIncomplete { missing } => write!(
+                f,
+                "merged partial results leave {missing} replication cell(s) uncovered"
+            ),
             RunError::Io(e) => write!(f, "report i/o failed: {e}"),
         }
     }
@@ -42,13 +141,21 @@ impl fmt::Display for RunError {
 impl Error for RunError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            RunError::InvalidScenario(_) => None,
+            RunError::Scenario(e) => Some(e),
             RunError::Generate(e) => Some(e),
+            RunError::GenerateRejected { last, .. } => Some(last),
             RunError::Slice(e) => Some(e),
             RunError::Platform(e) => Some(e),
             RunError::Sched(e) => Some(e),
             RunError::Io(e) => Some(e),
+            _ => None,
         }
+    }
+}
+
+impl From<ScenarioError> for RunError {
+    fn from(e: ScenarioError) -> Self {
+        RunError::Scenario(e)
     }
 }
 
@@ -95,11 +202,48 @@ mod tests {
         let e: RunError = PlatformError::NoProcessors.into();
         assert!(e.to_string().contains("platform"));
 
-        let e = RunError::InvalidScenario("empty".into());
-        assert!(e.to_string().contains("empty"));
-        assert!(e.source().is_none());
+        let e: RunError = ScenarioError::NoReplications.into();
+        assert!(e.to_string().contains("replication"));
+        assert!(e.source().is_some());
 
         let e: RunError = std::io::Error::other("disk").into();
         assert!(e.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn engine_variants_display() {
+        assert!(RunError::Cancelled.to_string().contains("cancelled"));
+        assert!(RunError::InvalidShard { index: 3, count: 2 }
+            .to_string()
+            .contains("3/2"));
+        assert!(RunError::ShardedRun { count: 4 }
+            .to_string()
+            .contains("run_partial"));
+        assert!(RunError::WorkerPanic("schedule")
+            .to_string()
+            .contains("schedule"));
+        assert!(RunError::MergeIncomplete { missing: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(RunError::MergeMismatch("labels differ".into())
+            .to_string()
+            .contains("labels differ"));
+        let e = RunError::CheckpointMismatch {
+            path: PathBuf::from("/tmp/c.jsonl"),
+        };
+        assert!(e.to_string().contains("c.jsonl"));
+        assert!(e.source().is_none());
+        let e = RunError::CheckpointCorrupt {
+            path: PathBuf::from("/tmp/c.jsonl"),
+            detail: "missing header".into(),
+        };
+        assert!(e.to_string().contains("missing header"));
+        let e = RunError::GenerateRejected {
+            replication: 5,
+            attempts: 8,
+            last: GenerateError::InvalidSpec("x".into()),
+        };
+        assert!(e.to_string().contains("replication 5"));
+        assert!(e.source().is_some());
     }
 }

@@ -25,14 +25,15 @@ pub use extensions::{
 };
 pub use figures::{fig2, fig3, fig4, fig5};
 
-use crate::{run_scenario_with_threads, ExperimentResult, Panel, RunError, Scenario, Series};
+use crate::{ExperimentResult, Panel, RunError, Runner, Scenario, Series};
 
 /// Shared configuration for all experiment regenerators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// Random workloads per scenario point (the paper uses 128).
     pub replications: usize,
-    /// Base seed; replication `i` uses `base_seed + i`.
+    /// Root seed of the per-replication seed streams (see
+    /// [`taskgraph::gen::stream_seed`]).
     pub base_seed: u64,
     /// System sizes to sweep (the paper uses 2–16).
     pub system_sizes: Vec<usize>,
@@ -127,7 +128,7 @@ pub(crate) fn run_panels_measuring(
             let series: Result<Vec<Series>, RunError> = scenarios
                 .iter()
                 .map(|s| {
-                    let result = run_scenario_with_threads(s, threads)?;
+                    let result = Runner::new(s.clone()).threads(threads).run()?;
                     Ok(Series {
                         label: result.label.clone(),
                         points: match measure {

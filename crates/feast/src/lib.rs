@@ -8,15 +8,41 @@
 //! lateness statistics, and renders the paper's figures as tables, ASCII
 //! plots, CSV and JSON.
 //!
-//! * [`Scenario`] / [`run_scenario`] — one parameter combination, swept and
-//!   replicated; identical workload seeds across scenarios give paired
-//!   comparisons.
+//! * [`Scenario`] / [`Runner`] — one parameter combination, swept and
+//!   replicated by the experiment engine. Workload seeds are per-replication
+//!   seed streams (see [`taskgraph::gen::stream_seed`]): identical across
+//!   scenarios sharing a workload source (paired comparisons) and
+//!   independently addressable, which is what makes runs shardable
+//!   ([`ShardSpec`], [`PartialResult::merge`]), resumable
+//!   ([`Runner::checkpoint`]) and cancellable ([`CancelToken`]).
 //! * [`experiments`] — one regenerator per figure of the paper (`fig2` …
 //!   `fig5`) and per §8 complementary study (`ext-*`).
 //! * [`ExperimentResult`] — panels × series of mean maximum task lateness,
 //!   with renderers.
 //!
 //! # Examples
+//!
+//! Run one scenario through the engine:
+//!
+//! ```
+//! use feast::{Runner, Scenario};
+//! use slicing::{CommEstimate, MetricKind};
+//! use taskgraph::gen::{ExecVariation, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), feast::RunError> {
+//! let scenario = Scenario::paper(
+//!     "ADAPT/CCNE",
+//!     WorkloadSpec::paper(ExecVariation::Mdet),
+//!     MetricKind::adapt(),
+//!     CommEstimate::Ccne,
+//! )
+//! .with_replications(4)
+//! .with_system_sizes(vec![2, 4]);
+//! let result = Runner::new(scenario).threads(2).run()?;
+//! assert_eq!(result.points.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! Regenerate a scaled-down Figure 5 and print it:
 //!
@@ -46,11 +72,13 @@ pub mod telemetry;
 
 pub use error::RunError;
 pub use report::{ExperimentResult, Panel, Series};
+#[allow(deprecated)]
+pub use runner::{run_scenario, run_scenario_sequential, run_scenario_with_threads};
 pub use runner::{
-    run_scenario, run_scenario_sequential, run_scenario_with_threads, ScenarioPoint, ScenarioResult,
+    CancelToken, PartialResult, ReplicationRecord, Runner, ScenarioPoint, ScenarioResult, ShardSpec,
 };
 pub use scenario::{
-    PinningPolicy, Scenario, SchedulerSpec, Technique, TopologyKind, WorkloadSource,
+    PinningPolicy, Scenario, ScenarioError, SchedulerSpec, Technique, TopologyKind, WorkloadSource,
 };
 pub use stats::SummaryStats;
 
@@ -67,5 +95,11 @@ mod send_sync_tests {
         assert_send_sync::<ExperimentResult>();
         assert_send_sync::<RunError>();
         assert_send_sync::<SummaryStats>();
+        assert_send_sync::<Runner>();
+        assert_send_sync::<PartialResult>();
+        assert_send_sync::<ReplicationRecord>();
+        assert_send_sync::<ShardSpec>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<ScenarioError>();
     }
 }

@@ -1,19 +1,53 @@
 //! Scenario execution: the generate → distribute → schedule → measure
-//! pipeline, swept over system sizes and replications.
+//! pipeline, swept over system sizes and replications by a sharded,
+//! checkpointable, cancellable [`Runner`].
+//!
+//! # The engine
+//!
+//! Every replication's workload seed is derived from its coordinates via
+//! [`stream_seed`] (never from a sequential RNG walk), so any replication
+//! is independently computable in any order on any worker. On top of that
+//! the engine layers:
+//!
+//! * **sharding** — [`ShardSpec`] partitions the replication indices;
+//!   [`Runner::run_partial`] computes one shard's [`PartialResult`] and
+//!   [`PartialResult::merge`] folds N shard outputs into the exact
+//!   [`ScenarioResult`] a monolithic run produces (bit-identical `f64`s,
+//!   because the merge recombines raw per-replication records in
+//!   replication order rather than combining floating-point summaries);
+//! * **checkpointing** — [`Runner::checkpoint`] appends every completed
+//!   replication to a JSONL file; a restarted run loads it, skips the
+//!   completed `(system size, replication)` cells and computes only the
+//!   rest;
+//! * **cancellation** — a [`CancelToken`] checked between replications
+//!   stops the run with [`RunError::Cancelled`] while preserving the
+//!   checkpoint;
+//! * **bounded retry** — a rejected workload draw is retried on fresh
+//!   [`sub_stream`]s a bounded number of times before the run fails with
+//!   a typed error.
+//!
+//! [`stream_seed`]: taskgraph::gen::stream_seed
+//! [`sub_stream`]: taskgraph::gen::sub_stream
 
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use platform::Platform;
 use sched::{LatenessReport, ListScheduler};
 use slicing::{distribute_baseline, Slicer};
-use taskgraph::gen::{generate, generate_shape};
+use taskgraph::gen::{
+    generate_seeded, generate_shape_seeded, stream_label, stream_seed, sub_stream, GenerateError,
+};
 use taskgraph::TaskGraph;
 
-use crate::telemetry::{self, RunEvent, Stage};
+use crate::telemetry::{self, EventSink, RunEvent, Stage};
 use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
 
 /// Measurements of one scenario at one system size, aggregated over all
@@ -34,6 +68,27 @@ pub struct ScenarioPoint {
     /// Structural violations found across all replications (0 for a sound
     /// pipeline).
     pub violations: usize,
+}
+
+impl ScenarioPoint {
+    /// Aggregates one system size's records (already in replication order)
+    /// into a point. All folds — monolithic, sharded-and-merged,
+    /// resumed-from-checkpoint — go through this one function, which is
+    /// what makes their `f64` statistics bit-identical.
+    fn from_records(system_size: usize, records: &[ReplicationRecord]) -> ScenarioPoint {
+        debug_assert!(!records.is_empty());
+        let collect =
+            |f: fn(&ReplicationRecord) -> f64| -> Vec<f64> { records.iter().map(f).collect() };
+        ScenarioPoint {
+            system_size,
+            max_lateness: SummaryStats::from_values(&collect(|r| r.max_lateness)),
+            end_to_end_lateness: SummaryStats::from_values(&collect(|r| r.end_to_end)),
+            makespan: SummaryStats::from_values(&collect(|r| r.makespan)),
+            feasible_fraction: records.iter().filter(|r| r.feasible).count() as f64
+                / records.len() as f64,
+            violations: records.iter().map(|r| r.violations).sum(),
+        }
+    }
 }
 
 /// The outcome of running one scenario over its system-size sweep.
@@ -67,37 +122,330 @@ impl ScenarioResult {
     }
 }
 
-/// Raw measurements of a single pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct RunMeasurement {
-    max_lateness: f64,
-    end_to_end: f64,
-    makespan: f64,
-    feasible: bool,
-    violations: usize,
+/// Raw measurements of one replication at one system size: the engine's
+/// unit of work, checkpointing and shard merging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationRecord {
+    /// Number of processors this replication was scheduled on.
+    pub system_size: usize,
+    /// Replication index (also the seed-stream coordinate).
+    pub replication: usize,
+    /// Maximum task lateness.
+    pub max_lateness: f64,
+    /// End-to-end lateness of output subtasks.
+    pub end_to_end: f64,
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Did the schedule meet every assigned deadline?
+    pub feasible: bool,
+    /// Structural violations found by validation.
+    pub violations: usize,
 }
 
-/// Generates the workload for replication `rep` of `scenario`.
+/// One shard of a replicated sweep: this worker computes exactly the
+/// replications `r` with `r % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This worker's shard index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The unsharded (whole-sweep) shard.
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// A shard covering every `count`-th replication starting at `index`.
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        ShardSpec { index, count }
+    }
+
+    /// Does this shard own replication `replication`?
+    pub fn owns(self, replication: usize) -> bool {
+        self.count != 0 && replication % self.count == self.index
+    }
+
+    /// Is this the whole sweep?
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+
+    /// Checks that the shard is addressable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidShard`] if `count == 0` or
+    /// `index >= count`.
+    pub fn validate(self) -> Result<(), RunError> {
+        if self.count == 0 || self.index >= self.count {
+            return Err(RunError::InvalidShard {
+                index: self.index,
+                count: self.count,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::FULL
+    }
+}
+
+/// A cooperative cancellation flag, checked by the engine between
+/// replications.
 ///
-/// Seeds depend only on `(base_seed, rep)` so different techniques see the
-/// same 128 graphs (paired comparison).
-fn workload(scenario: &Scenario, rep: usize) -> Result<TaskGraph, RunError> {
-    let mut rng = StdRng::seed_from_u64(scenario.base_seed.wrapping_add(rep as u64));
-    let graph = match &scenario.workload {
-        WorkloadSource::Random(spec) => generate(spec, &mut rng)?,
-        WorkloadSource::Shaped { shape, spec } => generate_shape(*shape, spec, &mut rng)?,
-    };
-    Ok(graph)
+/// Clone the token (cheap, shared) before handing the [`Runner`] to a
+/// worker thread; calling [`CancelToken::cancel`] makes the run stop at
+/// the next replication boundary with [`RunError::Cancelled`], leaving any
+/// configured checkpoint valid for resumption.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard's completed records, ready to be folded into a
+/// [`ScenarioResult`] by [`PartialResult::merge`]. Serializable, so shard
+/// workers on different machines can exchange it as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialResult {
+    /// The scenario's display label.
+    pub label: String,
+    /// Fingerprint of the scenario the records belong to (seed, workload,
+    /// technique, platform — everything that influences measurements).
+    pub fingerprint: u64,
+    /// Total replications of the full sweep (not just this shard's).
+    pub replications: usize,
+    /// System sizes of the full sweep, in sweep order.
+    pub system_sizes: Vec<usize>,
+    /// The shard that produced these records.
+    pub shard: ShardSpec,
+    /// Completed records, sorted by `(system_size, replication)`.
+    pub records: Vec<ReplicationRecord>,
+}
+
+impl PartialResult {
+    /// Folds shard outputs into the [`ScenarioResult`] of the full sweep.
+    ///
+    /// The merge recombines raw per-replication records in replication
+    /// order — not floating-point summaries — so the result is
+    /// bit-identical to a monolithic [`Runner::run`] of the same scenario.
+    /// Overlapping shards are fine (first record per cell wins; by
+    /// determinism duplicates are equal anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::MergeMismatch`] if the parts disagree on scenario
+    /// fingerprint, label or sweep shape; [`RunError::MergeIncomplete`] if
+    /// the union of records does not cover every
+    /// `(system size, replication)` cell.
+    pub fn merge(parts: &[PartialResult]) -> Result<ScenarioResult, RunError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| RunError::MergeMismatch("no partial results to merge".to_owned()))?;
+        for p in &parts[1..] {
+            if p.fingerprint != first.fingerprint {
+                return Err(RunError::MergeMismatch(format!(
+                    "scenario fingerprints differ ({:#x} vs {:#x})",
+                    first.fingerprint, p.fingerprint
+                )));
+            }
+            if p.label != first.label {
+                return Err(RunError::MergeMismatch(format!(
+                    "labels differ ({:?} vs {:?})",
+                    first.label, p.label
+                )));
+            }
+            if p.replications != first.replications || p.system_sizes != first.system_sizes {
+                return Err(RunError::MergeMismatch(
+                    "sweep shapes (replications / system sizes) differ".to_owned(),
+                ));
+            }
+        }
+
+        let mut cells: BTreeMap<(usize, usize), ReplicationRecord> = BTreeMap::new();
+        for part in parts {
+            for r in &part.records {
+                if r.replication < first.replications && first.system_sizes.contains(&r.system_size)
+                {
+                    cells.entry((r.system_size, r.replication)).or_insert(*r);
+                }
+            }
+        }
+        fold_records(
+            first.label.clone(),
+            &first.system_sizes,
+            first.replications,
+            &cells,
+            None,
+        )
+    }
+}
+
+/// Builds the full sweep's points (in sweep order) from completed cells,
+/// verifying coverage. `events` receives one `Point` event per size when
+/// given.
+fn fold_records(
+    label: String,
+    system_sizes: &[usize],
+    replications: usize,
+    cells: &BTreeMap<(usize, usize), ReplicationRecord>,
+    events: Option<&EventScope>,
+) -> Result<ScenarioResult, RunError> {
+    let mut unique_sizes: Vec<usize> = system_sizes.to_vec();
+    unique_sizes.sort_unstable();
+    unique_sizes.dedup();
+    let missing = unique_sizes.len() * replications
+        - cells
+            .keys()
+            .filter(|(s, r)| unique_sizes.contains(s) && *r < replications)
+            .count();
+    if missing > 0 {
+        return Err(RunError::MergeIncomplete { missing });
+    }
+
+    let mut points = Vec::with_capacity(system_sizes.len());
+    for &size in system_sizes {
+        let records: Vec<ReplicationRecord> =
+            (0..replications).map(|rep| cells[&(size, rep)]).collect();
+        let point = ScenarioPoint::from_records(size, &records);
+        if point.violations > 0 {
+            tracing::warn!(
+                scenario = %label,
+                system_size = size,
+                violations = point.violations,
+                "structural violations detected"
+            );
+        }
+        tracing::debug!(
+            scenario = %label,
+            system_size = size,
+            mean_max_lateness = point.max_lateness.mean,
+            feasible_fraction = point.feasible_fraction,
+            "scenario point complete"
+        );
+        if let Some(scope) = events {
+            scope.emit(|| RunEvent::Point {
+                scenario: label.clone(),
+                system_size: size,
+                mean_max_lateness: point.max_lateness.mean,
+                feasible_fraction: point.feasible_fraction,
+                violations: point.violations,
+            });
+        }
+        points.push(point);
+    }
+    Ok(ScenarioResult { label, points })
+}
+
+/// Where a run's events go: its own sink if one was configured with
+/// [`Runner::events`], else the process-global stream.
+#[derive(Debug, Clone, Default)]
+struct EventScope(Option<Arc<EventSink>>);
+
+impl EventScope {
+    fn emit(&self, f: impl FnOnce() -> RunEvent) {
+        match &self.0 {
+            Some(sink) => sink.emit(&f()),
+            None => telemetry::emit_with(f),
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+/// Maximum fresh sub-streams tried when a workload draw is rejected.
+const MAX_GENERATE_ATTEMPTS: u64 = 8;
+
+/// Fingerprint of everything that influences a scenario's measurements:
+/// workload, technique, platform family, scheduler and base seed — but not
+/// the label or the sweep shape, so a checkpoint stays valid when the user
+/// extends `replications` or `system_sizes`.
+fn fingerprint(scenario: &Scenario) -> u64 {
+    let mut canonical = scenario.clone();
+    canonical.label = String::new();
+    canonical.replications = 0;
+    canonical.system_sizes = Vec::new();
+    let json = serde_json::to_string(&canonical).expect("scenario serializes");
+    stream_label(json.as_bytes())
+}
+
+/// The workload's seed-stream coordinate: a stable hash of the workload
+/// *source* only. Deliberately independent of the technique, so competing
+/// techniques draw identical graphs (the paper's paired comparison).
+fn workload_stream(workload: &WorkloadSource) -> u64 {
+    let json = serde_json::to_string(workload).expect("workload serializes");
+    stream_label(json.as_bytes())
+}
+
+/// Generates the workload for replication `rep`, retrying rejected draws
+/// on fresh sub-streams a bounded number of times.
+///
+/// Seeds depend only on `(base_seed, workload stream, rep)` — not on the
+/// technique or the system size — so different techniques and sizes see
+/// the same graphs (paired comparison), and any replication is computable
+/// in isolation.
+fn workload(scenario: &Scenario, stream: u64, rep: usize) -> Result<TaskGraph, RunError> {
+    let seed = stream_seed(scenario.base_seed, stream, 0, rep as u64);
+    let mut last = None;
+    for attempt in 0..MAX_GENERATE_ATTEMPTS {
+        let attempt_seed = sub_stream(seed, attempt);
+        let result = match &scenario.workload {
+            WorkloadSource::Random(spec) => generate_seeded(spec, attempt_seed),
+            WorkloadSource::Shaped { shape, spec } => {
+                generate_shape_seeded(*shape, spec, attempt_seed)
+            }
+        };
+        match result {
+            Ok(graph) => return Ok(graph),
+            // An invalid spec is deterministic: retrying cannot help.
+            Err(e @ GenerateError::InvalidSpec(_)) => return Err(e.into()),
+            Err(e) => {
+                tracing::warn!(
+                    replication = rep,
+                    attempt = attempt,
+                    "workload draw rejected: {e}; retrying on a fresh sub-stream"
+                );
+                last = Some(e);
+            }
+        }
+    }
+    Err(RunError::GenerateRejected {
+        replication: rep,
+        attempts: MAX_GENERATE_ATTEMPTS as usize,
+        last: last.expect("at least one attempt was made"),
+    })
 }
 
 /// Runs one full pipeline: distribute deadlines, schedule, measure.
-/// `rep` only labels telemetry; it never influences the measurement.
 fn run_once(
     scenario: &Scenario,
     graph: &TaskGraph,
     platform: &Platform,
     rep: usize,
-) -> Result<RunMeasurement, RunError> {
+    events: &EventScope,
+) -> Result<ReplicationRecord, RunError> {
     let distribute_started = Instant::now();
     let assignment = match &scenario.technique {
         Technique::Slicing { metric, estimate } => Slicer::new(*metric)
@@ -131,7 +479,9 @@ fn run_once(
     let schedule_elapsed = schedule_started.elapsed();
 
     let report = LatenessReport::new(graph, &assignment, &schedule);
-    let measurement = RunMeasurement {
+    let record = ReplicationRecord {
+        system_size: platform.processor_count(),
+        replication: rep,
         max_lateness: report.max_lateness().as_f64(),
         end_to_end: report.end_to_end_lateness().as_f64(),
         makespan: report.makespan().as_f64(),
@@ -142,25 +492,481 @@ fn run_once(
     let registry = telemetry::global();
     registry.record_stage(Stage::Distribute, distribute_elapsed);
     registry.record_stage(Stage::Schedule, schedule_elapsed);
-    registry.count_schedule(measurement.feasible, violations);
-    telemetry::emit_with(|| RunEvent::Replication {
+    registry.count_schedule(record.feasible, violations);
+    events.emit(|| RunEvent::Replication {
         scenario: scenario.label.clone(),
         system_size: platform.processor_count(),
         replication: rep,
         distribute_us: distribute_elapsed.as_micros() as u64,
         schedule_us: schedule_elapsed.as_micros() as u64,
-        feasible: measurement.feasible,
+        feasible: record.feasible,
         violations,
-        max_lateness: measurement.max_lateness,
+        max_lateness: record.max_lateness,
     });
-    Ok(measurement)
+    Ok(record)
+}
+
+/// One line of a `checkpoint.jsonl` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum CheckpointLine {
+    /// First line: identifies the scenario the records belong to.
+    Header {
+        /// Scenario fingerprint (see [`fingerprint`]).
+        fingerprint: u64,
+        /// Scenario label, for human readers of the file.
+        label: String,
+        /// Base seed, for human readers of the file.
+        base_seed: u64,
+    },
+    /// One completed replication.
+    Record(ReplicationRecord),
+}
+
+/// An append-only, crash-tolerant JSONL checkpoint.
+struct CheckpointWriter {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl CheckpointWriter {
+    /// Appends one record and flushes it to the OS, so a killed process
+    /// loses at most the replication in flight.
+    fn append(&self, record: &ReplicationRecord) -> Result<(), RunError> {
+        let line =
+            serde_json::to_string(&CheckpointLine::Record(*record)).expect("plain data serializes");
+        let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Opens (or creates) the checkpoint at `path`, loading completed records
+/// into `cells`. Records of cells outside the current sweep are left in
+/// the file but ignored; unparseable non-header lines (torn writes from a
+/// killed process) are skipped with a warning.
+fn open_checkpoint(
+    path: &Path,
+    scenario: &Scenario,
+    fp: u64,
+    cells: &mut BTreeMap<(usize, usize), ReplicationRecord>,
+    events: &EventScope,
+) -> Result<CheckpointWriter, RunError> {
+    let existing = match File::open(path) {
+        Ok(file) => {
+            let mut lines = BufReader::new(file).lines();
+            match lines.next() {
+                None => false, // created but never written: treat as fresh
+                Some(first) => {
+                    let first = first?;
+                    match serde_json::from_str::<CheckpointLine>(&first) {
+                        Ok(CheckpointLine::Header { fingerprint, .. }) if fingerprint == fp => {}
+                        Ok(CheckpointLine::Header { .. }) => {
+                            return Err(RunError::CheckpointMismatch {
+                                path: path.to_path_buf(),
+                            });
+                        }
+                        _ => {
+                            return Err(RunError::CheckpointCorrupt {
+                                path: path.to_path_buf(),
+                                detail: "first line is not a checkpoint header".to_owned(),
+                            });
+                        }
+                    }
+                    let mut loaded = 0usize;
+                    for line in lines {
+                        let line = line?;
+                        match serde_json::from_str::<CheckpointLine>(&line) {
+                            Ok(CheckpointLine::Record(r)) => {
+                                if r.replication < scenario.replications
+                                    && scenario.system_sizes.contains(&r.system_size)
+                                {
+                                    cells.entry((r.system_size, r.replication)).or_insert(r);
+                                    loaded += 1;
+                                }
+                            }
+                            Ok(CheckpointLine::Header { .. }) | Err(_) => {
+                                tracing::warn!(
+                                    path = %path.display(),
+                                    "skipping unparseable checkpoint line (torn write?)"
+                                );
+                            }
+                        }
+                    }
+                    tracing::info!(
+                        path = %path.display(),
+                        records = loaded,
+                        "resuming from checkpoint"
+                    );
+                    events.emit(|| RunEvent::CheckpointLoaded {
+                        path: path.display().to_string(),
+                        records: loaded,
+                    });
+                    true
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+        Err(e) => return Err(e.into()),
+    };
+
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let writer = CheckpointWriter {
+        writer: Mutex::new(BufWriter::new(file)),
+    };
+    if !existing {
+        let header = serde_json::to_string(&CheckpointLine::Header {
+            fingerprint: fp,
+            label: scenario.label.clone(),
+            base_seed: scenario.base_seed,
+        })
+        .expect("plain data serializes");
+        let mut w = writer.writer.lock().expect("checkpoint writer poisoned");
+        writeln!(w, "{header}")?;
+        w.flush()?;
+        drop(w);
+    }
+    Ok(writer)
+}
+
+/// Splits `items` into at most `threads` contiguous chunks and runs
+/// `work` on each chunk in a scoped worker thread, collecting the chunk
+/// results in order. Worker panics surface as
+/// [`RunError::WorkerPanic`]`(stage)`.
+fn fan_out<T, R, F>(
+    items: &[T],
+    threads: usize,
+    stage: &'static str,
+    work: F,
+) -> Result<Vec<R>, RunError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return Ok(vec![work(items)]);
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let work = &work;
+                scope.spawn(move || work(c))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| RunError::WorkerPanic(stage)))
+            .collect()
+    })
+}
+
+/// The sharded, resumable experiment engine: builds and executes one
+/// scenario sweep.
+///
+/// # Examples
+///
+/// A plain (monolithic) run:
+///
+/// ```
+/// use feast::{Runner, Scenario};
+/// use slicing::{CommEstimate, MetricKind};
+/// use taskgraph::gen::{ExecVariation, WorkloadSpec};
+///
+/// # fn main() -> Result<(), feast::RunError> {
+/// let scenario = Scenario::paper(
+///     "PURE/CCNE",
+///     WorkloadSpec::paper(ExecVariation::Mdet),
+///     MetricKind::pure(),
+///     CommEstimate::Ccne,
+/// )
+/// .with_replications(4)
+/// .with_system_sizes(vec![2]);
+/// let result = Runner::new(scenario).threads(1).run()?;
+/// assert_eq!(result.points.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// A two-shard run folded back together (each `run_partial` could execute
+/// on a different machine):
+///
+/// ```
+/// use feast::{PartialResult, Runner, Scenario, ShardSpec};
+/// use slicing::{CommEstimate, MetricKind};
+/// use taskgraph::gen::{ExecVariation, WorkloadSpec};
+///
+/// # fn main() -> Result<(), feast::RunError> {
+/// let scenario = Scenario::paper(
+///     "PURE/CCNE",
+///     WorkloadSpec::paper(ExecVariation::Mdet),
+///     MetricKind::pure(),
+///     CommEstimate::Ccne,
+/// )
+/// .with_replications(4)
+/// .with_system_sizes(vec![2]);
+/// let parts: Vec<PartialResult> = (0..2)
+///     .map(|i| {
+///         Runner::new(scenario.clone())
+///             .threads(1)
+///             .shard(ShardSpec::new(i, 2))
+///             .run_partial()
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let merged = PartialResult::merge(&parts)?;
+/// let monolithic = Runner::new(scenario).threads(1).run()?;
+/// assert_eq!(merged, monolithic); // bit-identical f64 statistics
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    scenario: Scenario,
+    threads: usize,
+    shard: ShardSpec,
+    checkpoint: Option<PathBuf>,
+    events: EventScope,
+    cancel: CancelToken,
+}
+
+impl Runner {
+    /// A runner for `scenario` with default settings: all cores, no shard,
+    /// no checkpoint, events to the process-global stream.
+    pub fn new(scenario: Scenario) -> Runner {
+        Runner {
+            scenario,
+            threads: 0,
+            shard: ShardSpec::FULL,
+            checkpoint: None,
+            events: EventScope::default(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = all available cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Runner {
+        self.threads = threads;
+        self
+    }
+
+    /// Restricts this runner to one shard of the replication indices.
+    #[must_use]
+    pub fn shard(mut self, shard: ShardSpec) -> Runner {
+        self.shard = shard;
+        self
+    }
+
+    /// Checkpoints completed replications to (and resumes them from) the
+    /// JSONL file at `path`.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Runner {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Streams this run's events to `sink` instead of the process-global
+    /// stream — shard workers can keep separate event files.
+    #[must_use]
+    pub fn events(mut self, sink: EventSink) -> Runner {
+        self.events = EventScope(Some(Arc::new(sink)));
+        self
+    }
+
+    /// A clone of this runner's cancellation token. Cancel it from any
+    /// thread to stop the run at the next replication boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs the full sweep and aggregates every system size.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ShardedRun`] if a multi-shard [`ShardSpec`] is
+    /// configured (use [`Runner::run_partial`] + [`PartialResult::merge`]);
+    /// otherwise any engine error (validation, generation, scheduling,
+    /// checkpoint, cancellation, I/O).
+    pub fn run(self) -> Result<ScenarioResult, RunError> {
+        self.shard.validate()?;
+        if !self.shard.is_full() {
+            return Err(RunError::ShardedRun {
+                count: self.shard.count,
+            });
+        }
+        let label = self.scenario.label.clone();
+        let system_sizes = self.scenario.system_sizes.clone();
+        let replications = self.scenario.replications;
+        let events = self.events.clone();
+        let partial = self.run_partial()?;
+        let cells: BTreeMap<(usize, usize), ReplicationRecord> = partial
+            .records
+            .into_iter()
+            .map(|r| ((r.system_size, r.replication), r))
+            .collect();
+        fold_records(label, &system_sizes, replications, &cells, Some(&events))
+    }
+
+    /// Runs this runner's shard of the sweep and returns its records.
+    ///
+    /// Honours the checkpoint (completed cells are loaded, not recomputed)
+    /// and the cancellation token (checked between replications). The
+    /// returned [`PartialResult`] contains every known record for the
+    /// shard — freshly computed and resumed alike — sorted by
+    /// `(system size, replication)`.
+    ///
+    /// # Errors
+    ///
+    /// Any engine error; see [`RunError`].
+    pub fn run_partial(self) -> Result<PartialResult, RunError> {
+        let Runner {
+            scenario,
+            threads,
+            shard,
+            checkpoint,
+            events,
+            cancel,
+        } = self;
+        scenario.validate()?;
+        shard.validate()?;
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+        .min(scenario.replications.max(1));
+
+        let _span = tracing::info_span!(
+            "scenario",
+            label = %scenario.label,
+            replications = scenario.replications,
+            threads = threads,
+            shard_index = shard.index,
+            shard_count = shard.count
+        )
+        .entered();
+
+        let fp = fingerprint(&scenario);
+        let stream = workload_stream(&scenario.workload);
+
+        let mut cells: BTreeMap<(usize, usize), ReplicationRecord> = BTreeMap::new();
+        let writer = match &checkpoint {
+            Some(path) => Some(open_checkpoint(path, &scenario, fp, &mut cells, &events)?),
+            None => None,
+        };
+
+        let owned: Vec<usize> = (0..scenario.replications)
+            .filter(|&r| shard.owns(r))
+            .collect();
+
+        // Workloads are shared across system sizes: generate each needed
+        // replication's graph once, fanning out over the worker threads.
+        // Telemetry is emitted afterwards on the caller thread so
+        // `GraphGenerated` events stay ordered by replication index.
+        let needed: Vec<usize> = owned
+            .iter()
+            .copied()
+            .filter(|&rep| {
+                scenario
+                    .system_sizes
+                    .iter()
+                    .any(|&size| !cells.contains_key(&(size, rep)))
+            })
+            .collect();
+        type Generated = (usize, Result<(TaskGraph, std::time::Duration), RunError>);
+        let generated: Vec<Vec<Generated>> =
+            fan_out(&needed, threads, "generate", |chunk: &[usize]| {
+                chunk
+                    .iter()
+                    .take_while(|_| !cancel.is_cancelled())
+                    .map(|&rep| {
+                        let started = Instant::now();
+                        let graph = workload(&scenario, stream, rep);
+                        (rep, graph.map(|g| (g, started.elapsed())))
+                    })
+                    .collect()
+            })?;
+        if cancel.is_cancelled() {
+            events.flush();
+            return Err(RunError::Cancelled);
+        }
+        let mut graphs: BTreeMap<usize, TaskGraph> = BTreeMap::new();
+        for (rep, result) in generated.into_iter().flatten() {
+            let (graph, elapsed) = result?;
+            let registry = telemetry::global();
+            registry.record_stage(Stage::Generate, elapsed);
+            registry.count_graph();
+            events.emit(|| RunEvent::GraphGenerated {
+                replication: rep,
+                subtasks: graph.subtask_count(),
+                messages: graph.edge_count(),
+                generate_us: elapsed.as_micros() as u64,
+            });
+            graphs.insert(rep, graph);
+        }
+
+        for &size in &scenario.system_sizes {
+            let missing: Vec<usize> = owned
+                .iter()
+                .copied()
+                .filter(|&rep| !cells.contains_key(&(size, rep)))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            if cancel.is_cancelled() {
+                events.flush();
+                return Err(RunError::Cancelled);
+            }
+            let _size_span = tracing::debug_span!("system_size", procs = size).entered();
+            let topology = scenario.topology.build(size, scenario.cost_per_item);
+            let platform = Platform::homogeneous(size, topology)?;
+
+            let computed: Vec<Result<Vec<ReplicationRecord>, RunError>> =
+                fan_out(&missing, threads, "schedule", |chunk: &[usize]| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for &rep in chunk {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let graph = &graphs[&rep];
+                        let record = run_once(&scenario, graph, &platform, rep, &events)?;
+                        if let Some(w) = &writer {
+                            w.append(&record)?;
+                        }
+                        out.push(record);
+                    }
+                    Ok(out)
+                })?;
+            for worker in computed {
+                for record in worker? {
+                    cells.insert((record.system_size, record.replication), record);
+                }
+            }
+            if cancel.is_cancelled() {
+                events.flush();
+                return Err(RunError::Cancelled);
+            }
+        }
+
+        events.flush();
+        Ok(PartialResult {
+            label: scenario.label.clone(),
+            fingerprint: fp,
+            replications: scenario.replications,
+            system_sizes: scenario.system_sizes.clone(),
+            shard,
+            records: cells.into_values().collect(),
+        })
+    }
 }
 
 /// Runs a scenario sequentially (all sizes × all replications on the
-/// calling thread). Prefer [`run_scenario`] which parallelizes across
-/// replications.
+/// calling thread).
+#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).threads(1).run()`")]
 pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
-    run_scenario_with_threads(scenario, 1)
+    Runner::new(scenario.clone()).threads(1).run()
 }
 
 /// Runs a scenario, parallelizing replications over the available cores.
@@ -169,171 +975,30 @@ pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, Ru
 ///
 /// Propagates workload-generation, distribution, platform and scheduling
 /// errors; the first error encountered aborts the run.
+#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).run()`")]
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    run_scenario_with_threads(scenario, threads)
+    Runner::new(scenario.clone()).run()
 }
 
 /// Runs a scenario with an explicit worker-thread count.
 ///
 /// # Errors
 ///
-/// See [`run_scenario`].
+/// See [`Runner::run`].
+#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).threads(n).run()`")]
 pub fn run_scenario_with_threads(
     scenario: &Scenario,
     threads: usize,
 ) -> Result<ScenarioResult, RunError> {
-    if scenario.replications == 0 {
-        return Err(RunError::InvalidScenario(
-            "scenario needs at least one replication".to_owned(),
-        ));
-    }
-    if scenario.system_sizes.is_empty() {
-        return Err(RunError::InvalidScenario(
-            "scenario needs at least one system size".to_owned(),
-        ));
-    }
-    let threads = threads.max(1).min(scenario.replications);
-
-    let _span = tracing::info_span!(
-        "scenario",
-        label = %scenario.label,
-        replications = scenario.replications,
-        threads = threads
-    )
-    .entered();
-
-    // Workloads are shared across system sizes; generate once per rep,
-    // fanning the replications out over the worker threads. Telemetry is
-    // emitted afterwards on the caller thread so `GraphGenerated` events
-    // stay ordered by replication index regardless of worker interleaving.
-    let timed = |rep: usize| -> Result<(TaskGraph, std::time::Duration), RunError> {
-        let started = Instant::now();
-        let graph = workload(scenario, rep)?;
-        Ok((graph, started.elapsed()))
-    };
-    let generated: Vec<Result<(TaskGraph, std::time::Duration), RunError>> = if threads == 1 {
-        (0..scenario.replications).map(timed).collect()
-    } else {
-        let chunk = scenario.replications.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    let timed = &timed;
-                    scope.spawn(move || {
-                        let lo = worker * chunk;
-                        let hi = (lo + chunk).min(scenario.replications);
-                        (lo..hi).map(timed).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("generator thread panicked"))
-                .collect()
-        })
-    };
-    let mut graphs: Vec<TaskGraph> = Vec::with_capacity(scenario.replications);
-    for (rep, result) in generated.into_iter().enumerate() {
-        let (graph, elapsed) = result?;
-        let registry = telemetry::global();
-        registry.record_stage(Stage::Generate, elapsed);
-        registry.count_graph();
-        telemetry::emit_with(|| RunEvent::GraphGenerated {
-            replication: rep,
-            subtasks: graph.subtask_count(),
-            messages: graph.edge_count(),
-            generate_us: elapsed.as_micros() as u64,
-        });
-        graphs.push(graph);
-    }
-
-    let mut points = Vec::with_capacity(scenario.system_sizes.len());
-    for &size in &scenario.system_sizes {
-        let _size_span = tracing::debug_span!("system_size", procs = size).entered();
-        let topology = scenario.topology.build(size, scenario.cost_per_item);
-        let platform = Platform::homogeneous(size, topology)?;
-
-        let measurements: Result<Vec<RunMeasurement>, RunError> = if threads == 1 {
-            graphs
-                .iter()
-                .enumerate()
-                .map(|(rep, g)| run_once(scenario, g, &platform, rep))
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let chunk = graphs.len().div_ceil(threads);
-                let handles: Vec<_> = graphs
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(chunk_index, chunk_graphs)| {
-                        let platform = &platform;
-                        scope.spawn(move || {
-                            chunk_graphs
-                                .iter()
-                                .enumerate()
-                                .map(|(i, g)| {
-                                    run_once(scenario, g, platform, chunk_index * chunk + i)
-                                })
-                                .collect::<Result<Vec<_>, _>>()
-                        })
-                    })
-                    .collect();
-                let mut all = Vec::with_capacity(graphs.len());
-                for h in handles {
-                    all.extend(h.join().expect("worker thread panicked")?);
-                }
-                Ok(all)
-            })
-        };
-        let measurements = measurements?;
-
-        let collect =
-            |f: fn(&RunMeasurement) -> f64| -> Vec<f64> { measurements.iter().map(f).collect() };
-        let point = ScenarioPoint {
-            system_size: size,
-            max_lateness: SummaryStats::from_values(&collect(|m| m.max_lateness)),
-            end_to_end_lateness: SummaryStats::from_values(&collect(|m| m.end_to_end)),
-            makespan: SummaryStats::from_values(&collect(|m| m.makespan)),
-            feasible_fraction: measurements.iter().filter(|m| m.feasible).count() as f64
-                / measurements.len() as f64,
-            violations: measurements.iter().map(|m| m.violations).sum(),
-        };
-        if point.violations > 0 {
-            tracing::warn!(
-                scenario = %scenario.label,
-                system_size = size,
-                violations = point.violations,
-                "structural violations detected"
-            );
-        }
-        tracing::debug!(
-            scenario = %scenario.label,
-            system_size = size,
-            mean_max_lateness = point.max_lateness.mean,
-            feasible_fraction = point.feasible_fraction,
-            "scenario point complete"
-        );
-        telemetry::emit_with(|| RunEvent::Point {
-            scenario: scenario.label.clone(),
-            system_size: size,
-            mean_max_lateness: point.max_lateness.mean,
-            feasible_fraction: point.feasible_fraction,
-            violations: point.violations,
-        });
-        points.push(point);
-    }
-
-    Ok(ScenarioResult {
-        label: scenario.label.clone(),
-        points,
-    })
+    Runner::new(scenario.clone()).threads(threads.max(1)).run()
 }
 
 #[cfg(test)]
 mod tests {
     use slicing::{CommEstimate, MetricKind};
     use taskgraph::gen::{ExecVariation, WorkloadSpec};
+
+    use crate::ScenarioError;
 
     use super::*;
 
@@ -351,8 +1016,8 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let scenario = tiny_scenario(MetricKind::pure());
-        let seq = run_scenario_sequential(&scenario).unwrap();
-        let par = run_scenario_with_threads(&scenario, 4).unwrap();
+        let seq = Runner::new(scenario.clone()).threads(1).run().unwrap();
+        let par = Runner::new(scenario).threads(4).run().unwrap();
         assert_eq!(seq, par);
     }
 
@@ -364,7 +1029,7 @@ mod tests {
             MetricKind::thres(1.0),
             MetricKind::adapt(),
         ] {
-            let result = run_scenario_sequential(&tiny_scenario(metric)).unwrap();
+            let result = Runner::new(tiny_scenario(metric)).threads(1).run().unwrap();
             for p in &result.points {
                 assert_eq!(p.violations, 0, "{} at n={}", result.label, p.system_size);
             }
@@ -373,7 +1038,10 @@ mod tests {
 
     #[test]
     fn more_processors_do_not_hurt_lateness() {
-        let result = run_scenario_sequential(&tiny_scenario(MetricKind::pure())).unwrap();
+        let result = Runner::new(tiny_scenario(MetricKind::pure()))
+            .threads(1)
+            .run()
+            .unwrap();
         let series = result.lateness_series();
         assert_eq!(series.len(), 2);
         assert!(
@@ -383,24 +1051,100 @@ mod tests {
     }
 
     #[test]
-    fn rejects_degenerate_scenarios() {
+    fn rejects_degenerate_scenarios_with_typed_errors() {
         let s = tiny_scenario(MetricKind::pure()).with_replications(0);
         assert!(matches!(
-            run_scenario_sequential(&s),
-            Err(RunError::InvalidScenario(_))
+            Runner::new(s).run(),
+            Err(RunError::Scenario(ScenarioError::NoReplications))
         ));
         let s = tiny_scenario(MetricKind::pure()).with_system_sizes(vec![]);
         assert!(matches!(
-            run_scenario_sequential(&s),
-            Err(RunError::InvalidScenario(_))
+            Runner::new(s).run(),
+            Err(RunError::Scenario(ScenarioError::NoSystemSizes))
         ));
     }
 
     #[test]
     fn deterministic_across_runs() {
         let scenario = tiny_scenario(MetricKind::adapt());
-        let a = run_scenario_sequential(&scenario).unwrap();
-        let b = run_scenario_sequential(&scenario).unwrap();
+        let a = Runner::new(scenario.clone()).threads(1).run().unwrap();
+        let b = Runner::new(scenario).threads(1).run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_run() {
+        #[allow(deprecated)]
+        let seq = run_scenario_sequential(&tiny_scenario(MetricKind::pure())).unwrap();
+        let new = Runner::new(tiny_scenario(MetricKind::pure()))
+            .threads(1)
+            .run()
+            .unwrap();
+        assert_eq!(seq, new);
+    }
+
+    #[test]
+    fn shard_spec_partitions_and_validates() {
+        let shards: Vec<ShardSpec> = (0..3).map(|i| ShardSpec::new(i, 3)).collect();
+        for rep in 0..20 {
+            let owners = shards.iter().filter(|s| s.owns(rep)).count();
+            assert_eq!(owners, 1, "replication {rep} must have exactly one owner");
+        }
+        assert!(ShardSpec::new(0, 1).validate().is_ok());
+        assert!(ShardSpec::FULL.is_full());
+        assert!(matches!(
+            ShardSpec::new(2, 2).validate(),
+            Err(RunError::InvalidShard { index: 2, count: 2 })
+        ));
+        assert!(matches!(
+            ShardSpec::new(0, 0).validate(),
+            Err(RunError::InvalidShard { .. })
+        ));
+    }
+
+    #[test]
+    fn run_on_sharded_runner_is_a_typed_error() {
+        let runner = Runner::new(tiny_scenario(MetricKind::pure())).shard(ShardSpec::new(0, 2));
+        assert!(matches!(
+            runner.run(),
+            Err(RunError::ShardedRun { count: 2 })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_stops_the_run() {
+        let runner = Runner::new(tiny_scenario(MetricKind::pure())).threads(1);
+        let token = runner.cancel_token();
+        token.cancel();
+        assert!(matches!(runner.run(), Err(RunError::Cancelled)));
+    }
+
+    #[test]
+    fn fingerprint_ignores_label_and_sweep_shape() {
+        let a = tiny_scenario(MetricKind::pure());
+        let mut b = a.clone().with_replications(99).with_system_sizes(vec![4]);
+        b.label = "renamed".to_owned();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = a.clone().with_base_seed(1);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        let d = tiny_scenario(MetricKind::adapt());
+        assert_ne!(fingerprint(&a), fingerprint(&d));
+    }
+
+    #[test]
+    fn workload_stream_is_technique_independent() {
+        let pure = tiny_scenario(MetricKind::pure());
+        let adapt = tiny_scenario(MetricKind::adapt());
+        assert_eq!(
+            workload_stream(&pure.workload),
+            workload_stream(&adapt.workload)
+        );
+        let other = pure.with_workload(WorkloadSource::Random(WorkloadSpec::paper(
+            ExecVariation::Hdet,
+        )));
+        assert_ne!(
+            workload_stream(&tiny_scenario(MetricKind::pure()).workload),
+            workload_stream(&other.workload)
+        );
     }
 }

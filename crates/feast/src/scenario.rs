@@ -9,6 +9,42 @@ use slicing::{BaselineStrategy, CommEstimate, MetricKind};
 use taskgraph::gen::{Shape, WorkloadSpec};
 use taskgraph::{TaskGraph, Time};
 
+/// Error produced by [`Scenario::validate`]: the scenario definition is
+/// degenerate and would never produce a usable sweep.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The scenario asks for zero replications per point.
+    NoReplications,
+    /// The system-size sweep is empty.
+    NoSystemSizes,
+    /// The system-size sweep contains a zero-processor platform.
+    ZeroSystemSize,
+    /// The workload specification is inconsistent (empty or zero-width
+    /// ranges, non-positive MET, out-of-range variation, …); the message
+    /// names the violated constraint.
+    Workload(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::NoReplications => {
+                write!(f, "scenario needs at least one replication")
+            }
+            ScenarioError::NoSystemSizes => {
+                write!(f, "scenario needs at least one system size")
+            }
+            ScenarioError::ZeroSystemSize => {
+                write!(f, "system-size sweep contains a zero-processor system")
+            }
+            ScenarioError::Workload(msg) => write!(f, "invalid workload spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// The deadline-distribution technique a scenario evaluates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Technique {
@@ -198,13 +234,16 @@ impl Default for SchedulerSpec {
 
 /// One full parameter combination: workload × technique × platform sweep.
 ///
-/// Running a scenario (see [`run_scenario`]) evaluates every system size
-/// with `replications` random workloads. Workload seeds depend only on
-/// `base_seed` and the replication index, so two scenarios with the same
-/// workload source see *identical* graphs — the paired-comparison setup the
-/// paper uses to compare metrics fairly.
+/// Running a scenario (see [`Runner`]) evaluates every system size with
+/// `replications` random workloads. Workload seeds are derived per
+/// replication from `(base_seed, workload stream, replication index)` via
+/// [`stream_seed`], so two scenarios with the same workload source see
+/// *identical* graphs — the paired-comparison setup the paper uses to
+/// compare metrics fairly — and any replication is independently
+/// computable on any worker.
 ///
-/// [`run_scenario`]: crate::run_scenario
+/// [`Runner`]: crate::Runner
+/// [`stream_seed`]: taskgraph::gen::stream_seed
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Display label for reports (e.g. `"PURE/CCNE"`).
@@ -225,7 +264,7 @@ pub struct Scenario {
     pub scheduler: SchedulerSpec,
     /// Number of random workloads per system size.
     pub replications: usize,
-    /// Base RNG seed; replication `i` uses `base_seed + i`.
+    /// Root seed of the experiment's per-replication seed streams.
     pub base_seed: u64,
 }
 
@@ -269,6 +308,51 @@ impl Scenario {
             replications: 128,
             base_seed: 0xFEA57,
         }
+    }
+
+    /// Validates that the scenario can be swept at all.
+    ///
+    /// The [`Runner`] calls this before doing any work, so a degenerate
+    /// scenario fails fast with a typed error instead of panicking (or
+    /// dividing by zero) somewhere in the middle of a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ScenarioError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use feast::{Scenario, ScenarioError};
+    /// use slicing::{CommEstimate, MetricKind};
+    /// use taskgraph::gen::{ExecVariation, WorkloadSpec};
+    ///
+    /// let scenario = Scenario::paper(
+    ///     "x",
+    ///     WorkloadSpec::paper(ExecVariation::Mdet),
+    ///     MetricKind::pure(),
+    ///     CommEstimate::Ccne,
+    /// );
+    /// assert!(scenario.validate().is_ok());
+    /// let broken = scenario.with_replications(0);
+    /// assert_eq!(broken.validate(), Err(ScenarioError::NoReplications));
+    /// ```
+    ///
+    /// [`Runner`]: crate::Runner
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.replications == 0 {
+            return Err(ScenarioError::NoReplications);
+        }
+        if self.system_sizes.is_empty() {
+            return Err(ScenarioError::NoSystemSizes);
+        }
+        if self.system_sizes.contains(&0) {
+            return Err(ScenarioError::ZeroSystemSize);
+        }
+        self.workload
+            .spec()
+            .validate()
+            .map_err(ScenarioError::Workload)
     }
 
     /// Replaces the replication count.
@@ -441,6 +525,52 @@ mod tests {
         assert!(spec.respect_release);
         assert_eq!(spec.bus_model, sched::BusModel::Delay);
         assert_eq!(spec.placement, sched::PlacementPolicy::Insertion);
+    }
+
+    #[test]
+    fn validate_catches_degenerate_scenarios() {
+        let good = Scenario::paper(
+            "ok",
+            WorkloadSpec::default(),
+            MetricKind::pure(),
+            CommEstimate::Ccne,
+        );
+        assert_eq!(good.validate(), Ok(()));
+
+        let s = good.clone().with_replications(0);
+        assert_eq!(s.validate(), Err(ScenarioError::NoReplications));
+
+        let s = good.clone().with_system_sizes(vec![]);
+        assert_eq!(s.validate(), Err(ScenarioError::NoSystemSizes));
+
+        let s = good.clone().with_system_sizes(vec![4, 0]);
+        assert_eq!(s.validate(), Err(ScenarioError::ZeroSystemSize));
+
+        // Zero-width / inconsistent spec ranges surface as typed errors
+        // instead of a mid-sweep panic.
+        #[allow(clippy::reversed_empty_ranges)]
+        let s = good.clone().with_workload(WorkloadSource::Random(
+            WorkloadSpec::default().with_depth(4..=2),
+        ));
+        assert!(matches!(s.validate(), Err(ScenarioError::Workload(_))));
+        let s = good.with_workload(WorkloadSource::Random(
+            WorkloadSpec::default().with_olr(-1.0),
+        ));
+        assert!(matches!(s.validate(), Err(ScenarioError::Workload(_))));
+    }
+
+    #[test]
+    fn scenario_error_display() {
+        assert!(ScenarioError::NoReplications
+            .to_string()
+            .contains("replication"));
+        assert!(ScenarioError::NoSystemSizes
+            .to_string()
+            .contains("system size"));
+        assert!(ScenarioError::ZeroSystemSize.to_string().contains("zero"));
+        assert!(ScenarioError::Workload("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

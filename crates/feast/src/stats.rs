@@ -54,6 +54,67 @@ impl SummaryStats {
         }
     }
 
+    /// Combines two summaries as if their underlying samples had been
+    /// concatenated, using the pairwise (Chan et al.) Welford update.
+    ///
+    /// `count`, `min` and `max` combine exactly; `mean` and `std_dev`
+    /// combine in floating point, so the result can differ from
+    /// [`SummaryStats::from_values`] over the concatenated samples in the
+    /// last few ULPs. Shard merging therefore folds raw per-replication
+    /// records (see [`PartialResult::merge`]) when bit-identical statistics
+    /// are required, and uses `combine` where only the summaries survive
+    /// (streaming aggregation over event streams, dashboards).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use feast::SummaryStats;
+    ///
+    /// let a = SummaryStats::from_values(&[1.0, 2.0]);
+    /// let b = SummaryStats::from_values(&[3.0, 4.0, 5.0]);
+    /// let c = a.combine(&b);
+    /// assert_eq!(c.count, 5);
+    /// assert_eq!(c.min, 1.0);
+    /// assert_eq!(c.max, 5.0);
+    /// assert!((c.mean - 3.0).abs() < 1e-12);
+    /// ```
+    ///
+    /// [`PartialResult::merge`]: crate::PartialResult::merge
+    #[must_use]
+    pub fn combine(&self, other: &SummaryStats) -> SummaryStats {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (n2 / (n1 + n2));
+        // Reconstruct the sums of squared deviations (M2) from the sample
+        // standard deviations, then merge them pairwise.
+        let m2 = self.m2() + other.m2() + delta * delta * (n1 * n2 / (n1 + n2));
+        let std_dev = if count > 1 {
+            (m2 / (count - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        SummaryStats {
+            mean,
+            std_dev,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            count,
+        }
+    }
+
+    /// Sum of squared deviations from the mean (Welford's M2).
+    fn m2(&self) -> f64 {
+        self.std_dev * self.std_dev * self.count.saturating_sub(1) as f64
+    }
+
     /// Half-width of the normal-approximation 95 % confidence interval of
     /// the mean (`1.96 · σ / √n`).
     pub fn ci95_half_width(&self) -> f64 {
@@ -102,6 +163,42 @@ mod tests {
         assert_eq!(s.max, 7.25);
         assert_eq!(s.count, 64);
         assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0];
+        let ys = [5.0, 7.0, 9.0];
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let combined = SummaryStats::from_values(&xs).combine(&SummaryStats::from_values(&ys));
+        let direct = SummaryStats::from_values(&all);
+        assert_eq!(combined.count, direct.count);
+        assert_eq!(combined.min, direct.min);
+        assert_eq!(combined.max, direct.max);
+        assert!((combined.mean - direct.mean).abs() < 1e-12);
+        assert!((combined.std_dev - direct.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_is_associative_up_to_rounding() {
+        let a = SummaryStats::from_values(&[1.0, -3.0]);
+        let b = SummaryStats::from_values(&[10.0]);
+        let c = SummaryStats::from_values(&[0.5, 0.25, -7.75]);
+        let left = a.combine(&b).combine(&c);
+        let right = a.combine(&b.combine(&c));
+        assert_eq!(left.count, right.count);
+        assert!((left.mean - right.mean).abs() < 1e-12);
+        assert!((left.std_dev - right.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_with_single_values() {
+        let a = SummaryStats::from_values(&[3.0]);
+        let b = SummaryStats::from_values(&[5.0]);
+        let c = a.combine(&b);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.mean, 4.0);
+        assert!((c.std_dev - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
 
     #[test]

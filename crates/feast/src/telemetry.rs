@@ -286,6 +286,16 @@ pub enum RunEvent {
         /// System sizes swept.
         system_sizes: Vec<usize>,
     },
+    /// A checkpoint was loaded and its completed replications will be
+    /// skipped (emitted by a resuming [`Runner`]).
+    ///
+    /// [`Runner`]: crate::Runner
+    CheckpointLoaded {
+        /// Checkpoint file.
+        path: String,
+        /// Completed `(system size, replication)` cells found in it.
+        records: usize,
+    },
     /// A workload was generated.
     GraphGenerated {
         /// Replication index (also the seed offset).

@@ -4,11 +4,18 @@
 //! [`generate_shape`] produces the regular structures (chains, trees,
 //! fork–join) discussed as future work in §8. Both are deterministic given a
 //! seeded RNG, which the experiment harness uses for paired comparisons.
+//!
+//! [`stream_seed`] derives per-replication seed streams so any replication
+//! of a sweep is independently addressable (the entry point of the sharded
+//! experiment engine); [`generate_seeded`] / [`generate_shape_seeded`] run
+//! the generators directly at one such seed.
 
 pub(crate) mod random;
+mod seed;
 mod shapes;
 mod spec;
 
 pub use random::{end_to_end_deadline, generate, GenerateError};
+pub use seed::{generate_seeded, generate_shape_seeded, stream_label, stream_seed, sub_stream};
 pub use shapes::{generate_shape, Shape};
 pub use spec::{DeadlineBase, ExecVariation, WorkloadSpec};

@@ -2,50 +2,100 @@
 //! stream must stay deterministic: `GraphGenerated` events are required to
 //! appear in replication order no matter how the workers interleave.
 //!
-//! This lives in its own integration-test binary because the event sink is
-//! process-global; sharing a process with other tests that run scenarios
-//! would interleave their events into the capture.
+//! The runner under test uses a per-run event sink (`Runner::events`), so
+//! captures cannot be polluted by other tests in the same process; the
+//! process-global stream path is covered separately below.
 
-use feast::telemetry::{self, EventSink, RunEvent};
-use feast::{run_scenario_with_threads, Scenario};
+use feast::telemetry::{EventSink, RunEvent};
+use feast::{Runner, Scenario};
 use slicing::{CommEstimate, MetricKind};
 use taskgraph::gen::{ExecVariation, WorkloadSpec};
 
-#[test]
-fn graph_generated_events_stay_ordered_under_parallel_generation() {
-    let scenario = Scenario::paper(
+fn scenario() -> Scenario {
+    Scenario::paper(
         "events-order",
         WorkloadSpec::paper(ExecVariation::Mdet),
         MetricKind::pure(),
         CommEstimate::Ccne,
     )
     .with_replications(16)
-    .with_system_sizes(vec![2]);
+    .with_system_sizes(vec![2])
+}
 
-    let dir = std::env::temp_dir().join(format!("feast-events-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create temp dir");
-    let path = dir.join("events.jsonl");
-    telemetry::install(EventSink::create(&path).expect("create sink"));
-    let result = run_scenario_with_threads(&scenario, 4).expect("scenario runs");
-    telemetry::uninstall();
-
-    let text = std::fs::read_to_string(&path).expect("events written");
-    let reps: Vec<usize> = text
-        .lines()
+fn captured_generation_order(path: &std::path::Path) -> Vec<usize> {
+    let text = std::fs::read_to_string(path).expect("events written");
+    text.lines()
         .filter_map(|line| match serde_json::from_str::<RunEvent>(line) {
             Ok(RunEvent::GraphGenerated { replication, .. }) => Some(replication),
             _ => None,
         })
-        .collect();
+        .collect()
+}
+
+#[test]
+fn graph_generated_events_stay_ordered_under_parallel_generation() {
+    let dir = std::env::temp_dir().join(format!("feast-events-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("events.jsonl");
+
+    let result = Runner::new(scenario())
+        .threads(4)
+        .events(EventSink::create(&path).expect("create sink"))
+        .run()
+        .expect("scenario runs");
+
     assert_eq!(
-        reps,
+        captured_generation_order(&path),
         (0..16).collect::<Vec<_>>(),
         "GraphGenerated events must be ordered by replication index"
     );
 
     // Parallel generation must not change the measurements either.
-    let serial = run_scenario_with_threads(&scenario, 1).expect("scenario runs");
+    let serial = Runner::new(scenario())
+        .threads(1)
+        .run()
+        .expect("scenario runs");
     assert_eq!(serial, result);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_runs_skip_checkpointed_generation_work() {
+    let dir = std::env::temp_dir().join(format!("feast-events-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let checkpoint = dir.join("checkpoint.jsonl");
+    let path = dir.join("events.jsonl");
+
+    // Complete half the sweep, then resume the rest with a fresh sink.
+    Runner::new(scenario())
+        .threads(2)
+        .shard(feast::ShardSpec::new(0, 2))
+        .checkpoint(&checkpoint)
+        .run_partial()
+        .expect("shard runs");
+
+    Runner::new(scenario())
+        .threads(2)
+        .events(EventSink::create(&path).expect("create sink"))
+        .checkpoint(&checkpoint)
+        .run()
+        .expect("resume runs");
+
+    // The resumed run generates workloads only for the missing (odd)
+    // replications, still in ascending order, and announces the resume.
+    assert_eq!(
+        captured_generation_order(&path),
+        (0..16).filter(|r| r % 2 == 1).collect::<Vec<_>>()
+    );
+    let text = std::fs::read_to_string(&path).expect("events written");
+    let loaded = text.lines().any(|line| {
+        matches!(
+            serde_json::from_str::<RunEvent>(line),
+            Ok(RunEvent::CheckpointLoaded { records: 8, .. })
+        )
+    });
+    assert!(loaded, "resume must emit CheckpointLoaded");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
