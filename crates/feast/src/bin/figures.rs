@@ -4,6 +4,7 @@
 //! figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]
 //!         [--threads N] [--out DIR] [--quick] [--no-plot]
 //!         [--verbose] [--quiet] [--events PATH] [--no-events]
+//!         [--strict-validate]
 //! ```
 //!
 //! Prints each experiment as aligned tables plus ASCII plots and, with
@@ -13,6 +14,10 @@
 //! streams machine-readable per-replication events to `events.jsonl`
 //! (next to `--out` when given, else the working directory) unless
 //! `--no-events` is passed.
+//!
+//! `--strict-validate` turns the always-on schedule audit into a gate:
+//! any structural violation or failed (excluded) replication behind a
+//! figure fails the run with a non-zero exit after the tables print.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,13 +39,15 @@ struct Args {
     quiet: bool,
     events: Option<PathBuf>,
     no_events: bool,
+    strict_validate: bool,
 }
 
 fn usage() -> String {
     let mut out = String::from(
         "usage: figures <experiment|all> [--reps N] [--sizes 2,4,8] [--seed S]\n\
          \x20               [--threads N] [--out DIR] [--quick] [--no-plot]\n\
-         \x20               [--verbose] [--quiet] [--events PATH] [--no-events]\n\nexperiments:\n",
+         \x20               [--verbose] [--quiet] [--events PATH] [--no-events]\n\
+         \x20               [--strict-validate]\n\nexperiments:\n",
     );
     for e in all_experiments() {
         out.push_str(&format!("  {:<13} {}\n", e.id, e.description));
@@ -57,6 +64,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut quiet = false;
     let mut events = None;
     let mut no_events = false;
+    let mut strict_validate = false;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +78,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--verbose" | "-v" => verbose = true,
             "--quiet" | "-q" => quiet = true,
             "--no-events" => no_events = true,
+            "--strict-validate" => strict_validate = true,
             "--events" => {
                 events = Some(PathBuf::from(next_value(&mut it, "--events")?));
             }
@@ -117,6 +126,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         quiet,
         events,
         no_events,
+        strict_validate,
+    })
+}
+
+/// Sums the audit counters behind every series of `result`:
+/// `(violations, series with violations, failed replications)`.
+fn audit_totals(result: &ExperimentResult) -> (usize, usize, usize) {
+    let series = result.panels.iter().flat_map(|p| p.series.iter());
+    series.fold((0, 0, 0), |(v, c, f), s| {
+        (
+            v + s.violations,
+            c + usize::from(s.violations > 0),
+            f + s.failed,
+        )
     })
 }
 
@@ -229,6 +252,26 @@ fn main() -> ExitCode {
             elapsed = ?started.elapsed(),
             "experiment finished"
         );
+        if args.strict_validate {
+            let (violations, series, failed) = audit_totals(&result);
+            if violations > 0 {
+                error!(
+                    experiment = exp.id,
+                    violations = violations,
+                    series = series,
+                    "strict validation failed: schedule audit found structural violations"
+                );
+                return ExitCode::FAILURE;
+            }
+            if failed > 0 {
+                error!(
+                    experiment = exp.id,
+                    failed = failed,
+                    "strict validation failed: replications were excluded from statistics"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     telemetry::emit_with(|| RunEvent::RunEnd {
@@ -278,6 +321,33 @@ mod tests {
     fn out_dir_parsed() {
         let a = args(&["fig3", "--out", "/tmp/results"]).unwrap();
         assert_eq!(a.out, Some(PathBuf::from("/tmp/results")));
+    }
+
+    #[test]
+    fn strict_validate_flag_and_audit_totals() {
+        let a = args(&["fig2", "--strict-validate"]).unwrap();
+        assert!(a.strict_validate);
+        assert!(!args(&["fig2"]).unwrap().strict_validate);
+
+        let mut result = ExperimentResult {
+            id: "t".into(),
+            description: String::new(),
+            panels: vec![feast::Panel {
+                title: "p".into(),
+                series: vec![feast::Series {
+                    label: "a".into(),
+                    points: vec![(2, 0.0)],
+                    violations: 0,
+                    window_violations: Some(0),
+                    schedule_violations: Some(0),
+                    failed: 0,
+                }],
+            }],
+        };
+        assert_eq!(audit_totals(&result), (0, 0, 0));
+        result.panels[0].series[0].violations = 3;
+        result.panels[0].series[0].failed = 2;
+        assert_eq!(audit_totals(&result), (3, 1, 2));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!             [--variation ldet|mdet|hdet] [--label S] [--reps N]
 //!             [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
 //!             [--checkpoint PATH] [--events PATH] [--out PATH]
-//! sweep merge [--out PATH] PART.json...
+//!             [--strict-validate] [--fail-fast] [--strict-windows]
+//! sweep merge [--out PATH] [--strict-validate] PART.json...
 //! ```
 //!
 //! `run` executes one scenario through the [`Runner`] engine. Without
@@ -15,6 +16,16 @@
 //! `ScenarioResult` — bit-identical to an unsharded run. `--checkpoint`
 //! makes the run resumable: completed replications are appended to a
 //! JSONL file and skipped on restart.
+//!
+//! `--strict-validate` turns any audit violation (or degraded replication)
+//! into a typed non-zero exit; `--fail-fast` restores abort-on-first-error
+//! instead of the default degrade-don't-die accounting; `--strict-windows`
+//! enables the assignment-window clamp (changes measured figures — see the
+//! scenario documentation).
+//!
+//! With the `fault-inject` feature, `--fault SITE:RATE[:ATTEMPTS]`
+//! (repeatable) and `--fault-seed N` arm the deterministic fault plan used
+//! by the CI fault matrix.
 //!
 //! A two-worker sweep, merged:
 //!
@@ -28,7 +39,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use feast::telemetry::EventSink;
-use feast::{PartialResult, Runner, Scenario, ShardSpec};
+#[cfg(feature = "fault-inject")]
+use feast::FaultPlan;
+use feast::{PartialResult, RunError, Runner, Scenario, ShardSpec};
 use slicing::{CommEstimate, MetricKind};
 use taskgraph::gen::{ExecVariation, WorkloadSpec};
 use tracing_subscriber::EnvFilter;
@@ -38,7 +51,13 @@ const USAGE: &str = "usage:
               [--variation ldet|mdet|hdet] [--label S] [--reps N]
               [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
               [--checkpoint PATH] [--events PATH] [--out PATH]
-  sweep merge [--out PATH] PART.json...";
+              [--strict-validate] [--fail-fast] [--strict-windows]
+              [--fault SITE:RATE[:ATTEMPTS]]... [--fault-seed N]
+  sweep merge [--out PATH] [--strict-validate] PART.json...
+
+  --fault flags require a build with --features fault-inject; sites are
+  checkpoint-io, checkpoint-corrupt, worker-panic, generate-reject and
+  cancel-race.";
 
 #[derive(Debug)]
 struct RunArgs {
@@ -54,17 +73,23 @@ struct RunArgs {
     checkpoint: Option<PathBuf>,
     events: Option<PathBuf>,
     out: Option<PathBuf>,
+    strict_validate: bool,
+    fail_fast: bool,
+    strict_windows: bool,
+    faults: Vec<feast::FaultSpec>,
+    fault_seed: u64,
 }
 
 #[derive(Debug)]
 struct MergeArgs {
     parts: Vec<PathBuf>,
     out: Option<PathBuf>,
+    strict_validate: bool,
 }
 
 #[derive(Debug)]
 enum Command {
-    Run(RunArgs),
+    Run(Box<RunArgs>),
     Merge(MergeArgs),
 }
 
@@ -122,6 +147,11 @@ fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
         checkpoint: None,
         events: None,
         out: None,
+        strict_validate: false,
+        fail_fast: false,
+        strict_windows: false,
+        faults: Vec::new(),
+        fault_seed: 0,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -166,6 +196,15 @@ fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
             }
             "--events" => args.events = Some(PathBuf::from(next_value(&mut it, "--events")?)),
             "--out" => args.out = Some(PathBuf::from(next_value(&mut it, "--out")?)),
+            "--strict-validate" => args.strict_validate = true,
+            "--fail-fast" => args.fail_fast = true,
+            "--strict-windows" => args.strict_windows = true,
+            "--fault" => args.faults.push(
+                next_value(&mut it, "--fault")?
+                    .parse()
+                    .map_err(|e: String| format!("--fault: {e}"))?,
+            ),
+            "--fault-seed" => args.fault_seed = parse_seed(next_value(&mut it, "--fault-seed")?)?,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
@@ -176,10 +215,12 @@ fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
 fn parse_merge(argv: &[String]) -> Result<MergeArgs, String> {
     let mut parts = Vec::new();
     let mut out = None;
+    let mut strict_validate = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = Some(PathBuf::from(next_value(&mut it, "--out")?)),
+            "--strict-validate" => strict_validate = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown argument '{flag}'\n\n{USAGE}"));
@@ -192,12 +233,16 @@ fn parse_merge(argv: &[String]) -> Result<MergeArgs, String> {
             "merge needs at least one partial result\n\n{USAGE}"
         ));
     }
-    Ok(MergeArgs { parts, out })
+    Ok(MergeArgs {
+        parts,
+        out,
+        strict_validate,
+    })
 }
 
 fn parse_args(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(String::as_str) {
-        Some("run") => Ok(Command::Run(parse_run(&argv[1..])?)),
+        Some("run") => Ok(Command::Run(Box::new(parse_run(&argv[1..])?))),
         Some("merge") => Ok(Command::Merge(parse_merge(&argv[1..])?)),
         _ => Err(USAGE.to_owned()),
     }
@@ -223,11 +268,14 @@ fn run(args: RunArgs) -> Result<(), String> {
     let scenario = Scenario::with_technique(label, WorkloadSpec::paper(args.variation), technique)
         .with_replications(args.reps)
         .with_system_sizes(args.sizes.clone())
-        .with_base_seed(args.seed);
+        .with_base_seed(args.seed)
+        .with_strict_windows(args.strict_windows);
 
     let mut runner = Runner::new(scenario)
         .threads(args.threads)
-        .shard(args.shard);
+        .shard(args.shard)
+        .strict_validate(args.strict_validate)
+        .fail_fast(args.fail_fast);
     if let Some(path) = &args.checkpoint {
         runner = runner.checkpoint(path);
     }
@@ -235,6 +283,23 @@ fn run(args: RunArgs) -> Result<(), String> {
         let sink =
             EventSink::create(path).map_err(|e| format!("--events {}: {e}", path.display()))?;
         runner = runner.events(sink);
+    }
+    #[cfg(feature = "fault-inject")]
+    if !args.faults.is_empty() {
+        let mut plan = FaultPlan::new(args.fault_seed);
+        for spec in &args.faults {
+            plan = plan.with_fault(*spec);
+        }
+        runner = runner.faults(plan);
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    if !args.faults.is_empty() {
+        let _ = args.fault_seed;
+        return Err(
+            "--fault requires a build with `--features fault-inject` (release builds \
+             compile the fault hooks out entirely)"
+                .to_owned(),
+        );
     }
 
     let json = if args.shard.is_full() {
@@ -258,6 +323,17 @@ fn merge(args: MergeArgs) -> Result<(), String> {
         })
         .collect::<Result<_, String>>()?;
     let result = PartialResult::merge(&parts).map_err(|e| e.to_string())?;
+    if args.strict_validate {
+        let violations: usize = result.points.iter().map(|p| p.violations).sum();
+        let cells = result.points.iter().filter(|p| p.violations > 0).count();
+        let failed: usize = result.points.iter().map(|p| p.failed).sum();
+        if violations > 0 {
+            return Err(RunError::AuditFailed { violations, cells }.to_string());
+        }
+        if failed > 0 {
+            return Err(RunError::DegradedRun { failed }.to_string());
+        }
+    }
     let json = serde_json::to_string_pretty(&result).expect("plain data serializes");
     deliver(&args.out, &json).map_err(|e| format!("writing output: {e}"))
 }
@@ -278,7 +354,7 @@ fn main() -> ExitCode {
         }
     };
     let outcome = match command {
-        Command::Run(args) => run(args),
+        Command::Run(args) => run(*args),
         Command::Merge(args) => merge(args),
     };
     match outcome {
@@ -306,6 +382,11 @@ mod tests {
         assert_eq!(a.reps, 128);
         assert!(a.shard.is_full());
         assert_eq!(a.seed, 0xFEA57);
+        assert!(!a.strict_validate);
+        assert!(!a.fail_fast);
+        assert!(!a.strict_windows);
+        assert!(a.faults.is_empty());
+        assert_eq!(a.fault_seed, 0);
 
         let Command::Run(a) = parse_args(&argv(&[
             "run",
@@ -350,6 +431,49 @@ mod tests {
         };
         assert_eq!(a.parts.len(), 2);
         assert_eq!(a.out, Some(PathBuf::from("full.json")));
+        assert!(!a.strict_validate);
+
+        let Command::Merge(a) =
+            parse_args(&argv(&["merge", "--strict-validate", "p0.json"])).unwrap()
+        else {
+            panic!("expected merge");
+        };
+        assert!(a.strict_validate);
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let Command::Run(a) = parse_args(&argv(&[
+            "run",
+            "--strict-validate",
+            "--fail-fast",
+            "--strict-windows",
+            "--fault",
+            "checkpoint-io:1.0:2",
+            "--fault",
+            "worker-panic:0.25",
+            "--fault-seed",
+            "0xDEAD",
+        ]))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert!(a.strict_validate);
+        assert!(a.fail_fast);
+        assert!(a.strict_windows);
+        assert_eq!(a.fault_seed, 0xDEAD);
+        assert_eq!(a.faults.len(), 2);
+        assert_eq!(a.faults[0].site, feast::FaultSite::CheckpointIo);
+        assert_eq!(a.faults[0].attempts, 2);
+        assert_eq!(a.faults[1].site, feast::FaultSite::WorkerPanic);
+        assert_eq!(a.faults[1].attempts, u64::MAX);
+
+        let err = parse_args(&argv(&["run", "--fault", "bogus:1.0"])).unwrap_err();
+        assert!(
+            err.contains("--fault:"),
+            "error should name the flag: {err}"
+        );
+        assert!(parse_args(&argv(&["run", "--fault", "worker-panic:7"])).is_err());
     }
 
     #[test]

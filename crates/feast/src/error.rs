@@ -89,6 +89,26 @@ pub enum RunError {
         /// Number of `(system size, replication)` cells missing.
         missing: usize,
     },
+    /// The always-on schedule audit found structural violations and the
+    /// run was configured with [`Runner::strict_validate`].
+    ///
+    /// [`Runner::strict_validate`]: crate::Runner::strict_validate
+    AuditFailed {
+        /// Total violations (window + schedule) across all cells.
+        violations: usize,
+        /// Number of `(system size, replication)` cells with at least one
+        /// violation.
+        cells: usize,
+    },
+    /// Replications degraded to failed outcomes and the run was
+    /// configured with [`Runner::fail_fast`] semantics that forbid them
+    /// (strict validation also rejects degraded sweeps).
+    ///
+    /// [`Runner::fail_fast`]: crate::Runner::fail_fast
+    DegradedRun {
+        /// Number of replication cells recorded as failed.
+        failed: usize,
+    },
     /// Writing reports or checkpoints to disk failed.
     Io(std::io::Error),
 }
@@ -132,6 +152,14 @@ impl fmt::Display for RunError {
             RunError::MergeIncomplete { missing } => write!(
                 f,
                 "merged partial results leave {missing} replication cell(s) uncovered"
+            ),
+            RunError::AuditFailed { violations, cells } => write!(
+                f,
+                "schedule audit failed: {violations} structural violation(s) across {cells} replication cell(s)"
+            ),
+            RunError::DegradedRun { failed } => write!(
+                f,
+                "strict run degraded: {failed} replication cell(s) failed and were excluded from statistics"
             ),
             RunError::Io(e) => write!(f, "report i/o failed: {e}"),
         }
@@ -245,5 +273,13 @@ mod tests {
         };
         assert!(e.to_string().contains("replication 5"));
         assert!(e.source().is_some());
+        let e = RunError::AuditFailed {
+            violations: 3,
+            cells: 2,
+        };
+        assert!(e.to_string().contains("3 structural violation(s)"));
+        assert!(e.source().is_none());
+        let e = RunError::DegradedRun { failed: 4 };
+        assert!(e.to_string().contains("4 replication cell(s)"));
     }
 }

@@ -130,12 +130,11 @@ pub(crate) fn run_panels_measuring(
                 .map(|s| {
                     let result = Runner::new(s.clone()).threads(threads).run()?;
                     Ok(Series {
-                        label: result.label.clone(),
                         points: match measure {
                             Measure::MaxTask => result.lateness_series(),
                             Measure::EndToEnd => result.end_to_end_series(),
                         },
-                        violations: result.points.iter().map(|p| p.violations).sum(),
+                        ..Series::from(&result)
                     })
                 })
                 .collect();

@@ -64,6 +64,7 @@
 
 mod error;
 pub mod experiments;
+pub mod fault;
 mod report;
 mod runner;
 mod scenario;
@@ -71,11 +72,13 @@ mod stats;
 pub mod telemetry;
 
 pub use error::RunError;
+pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use report::{ExperimentResult, Panel, Series};
 #[allow(deprecated)]
 pub use runner::{run_scenario, run_scenario_sequential, run_scenario_with_threads};
 pub use runner::{
-    CancelToken, PartialResult, ReplicationRecord, Runner, ScenarioPoint, ScenarioResult, ShardSpec,
+    CancelToken, FailedReplication, PartialResult, ReplicationOutcome, ReplicationRecord, Runner,
+    ScenarioPoint, ScenarioResult, ShardSpec,
 };
 pub use scenario::{
     PinningPolicy, Scenario, ScenarioError, SchedulerSpec, Technique, TopologyKind, WorkloadSource,
@@ -101,5 +104,10 @@ mod send_sync_tests {
         assert_send_sync::<ShardSpec>();
         assert_send_sync::<CancelToken>();
         assert_send_sync::<ScenarioError>();
+        assert_send_sync::<FailedReplication>();
+        assert_send_sync::<ReplicationOutcome>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<FaultSpec>();
+        assert_send_sync::<FaultSite>();
     }
 }

@@ -22,6 +22,16 @@ pub struct Series {
     /// Structural violations summed over every replication behind the
     /// series (0 for a sound pipeline); surfaced as a table warning.
     pub violations: usize,
+    /// Assignment-window (`EdgeOrdering` etc.) share of `violations`;
+    /// `None` when the series was folded from records predating the split
+    /// audit counters.
+    pub window_violations: Option<usize>,
+    /// Schedule-structure share of `violations`; `None` for pre-split
+    /// records.
+    pub schedule_violations: Option<usize>,
+    /// Replication cells that failed after retries and were excluded from
+    /// the statistics behind this series (degrade-don't-die accounting).
+    pub failed: usize,
 }
 
 impl From<&ScenarioResult> for Series {
@@ -30,6 +40,17 @@ impl From<&ScenarioResult> for Series {
             label: result.label.clone(),
             points: result.lateness_series(),
             violations: result.points.iter().map(|p| p.violations).sum(),
+            window_violations: result
+                .points
+                .iter()
+                .map(|p| p.window_violations)
+                .sum::<Option<usize>>(),
+            schedule_violations: result
+                .points
+                .iter()
+                .map(|p| p.schedule_violations)
+                .sum::<Option<usize>>(),
+            failed: result.points.iter().map(|p| p.failed).sum(),
         }
     }
 }
@@ -75,10 +96,21 @@ impl Panel {
         }
         for s in &self.series {
             if s.violations > 0 {
+                let split = match (s.window_violations, s.schedule_violations) {
+                    (Some(w), Some(v)) => format!(" ({w} window, {v} schedule)"),
+                    _ => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "!! {}: {} structural violation(s) across replications",
+                    "!! {}: {} structural violation(s) across replications{split}",
                     s.label, s.violations
+                );
+            }
+            if s.failed > 0 {
+                let _ = writeln!(
+                    out,
+                    "!! {}: {} replication(s) failed and were excluded from statistics",
+                    s.label, s.failed
                 );
             }
         }
@@ -235,11 +267,17 @@ mod tests {
                         label: "PURE".into(),
                         points: vec![(2, -100.0), (4, -300.0), (8, -500.0)],
                         violations: 0,
+                        window_violations: Some(0),
+                        schedule_violations: Some(0),
+                        failed: 0,
                     },
                     Series {
                         label: "ADAPT".into(),
                         points: vec![(2, -200.0), (4, -400.0), (8, -500.0)],
                         violations: 0,
+                        window_violations: Some(0),
+                        schedule_violations: Some(0),
+                        failed: 0,
                     },
                 ],
             }],
@@ -294,10 +332,32 @@ mod tests {
         let mut e = sample();
         assert!(!e.to_tables().contains("violation"));
         e.panels[0].series[1].violations = 7;
+        e.panels[0].series[1].window_violations = Some(5);
+        e.panels[0].series[1].schedule_violations = Some(2);
         let table = e.panels[0].to_table();
         assert!(
             table.contains("!! ADAPT: 7 structural violation(s)"),
             "missing violation warning in:\n{table}"
+        );
+        assert!(
+            table.contains("(5 window, 2 schedule)"),
+            "missing audit split in:\n{table}"
+        );
+        // Legacy series without the split keep the unqualified line.
+        e.panels[0].series[1].window_violations = None;
+        let table = e.panels[0].to_table();
+        assert!(table.contains("7 structural violation(s) across replications\n"));
+    }
+
+    #[test]
+    fn failed_replications_are_surfaced_in_tables() {
+        let mut e = sample();
+        assert!(!e.to_tables().contains("failed"));
+        e.panels[0].series[0].failed = 3;
+        let table = e.panels[0].to_table();
+        assert!(
+            table.contains("!! PURE: 3 replication(s) failed and were excluded"),
+            "missing degraded-cell warning in:\n{table}"
         );
     }
 

@@ -23,8 +23,31 @@
 //!   stops the run with [`RunError::Cancelled`] while preserving the
 //!   checkpoint;
 //! * **bounded retry** — a rejected workload draw is retried on fresh
-//!   [`sub_stream`]s a bounded number of times before the run fails with
-//!   a typed error.
+//!   [`sub_stream`]s a bounded number of times
+//!   ([`Runner::MAX_GENERATE_ATTEMPTS`]) before the replication fails
+//!   with a typed error;
+//! * **degrade-don't-die** — a replication that still fails after
+//!   retries (generation exhausted, a pipeline error, or a worker panic)
+//!   is recorded as a typed [`ReplicationOutcome::Failed`] cell,
+//!   excluded from the statistics with an explicit count in
+//!   [`ScenarioPoint::failed`], instead of aborting the whole sweep
+//!   ([`Runner::fail_fast`] restores abort-on-first-failure);
+//! * **audit oracle** — every schedule produced during a sweep passes
+//!   through `Schedule::validate` and the assignment-window checker; the
+//!   violation counts ride on every [`ReplicationRecord`] and
+//!   [`ScenarioPoint`], and [`Runner::strict_validate`] turns any
+//!   violation (or degraded cell) into a typed error;
+//! * **checkpoint integrity** — records are sealed with a per-record
+//!   CRC32; transient append failures are retried with exponential
+//!   backoff ([`Runner::CHECKPOINT_RETRY_LIMIT`]); silently-corrupted
+//!   mid-file records are rejected with [`RunError::CheckpointCorrupt`]
+//!   rather than skipped (only an unparseable *final* line — a torn
+//!   write from a killed process — is tolerated);
+//! * **fault injection** — with the `fault-inject` cargo feature, a
+//!   deterministic [`FaultPlan`](crate::fault::FaultPlan) can fire
+//!   synthetic faults (checkpoint I/O errors, corrupted records, worker
+//!   panics, generation rejections, cancel races) at named sites in this
+//!   engine; release builds compile the hooks down to constant `false`.
 //!
 //! [`stream_seed`]: taskgraph::gen::stream_seed
 //! [`sub_stream`]: taskgraph::gen::sub_stream
@@ -32,10 +55,11 @@
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +71,9 @@ use taskgraph::gen::{
 };
 use taskgraph::TaskGraph;
 
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
+use crate::fault::FaultSite;
 use crate::telemetry::{self, EventSink, RunEvent, Stage};
 use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
 
@@ -66,19 +93,56 @@ pub struct ScenarioPoint {
     /// deadline.
     pub feasible_fraction: f64,
     /// Structural violations found across all replications (0 for a sound
-    /// pipeline).
+    /// pipeline): the always-on audit count, window + schedule.
     pub violations: usize,
+    /// Deadline-window violations (assignment checker) within
+    /// [`ScenarioPoint::violations`]. `None` when the point folds legacy
+    /// records that predate the audit split.
+    pub window_violations: Option<usize>,
+    /// Schedule violations (`Schedule::validate`) within
+    /// [`ScenarioPoint::violations`]. `None` when the point folds legacy
+    /// records that predate the audit split.
+    pub schedule_violations: Option<usize>,
+    /// Replications that failed after retries, were recorded as typed
+    /// [`ReplicationOutcome::Failed`] cells and excluded from the
+    /// statistics above.
+    pub failed: usize,
 }
 
 impl ScenarioPoint {
     /// Aggregates one system size's records (already in replication order)
     /// into a point. All folds — monolithic, sharded-and-merged,
     /// resumed-from-checkpoint — go through this one function, which is
-    /// what makes their `f64` statistics bit-identical.
-    fn from_records(system_size: usize, records: &[ReplicationRecord]) -> ScenarioPoint {
-        debug_assert!(!records.is_empty());
+    /// what makes their `f64` statistics bit-identical. Failed cells are
+    /// excluded from the statistics and surfaced as an explicit count; a
+    /// point whose replications *all* failed keeps finite (empty)
+    /// statistics.
+    fn from_cell(
+        system_size: usize,
+        records: &[ReplicationRecord],
+        failed: usize,
+    ) -> ScenarioPoint {
+        if records.is_empty() {
+            return ScenarioPoint {
+                system_size,
+                max_lateness: SummaryStats::empty(),
+                end_to_end_lateness: SummaryStats::empty(),
+                makespan: SummaryStats::empty(),
+                feasible_fraction: 0.0,
+                violations: 0,
+                window_violations: Some(0),
+                schedule_violations: Some(0),
+                failed,
+            };
+        }
         let collect =
             |f: fn(&ReplicationRecord) -> f64| -> Vec<f64> { records.iter().map(f).collect() };
+        // The split is only meaningful when every record carries it;
+        // legacy checkpoint records degrade the point to the total-only
+        // audit count.
+        let split = |f: fn(&ReplicationRecord) -> Option<usize>| -> Option<usize> {
+            records.iter().map(f).sum()
+        };
         ScenarioPoint {
             system_size,
             max_lateness: SummaryStats::from_values(&collect(|r| r.max_lateness)),
@@ -87,6 +151,9 @@ impl ScenarioPoint {
             feasible_fraction: records.iter().filter(|r| r.feasible).count() as f64
                 / records.len() as f64,
             violations: records.iter().map(|r| r.violations).sum(),
+            window_violations: split(|r| r.window_violations),
+            schedule_violations: split(|r| r.schedule_violations),
+            failed,
         }
     }
 }
@@ -138,8 +205,65 @@ pub struct ReplicationRecord {
     pub makespan: f64,
     /// Did the schedule meet every assigned deadline?
     pub feasible: bool,
-    /// Structural violations found by validation.
+    /// Structural violations found by validation (window + schedule).
     pub violations: usize,
+    /// Deadline-window violations (assignment checker) within
+    /// [`ReplicationRecord::violations`]. `None` on legacy checkpoint
+    /// records written before the audit split.
+    pub window_violations: Option<usize>,
+    /// Schedule violations (`Schedule::validate`) within
+    /// [`ReplicationRecord::violations`]. `None` on legacy checkpoint
+    /// records written before the audit split.
+    pub schedule_violations: Option<usize>,
+}
+
+/// A replication that failed after every retry and was degraded to a
+/// typed outcome instead of aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailedReplication {
+    /// Number of processors the replication was aimed at.
+    pub system_size: usize,
+    /// Replication index (also the seed-stream coordinate).
+    pub replication: usize,
+    /// The pipeline stage that failed: `generate`, `distribute`,
+    /// `schedule` or `panic`.
+    pub stage: String,
+    /// The failure, rendered for humans and logs.
+    pub error: String,
+}
+
+/// The outcome of one `(system size, replication)` cell: either a
+/// completed measurement or a typed failure.
+///
+/// Under the engine's degrade-don't-die policy a cell that keeps failing
+/// after bounded retries becomes [`ReplicationOutcome::Failed`]: the
+/// sweep continues, the failure is checkpointed and counted explicitly
+/// ([`ScenarioPoint::failed`]), and the cell is excluded from the
+/// statistics — never silently folded into them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationOutcome {
+    /// The replication completed and was measured.
+    Ok(ReplicationRecord),
+    /// The replication failed after retries.
+    Failed(FailedReplication),
+}
+
+impl ReplicationOutcome {
+    /// The completed record, if the replication succeeded.
+    pub fn record(&self) -> Option<&ReplicationRecord> {
+        match self {
+            ReplicationOutcome::Ok(r) => Some(r),
+            ReplicationOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The cell's `(system size, replication)` coordinates.
+    pub fn cell(&self) -> (usize, usize) {
+        match self {
+            ReplicationOutcome::Ok(r) => (r.system_size, r.replication),
+            ReplicationOutcome::Failed(f) => (f.system_size, f.replication),
+        }
+    }
 }
 
 /// One shard of a replicated sweep: this worker computes exactly the
@@ -239,6 +363,9 @@ pub struct PartialResult {
     pub shard: ShardSpec,
     /// Completed records, sorted by `(system_size, replication)`.
     pub records: Vec<ReplicationRecord>,
+    /// Cells that degraded to typed failures, sorted by
+    /// `(system_size, replication)`; disjoint from `records`.
+    pub failed: Vec<FailedReplication>,
 }
 
 impl PartialResult {
@@ -280,12 +407,34 @@ impl PartialResult {
             }
         }
 
-        let mut cells: BTreeMap<(usize, usize), ReplicationRecord> = BTreeMap::new();
+        let in_sweep = |size: usize, rep: usize| {
+            rep < first.replications && first.system_sizes.contains(&size)
+        };
+        let mut cells: BTreeMap<(usize, usize), ReplicationOutcome> = BTreeMap::new();
+        for part in parts {
+            // Failed cells first, so that any part that completed the
+            // cell wins over a part that degraded it.
+            for f in &part.failed {
+                if in_sweep(f.system_size, f.replication) {
+                    cells
+                        .entry((f.system_size, f.replication))
+                        .or_insert_with(|| ReplicationOutcome::Failed(f.clone()));
+                }
+            }
+        }
         for part in parts {
             for r in &part.records {
-                if r.replication < first.replications && first.system_sizes.contains(&r.system_size)
-                {
-                    cells.entry((r.system_size, r.replication)).or_insert(*r);
+                if in_sweep(r.system_size, r.replication) {
+                    match cells.entry((r.system_size, r.replication)) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(ReplicationOutcome::Ok(*r));
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            if e.get().record().is_none() {
+                                e.insert(ReplicationOutcome::Ok(*r));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -306,12 +455,14 @@ fn fold_records(
     label: String,
     system_sizes: &[usize],
     replications: usize,
-    cells: &BTreeMap<(usize, usize), ReplicationRecord>,
+    cells: &BTreeMap<(usize, usize), ReplicationOutcome>,
     events: Option<&EventScope>,
 ) -> Result<ScenarioResult, RunError> {
     let mut unique_sizes: Vec<usize> = system_sizes.to_vec();
     unique_sizes.sort_unstable();
     unique_sizes.dedup();
+    // A typed failure covers its cell: degraded sweeps fold, they are
+    // just counted. Only cells with *no* recorded outcome are missing.
     let missing = unique_sizes.len() * replications
         - cells
             .keys()
@@ -323,15 +474,29 @@ fn fold_records(
 
     let mut points = Vec::with_capacity(system_sizes.len());
     for &size in system_sizes {
-        let records: Vec<ReplicationRecord> =
-            (0..replications).map(|rep| cells[&(size, rep)]).collect();
-        let point = ScenarioPoint::from_records(size, &records);
+        let mut records = Vec::with_capacity(replications);
+        let mut failed = 0usize;
+        for rep in 0..replications {
+            match &cells[&(size, rep)] {
+                ReplicationOutcome::Ok(r) => records.push(*r),
+                ReplicationOutcome::Failed(_) => failed += 1,
+            }
+        }
+        let point = ScenarioPoint::from_cell(size, &records, failed);
         if point.violations > 0 {
             tracing::warn!(
                 scenario = %label,
                 system_size = size,
                 violations = point.violations,
                 "structural violations detected"
+            );
+        }
+        if point.failed > 0 {
+            tracing::warn!(
+                scenario = %label,
+                system_size = size,
+                failed = point.failed,
+                "replications degraded to failed outcomes and were excluded from statistics"
             );
         }
         tracing::debug!(
@@ -348,6 +513,7 @@ fn fold_records(
                 mean_max_lateness: point.max_lateness.mean,
                 feasible_fraction: point.feasible_fraction,
                 violations: point.violations,
+                failed: point.failed,
             });
         }
         points.push(point);
@@ -375,19 +541,84 @@ impl EventScope {
     }
 }
 
-/// Maximum fresh sub-streams tried when a workload draw is rejected.
-const MAX_GENERATE_ATTEMPTS: u64 = 8;
+/// The engine's view of the fault plan: a real plan under the
+/// `fault-inject` feature, a zero-sized always-false stub otherwise, so
+/// release builds pay nothing for the hooks.
+#[derive(Debug, Clone, Default)]
+struct FaultCtx {
+    #[cfg(feature = "fault-inject")]
+    plan: Option<Arc<FaultPlan>>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultCtx {
+    /// Does `site` fire at `(system_size, replication)` on this
+    /// `attempt`? Firing is logged and emitted as a
+    /// [`RunEvent::FaultInjected`] event.
+    fn fires(
+        &self,
+        site: FaultSite,
+        system_size: usize,
+        replication: usize,
+        attempt: u64,
+        events: &EventScope,
+    ) -> bool {
+        let Some(plan) = &self.plan else {
+            return false;
+        };
+        if !plan.should_fire(site, system_size, replication, attempt) {
+            return false;
+        }
+        tracing::warn!(
+            site = %site,
+            system_size = system_size,
+            replication = replication,
+            attempt = attempt,
+            "injecting fault"
+        );
+        events.emit(|| RunEvent::FaultInjected {
+            site: site.name().to_owned(),
+            system_size,
+            replication,
+            attempt,
+        });
+        true
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+impl FaultCtx {
+    #[inline(always)]
+    fn fires(
+        &self,
+        _site: FaultSite,
+        _system_size: usize,
+        _replication: usize,
+        _attempt: u64,
+        _events: &EventScope,
+    ) -> bool {
+        false
+    }
+}
 
 /// Fingerprint of everything that influences a scenario's measurements:
 /// workload, technique, platform family, scheduler and base seed — but not
 /// the label or the sweep shape, so a checkpoint stays valid when the user
 /// extends `replications` or `system_sizes`.
+///
+/// Options that default to "off" (currently `strict_windows`) are stripped
+/// from the canonical form when disabled, so checkpoints written before an
+/// option existed keep fingerprinting identically.
 fn fingerprint(scenario: &Scenario) -> u64 {
     let mut canonical = scenario.clone();
     canonical.label = String::new();
     canonical.replications = 0;
     canonical.system_sizes = Vec::new();
-    let json = serde_json::to_string(&canonical).expect("scenario serializes");
+    let mut value = canonical.to_value();
+    if let serde::Value::Object(entries) = &mut value {
+        entries.retain(|(key, _)| key != "strict_windows" || canonical.strict_windows);
+    }
+    let json = serde_json::to_string(&value).expect("scenario serializes");
     stream_label(json.as_bytes())
 }
 
@@ -406,10 +637,33 @@ fn workload_stream(workload: &WorkloadSource) -> u64 {
 /// technique or the system size — so different techniques and sizes see
 /// the same graphs (paired comparison), and any replication is computable
 /// in isolation.
-fn workload(scenario: &Scenario, stream: u64, rep: usize) -> Result<TaskGraph, RunError> {
+///
+/// Injected `generate-reject` faults are *virtual* rejections: they
+/// consume retry budget without advancing the sub-stream, so a recovered
+/// draw reproduces the fault-free graph bit-identically.
+fn workload(
+    scenario: &Scenario,
+    stream: u64,
+    rep: usize,
+    fault: &FaultCtx,
+    events: &EventScope,
+) -> Result<TaskGraph, RunError> {
     let seed = stream_seed(scenario.base_seed, stream, 0, rep as u64);
+    let mut injected = 0u64;
+    while fault.fires(FaultSite::GenerateReject, 0, rep, injected, events) {
+        injected += 1;
+        if injected >= Runner::MAX_GENERATE_ATTEMPTS {
+            return Err(RunError::GenerateRejected {
+                replication: rep,
+                attempts: injected as usize,
+                last: GenerateError::InvalidSpec(
+                    "injected generation rejection (fault plan)".to_owned(),
+                ),
+            });
+        }
+    }
     let mut last = None;
-    for attempt in 0..MAX_GENERATE_ATTEMPTS {
+    for attempt in 0..Runner::MAX_GENERATE_ATTEMPTS.saturating_sub(injected) {
         let attempt_seed = sub_stream(seed, attempt);
         let result = match &scenario.workload {
             WorkloadSource::Random(spec) => generate_seeded(spec, attempt_seed),
@@ -433,7 +687,7 @@ fn workload(scenario: &Scenario, stream: u64, rep: usize) -> Result<TaskGraph, R
     }
     Err(RunError::GenerateRejected {
         replication: rep,
-        attempts: MAX_GENERATE_ATTEMPTS as usize,
+        attempts: Runner::MAX_GENERATE_ATTEMPTS as usize,
         last: last.expect("at least one attempt was made"),
     })
 }
@@ -450,12 +704,13 @@ fn run_once(
     let assignment = match &scenario.technique {
         Technique::Slicing { metric, estimate } => Slicer::new(*metric)
             .with_estimate(estimate.clone())
+            .with_strict_windows(scenario.strict_windows)
             .distribute(graph, platform)?,
         Technique::Baseline(strategy) => distribute_baseline(graph, *strategy),
     };
     // Baselines produce deliberately overlapping windows, so structural
     // window validation only applies to the slicing techniques.
-    let mut violations = match &scenario.technique {
+    let window_violations = match &scenario.technique {
         Technique::Slicing { .. } => assignment.validate(graph).violations().len(),
         Technique::Baseline(_) => 0,
     };
@@ -468,7 +723,7 @@ fn run_once(
         .with_placement(scenario.scheduler.placement);
     let schedule_started = Instant::now();
     let schedule = scheduler.schedule(graph, platform, &assignment, &pinning)?;
-    violations += schedule
+    let schedule_violations = schedule
         .validate(
             graph,
             platform,
@@ -477,6 +732,7 @@ fn run_once(
         )
         .len();
     let schedule_elapsed = schedule_started.elapsed();
+    let violations = window_violations + schedule_violations;
 
     let report = LatenessReport::new(graph, &assignment, &schedule);
     let record = ReplicationRecord {
@@ -487,12 +743,24 @@ fn run_once(
         makespan: report.makespan().as_f64(),
         feasible: report.is_feasible(),
         violations,
+        window_violations: Some(window_violations),
+        schedule_violations: Some(schedule_violations),
     };
 
     let registry = telemetry::global();
     registry.record_stage(Stage::Distribute, distribute_elapsed);
     registry.record_stage(Stage::Schedule, schedule_elapsed);
     registry.count_schedule(record.feasible, violations);
+    registry.count_audit(window_violations, schedule_violations);
+    if violations > 0 {
+        events.emit(|| RunEvent::AuditViolation {
+            scenario: scenario.label.clone(),
+            system_size: platform.processor_count(),
+            replication: rep,
+            window: window_violations,
+            schedule: schedule_violations,
+        });
+    }
     events.emit(|| RunEvent::Replication {
         scenario: scenario.label.clone(),
         system_size: platform.processor_count(),
@@ -518,47 +786,161 @@ enum CheckpointLine {
         /// Base seed, for human readers of the file.
         base_seed: u64,
     },
-    /// One completed replication.
+    /// One completed replication (legacy, checksum-less format; still
+    /// read, no longer written).
     Record(ReplicationRecord),
+    /// One completed replication, sealed with the CRC32 of the record's
+    /// canonical JSON so silent corruption is detected on resume.
+    Sealed {
+        /// IEEE CRC32 of `serde_json::to_string(&record)`.
+        crc: u32,
+        /// The completed replication.
+        record: ReplicationRecord,
+    },
+    /// One degraded replication, sealed like [`CheckpointLine::Sealed`].
+    /// Read back for audit trails, but *not* loaded as a completed cell:
+    /// a resumed run retries failed cells.
+    Failed {
+        /// IEEE CRC32 of `serde_json::to_string(&record)`.
+        crc: u32,
+        /// The recorded failure.
+        record: FailedReplication,
+    },
+}
+
+/// IEEE CRC32 (the zlib/PNG polynomial), bitwise — checkpoint lines are
+/// short, so no table is needed.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
+
+/// The CRC32 sealing a record: computed over the record's own canonical
+/// JSON (not the enclosing line), so any value-altering corruption —
+/// a flipped digit included — changes either the payload or the stored
+/// checksum, and re-serializing the parsed record exposes the mismatch.
+fn seal<T: Serialize>(record: &T) -> u32 {
+    crc32(
+        serde_json::to_string(record)
+            .expect("plain data serializes")
+            .as_bytes(),
+    )
 }
 
 /// An append-only, crash-tolerant JSONL checkpoint.
 struct CheckpointWriter {
     writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
 }
 
 impl CheckpointWriter {
-    /// Appends one record and flushes it to the OS, so a killed process
-    /// loses at most the replication in flight.
-    fn append(&self, record: &ReplicationRecord) -> Result<(), RunError> {
-        let line =
-            serde_json::to_string(&CheckpointLine::Record(*record)).expect("plain data serializes");
-        let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
-        writeln!(writer, "{line}")?;
-        writer.flush()?;
-        Ok(())
+    /// Appends one outcome and flushes it to the OS, so a killed process
+    /// loses at most the replication in flight. Transient I/O failures
+    /// are retried with exponential backoff
+    /// ([`Runner::CHECKPOINT_RETRY_LIMIT`] /
+    /// [`Runner::CHECKPOINT_BACKOFF_BASE`]); a failure that survives
+    /// every retry aborts the run with a typed I/O error.
+    fn append(
+        &self,
+        outcome: &ReplicationOutcome,
+        fault: &FaultCtx,
+        events: &EventScope,
+    ) -> Result<(), RunError> {
+        let (size, rep) = outcome.cell();
+        let line = match outcome {
+            ReplicationOutcome::Ok(record) => CheckpointLine::Sealed {
+                crc: seal(record),
+                record: *record,
+            },
+            ReplicationOutcome::Failed(record) => CheckpointLine::Failed {
+                crc: seal(record),
+                record: record.clone(),
+            },
+        };
+        #[allow(unused_mut)] // mutated only by the fault-inject hook below
+        let mut text = serde_json::to_string(&line).expect("plain data serializes");
+        #[cfg(feature = "fault-inject")]
+        if fault.fires(FaultSite::CheckpointCorrupt, size, rep, 0, events) {
+            corrupt_digit(&mut text);
+        }
+
+        let mut attempt: u64 = 0;
+        loop {
+            let injected = fault.fires(FaultSite::CheckpointIo, size, rep, attempt, events);
+            let result: Result<(), std::io::Error> = if injected {
+                Err(std::io::Error::other("injected checkpoint write failure"))
+            } else {
+                let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
+                writeln!(writer, "{text}").and_then(|()| writer.flush())
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < u64::from(Runner::CHECKPOINT_RETRY_LIMIT) => {
+                    let backoff = Runner::CHECKPOINT_BACKOFF_BASE * 2u32.pow(attempt as u32);
+                    tracing::warn!(
+                        path = %self.path.display(),
+                        attempt = attempt,
+                        backoff_ms = backoff.as_millis() as u64,
+                        "checkpoint append failed ({e}); retrying"
+                    );
+                    telemetry::global().count_checkpoint_retry();
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Replaces the last decimal digit of `text` with a different digit:
+/// the deterministic "silent disk corruption" a `checkpoint-corrupt`
+/// fault writes. The line stays parseable, so only the CRC seal can
+/// catch it.
+#[cfg(feature = "fault-inject")]
+fn corrupt_digit(text: &mut String) {
+    if let Some(pos) = text.rfind(|c: char| c.is_ascii_digit()) {
+        let old = text.as_bytes()[pos];
+        let new = b'0' + (old - b'0' + 1) % 10;
+        text.replace_range(pos..=pos, &char::from(new).to_string());
     }
 }
 
 /// Opens (or creates) the checkpoint at `path`, loading completed records
 /// into `cells`. Records of cells outside the current sweep are left in
-/// the file but ignored; unparseable non-header lines (torn writes from a
-/// killed process) are skipped with a warning.
+/// the file but ignored; degraded (`Failed`) records are acknowledged but
+/// not loaded, so a resumed run retries them. An unparseable *final* line
+/// (a torn write from a killed process) is skipped with a warning; any
+/// other unreadable or checksum-mismatching line is rejected with
+/// [`RunError::CheckpointCorrupt`] — corruption is detected, never
+/// silently folded into statistics.
 fn open_checkpoint(
     path: &Path,
     scenario: &Scenario,
     fp: u64,
-    cells: &mut BTreeMap<(usize, usize), ReplicationRecord>,
+    cells: &mut BTreeMap<(usize, usize), ReplicationOutcome>,
     events: &EventScope,
 ) -> Result<CheckpointWriter, RunError> {
+    let corrupt = |line_no: usize, detail: &str| RunError::CheckpointCorrupt {
+        path: path.to_path_buf(),
+        detail: format!("{detail} at line {line_no}"),
+    };
     let existing = match File::open(path) {
         Ok(file) => {
-            let mut lines = BufReader::new(file).lines();
-            match lines.next() {
+            let lines: Vec<String> = BufReader::new(file)
+                .lines()
+                .collect::<Result<_, _>>()
+                .map_err(RunError::Io)?;
+            match lines.first() {
                 None => false, // created but never written: treat as fresh
                 Some(first) => {
-                    let first = first?;
-                    match serde_json::from_str::<CheckpointLine>(&first) {
+                    match serde_json::from_str::<CheckpointLine>(first) {
                         Ok(CheckpointLine::Header { fingerprint, .. }) if fingerprint == fp => {}
                         Ok(CheckpointLine::Header { .. }) => {
                             return Err(RunError::CheckpointMismatch {
@@ -573,23 +955,55 @@ fn open_checkpoint(
                         }
                     }
                     let mut loaded = 0usize;
-                    for line in lines {
-                        let line = line?;
-                        match serde_json::from_str::<CheckpointLine>(&line) {
-                            Ok(CheckpointLine::Record(r)) => {
-                                if r.replication < scenario.replications
-                                    && scenario.system_sizes.contains(&r.system_size)
-                                {
-                                    cells.entry((r.system_size, r.replication)).or_insert(r);
-                                    loaded += 1;
-                                }
-                            }
-                            Ok(CheckpointLine::Header { .. }) | Err(_) => {
+                    for (i, line) in lines.iter().enumerate().skip(1) {
+                        let line_no = i + 1;
+                        let last = i + 1 == lines.len();
+                        let parsed = match serde_json::from_str::<CheckpointLine>(line) {
+                            Ok(parsed) => parsed,
+                            Err(_) if last => {
                                 tracing::warn!(
                                     path = %path.display(),
-                                    "skipping unparseable checkpoint line (torn write?)"
+                                    line = line_no,
+                                    "skipping unparseable final checkpoint line (torn write)"
                                 );
+                                continue;
                             }
+                            Err(_) => {
+                                return Err(corrupt(line_no, "unparseable record"));
+                            }
+                        };
+                        let record = match parsed {
+                            CheckpointLine::Header { .. } => {
+                                return Err(corrupt(line_no, "unexpected extra header"));
+                            }
+                            // Legacy checksum-less record: accepted as-is.
+                            CheckpointLine::Record(r) => r,
+                            CheckpointLine::Sealed { crc, record } => {
+                                if seal(&record) != crc {
+                                    return Err(corrupt(line_no, "record checksum mismatch"));
+                                }
+                                record
+                            }
+                            CheckpointLine::Failed { crc, record } => {
+                                if seal(&record) != crc {
+                                    return Err(corrupt(line_no, "record checksum mismatch"));
+                                }
+                                tracing::debug!(
+                                    system_size = record.system_size,
+                                    replication = record.replication,
+                                    stage = %record.stage,
+                                    "checkpoint records a degraded cell; it will be retried"
+                                );
+                                continue;
+                            }
+                        };
+                        if record.replication < scenario.replications
+                            && scenario.system_sizes.contains(&record.system_size)
+                        {
+                            cells
+                                .entry((record.system_size, record.replication))
+                                .or_insert(ReplicationOutcome::Ok(record));
+                            loaded += 1;
                         }
                     }
                     tracing::info!(
@@ -612,6 +1026,7 @@ fn open_checkpoint(
     let file = OpenOptions::new().create(true).append(true).open(path)?;
     let writer = CheckpointWriter {
         writer: Mutex::new(BufWriter::new(file)),
+        path: path.to_path_buf(),
     };
     if !existing {
         let header = serde_json::to_string(&CheckpointLine::Header {
@@ -728,11 +1143,38 @@ pub struct Runner {
     checkpoint: Option<PathBuf>,
     events: EventScope,
     cancel: CancelToken,
+    strict_validate: bool,
+    fail_fast: bool,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Runner {
+    /// Maximum fresh [`sub_stream`]s tried when a workload draw is
+    /// rejected before the replication fails with
+    /// [`RunError::GenerateRejected`].
+    ///
+    /// Retrying on *sub*-streams (rather than walking an RNG forward)
+    /// keeps every replication independently addressable: the retry
+    /// sequence of replication `r` is a pure function of `r`, never of
+    /// what other replications did.
+    ///
+    /// [`sub_stream`]: taskgraph::gen::sub_stream
+    pub const MAX_GENERATE_ATTEMPTS: u64 = 8;
+
+    /// Maximum *retries* of a failed checkpoint append (so up to
+    /// `CHECKPOINT_RETRY_LIMIT + 1` attempts in total) before the run
+    /// aborts with the underlying I/O error.
+    pub const CHECKPOINT_RETRY_LIMIT: u32 = 4;
+
+    /// Backoff before the first checkpoint-append retry; it doubles on
+    /// every subsequent retry (1 ms, 2 ms, 4 ms, 8 ms at the default
+    /// limit).
+    pub const CHECKPOINT_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
     /// A runner for `scenario` with default settings: all cores, no shard,
-    /// no checkpoint, events to the process-global stream.
+    /// no checkpoint, events to the process-global stream, degrade-don't-
+    /// die failure policy, non-strict audit.
     pub fn new(scenario: Scenario) -> Runner {
         Runner {
             scenario,
@@ -741,6 +1183,10 @@ impl Runner {
             checkpoint: None,
             events: EventScope::default(),
             cancel: CancelToken::new(),
+            strict_validate: false,
+            fail_fast: false,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -774,6 +1220,34 @@ impl Runner {
         self
     }
 
+    /// Makes the always-on audit *strict*: any structural violation (or
+    /// degraded replication) found during the run turns into a typed
+    /// error — [`RunError::AuditFailed`] / [`RunError::DegradedRun`] —
+    /// instead of being counted and surfaced in the results.
+    #[must_use]
+    pub fn strict_validate(mut self, strict: bool) -> Runner {
+        self.strict_validate = strict;
+        self
+    }
+
+    /// Restores abort-on-first-failure: a replication that fails after
+    /// retries aborts the run with its typed error instead of degrading
+    /// to a [`ReplicationOutcome::Failed`] cell.
+    #[must_use]
+    pub fn fail_fast(mut self, fail_fast: bool) -> Runner {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Injects faults from `plan` at the engine's named sites (only
+    /// available with the `fault-inject` cargo feature).
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn faults(mut self, plan: crate::fault::FaultPlan) -> Runner {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
     /// A clone of this runner's cancellation token. Cancel it from any
     /// thread to stop the run at the next replication boundary.
     pub fn cancel_token(&self) -> CancelToken {
@@ -800,11 +1274,16 @@ impl Runner {
         let replications = self.scenario.replications;
         let events = self.events.clone();
         let partial = self.run_partial()?;
-        let cells: BTreeMap<(usize, usize), ReplicationRecord> = partial
-            .records
-            .into_iter()
-            .map(|r| ((r.system_size, r.replication), r))
-            .collect();
+        let mut cells: BTreeMap<(usize, usize), ReplicationOutcome> = BTreeMap::new();
+        for f in partial.failed {
+            cells.insert(
+                (f.system_size, f.replication),
+                ReplicationOutcome::Failed(f),
+            );
+        }
+        for r in partial.records {
+            cells.insert((r.system_size, r.replication), ReplicationOutcome::Ok(r));
+        }
         fold_records(label, &system_sizes, replications, &cells, Some(&events))
     }
 
@@ -820,6 +1299,10 @@ impl Runner {
     ///
     /// Any engine error; see [`RunError`].
     pub fn run_partial(self) -> Result<PartialResult, RunError> {
+        let fault = FaultCtx {
+            #[cfg(feature = "fault-inject")]
+            plan: self.faults.clone(),
+        };
         let Runner {
             scenario,
             threads,
@@ -827,6 +1310,9 @@ impl Runner {
             checkpoint,
             events,
             cancel,
+            strict_validate,
+            fail_fast,
+            ..
         } = self;
         scenario.validate()?;
         shard.validate()?;
@@ -850,7 +1336,7 @@ impl Runner {
         let fp = fingerprint(&scenario);
         let stream = workload_stream(&scenario.workload);
 
-        let mut cells: BTreeMap<(usize, usize), ReplicationRecord> = BTreeMap::new();
+        let mut cells: BTreeMap<(usize, usize), ReplicationOutcome> = BTreeMap::new();
         let writer = match &checkpoint {
             Some(path) => Some(open_checkpoint(path, &scenario, fp, &mut cells, &events)?),
             None => None,
@@ -882,7 +1368,7 @@ impl Runner {
                     .take_while(|_| !cancel.is_cancelled())
                     .map(|&rep| {
                         let started = Instant::now();
-                        let graph = workload(&scenario, stream, rep);
+                        let graph = workload(&scenario, stream, rep, &fault, &events);
                         (rep, graph.map(|g| (g, started.elapsed())))
                     })
                     .collect()
@@ -892,8 +1378,21 @@ impl Runner {
             return Err(RunError::Cancelled);
         }
         let mut graphs: BTreeMap<usize, TaskGraph> = BTreeMap::new();
+        // Replications whose workload could not be generated. Under the
+        // degrade-don't-die policy they become typed failed cells at
+        // every swept size; `fail_fast` (and any deterministic spec
+        // error, where retrying cannot help) aborts instead.
+        let mut failed_generation: BTreeMap<usize, String> = BTreeMap::new();
         for (rep, result) in generated.into_iter().flatten() {
-            let (graph, elapsed) = result?;
+            let (graph, elapsed) = match result {
+                Ok(ok) => ok,
+                Err(e @ RunError::GenerateRejected { .. }) if !fail_fast => {
+                    tracing::warn!(replication = rep, "degrading replication: {e}");
+                    failed_generation.insert(rep, e.to_string());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let registry = telemetry::global();
             registry.record_stage(Stage::Generate, elapsed);
             registry.count_graph();
@@ -923,25 +1422,108 @@ impl Runner {
             let topology = scenario.topology.build(size, scenario.cost_per_item);
             let platform = Platform::homogeneous(size, topology)?;
 
-            let computed: Vec<Result<Vec<ReplicationRecord>, RunError>> =
-                fan_out(&missing, threads, "schedule", |chunk: &[usize]| {
+            let mut schedulable = Vec::with_capacity(missing.len());
+            for &rep in &missing {
+                match failed_generation.get(&rep) {
+                    None => schedulable.push(rep),
+                    Some(error) => {
+                        let outcome = ReplicationOutcome::Failed(FailedReplication {
+                            system_size: size,
+                            replication: rep,
+                            stage: "generate".to_owned(),
+                            error: error.clone(),
+                        });
+                        telemetry::global().count_failed_replication();
+                        events.emit(|| RunEvent::ReplicationFailed {
+                            scenario: scenario.label.clone(),
+                            system_size: size,
+                            replication: rep,
+                            stage: "generate".to_owned(),
+                            error: error.clone(),
+                        });
+                        if let Some(w) = &writer {
+                            w.append(&outcome, &fault, &events)?;
+                        }
+                        cells.insert((size, rep), outcome);
+                    }
+                }
+            }
+
+            let computed: Vec<Result<Vec<ReplicationOutcome>, RunError>> =
+                fan_out(&schedulable, threads, "schedule", |chunk: &[usize]| {
                     let mut out = Vec::with_capacity(chunk.len());
                     for &rep in chunk {
                         if cancel.is_cancelled() {
                             break;
                         }
                         let graph = &graphs[&rep];
-                        let record = run_once(&scenario, graph, &platform, rep, &events)?;
-                        if let Some(w) = &writer {
-                            w.append(&record)?;
+                        let inject_panic =
+                            fault.fires(FaultSite::WorkerPanic, size, rep, 0, &events);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if inject_panic {
+                                panic!("injected worker panic (fault plan)");
+                            }
+                            run_once(&scenario, graph, &platform, rep, &events)
+                        }));
+                        let outcome = match result {
+                            Ok(Ok(record)) => ReplicationOutcome::Ok(record),
+                            Ok(Err(e)) => {
+                                if fail_fast {
+                                    return Err(e);
+                                }
+                                let stage = match &e {
+                                    RunError::Slice(_) => "distribute",
+                                    _ => "schedule",
+                                };
+                                ReplicationOutcome::Failed(FailedReplication {
+                                    system_size: size,
+                                    replication: rep,
+                                    stage: stage.to_owned(),
+                                    error: e.to_string(),
+                                })
+                            }
+                            Err(panic) => {
+                                if fail_fast {
+                                    return Err(RunError::WorkerPanic("schedule"));
+                                }
+                                ReplicationOutcome::Failed(FailedReplication {
+                                    system_size: size,
+                                    replication: rep,
+                                    stage: "panic".to_owned(),
+                                    error: panic_message(panic.as_ref()),
+                                })
+                            }
+                        };
+                        if let ReplicationOutcome::Failed(f) = &outcome {
+                            tracing::warn!(
+                                system_size = size,
+                                replication = rep,
+                                stage = %f.stage,
+                                "degrading replication: {}",
+                                f.error
+                            );
+                            telemetry::global().count_failed_replication();
+                            events.emit(|| RunEvent::ReplicationFailed {
+                                scenario: scenario.label.clone(),
+                                system_size: size,
+                                replication: rep,
+                                stage: f.stage.clone(),
+                                error: f.error.clone(),
+                            });
                         }
-                        out.push(record);
+                        if let Some(w) = &writer {
+                            w.append(&outcome, &fault, &events)?;
+                        }
+                        out.push(outcome);
+                        if fault.fires(FaultSite::CancelRace, size, rep, 0, &events) {
+                            cancel.cancel();
+                        }
                     }
                     Ok(out)
                 })?;
             for worker in computed {
-                for record in worker? {
-                    cells.insert((record.system_size, record.replication), record);
+                for outcome in worker? {
+                    cells.insert(outcome.cell(), outcome);
                 }
             }
             if cancel.is_cancelled() {
@@ -950,20 +1532,84 @@ impl Runner {
             }
         }
 
+        if strict_validate {
+            strict_checks(&cells)?;
+        }
+
         events.flush();
+        let mut records = Vec::new();
+        let mut failed = Vec::new();
+        for outcome in cells.into_values() {
+            match outcome {
+                ReplicationOutcome::Ok(r) => records.push(r),
+                ReplicationOutcome::Failed(f) => failed.push(f),
+            }
+        }
         Ok(PartialResult {
             label: scenario.label.clone(),
             fingerprint: fp,
             replications: scenario.replications,
             system_sizes: scenario.system_sizes.clone(),
             shard,
-            records: cells.into_values().collect(),
+            records,
+            failed,
         })
     }
 }
 
+/// Renders a panic payload for the degraded-cell record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// The strict-audit gate: rejects any structural violation, then any
+/// degraded cell, with typed errors.
+fn strict_checks(cells: &BTreeMap<(usize, usize), ReplicationOutcome>) -> Result<(), RunError> {
+    let mut violations = 0usize;
+    let mut violating_cells = 0usize;
+    let mut failed = 0usize;
+    for outcome in cells.values() {
+        match outcome {
+            ReplicationOutcome::Ok(r) if r.violations > 0 => {
+                violations += r.violations;
+                violating_cells += 1;
+            }
+            ReplicationOutcome::Ok(_) => {}
+            ReplicationOutcome::Failed(_) => failed += 1,
+        }
+    }
+    if violations > 0 {
+        return Err(RunError::AuditFailed {
+            violations,
+            cells: violating_cells,
+        });
+    }
+    if failed > 0 {
+        return Err(RunError::DegradedRun { failed });
+    }
+    Ok(())
+}
+
 /// Runs a scenario sequentially (all sizes × all replications on the
 /// calling thread).
+///
+/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
+/// to `Runner::new(scenario.clone()).threads(1).run()`. The builder is
+/// strictly more capable: it adds sharding ([`Runner::shard`]),
+/// checkpoint/resume ([`Runner::checkpoint`]), cancellation
+/// ([`Runner::cancel_token`]), per-run event sinks ([`Runner::events`])
+/// and the strict audit gate ([`Runner::strict_validate`]). New code
+/// should construct a [`Runner`] directly.
+///
+/// # Errors
+///
+/// See [`Runner::run`].
 #[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).threads(1).run()`")]
 pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
     Runner::new(scenario.clone()).threads(1).run()
@@ -971,16 +1617,25 @@ pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, Ru
 
 /// Runs a scenario, parallelizing replications over the available cores.
 ///
+/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
+/// to `Runner::new(scenario.clone()).run()`. See
+/// [`run_scenario_sequential`] for what the builder adds; new code should
+/// construct a [`Runner`] directly.
+///
 /// # Errors
 ///
-/// Propagates workload-generation, distribution, platform and scheduling
-/// errors; the first error encountered aborts the run.
+/// See [`Runner::run`].
 #[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).run()`")]
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
     Runner::new(scenario.clone()).run()
 }
 
 /// Runs a scenario with an explicit worker-thread count.
+///
+/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
+/// to `Runner::new(scenario.clone()).threads(threads.max(1)).run()`. See
+/// [`run_scenario_sequential`] for what the builder adds; new code should
+/// construct a [`Runner`] directly.
 ///
 /// # Errors
 ///
@@ -1132,6 +1787,27 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_strips_the_disabled_strict_windows_option() {
+        // The canonical form with the option off must match what pre-option
+        // releases fingerprinted, so their checkpoints stay loadable.
+        let a = tiny_scenario(MetricKind::pure());
+        let mut legacy = a.clone();
+        legacy.label = String::new();
+        legacy.replications = 0;
+        legacy.system_sizes = Vec::new();
+        let mut value = legacy.to_value();
+        if let serde::Value::Object(entries) = &mut value {
+            entries.retain(|(key, _)| key != "strict_windows");
+        }
+        let legacy_json = serde_json::to_string(&value).unwrap();
+        assert!(!legacy_json.contains("strict_windows"));
+        assert_eq!(fingerprint(&a), stream_label(legacy_json.as_bytes()));
+        // Turning the clamp on is a measurement change: new fingerprint.
+        let strict = a.clone().with_strict_windows(true);
+        assert_ne!(fingerprint(&a), fingerprint(&strict));
+    }
+
+    #[test]
     fn workload_stream_is_technique_independent() {
         let pure = tiny_scenario(MetricKind::pure());
         let adapt = tiny_scenario(MetricKind::adapt());
@@ -1146,5 +1822,148 @@ mod tests {
             workload_stream(&tiny_scenario(MetricKind::pure()).workload),
             workload_stream(&other.workload)
         );
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    fn record(size: usize, rep: usize, lateness: f64, violations: usize) -> ReplicationRecord {
+        ReplicationRecord {
+            system_size: size,
+            replication: rep,
+            max_lateness: lateness,
+            end_to_end: lateness,
+            makespan: lateness.abs(),
+            feasible: violations == 0,
+            violations,
+            window_violations: Some(violations),
+            schedule_violations: Some(0),
+        }
+    }
+
+    fn failure(size: usize, rep: usize) -> FailedReplication {
+        FailedReplication {
+            system_size: size,
+            replication: rep,
+            stage: "schedule".to_owned(),
+            error: "synthetic failure".to_owned(),
+        }
+    }
+
+    #[test]
+    fn degraded_cells_fold_with_explicit_counts() {
+        let mut cells = BTreeMap::new();
+        cells.insert((2, 0), ReplicationOutcome::Ok(record(2, 0, -1.0, 0)));
+        cells.insert((2, 1), ReplicationOutcome::Failed(failure(2, 1)));
+        cells.insert((2, 2), ReplicationOutcome::Ok(record(2, 2, -3.0, 0)));
+        let result = fold_records("t".to_owned(), &[2], 3, &cells, None).unwrap();
+        let p = &result.points[0];
+        assert_eq!(p.failed, 1);
+        assert_eq!(p.max_lateness.count, 2);
+        assert_eq!(p.max_lateness.mean, -2.0);
+        assert_eq!(p.feasible_fraction, 1.0);
+        assert_eq!(p.window_violations, Some(0));
+        assert_eq!(p.schedule_violations, Some(0));
+    }
+
+    #[test]
+    fn all_failed_point_keeps_finite_empty_statistics() {
+        let mut cells = BTreeMap::new();
+        cells.insert((4, 0), ReplicationOutcome::Failed(failure(4, 0)));
+        cells.insert((4, 1), ReplicationOutcome::Failed(failure(4, 1)));
+        let result = fold_records("t".to_owned(), &[4], 2, &cells, None).unwrap();
+        let p = &result.points[0];
+        assert_eq!(p.failed, 2);
+        assert_eq!(p.max_lateness.count, 0);
+        assert_eq!(p.feasible_fraction, 0.0);
+        // The point must stay serializable (no NaN/infinity anywhere).
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, &result);
+    }
+
+    #[test]
+    fn legacy_records_without_audit_split_degrade_the_point_split() {
+        let mut with_split = record(2, 0, -1.0, 1);
+        let mut legacy = record(2, 1, -2.0, 2);
+        legacy.window_violations = None;
+        legacy.schedule_violations = None;
+        with_split.violations = 1;
+        let mut cells = BTreeMap::new();
+        cells.insert((2, 0), ReplicationOutcome::Ok(with_split));
+        cells.insert((2, 1), ReplicationOutcome::Ok(legacy));
+        let result = fold_records("t".to_owned(), &[2], 2, &cells, None).unwrap();
+        let p = &result.points[0];
+        assert_eq!(p.violations, 3, "the total audit count never degrades");
+        assert_eq!(p.window_violations, None);
+        assert_eq!(p.schedule_violations, None);
+    }
+
+    #[test]
+    fn strict_checks_reject_violations_then_degraded_cells() {
+        let mut clean = BTreeMap::new();
+        clean.insert((2, 0), ReplicationOutcome::Ok(record(2, 0, -1.0, 0)));
+        assert!(strict_checks(&clean).is_ok());
+
+        let mut violating = clean.clone();
+        violating.insert((2, 1), ReplicationOutcome::Ok(record(2, 1, 0.5, 2)));
+        assert!(matches!(
+            strict_checks(&violating),
+            Err(RunError::AuditFailed {
+                violations: 2,
+                cells: 1
+            })
+        ));
+
+        let mut degraded = clean.clone();
+        degraded.insert((2, 1), ReplicationOutcome::Failed(failure(2, 1)));
+        assert!(matches!(
+            strict_checks(&degraded),
+            Err(RunError::DegradedRun { failed: 1 })
+        ));
+    }
+
+    #[test]
+    fn strict_validate_passes_on_a_clean_scenario() {
+        let result = Runner::new(tiny_scenario(MetricKind::pure()))
+            .threads(1)
+            .strict_validate(true)
+            .run()
+            .unwrap();
+        assert!(result.points.iter().all(|p| p.failed == 0));
+    }
+
+    #[test]
+    fn panic_messages_render_for_common_payloads() {
+        let p = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain str");
+        let p = catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "opaque panic payload");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn corrupt_digit_keeps_the_line_parseable_but_breaks_the_seal() {
+        let record = record(2, 0, -1.5, 0);
+        let line = CheckpointLine::Sealed {
+            crc: seal(&record),
+            record,
+        };
+        let mut text = serde_json::to_string(&line).unwrap();
+        corrupt_digit(&mut text);
+        let parsed: CheckpointLine = serde_json::from_str(&text).expect("still parses");
+        match parsed {
+            CheckpointLine::Sealed { crc, record } => {
+                assert_ne!(seal(&record), crc, "corruption must break the seal");
+            }
+            other => panic!("expected Sealed, got {other:?}"),
+        }
     }
 }

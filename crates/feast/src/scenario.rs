@@ -266,6 +266,17 @@ pub struct Scenario {
     pub replications: usize,
     /// Root seed of the experiment's per-replication seed streams.
     pub base_seed: u64,
+    /// Clamp assignment windows so every subtask's deadline precedes all of
+    /// its successors' releases (see [`Slicer::with_strict_windows`]).
+    ///
+    /// Off by default: the paper's NORM/THRES/ADAPT weighting can assign a
+    /// predecessor a deadline later than a successor's release on skewed
+    /// paths (a latent window violation the audit reports), and the
+    /// published figures were produced without the clamp. Enabling it
+    /// changes deadlines (and therefore figures) for the affected cells.
+    ///
+    /// [`Slicer::with_strict_windows`]: slicing::Slicer::with_strict_windows
+    pub strict_windows: bool,
 }
 
 impl Scenario {
@@ -307,6 +318,7 @@ impl Scenario {
             scheduler: SchedulerSpec::default(),
             replications: 128,
             base_seed: 0xFEA57,
+            strict_windows: false,
         }
     }
 
@@ -403,6 +415,14 @@ impl Scenario {
         self.scheduler = scheduler;
         self
     }
+
+    /// Enables (or disables) the strict assignment-window clamp; see
+    /// [`Scenario::strict_windows`].
+    #[must_use]
+    pub fn with_strict_windows(mut self, strict: bool) -> Self {
+        self.strict_windows = strict;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +472,7 @@ mod tests {
         assert_eq!(s.topology, TopologyKind::SharedBus);
         assert_eq!(s.pinning, PinningPolicy::Relaxed);
         assert!(s.scheduler.respect_release);
+        assert!(!s.strict_windows, "paper defaults leave windows relaxed");
         assert_eq!(s.label, "PURE/CCNE");
     }
 
@@ -467,7 +488,9 @@ mod tests {
         .with_system_sizes(vec![2, 4])
         .with_base_seed(42)
         .with_topology(TopologyKind::Ring)
-        .with_pinning(PinningPolicy::AnchoredIo);
+        .with_pinning(PinningPolicy::AnchoredIo)
+        .with_strict_windows(true);
+        assert!(s.strict_windows);
         assert_eq!(s.replications, 8);
         assert_eq!(s.system_sizes, vec![2, 4]);
         assert_eq!(s.base_seed, 42);

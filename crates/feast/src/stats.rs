@@ -19,6 +19,34 @@ pub struct SummaryStats {
 }
 
 impl SummaryStats {
+    /// The statistics of an empty sample: zero count and all-zero (finite)
+    /// moments.
+    ///
+    /// Used for scenario points whose replications *all* degraded to
+    /// failed outcomes: the point still serializes to finite JSON (no
+    /// NaN/infinity) and [`SummaryStats::combine`] treats it as the
+    /// identity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use feast::SummaryStats;
+    ///
+    /// let e = SummaryStats::empty();
+    /// assert_eq!(e.count, 0);
+    /// let s = SummaryStats::from_values(&[1.0, 2.0]);
+    /// assert_eq!(e.combine(&s), s);
+    /// ```
+    pub const fn empty() -> Self {
+        SummaryStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            count: 0,
+        }
+    }
+
     /// Computes statistics over `values`.
     ///
     /// # Panics

@@ -151,6 +151,10 @@ pub struct Registry {
     schedules_built: AtomicU64,
     feasibility_failures: AtomicU64,
     structural_violations: AtomicU64,
+    window_violations: AtomicU64,
+    schedule_violations: AtomicU64,
+    replications_failed: AtomicU64,
+    checkpoint_retries: AtomicU64,
     generate: DurationHistogram,
     distribute: DurationHistogram,
     schedule: DurationHistogram,
@@ -187,6 +191,30 @@ impl Registry {
             .fetch_add(violations as u64, Ordering::Relaxed);
     }
 
+    /// Counts one replication's audit outcome, split into deadline-window
+    /// violations (the assignment checker) and schedule violations
+    /// ([`Schedule::validate`]). The split sums to the total recorded by
+    /// [`Registry::count_schedule`].
+    ///
+    /// [`Schedule::validate`]: sched::Schedule::validate
+    pub fn count_audit(&self, window: usize, schedule: usize) {
+        self.window_violations
+            .fetch_add(window as u64, Ordering::Relaxed);
+        self.schedule_violations
+            .fetch_add(schedule as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one replication that degraded to a failed outcome (excluded
+    /// from statistics instead of aborting the sweep).
+    pub fn count_failed_replication(&self) {
+        self.replications_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one retried checkpoint append (transient I/O failure).
+    pub fn count_checkpoint_retry(&self) {
+        self.checkpoint_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of graphs generated so far.
     pub fn graphs_generated(&self) -> u64 {
         self.graphs_generated.load(Ordering::Relaxed)
@@ -207,6 +235,28 @@ impl Registry {
         self.structural_violations.load(Ordering::Relaxed)
     }
 
+    /// Deadline-window violations found by the assignment audit.
+    pub fn window_violations(&self) -> u64 {
+        self.window_violations.load(Ordering::Relaxed)
+    }
+
+    /// Schedule violations found by [`Schedule::validate`].
+    ///
+    /// [`Schedule::validate`]: sched::Schedule::validate
+    pub fn schedule_violations(&self) -> u64 {
+        self.schedule_violations.load(Ordering::Relaxed)
+    }
+
+    /// Replications degraded to failed outcomes.
+    pub fn replications_failed(&self) -> u64 {
+        self.replications_failed.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint appends that had to be retried.
+    pub fn checkpoint_retries(&self) -> u64 {
+        self.checkpoint_retries.load(Ordering::Relaxed)
+    }
+
     /// An immutable, serializable copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -214,6 +264,10 @@ impl Registry {
             schedules_built: self.schedules_built(),
             feasibility_failures: self.feasibility_failures(),
             structural_violations: self.structural_violations(),
+            window_violations: self.window_violations(),
+            schedule_violations: self.schedule_violations(),
+            replications_failed: self.replications_failed(),
+            checkpoint_retries: self.checkpoint_retries(),
             generate: self.generate.snapshot(),
             distribute: self.distribute.snapshot(),
             schedule: self.schedule.snapshot(),
@@ -226,6 +280,10 @@ impl Registry {
         self.schedules_built.store(0, Ordering::Relaxed);
         self.feasibility_failures.store(0, Ordering::Relaxed);
         self.structural_violations.store(0, Ordering::Relaxed);
+        self.window_violations.store(0, Ordering::Relaxed);
+        self.schedule_violations.store(0, Ordering::Relaxed);
+        self.replications_failed.store(0, Ordering::Relaxed);
+        self.checkpoint_retries.store(0, Ordering::Relaxed);
         self.generate.reset();
         self.distribute.reset();
         self.schedule.reset();
@@ -264,6 +322,14 @@ pub struct MetricsSnapshot {
     pub feasibility_failures: u64,
     /// Structural violations across all replications.
     pub structural_violations: u64,
+    /// Deadline-window violations found by the assignment audit.
+    pub window_violations: u64,
+    /// Schedule violations found by schedule validation.
+    pub schedule_violations: u64,
+    /// Replications degraded to failed outcomes.
+    pub replications_failed: u64,
+    /// Checkpoint appends that had to be retried.
+    pub checkpoint_retries: u64,
     /// Generation-stage timings.
     pub generate: StageSnapshot,
     /// Distribution-stage timings.
@@ -327,6 +393,49 @@ pub enum RunEvent {
         /// Maximum task lateness of this replication.
         max_lateness: f64,
     },
+    /// The always-on audit found structural violations in one
+    /// replication's output (also counted in the `Replication` event's
+    /// `violations`; this event carries the window/schedule split).
+    AuditViolation {
+        /// Scenario label.
+        scenario: String,
+        /// Processors.
+        system_size: usize,
+        /// Replication index.
+        replication: usize,
+        /// Deadline-window violations (assignment checker).
+        window: usize,
+        /// Schedule violations (`Schedule::validate`).
+        schedule: usize,
+    },
+    /// A replication failed after retries and was degraded to a typed
+    /// failed outcome (excluded from statistics) instead of aborting the
+    /// sweep.
+    ReplicationFailed {
+        /// Scenario label.
+        scenario: String,
+        /// Processors.
+        system_size: usize,
+        /// Replication index.
+        replication: usize,
+        /// Pipeline stage that failed (`generate`, `distribute`,
+        /// `schedule`, `panic`).
+        stage: String,
+        /// The failure, rendered.
+        error: String,
+    },
+    /// A fault plan injected a fault (only emitted by `fault-inject`
+    /// builds).
+    FaultInjected {
+        /// The fault site's kebab-case name.
+        site: String,
+        /// Processors (0 for size-independent sites).
+        system_size: usize,
+        /// Replication index.
+        replication: usize,
+        /// Which consecutive attempt at the cell was faulted.
+        attempt: u64,
+    },
     /// A scenario point (all replications at one system size) was
     /// aggregated.
     Point {
@@ -340,6 +449,9 @@ pub enum RunEvent {
         feasible_fraction: f64,
         /// Structural violations summed over the replications.
         violations: usize,
+        /// Replications that degraded to failed outcomes and were
+        /// excluded from the point's statistics.
+        failed: usize,
     },
     /// The run finished (emitted once by the driving binary).
     RunEnd {
@@ -473,6 +585,10 @@ mod tests {
         r.count_graph();
         r.count_schedule(true, 0);
         r.count_schedule(false, 3);
+        r.count_audit(2, 1);
+        r.count_failed_replication();
+        r.count_checkpoint_retry();
+        r.count_checkpoint_retry();
         r.record_stage(Stage::Generate, Duration::from_micros(10));
         r.record_stage(Stage::Distribute, Duration::from_micros(20));
         r.record_stage(Stage::Schedule, Duration::from_micros(30));
@@ -481,6 +597,10 @@ mod tests {
         assert_eq!(r.schedules_built(), 2);
         assert_eq!(r.feasibility_failures(), 1);
         assert_eq!(r.structural_violations(), 3);
+        assert_eq!(r.window_violations(), 2);
+        assert_eq!(r.schedule_violations(), 1);
+        assert_eq!(r.replications_failed(), 1);
+        assert_eq!(r.checkpoint_retries(), 2);
         for stage in Stage::ALL {
             assert_eq!(r.stage(stage).count(), 1, "{}", stage.label());
         }
@@ -492,6 +612,9 @@ mod tests {
         r.reset();
         assert_eq!(r.graphs_generated(), 0);
         assert_eq!(r.schedules_built(), 0);
+        assert_eq!(r.window_violations(), 0);
+        assert_eq!(r.replications_failed(), 0);
+        assert_eq!(r.checkpoint_retries(), 0);
         assert_eq!(r.stage(Stage::Schedule).count(), 0);
         assert_eq!(r.snapshot().schedule.buckets, vec![]);
     }

@@ -61,6 +61,24 @@ impl Schedule {
         }
     }
 
+    /// Assembles a schedule from raw placements and message slots, without
+    /// running a scheduler.
+    ///
+    /// `entries` must be indexed by subtask and `messages` by edge (one
+    /// `None` per local message), exactly as [`Schedule::entries`] and
+    /// [`Schedule::messages`] expose them. The makespan is derived.
+    ///
+    /// Nothing is checked here — that is the point: hand-built (or
+    /// deliberately broken) schedules feed [`Schedule::validate`] in oracle
+    /// tests, which must see the violation, not a construction panic.
+    pub fn from_parts(
+        entries: Vec<ScheduleEntry>,
+        messages: Vec<Option<MessageSlot>>,
+        processors: usize,
+    ) -> Self {
+        Schedule::new(entries, messages, processors)
+    }
+
     /// The placement of a subtask.
     ///
     /// # Panics

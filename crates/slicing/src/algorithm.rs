@@ -60,6 +60,7 @@ use crate::{
 pub struct Slicer {
     metric: Box<dyn SliceMetric + Send + Sync>,
     estimate: CommEstimate,
+    strict_windows: bool,
 }
 
 impl fmt::Debug for Slicer {
@@ -67,6 +68,7 @@ impl fmt::Debug for Slicer {
         f.debug_struct("Slicer")
             .field("metric", &self.metric.name())
             .field("estimate", &self.estimate.label())
+            .field("strict_windows", &self.strict_windows)
             .finish()
     }
 }
@@ -78,6 +80,7 @@ impl Slicer {
         Slicer {
             metric: Box::new(metric),
             estimate: CommEstimate::Ccne,
+            strict_windows: false,
         }
     }
 
@@ -85,6 +88,31 @@ impl Slicer {
     #[must_use]
     pub fn with_estimate(mut self, estimate: CommEstimate) -> Self {
         self.estimate = estimate;
+        self
+    }
+
+    /// Enables a final clamp that tightens every deadline to its successors'
+    /// assigned releases, in one reverse-topological pass.
+    ///
+    /// The paper's algorithm slices each critical path against the path's
+    /// *endpoint* anchors only; release/deadline anchors inherited by
+    /// *interior* nodes from previously sliced spines are used for path
+    /// selection but not re-checked during slicing, so skewed weightings
+    /// (NORM/THRES/ADAPT) can leave a producer's deadline marginally past a
+    /// consumer's release (an `EdgeOrdering` violation that
+    /// [`DeadlineAssignment::validate`] reports). The clamp repairs every
+    /// such edge; deadlines only shrink, so feasible schedules stay
+    /// feasible, but windows (and therefore measured lateness) change for
+    /// the affected cells — which is why it is off by default and the
+    /// published figures are reproduced without it.
+    ///
+    /// On an *inverted* (overconstrained) instance the clamp can shrink a
+    /// window to zero width and, for anchored inputs, below the given
+    /// release; the residual violation is then reported by `validate` as
+    /// usual.
+    #[must_use]
+    pub fn with_strict_windows(mut self, strict: bool) -> Self {
+        self.strict_windows = strict;
         self
     }
 
@@ -236,6 +264,31 @@ impl Slicer {
             expanded_nodes = n,
             "deadline distribution complete"
         );
+
+        if self.strict_windows {
+            // Reverse-topological clamp: successors are finalized before any
+            // of their predecessors, so one pass suffices even when a clamp
+            // cascades through a chain of zero-slack windows.
+            let mut clamped = 0usize;
+            for &v in exp.topo().iter().rev() {
+                let v = v as usize;
+                let win = windows[v].expect("all expanded nodes are sliced");
+                let mut bound = win.deadline();
+                for &s in exp.succ(v) {
+                    let succ_release = windows[s as usize]
+                        .expect("all expanded nodes are sliced")
+                        .release();
+                    bound = bound.min(succ_release);
+                }
+                if bound < win.deadline() {
+                    clamped += 1;
+                    windows[v] = Some(Window::new(win.release().min(bound), bound));
+                }
+            }
+            if clamped > 0 {
+                tracing::debug!(clamped = clamped, "strict window clamp tightened deadlines");
+            }
+        }
 
         let mut task_windows = Vec::with_capacity(graph.subtask_count());
         for id in graph.subtask_ids() {
@@ -511,6 +564,58 @@ mod tests {
         assert_eq!(
             Slicer::ast_thres_with(Thres::paper()).metric_name(),
             "THRES"
+        );
+    }
+
+    #[test]
+    fn strict_windows_is_a_no_op_on_clean_assignments() {
+        let g = chain(&[10, 30, 20], 120);
+        let p = Platform::paper(2).unwrap();
+        for metric in [MetricKind::Pure, MetricKind::Norm, MetricKind::adapt()] {
+            let plain = Slicer::new(metric).distribute(&g, &p).unwrap();
+            assert!(plain.validate(&g).is_ok());
+            let strict = Slicer::new(metric)
+                .with_strict_windows(true)
+                .distribute(&g, &p)
+                .unwrap();
+            for id in g.subtask_ids() {
+                assert_eq!(strict.window(id), plain.window(id), "{}", metric.label());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_windows_repairs_latent_edge_ordering_violations() {
+        use rand::SeedableRng;
+        use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
+
+        // The skewed metrics leave a producer's deadline marginally past a
+        // consumer's release on ≈1 % of paper workloads (EXPERIMENTS.md,
+        // deviation 5), mostly at 2 processors. Scan enough seeds to hit
+        // the latent case, then check the clamp repairs every edge.
+        let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+        let p = Platform::paper(2).unwrap();
+        let mut latent = 0usize;
+        for seed in 0..256u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let Ok(g) = generate(&spec, &mut rng) else {
+                continue;
+            };
+            for metric in [MetricKind::Norm, MetricKind::adapt()] {
+                let plain = Slicer::new(metric).distribute(&g, &p).unwrap();
+                latent += plain.validate(&g).violations().len();
+                let strict = Slicer::new(metric)
+                    .with_strict_windows(true)
+                    .distribute(&g, &p)
+                    .unwrap();
+                let report = strict.validate(&g);
+                assert!(report.is_ok(), "seed {seed}, {}: {report}", metric.label());
+            }
+        }
+        assert!(
+            latent > 0,
+            "expected the unclamped metrics to exhibit the latent ordering \
+             violations this clamp exists for"
         );
     }
 

@@ -274,10 +274,110 @@ fn replication_record_round_trips_through_json() {
         makespan: 583.023_437_5,
         feasible: true,
         violations: 0,
+        window_violations: Some(0),
+        schedule_violations: Some(0),
     };
     let json = serde_json::to_string(&record).unwrap();
     let back: ReplicationRecord = serde_json::from_str(&json).unwrap();
     assert_eq!(record, back);
+
+    // Records written before the audit split carry no counters; they must
+    // still deserialize (as None) rather than fail the checkpoint load.
+    let legacy = "{\"system_size\":8,\"replication\":3,\"max_lateness\":-28.0625,\
+                  \"end_to_end\":-35.9296875,\"makespan\":583.0234375,\
+                  \"feasible\":true,\"violations\":0}";
+    let back: ReplicationRecord = serde_json::from_str(legacy).unwrap();
+    assert_eq!(back.window_violations, None);
+    assert_eq!(back.schedule_violations, None);
+    assert_eq!(back.violations, 0);
+}
+
+#[test]
+fn checkpoint_rejects_mid_file_corruption() {
+    let checkpoint = TempPath::new("midfile");
+    Runner::new(scenario())
+        .threads(1)
+        .checkpoint(&checkpoint.0)
+        .run()
+        .unwrap();
+    // Flip one digit in a sealed mid-file record: the line still parses,
+    // so only the per-record checksum can notice.
+    let text = std::fs::read_to_string(&checkpoint.0).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 3, "expected header + several records");
+    let target = lines[2];
+    let digit = target
+        .char_indices()
+        .rfind(|(_, c)| c.is_ascii_digit())
+        .expect("record has digits");
+    let mut corrupted = target.to_owned();
+    corrupted.replace_range(digit.0..digit.0 + 1, if digit.1 == '9' { "0" } else { "9" });
+    assert_ne!(corrupted, target);
+    let mut rewritten: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+    rewritten[2] = corrupted;
+    std::fs::write(&checkpoint.0, rewritten.join("\n") + "\n").unwrap();
+
+    let err = Runner::new(scenario())
+        .threads(1)
+        .checkpoint(&checkpoint.0)
+        .run()
+        .unwrap_err();
+    match err {
+        RunError::CheckpointCorrupt { detail, .. } => {
+            assert!(
+                detail.contains("checksum"),
+                "expected a checksum complaint, got: {detail}"
+            );
+        }
+        other => panic!("expected CheckpointCorrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_reads_legacy_unsealed_records() {
+    // Checkpoints written before per-record checksums used a bare `Record`
+    // line. Rewrite a fresh checkpoint into that shape and resume from it.
+    let checkpoint = TempPath::new("legacy");
+    Runner::new(scenario())
+        .threads(1)
+        .checkpoint(&checkpoint.0)
+        .run()
+        .unwrap();
+    let text = std::fs::read_to_string(&checkpoint.0).unwrap();
+    let mut rewritten = String::new();
+    for line in text.lines() {
+        let value: serde::Value = serde_json::from_str(line).unwrap();
+        let is_sealed = matches!(
+            &value,
+            serde::Value::Object(entries) if entries.iter().any(|(k, _)| k == "Sealed")
+        );
+        if is_sealed {
+            let serde::Value::Object(entries) = value else {
+                unreachable!()
+            };
+            let sealed = entries.into_iter().find(|(k, _)| k == "Sealed").unwrap().1;
+            let serde::Value::Object(fields) = sealed else {
+                panic!("Sealed is an object")
+            };
+            let record = fields.into_iter().find(|(k, _)| k == "record").unwrap().1;
+            let legacy = serde::Value::Object(vec![("Record".to_owned(), record)]);
+            rewritten.push_str(&serde_json::to_string(&legacy).unwrap());
+            rewritten.push('\n');
+        } else {
+            rewritten.push_str(line);
+            rewritten.push('\n');
+        }
+    }
+    assert!(rewritten.contains("\"Record\""));
+    std::fs::write(&checkpoint.0, rewritten).unwrap();
+
+    let resumed = Runner::new(scenario())
+        .threads(1)
+        .checkpoint(&checkpoint.0)
+        .run()
+        .unwrap();
+    let uninterrupted = Runner::new(scenario()).threads(1).run().unwrap();
+    assert_eq!(resumed, uninterrupted);
 }
 
 #[test]
