@@ -3,6 +3,14 @@
 //! both bus models. Complements `scheduler.rs` (which varies policies at
 //! a fixed size) by sweeping the size × contention grid the experiments
 //! actually exercise.
+//!
+//! Two axes isolate the hot-path optimisations individually:
+//! `scheduling/{delay,contention}` measures the estimate-once dispatch
+//! (under delay the bus is never snapshotted at all, so the delay/
+//! contention gap is the cost of bus simulation), and
+//! `scheduling/workspace/{fresh,reused}` measures the allocation savings
+//! of holding a [`SchedWorkspace`] across calls, as the runner's worker
+//! threads do.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -10,7 +18,7 @@ use std::hint::black_box;
 use platform::{Pinning, Platform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sched::{BusModel, ListScheduler};
+use sched::{BusModel, ListScheduler, SchedWorkspace};
 use slicing::{DeadlineAssignment, Slicer};
 use taskgraph::gen::{generate, ExecVariation, WorkloadSpec};
 use taskgraph::TaskGraph;
@@ -36,13 +44,15 @@ fn scheduling_grid(c: &mut Criterion) {
             let (graph, platform, assignment) = prepared(nproc);
             group.bench_with_input(BenchmarkId::from_parameter(nproc), &nproc, |b, _| {
                 let scheduler = ListScheduler::new().with_bus_model(bus);
+                let mut ws = SchedWorkspace::new();
                 b.iter(|| {
                     scheduler
-                        .schedule(
+                        .schedule_with(
                             black_box(&graph),
                             black_box(&platform),
                             black_box(&assignment),
                             &Pinning::new(),
+                            &mut ws,
                         )
                         .unwrap()
                 })
@@ -52,5 +62,44 @@ fn scheduling_grid(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, scheduling_grid);
+fn workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling/workspace");
+    for nproc in [8usize, 32] {
+        let (graph, platform, assignment) = prepared(nproc);
+        let scheduler = ListScheduler::new().with_bus_model(BusModel::Contention);
+
+        // Fresh buffers every call: what `schedule` does internally.
+        group.bench_with_input(BenchmarkId::new("fresh", nproc), &nproc, |b, _| {
+            b.iter(|| {
+                scheduler
+                    .schedule(
+                        black_box(&graph),
+                        black_box(&platform),
+                        black_box(&assignment),
+                        &Pinning::new(),
+                    )
+                    .unwrap()
+            })
+        });
+
+        // One long-lived workspace: the runner's per-worker steady state.
+        group.bench_with_input(BenchmarkId::new("reused", nproc), &nproc, |b, _| {
+            let mut ws = SchedWorkspace::new();
+            b.iter(|| {
+                scheduler
+                    .schedule_with(
+                        black_box(&graph),
+                        black_box(&platform),
+                        black_box(&assignment),
+                        &Pinning::new(),
+                        &mut ws,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduling_grid, workspace_reuse);
 criterion_main!(benches);

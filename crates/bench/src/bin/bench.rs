@@ -12,18 +12,26 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--label NAME] \
-//!     [--iterations N] [--out PATH] [--fresh]
+//!     [--iterations N] [--out PATH] [--fresh] \
+//!     [--guard LABEL] [--baseline PATH] [--guard-pct F]
 //! ```
 //!
 //! * `--label NAME`       tag for this run (default `run`);
 //! * `--iterations N`     override the per-size iteration counts;
 //! * `--out PATH`         output file (default `BENCH_pipeline.json`);
-//! * `--fresh`            overwrite instead of appending to existing runs.
+//! * `--fresh`            overwrite instead of appending to existing runs;
+//! * `--guard LABEL`      after measuring, compare this run's **schedule**
+//!   stage at the stress point against the run labelled `LABEL` in the
+//!   baseline file and exit non-zero on regression (the CI bench guard);
+//! * `--baseline PATH`    file holding the guard baseline (default: the
+//!   `--out` path, read before this run is appended);
+//! * `--guard-pct F`      maximum allowed schedule-stage mean regression
+//!   in percent before the guard fails (default 25).
 
 use std::time::Instant;
 
 use platform::{Pinning, Platform};
-use sched::ListScheduler;
+use sched::{BusModel, ListScheduler, SchedWorkspace};
 use serde::{Deserialize, Serialize};
 use slicing::{MetricKind, Slicer};
 use taskgraph::gen::{generate_seeded, stream_label, stream_seed, ExecVariation, WorkloadSpec};
@@ -36,6 +44,15 @@ const SEED: u64 = 0x000F_EA57_BE5C;
 
 /// Processor count used for the distribute and schedule stages.
 const PROCESSORS: usize = 8;
+
+/// Processor count of the schedule-stage stress point: large enough that
+/// candidate-processor estimation dominates each dispatch.
+const STRESS_PROCESSORS: usize = 32;
+
+/// Size label of the schedule-stage stress point (4× paper subtasks on
+/// [`STRESS_PROCESSORS`] processors under bus contention). The CI bench
+/// guard compares the schedule-stage mean of exactly these points.
+const STRESS_LABEL: &str = "stress";
 
 /// Aggregate wall-clock statistics of one pipeline stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,6 +81,10 @@ struct BenchPoint {
     subtasks_max: usize,
     processors: usize,
     metric: String,
+    /// Scheduler bus model (`delay` or `contention`). `None` on runs
+    /// recorded before the stress point existed, which all used the delay
+    /// model (the vendored serde reads an absent field as null).
+    bus: Option<String>,
     iterations: usize,
     generate: StageStats,
     distribute: StageStats,
@@ -127,6 +148,20 @@ fn sizes() -> Vec<SizeSpec> {
     ]
 }
 
+/// The schedule-stage stress point: 4× paper subtasks scheduled on
+/// [`STRESS_PROCESSORS`] processors under [`BusModel::Contention`] — every
+/// dispatch estimates 32 candidate processors against a mutable bus
+/// timeline, the scheduler's worst case.
+fn stress_size() -> SizeSpec {
+    SizeSpec {
+        label: STRESS_LABEL,
+        spec: WorkloadSpec::paper(ExecVariation::Mdet)
+            .with_subtasks(160..=240)
+            .with_depth(32..=48),
+        iterations: 6,
+    }
+}
+
 fn metrics() -> [(&'static str, MetricKind); 4] {
     [
         ("NORM", MetricKind::norm()),
@@ -141,11 +176,16 @@ fn measure(
     metric_label: &str,
     metric: MetricKind,
     iterations: usize,
+    processors: usize,
+    bus: BusModel,
 ) -> BenchPoint {
-    let platform = Platform::paper(PROCESSORS).expect("paper platform is valid");
+    let platform = Platform::paper(processors).expect("paper platform is valid");
     let slicer = Slicer::new(metric);
-    let scheduler = ListScheduler::new();
+    let scheduler = ListScheduler::new().with_bus_model(bus);
     let pinning = Pinning::new();
+    // Reused across iterations — the production configuration (the runner
+    // holds one workspace per worker thread).
+    let mut ws = SchedWorkspace::new();
 
     let stream = stream_label(size.label.as_bytes());
     let mut gen_us = Vec::with_capacity(iterations);
@@ -166,7 +206,7 @@ fn measure(
 
         let t = Instant::now();
         let schedule = scheduler
-            .schedule(&graph, &platform, &assignment, &pinning)
+            .schedule_with(&graph, &platform, &assignment, &pinning, &mut ws)
             .expect("scheduling succeeds");
         sched_us.push(t.elapsed().as_micros() as u64);
         std::hint::black_box(schedule);
@@ -176,8 +216,9 @@ fn measure(
         size: size.label.to_owned(),
         subtasks_min: *size.spec.subtasks.start(),
         subtasks_max: *size.spec.subtasks.end(),
-        processors: PROCESSORS,
+        processors,
         metric: metric_label.to_owned(),
+        bus: Some(bus.label().to_owned()),
         iterations,
         generate: StageStats::from_samples(&gen_us),
         distribute: StageStats::from_samples(&dist_us),
@@ -185,11 +226,60 @@ fn measure(
     }
 }
 
+/// The CI bench guard: compares this run's schedule-stage means at the
+/// stress points against the `baseline` run's, failing on a regression
+/// beyond `max_regression_pct`. Only the stress points are guarded — they
+/// carry the largest absolute schedule times, so their ratio is the most
+/// stable signal across machines.
+fn guard_schedule_stage(
+    current: &BenchRun,
+    baseline: &BenchRun,
+    max_regression_pct: f64,
+) -> Result<(), String> {
+    let stress = |run: &BenchRun, metric: &str| {
+        run.points
+            .iter()
+            .find(|p| p.size == STRESS_LABEL && p.metric == metric)
+            .map(|p| p.schedule.mean_us)
+    };
+    let mut checked = 0usize;
+    for point in baseline.points.iter().filter(|p| p.size == STRESS_LABEL) {
+        let Some(current_mean) = stress(current, &point.metric) else {
+            continue;
+        };
+        let baseline_mean = point.schedule.mean_us;
+        let limit = baseline_mean * (1.0 + max_regression_pct / 100.0);
+        eprintln!(
+            "guard: stress × {:<5} schedule mean {:>9.1}us (baseline {:>9.1}us, limit {:>9.1}us)",
+            point.metric, current_mean, baseline_mean, limit
+        );
+        if current_mean > limit {
+            return Err(format!(
+                "schedule-stage regression at the stress point ({}): \
+                 {current_mean:.1}us vs baseline {baseline_mean:.1}us \
+                 (> {max_regression_pct}% over)",
+                point.metric
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!(
+            "baseline run `{}` has no `{STRESS_LABEL}` points matching this run",
+            baseline.label
+        ));
+    }
+    Ok(())
+}
+
 struct Args {
     label: String,
     iterations: Option<usize>,
     out: String,
     fresh: bool,
+    guard: Option<String>,
+    baseline: Option<String>,
+    guard_pct: f64,
 }
 
 fn parse_args() -> Args {
@@ -198,6 +288,9 @@ fn parse_args() -> Args {
         iterations: None,
         out: "BENCH_pipeline.json".to_owned(),
         fresh: false,
+        guard: None,
+        baseline: None,
+        guard_pct: 25.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -216,8 +309,18 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = value("--out"),
             "--fresh" => args.fresh = true,
+            "--guard" => args.guard = Some(value("--guard")),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--guard-pct" => {
+                args.guard_pct = value("--guard-pct")
+                    .parse()
+                    .expect("--guard-pct takes a number (percent)")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench [--label NAME] [--iterations N] [--out PATH] [--fresh]");
+                eprintln!(
+                    "usage: bench [--label NAME] [--iterations N] [--out PATH] [--fresh] \
+                     [--guard LABEL] [--baseline PATH] [--guard-pct F]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument `{other}` (try --help)"),
@@ -243,22 +346,68 @@ fn main() {
         seed: SEED,
         points: Vec::new(),
     };
+    let record = |point: BenchPoint, run: &mut BenchRun| {
+        eprintln!(
+            "{:>6} × {:<5} gen {:>9.1}us  distribute {:>11.1}us  schedule {:>9.1}us  ({} iters, {} procs, {})",
+            point.size,
+            point.metric,
+            point.generate.mean_us,
+            point.distribute.mean_us,
+            point.schedule.mean_us,
+            point.iterations,
+            point.processors,
+            point.bus.as_deref().unwrap_or("delay"),
+        );
+        run.points.push(point);
+    };
     for size in sizes() {
         let iterations = args.iterations.unwrap_or(size.iterations).max(1);
         for (label, metric) in metrics() {
-            let point = measure(&size, label, metric, iterations);
-            eprintln!(
-                "{:>5} × {:<5} gen {:>9.1}us  distribute {:>11.1}us  schedule {:>9.1}us  ({} iters)",
-                point.size,
-                point.metric,
-                point.generate.mean_us,
-                point.distribute.mean_us,
-                point.schedule.mean_us,
-                point.iterations,
+            let point = measure(
+                &size,
+                label,
+                metric,
+                iterations,
+                PROCESSORS,
+                BusModel::Delay,
             );
-            run.points.push(point);
+            record(point, &mut run);
         }
     }
+    // The schedule-stage stress point the CI bench guard watches: one
+    // metric is enough — the schedule stage is metric-independent once the
+    // assignment exists, and ADAPT is the headline technique.
+    let stress = stress_size();
+    let iterations = args.iterations.unwrap_or(stress.iterations).max(1);
+    let point = measure(
+        &stress,
+        "ADAPT",
+        MetricKind::adapt(),
+        iterations,
+        STRESS_PROCESSORS,
+        BusModel::Contention,
+    );
+    record(point, &mut run);
+
+    if let Some(baseline_label) = &args.guard {
+        let baseline_path = args.baseline.as_ref().unwrap_or(&args.out);
+        let baseline_file: BenchFile = std::fs::read_to_string(baseline_path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(|| panic!("cannot read guard baseline {baseline_path}"));
+        let baseline = baseline_file
+            .runs
+            .iter()
+            .rev()
+            .find(|r| &r.label == baseline_label)
+            .unwrap_or_else(|| panic!("no run labelled `{baseline_label}` in {baseline_path}"));
+        if let Err(message) = guard_schedule_stage(&run, baseline, args.guard_pct) {
+            eprintln!("bench guard FAILED: {message}");
+            std::process::exit(2);
+        }
+        eprintln!("bench guard passed against `{baseline_label}`");
+    }
+
     file.runs.push(run);
 
     let json = serde_json::to_string_pretty(&file).expect("serialization cannot fail");

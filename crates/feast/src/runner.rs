@@ -64,7 +64,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use platform::Platform;
-use sched::{LatenessReport, ListScheduler};
+use sched::{LatenessReport, ListScheduler, SchedWorkspace};
 use slicing::{distribute_baseline, Slicer};
 use taskgraph::gen::{
     generate_seeded, generate_shape_seeded, stream_label, stream_seed, sub_stream, GenerateError,
@@ -693,12 +693,17 @@ fn workload(
 }
 
 /// Runs one full pipeline: distribute deadlines, schedule, measure.
+///
+/// `ws` is per-worker scratch for the scheduler: `schedule_with` fully
+/// resets it on entry, so reusing one workspace across replications (even
+/// after a caught panic) changes nothing but the allocation count.
 fn run_once(
     scenario: &Scenario,
     graph: &TaskGraph,
     platform: &Platform,
     rep: usize,
     events: &EventScope,
+    ws: &mut SchedWorkspace,
 ) -> Result<ReplicationRecord, RunError> {
     let distribute_started = Instant::now();
     let assignment = match &scenario.technique {
@@ -722,7 +727,7 @@ fn run_once(
         .with_bus_model(scenario.scheduler.bus_model)
         .with_placement(scenario.scheduler.placement);
     let schedule_started = Instant::now();
-    let schedule = scheduler.schedule(graph, platform, &assignment, &pinning)?;
+    let schedule = scheduler.schedule_with(graph, platform, &assignment, &pinning, ws)?;
     let schedule_violations = schedule
         .validate(
             graph,
@@ -1452,6 +1457,9 @@ impl Runner {
             let computed: Vec<Result<Vec<ReplicationOutcome>, RunError>> =
                 fan_out(&schedulable, threads, "schedule", |chunk: &[usize]| {
                     let mut out = Vec::with_capacity(chunk.len());
+                    // One scheduling workspace per worker: steady-state
+                    // replications run the scheduler allocation-free.
+                    let mut ws = SchedWorkspace::new();
                     for &rep in chunk {
                         if cancel.is_cancelled() {
                             break;
@@ -1463,7 +1471,7 @@ impl Runner {
                             if inject_panic {
                                 panic!("injected worker panic (fault plan)");
                             }
-                            run_once(&scenario, graph, &platform, rep, &events)
+                            run_once(&scenario, graph, &platform, rep, &events, &mut ws)
                         }));
                         let outcome = match result {
                             Ok(Ok(record)) => ReplicationOutcome::Ok(record),

@@ -51,12 +51,14 @@ mod lateness;
 mod list;
 mod schedule;
 mod timeline;
+mod workspace;
 
 pub use bus::BusModel;
 pub use error::SchedError;
 pub use lateness::LatenessReport;
 pub use list::{ListScheduler, PlacementPolicy};
 pub use schedule::{MessageSlot, Schedule, ScheduleEntry, ScheduleViolation};
+pub use workspace::SchedWorkspace;
 
 #[cfg(test)]
 mod send_sync_tests {
@@ -71,5 +73,6 @@ mod send_sync_tests {
         assert_send_sync::<LatenessReport>();
         assert_send_sync::<SchedError>();
         assert_send_sync::<BusModel>();
+        assert_send_sync::<SchedWorkspace>();
     }
 }
