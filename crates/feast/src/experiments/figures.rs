@@ -64,6 +64,7 @@ pub fn fig2(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "fig2".into(),
         description: "Maximum task lateness for the PURE and NORM metrics (BST)".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
+        profile: None,
     })
 }
 
@@ -86,6 +87,7 @@ pub fn fig3(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "fig3".into(),
         description: "Maximum task lateness for different THRES surplus factors".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
+        profile: None,
     })
 }
 
@@ -130,6 +132,7 @@ pub fn fig4(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "fig4".into(),
         description: "Maximum task lateness for different THRES execution-time thresholds".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
+        profile: None,
     })
 }
 
@@ -153,6 +156,7 @@ pub fn fig5(cfg: &ExperimentConfig) -> Result<ExperimentResult, RunError> {
         id: "fig5".into(),
         description: "Maximum task lateness for the THRES and ADAPT metrics (AST) vs PURE".into(),
         panels: run_panels(cfg, variation_panels(cfg, &series))?,
+        profile: None,
     })
 }
 

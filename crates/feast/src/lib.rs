@@ -65,6 +65,7 @@
 mod error;
 pub mod experiments;
 pub mod fault;
+pub mod progress;
 mod report;
 mod runner;
 mod scenario;
@@ -73,7 +74,8 @@ pub mod telemetry;
 
 pub use error::RunError;
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
-pub use report::{ExperimentResult, Panel, Series};
+pub use progress::{MetricsFile, MetricsWriter, ProgressSnapshot, ProgressTracker};
+pub use report::{ExperimentResult, Panel, ProfileRow, Series};
 #[allow(deprecated)]
 pub use runner::{run_scenario, run_scenario_sequential, run_scenario_with_threads};
 pub use runner::{
@@ -109,5 +111,10 @@ mod send_sync_tests {
         assert_send_sync::<FaultPlan>();
         assert_send_sync::<FaultSpec>();
         assert_send_sync::<FaultSite>();
+        assert_send_sync::<ProgressTracker>();
+        assert_send_sync::<ProgressSnapshot>();
+        assert_send_sync::<MetricsWriter>();
+        assert_send_sync::<MetricsFile>();
+        assert_send_sync::<ProfileRow>();
     }
 }

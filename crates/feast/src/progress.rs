@@ -1,0 +1,463 @@
+//! Live sweep progress: per-shard completion tracking and the periodic
+//! `metrics.json` snapshot.
+//!
+//! A [`ProgressTracker`] is fed by the [`Runner`](crate::Runner) as cells
+//! complete: replications done/failed against the shard's total, audit
+//! violation counts, and an exponentially weighted completion rate from
+//! which an ETA is derived. [`ProgressTracker::snapshot`] is cheap and
+//! lock-light, so a render thread (the sweep bin's `--progress` view) can
+//! poll it at frame rate while workers hammer the counters.
+//!
+//! A [`MetricsWriter`] pairs the tracker with the process-global
+//! [`Registry`](crate::telemetry::Registry) and serializes both to a
+//! [`MetricsFile`] — written atomically (temp file + rename) so a reader
+//! never observes a torn snapshot, periodically during the run and
+//! unconditionally at exit (on the error path too). A killed
+//! 10⁶-replication sweep therefore leaves its last known state on disk
+//! next to the checkpoint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::telemetry::MetricsSnapshot;
+
+/// Smoothing factor for the EWMA completion rate: each completion moves
+/// the smoothed inter-completion gap 10% toward the latest observation.
+const EWMA_ALPHA: f64 = 0.1;
+
+/// Rate state guarded by one short-lived mutex; everything else in the
+/// tracker is a relaxed atomic.
+#[derive(Debug)]
+struct RateState {
+    /// When tracking started (set by [`ProgressTracker::configure`]).
+    started: Instant,
+    /// Completion instant of the most recent cell.
+    last_completion: Option<Instant>,
+    /// Smoothed gap between completions, seconds.
+    ewma_gap_s: Option<f64>,
+}
+
+/// Identity and terminal state, set once at configure/finish time.
+#[derive(Debug, Default)]
+struct Meta {
+    label: String,
+    shard_index: usize,
+    shard_count: usize,
+    outcome: Option<String>,
+}
+
+/// Shared progress state for one sweep shard.
+///
+/// Thread-safe and cheap on the hot path: recording a completed cell is a
+/// handful of relaxed atomic increments plus one uncontended mutex lock to
+/// update the EWMA rate.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    total: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    resumed: AtomicU64,
+    violations: AtomicU64,
+    configured: AtomicBool,
+    rate: Mutex<RateState>,
+    meta: Mutex<Meta>,
+}
+
+impl Default for ProgressTracker {
+    fn default() -> Self {
+        ProgressTracker::new()
+    }
+}
+
+impl ProgressTracker {
+    /// An empty tracker; [`configure`](ProgressTracker::configure) arms it.
+    pub fn new() -> Self {
+        ProgressTracker {
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            configured: AtomicBool::new(false),
+            rate: Mutex::new(RateState {
+                started: Instant::now(),
+                last_completion: None,
+                ewma_gap_s: None,
+            }),
+            meta: Mutex::new(Meta::default()),
+        }
+    }
+
+    /// Arms the tracker for a run: scenario `label`, shard identity, the
+    /// shard's total cell count and how many of those were already complete
+    /// in a loaded checkpoint (counted as done without affecting the rate).
+    pub fn configure(
+        &self,
+        label: &str,
+        shard_index: usize,
+        shard_count: usize,
+        total: u64,
+        resumed: u64,
+    ) {
+        self.total.store(total, Ordering::Relaxed);
+        self.done.store(resumed, Ordering::Relaxed);
+        self.failed.store(0, Ordering::Relaxed);
+        self.resumed.store(resumed, Ordering::Relaxed);
+        self.violations.store(0, Ordering::Relaxed);
+        {
+            let mut meta = self.meta.lock().expect("progress meta poisoned");
+            meta.label = label.to_string();
+            meta.shard_index = shard_index;
+            meta.shard_count = shard_count;
+            meta.outcome = None;
+        }
+        {
+            let mut rate = self.rate.lock().expect("progress rate poisoned");
+            rate.started = Instant::now();
+            rate.last_completion = None;
+            rate.ewma_gap_s = None;
+        }
+        self.configured.store(true, Ordering::Release);
+    }
+
+    /// Whether [`configure`](ProgressTracker::configure) has run.
+    pub fn is_configured(&self) -> bool {
+        self.configured.load(Ordering::Acquire)
+    }
+
+    /// Records one freshly computed cell: `ok` distinguishes a completed
+    /// replication from one degraded to a failed outcome; `violations` is
+    /// the audit's structural violation count for the cell.
+    pub fn record_cell(&self, ok: bool, violations: u64) {
+        if ok {
+            self.done.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.violations.fetch_add(violations, Ordering::Relaxed);
+
+        let now = Instant::now();
+        let mut rate = self.rate.lock().expect("progress rate poisoned");
+        let gap = rate
+            .last_completion
+            .map_or_else(
+                || now.duration_since(rate.started),
+                |t| now.duration_since(t),
+            )
+            .as_secs_f64();
+        rate.ewma_gap_s = Some(match rate.ewma_gap_s {
+            Some(prev) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * prev,
+            None => gap,
+        });
+        rate.last_completion = Some(now);
+    }
+
+    /// Marks the run finished: `"complete"` on success, the rendered error
+    /// otherwise. Snapshots taken afterwards report it and an ETA of zero.
+    pub fn finish(&self, outcome: &str) {
+        self.meta.lock().expect("progress meta poisoned").outcome = Some(outcome.to_string());
+    }
+
+    /// Cells recorded so far (done + failed), excluding resumed ones.
+    pub fn computed(&self) -> u64 {
+        (self.done.load(Ordering::Relaxed) - self.resumed.load(Ordering::Relaxed))
+            + self.failed.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current progress state.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let total = self.total.load(Ordering::Relaxed);
+        let done = self.done.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let resumed = self.resumed.load(Ordering::Relaxed);
+        let violations = self.violations.load(Ordering::Relaxed);
+
+        let (elapsed_s, ewma_gap_s) = {
+            let rate = self.rate.lock().expect("progress rate poisoned");
+            (rate.started.elapsed().as_secs_f64(), rate.ewma_gap_s)
+        };
+        let (label, shard_index, shard_count, outcome) = {
+            let meta = self.meta.lock().expect("progress meta poisoned");
+            (
+                meta.label.clone(),
+                meta.shard_index,
+                meta.shard_count,
+                meta.outcome.clone(),
+            )
+        };
+
+        // Overall rate counts only cells computed this run; resumed cells
+        // completed in a previous process and would inflate it.
+        let computed = (done - resumed) + failed;
+        let rate_per_s = if elapsed_s > 0.0 {
+            computed as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let ewma_rate_per_s = match ewma_gap_s {
+            Some(gap) if gap > 0.0 => 1.0 / gap,
+            // Gaps below timer resolution: fall back to the overall rate.
+            Some(_) => rate_per_s,
+            None => 0.0,
+        };
+        let remaining = total.saturating_sub(done + failed);
+        let best_rate = if ewma_rate_per_s > 0.0 {
+            ewma_rate_per_s
+        } else {
+            rate_per_s
+        };
+        let eta_s = if remaining == 0 || outcome.is_some() {
+            0.0
+        } else if best_rate > 0.0 {
+            remaining as f64 / best_rate
+        } else {
+            f64::INFINITY
+        };
+
+        ProgressSnapshot {
+            label,
+            shard_index,
+            shard_count,
+            total,
+            done,
+            failed,
+            resumed,
+            violations,
+            elapsed_s,
+            rate_per_s,
+            ewma_rate_per_s,
+            eta_s,
+            outcome,
+        }
+    }
+}
+
+/// Serializable copy of a [`ProgressTracker`]'s state at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Scenario label.
+    pub label: String,
+    /// This shard's index (0 for unsharded runs).
+    pub shard_index: usize,
+    /// Total shards in the sweep (1 for unsharded runs).
+    pub shard_count: usize,
+    /// Cells this shard owns: replications × system sizes.
+    pub total: u64,
+    /// Cells completed successfully, including resumed ones.
+    pub done: u64,
+    /// Cells degraded to failed outcomes.
+    pub failed: u64,
+    /// Cells skipped because a loaded checkpoint already held them.
+    pub resumed: u64,
+    /// Audit violations accumulated across completed cells.
+    pub violations: u64,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_s: f64,
+    /// Overall completion rate, cells/s (resumed cells excluded).
+    pub rate_per_s: f64,
+    /// Exponentially weighted recent completion rate, cells/s.
+    pub ewma_rate_per_s: f64,
+    /// Estimated seconds to completion (0 when done; infinite before the
+    /// first completion).
+    pub eta_s: f64,
+    /// `None` while running; `"complete"` or the rendered error at exit.
+    /// A `metrics.json` with no outcome belongs to a killed run.
+    pub outcome: Option<String>,
+}
+
+impl ProgressSnapshot {
+    /// Fraction of cells finished, in `0.0..=1.0` (1.0 when empty).
+    pub fn fraction_done(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.done + self.failed) as f64 / self.total as f64
+        }
+    }
+}
+
+/// The `metrics.json` document: progress plus the full metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsFile {
+    /// Format version; bumped on breaking changes.
+    pub schema: u32,
+    /// Progress state at write time.
+    pub progress: ProgressSnapshot,
+    /// Registry snapshot at write time. Process-global: when several
+    /// runners share one process this section spans all of them.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Current [`MetricsFile::schema`] version.
+pub const METRICS_SCHEMA: u32 = 1;
+
+/// Periodically serializes a [`MetricsFile`] to disk, atomically.
+#[derive(Debug)]
+pub struct MetricsWriter {
+    path: PathBuf,
+    interval: Duration,
+    last_write: Mutex<Option<Instant>>,
+}
+
+impl MetricsWriter {
+    /// A writer targeting `path`, writing at most every `interval`.
+    pub fn new(path: impl Into<PathBuf>, interval: Duration) -> Self {
+        MetricsWriter {
+            path: path.into(),
+            interval,
+            last_write: Mutex::new(None),
+        }
+    }
+
+    /// The file this writer targets.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes a snapshot if the interval has elapsed since the last write.
+    /// Contended calls (another worker mid-write) return immediately; I/O
+    /// errors are logged once per occurrence and swallowed — diagnostics
+    /// must never abort a sweep. The snapshot is taken lazily: on the hot
+    /// path (one call per replication) a gated-out call costs one
+    /// `try_lock` and a clock read, never a registry walk.
+    pub fn maybe_write(
+        &self,
+        progress: &ProgressTracker,
+        metrics: impl FnOnce() -> MetricsSnapshot,
+    ) {
+        let Ok(mut last) = self.last_write.try_lock() else {
+            return;
+        };
+        if last.is_some_and(|t| t.elapsed() < self.interval) {
+            return;
+        }
+        *last = Some(Instant::now());
+        if let Err(e) = self.write(progress, metrics()) {
+            tracing::error!(path = %self.path.display(), "metrics write failed: {e}");
+        }
+    }
+
+    /// Writes a snapshot unconditionally (the at-exit write).
+    pub fn write_now(&self, progress: &ProgressTracker, metrics: MetricsSnapshot) {
+        if let Ok(mut last) = self.last_write.lock() {
+            *last = Some(Instant::now());
+        }
+        if let Err(e) = self.write(progress, metrics) {
+            tracing::error!(path = %self.path.display(), "metrics write failed: {e}");
+        }
+    }
+
+    /// Serializes to a sibling temp file and renames it into place, so a
+    /// concurrent reader sees either the previous snapshot or the new one,
+    /// never a partial write.
+    fn write(&self, progress: &ProgressTracker, metrics: MetricsSnapshot) -> io::Result<()> {
+        let file = MetricsFile {
+            schema: METRICS_SCHEMA,
+            progress: progress.snapshot(),
+            metrics,
+        };
+        let json = serde_json::to_string(&file).expect("plain data serializes");
+        let tmp = self.path.with_extension("json.tmp");
+        fs::write(&tmp, json.as_bytes())?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Registry;
+
+    #[test]
+    fn tracker_counts_and_fractions() {
+        let t = ProgressTracker::new();
+        t.configure("ADAPT/CCNE", 1, 4, 10, 2);
+        assert!(t.is_configured());
+        t.record_cell(true, 0);
+        t.record_cell(true, 3);
+        t.record_cell(false, 0);
+        assert_eq!(t.computed(), 3);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.label, "ADAPT/CCNE");
+        assert_eq!((snap.shard_index, snap.shard_count), (1, 4));
+        assert_eq!(snap.total, 10);
+        assert_eq!(snap.done, 4); // 2 resumed + 2 computed
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.resumed, 2);
+        assert_eq!(snap.violations, 3);
+        assert!((snap.fraction_done() - 0.5).abs() < 1e-12);
+        assert!(snap.rate_per_s >= 0.0);
+        assert!(snap.ewma_rate_per_s >= 0.0);
+        assert!(snap.eta_s >= 0.0);
+        assert_eq!(snap.outcome, None);
+
+        t.finish("complete");
+        let done = t.snapshot();
+        assert_eq!(done.outcome.as_deref(), Some("complete"));
+        assert_eq!(done.eta_s, 0.0);
+    }
+
+    #[test]
+    fn eta_is_infinite_before_any_completion_and_zero_when_done() {
+        let t = ProgressTracker::new();
+        t.configure("x", 0, 1, 5, 0);
+        assert!(t.snapshot().eta_s.is_infinite());
+        for _ in 0..5 {
+            t.record_cell(true, 0);
+        }
+        assert_eq!(t.snapshot().eta_s, 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let t = ProgressTracker::new();
+        t.configure("PURE/CCAA", 2, 3, 7, 1);
+        t.record_cell(true, 2);
+        t.finish("complete");
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ProgressSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn metrics_writer_is_atomic_and_interval_gated() {
+        let path = std::env::temp_dir().join(format!(
+            "feast-progress-test-{}.metrics.json",
+            std::process::id()
+        ));
+        let t = ProgressTracker::new();
+        t.configure("x", 0, 1, 2, 0);
+        let r = Registry::default();
+        let w = MetricsWriter::new(&path, Duration::from_secs(3600));
+
+        // First gated write lands; a second within the interval is skipped.
+        w.maybe_write(&t, || r.snapshot());
+        t.record_cell(true, 0);
+        w.maybe_write(&t, || panic!("gated-out call must not take a snapshot"));
+        let file: MetricsFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(file.schema, METRICS_SCHEMA);
+        assert_eq!(file.progress.done, 0, "second write must be gated away");
+
+        // The unconditional write refreshes the file and round-trips.
+        t.finish("complete");
+        w.write_now(&t, r.snapshot());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let file: MetricsFile = serde_json::from_str(&text).unwrap();
+        assert_eq!(file.progress.done, 1);
+        assert_eq!(file.progress.outcome.as_deref(), Some("complete"));
+        let json = serde_json::to_string(&file).unwrap();
+        let back: MetricsFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(file, back);
+        assert!(!path.with_extension("json.tmp").exists());
+    }
+}

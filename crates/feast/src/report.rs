@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use crate::telemetry::{MetricsSnapshot, Stage};
 use crate::ScenarioResult;
 
 /// One plotted line: a labelled series of `(system size, value)` points.
@@ -186,6 +187,48 @@ fn truncate(s: &str, max: usize) -> String {
     }
 }
 
+/// One row of an experiment's Profile section: the per-stage wall-clock
+/// distribution behind the experiment's replications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Stage label (`generate`, `distribute`, `schedule`, `audit`).
+    pub stage: String,
+    /// Observations behind the row.
+    pub count: u64,
+    /// Mean wall-clock, µs.
+    pub mean_us: u64,
+    /// Median wall-clock, µs (within one log2 bucket).
+    pub p50_us: u64,
+    /// 90th percentile, µs (within one log2 bucket).
+    pub p90_us: u64,
+    /// 99th percentile, µs (within one log2 bucket).
+    pub p99_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+}
+
+impl ProfileRow {
+    /// One row per pipeline stage of `metrics`, in pipeline order,
+    /// skipping stages with no observations.
+    pub fn from_metrics(metrics: &MetricsSnapshot) -> Vec<ProfileRow> {
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let s = metrics.stage(stage);
+                (s.count > 0).then(|| ProfileRow {
+                    stage: stage.label().to_string(),
+                    count: s.count,
+                    mean_us: s.mean_us,
+                    p50_us: s.p50_us,
+                    p90_us: s.p90_us,
+                    p99_us: s.p99_us,
+                    max_us: s.max_us,
+                })
+            })
+            .collect()
+    }
+}
+
 /// A complete experiment: one of the paper's figures (or an extension).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
@@ -195,14 +238,23 @@ pub struct ExperimentResult {
     pub description: String,
     /// The figure's panels.
     pub panels: Vec<Panel>,
+    /// Per-stage wall-clock profile of the replications behind the
+    /// experiment; `None` when the driver did not attribute registry
+    /// deltas to this experiment (older results deserialize as `None`).
+    pub profile: Option<Vec<ProfileRow>>,
 }
 
 impl ExperimentResult {
-    /// Renders every panel as a table.
+    /// Renders every panel as a table, followed by the Profile section
+    /// when stage timings were attributed to this experiment.
     pub fn to_tables(&self) -> String {
         let mut out = format!("# {} — {}\n\n", self.id, self.description);
         for p in &self.panels {
             out.push_str(&p.to_table());
+            out.push('\n');
+        }
+        if let Some(profile) = &self.profile {
+            out.push_str(&profile_table(profile));
             out.push('\n');
         }
         out
@@ -252,6 +304,24 @@ impl ExperimentResult {
     }
 }
 
+/// Renders profile rows as an aligned table (all values µs).
+fn profile_table(rows: &[ProfileRow]) -> String {
+    let mut out = String::from("## Profile (per-stage wall clock, µs)\n");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            r.stage, r.count, r.mean_us, r.p50_us, r.p90_us, r.p99_us, r.max_us
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,7 +351,47 @@ mod tests {
                     },
                 ],
             }],
+            profile: None,
         }
+    }
+
+    #[test]
+    fn profile_section_renders_when_attributed() {
+        let mut e = sample();
+        assert!(!e.to_tables().contains("Profile"));
+        e.profile = Some(vec![ProfileRow {
+            stage: "schedule".into(),
+            count: 128,
+            mean_us: 250,
+            p50_us: 220,
+            p90_us: 400,
+            p99_us: 900,
+            max_us: 1400,
+        }]);
+        let tables = e.to_tables();
+        for needle in ["## Profile", "schedule", "128", "p99", "900"] {
+            assert!(tables.contains(needle), "missing {needle} in:\n{tables}");
+        }
+        // And it survives the JSON round trip.
+        let back: ExperimentResult = serde_json::from_str(&e.to_json()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn profile_rows_come_from_stage_snapshots() {
+        use std::time::Duration;
+        let r = crate::telemetry::Registry::default();
+        r.record_stage(Stage::Schedule, Duration::from_micros(100));
+        r.record_stage(Stage::Schedule, Duration::from_micros(300));
+        r.record_stage(Stage::Audit, Duration::from_micros(10));
+        let rows = ProfileRow::from_metrics(&r.snapshot());
+        // Generate/distribute have no observations and are skipped.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].stage, "schedule");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].mean_us, 200);
+        assert_eq!(rows[0].max_us, 300);
+        assert_eq!(rows[1].stage, "audit");
     }
 
     #[test]

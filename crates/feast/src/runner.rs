@@ -52,7 +52,7 @@
 //! [`stream_seed`]: taskgraph::gen::stream_seed
 //! [`sub_stream`]: taskgraph::gen::sub_stream
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,7 +64,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use platform::Platform;
-use sched::{LatenessReport, ListScheduler, SchedWorkspace};
+use sched::{LatenessReport, ListScheduler, MissLog, SchedWorkspace};
 use slicing::{distribute_baseline, Slicer};
 use taskgraph::gen::{
     generate_seeded, generate_shape_seeded, stream_label, stream_seed, sub_stream, GenerateError,
@@ -74,6 +74,7 @@ use taskgraph::TaskGraph;
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
 use crate::fault::FaultSite;
+use crate::progress::{MetricsWriter, ProgressTracker};
 use crate::telemetry::{self, EventSink, RunEvent, Stage};
 use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
 
@@ -535,8 +536,16 @@ impl EventScope {
     }
 
     fn flush(&self) {
-        if let Some(sink) = &self.0 {
-            sink.flush();
+        match &self.0 {
+            Some(sink) => sink.flush(),
+            // Events went to the process-global stream: flush the sink
+            // installed there (if any), so `events.jsonl` is complete even
+            // when the process keeps running after a degraded replication.
+            None => {
+                if let Some(sink) = telemetry::installed() {
+                    sink.flush();
+                }
+            }
         }
     }
 }
@@ -697,6 +706,13 @@ fn workload(
 /// `ws` is per-worker scratch for the scheduler: `schedule_with` fully
 /// resets it on entry, so reusing one workspace across replications (even
 /// after a caught panic) changes nothing but the allocation count.
+///
+/// Stage timing is self-time: `distribute_us` covers the slicer alone and
+/// `schedule_us` the list scheduler alone, while both validation passes
+/// (window audit + schedule audit) are accounted to [`Stage::Audit`].
+/// Every `profile_every`-th replication additionally emits a
+/// [`RunEvent::Profile`] with the per-stage breakdown (`0` disables
+/// sampling).
 fn run_once(
     scenario: &Scenario,
     graph: &TaskGraph,
@@ -704,6 +720,7 @@ fn run_once(
     rep: usize,
     events: &EventScope,
     ws: &mut SchedWorkspace,
+    profile_every: usize,
 ) -> Result<ReplicationRecord, RunError> {
     let distribute_started = Instant::now();
     let assignment = match &scenario.technique {
@@ -713,13 +730,16 @@ fn run_once(
             .distribute(graph, platform)?,
         Technique::Baseline(strategy) => distribute_baseline(graph, *strategy),
     };
+    let distribute_elapsed = distribute_started.elapsed();
+
     // Baselines produce deliberately overlapping windows, so structural
     // window validation only applies to the slicing techniques.
+    let audit_started = Instant::now();
     let window_violations = match &scenario.technique {
         Technique::Slicing { .. } => assignment.validate(graph).violations().len(),
         Technique::Baseline(_) => 0,
     };
-    let distribute_elapsed = distribute_started.elapsed();
+    let window_audit_elapsed = audit_started.elapsed();
 
     let pinning = scenario.pinning.build(graph, platform)?;
     let scheduler = ListScheduler::new()
@@ -728,6 +748,9 @@ fn run_once(
         .with_placement(scenario.scheduler.placement);
     let schedule_started = Instant::now();
     let schedule = scheduler.schedule_with(graph, platform, &assignment, &pinning, ws)?;
+    let schedule_elapsed = schedule_started.elapsed();
+
+    let audit_started = Instant::now();
     let schedule_violations = schedule
         .validate(
             graph,
@@ -736,7 +759,7 @@ fn run_once(
             scenario.scheduler.bus_model == sched::BusModel::Contention,
         )
         .len();
-    let schedule_elapsed = schedule_started.elapsed();
+    let audit_elapsed = window_audit_elapsed + audit_started.elapsed();
     let violations = window_violations + schedule_violations;
 
     let report = LatenessReport::new(graph, &assignment, &schedule);
@@ -755,8 +778,19 @@ fn run_once(
     let registry = telemetry::global();
     registry.record_stage(Stage::Distribute, distribute_elapsed);
     registry.record_stage(Stage::Schedule, schedule_elapsed);
+    registry.record_stage(Stage::Audit, audit_elapsed);
     registry.count_schedule(record.feasible, violations);
     registry.count_audit(window_violations, schedule_violations);
+    if profile_every != 0 && rep.is_multiple_of(profile_every) {
+        events.emit(|| RunEvent::Profile {
+            scenario: scenario.label.clone(),
+            system_size: platform.processor_count(),
+            replication: rep,
+            distribute_us: distribute_elapsed.as_micros() as u64,
+            schedule_us: schedule_elapsed.as_micros() as u64,
+            audit_us: audit_elapsed.as_micros() as u64,
+        });
+    }
     if violations > 0 {
         events.emit(|| RunEvent::AuditViolation {
             scenario: scenario.label.clone(),
@@ -1150,6 +1184,10 @@ pub struct Runner {
     cancel: CancelToken,
     strict_validate: bool,
     fail_fast: bool,
+    progress: Arc<ProgressTracker>,
+    metrics: Option<Arc<MetricsWriter>>,
+    profile_every: usize,
+    miss_warn_limit: u64,
     #[cfg(feature = "fault-inject")]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -1177,9 +1215,24 @@ impl Runner {
     /// limit).
     pub const CHECKPOINT_BACKOFF_BASE: Duration = Duration::from_millis(1);
 
+    /// Default stage-profile sampling period: every Nth replication emits
+    /// a [`RunEvent::Profile`] with its per-stage self-times.
+    pub const PROFILE_SAMPLE_EVERY: usize = 16;
+
+    /// Default per-scenario budget of full deadline-miss WARN lines; the
+    /// rest are counted and summarised in one
+    /// [`RunEvent::DeadlineMissSummary`] at the end of the run.
+    pub const MISS_WARN_LIMIT: u64 = 8;
+
+    /// Minimum spacing between periodic `metrics.json` writes.
+    pub const METRICS_WRITE_INTERVAL: Duration = Duration::from_secs(2);
+
     /// A runner for `scenario` with default settings: all cores, no shard,
     /// no checkpoint, events to the process-global stream, degrade-don't-
-    /// die failure policy, non-strict audit.
+    /// die failure policy, non-strict audit, profile sampling every
+    /// [`PROFILE_SAMPLE_EVERY`](Runner::PROFILE_SAMPLE_EVERY)th
+    /// replication, deadline-miss warnings capped at
+    /// [`MISS_WARN_LIMIT`](Runner::MISS_WARN_LIMIT), no metrics file.
     pub fn new(scenario: Scenario) -> Runner {
         Runner {
             scenario,
@@ -1190,6 +1243,10 @@ impl Runner {
             cancel: CancelToken::new(),
             strict_validate: false,
             fail_fast: false,
+            progress: Arc::new(ProgressTracker::new()),
+            metrics: None,
+            profile_every: Runner::PROFILE_SAMPLE_EVERY,
+            miss_warn_limit: Runner::MISS_WARN_LIMIT,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
@@ -1241,6 +1298,46 @@ impl Runner {
     #[must_use]
     pub fn fail_fast(mut self, fail_fast: bool) -> Runner {
         self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Shares `tracker` as this run's progress state. The runner arms it
+    /// ([`ProgressTracker::configure`]) once the shard's workload is known
+    /// and feeds it as cells complete, so a caller-owned render thread
+    /// (the sweep bin's `--progress` view) can poll the same tracker live.
+    #[must_use]
+    pub fn progress(mut self, tracker: Arc<ProgressTracker>) -> Runner {
+        self.progress = tracker;
+        self
+    }
+
+    /// Serializes progress + metrics snapshots to `path` (atomically, via
+    /// temp file + rename): periodically during the run — at most every
+    /// [`METRICS_WRITE_INTERVAL`](Runner::METRICS_WRITE_INTERVAL) — and
+    /// unconditionally at exit, on the error path included.
+    #[must_use]
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Runner {
+        self.metrics = Some(Arc::new(MetricsWriter::new(
+            path,
+            Runner::METRICS_WRITE_INTERVAL,
+        )));
+        self
+    }
+
+    /// Sets the stage-profile sampling period: every `n`th replication
+    /// emits a [`RunEvent::Profile`] event (`0` disables sampling).
+    #[must_use]
+    pub fn profile_every(mut self, n: usize) -> Runner {
+        self.profile_every = n;
+        self
+    }
+
+    /// Caps full deadline-miss WARN lines at `limit` per scenario run;
+    /// further misses are counted and reported once via
+    /// [`RunEvent::DeadlineMissSummary`].
+    #[must_use]
+    pub fn miss_warn_limit(mut self, limit: u64) -> Runner {
+        self.miss_warn_limit = limit;
         self
     }
 
@@ -1304,6 +1401,45 @@ impl Runner {
     ///
     /// Any engine error; see [`RunError`].
     pub fn run_partial(self) -> Result<PartialResult, RunError> {
+        let label = self.scenario.label.clone();
+        let events = self.events.clone();
+        let progress = Arc::clone(&self.progress);
+        let metrics = self.metrics.clone();
+        let miss_log = Arc::new(MissLog::new(self.miss_warn_limit));
+        let result = self.run_partial_inner(&miss_log);
+
+        // Exit accounting runs on success *and* on the degraded/error
+        // paths: the miss summary, the terminal progress state, the final
+        // metrics.json snapshot, and a last event flush.
+        if miss_log.suppressed() > 0 {
+            tracing::warn!(
+                scenario = %label,
+                emitted = miss_log.emitted(),
+                suppressed = miss_log.suppressed(),
+                "deadline-miss warnings were rate-limited; see the summary event"
+            );
+        }
+        if miss_log.total() > 0 {
+            events.emit(|| RunEvent::DeadlineMissSummary {
+                scenario: label.clone(),
+                emitted: miss_log.emitted(),
+                suppressed: miss_log.suppressed(),
+            });
+        }
+        match &result {
+            Ok(_) => progress.finish("complete"),
+            Err(e) => progress.finish(&e.to_string()),
+        }
+        if let Some(m) = &metrics {
+            m.write_now(&progress, telemetry::global().snapshot());
+        }
+        events.flush();
+        result
+    }
+
+    /// The body of [`Runner::run_partial`]; the wrapper owns the exit
+    /// accounting so early returns here cannot skip it.
+    fn run_partial_inner(self, miss_log: &Arc<MissLog>) -> Result<PartialResult, RunError> {
         let fault = FaultCtx {
             #[cfg(feature = "fault-inject")]
             plan: self.faults.clone(),
@@ -1317,6 +1453,9 @@ impl Runner {
             cancel,
             strict_validate,
             fail_fast,
+            progress,
+            metrics,
+            profile_every,
             ..
         } = self;
         scenario.validate()?;
@@ -1350,6 +1489,22 @@ impl Runner {
         let owned: Vec<usize> = (0..scenario.replications)
             .filter(|&r| shard.owns(r))
             .collect();
+
+        // Arm the progress tracker now that the shard's workload is known:
+        // one cell per owned replication per distinct system size, minus
+        // whatever the checkpoint already resumed.
+        let unique_sizes: BTreeSet<usize> = scenario.system_sizes.iter().copied().collect();
+        let resumed_cells = cells
+            .keys()
+            .filter(|(size, rep)| unique_sizes.contains(size) && shard.owns(*rep))
+            .count() as u64;
+        progress.configure(
+            &scenario.label,
+            shard.index,
+            shard.count,
+            (owned.len() * unique_sizes.len()) as u64,
+            resumed_cells,
+        );
 
         // Workloads are shared across system sizes: generate each needed
         // replication's graph once, fanning out over the worker threads.
@@ -1446,9 +1601,13 @@ impl Runner {
                             stage: "generate".to_owned(),
                             error: error.clone(),
                         });
+                        // Failure events reach disk immediately: a process
+                        // that dies later still leaves them in events.jsonl.
+                        events.flush();
                         if let Some(w) = &writer {
                             w.append(&outcome, &fault, &events)?;
                         }
+                        progress.record_cell(false, 0);
                         cells.insert((size, rep), outcome);
                     }
                 }
@@ -1458,8 +1617,10 @@ impl Runner {
                 fan_out(&schedulable, threads, "schedule", |chunk: &[usize]| {
                     let mut out = Vec::with_capacity(chunk.len());
                     // One scheduling workspace per worker: steady-state
-                    // replications run the scheduler allocation-free.
+                    // replications run the scheduler allocation-free. All
+                    // workers share the run's deadline-miss warning budget.
                     let mut ws = SchedWorkspace::new();
+                    ws.set_miss_log(Some(Arc::clone(miss_log)));
                     for &rep in chunk {
                         if cancel.is_cancelled() {
                             break;
@@ -1471,7 +1632,15 @@ impl Runner {
                             if inject_panic {
                                 panic!("injected worker panic (fault plan)");
                             }
-                            run_once(&scenario, graph, &platform, rep, &events, &mut ws)
+                            run_once(
+                                &scenario,
+                                graph,
+                                &platform,
+                                rep,
+                                &events,
+                                &mut ws,
+                                profile_every,
+                            )
                         }));
                         let outcome = match result {
                             Ok(Ok(record)) => ReplicationOutcome::Ok(record),
@@ -1518,9 +1687,22 @@ impl Runner {
                                 stage: f.stage.clone(),
                                 error: f.error.clone(),
                             });
+                            // Flush straight after a degraded replication so
+                            // events.jsonl records it even if the process is
+                            // killed before the end-of-run flush.
+                            events.flush();
                         }
                         if let Some(w) = &writer {
                             w.append(&outcome, &fault, &events)?;
+                        }
+                        match &outcome {
+                            ReplicationOutcome::Ok(r) => {
+                                progress.record_cell(true, r.violations as u64);
+                            }
+                            ReplicationOutcome::Failed(_) => progress.record_cell(false, 0),
+                        }
+                        if let Some(m) = &metrics {
+                            m.maybe_write(&progress, || telemetry::global().snapshot());
                         }
                         out.push(outcome);
                         if fault.fires(FaultSite::CancelRace, size, rep, 0, &events) {

@@ -33,11 +33,19 @@ pub enum Stage {
     Distribute,
     /// List scheduling.
     Schedule,
+    /// The always-on audit (assignment checker plus schedule validation),
+    /// timed separately from the stages it checks.
+    Audit,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 3] = [Stage::Generate, Stage::Distribute, Stage::Schedule];
+    pub const ALL: [Stage; 4] = [
+        Stage::Generate,
+        Stage::Distribute,
+        Stage::Schedule,
+        Stage::Audit,
+    ];
 
     /// The stage's snake_case label, as used in event fields.
     pub fn label(self) -> &'static str {
@@ -45,6 +53,7 @@ impl Stage {
             Stage::Generate => "generate",
             Stage::Distribute => "distribute",
             Stage::Schedule => "schedule",
+            Stage::Audit => "audit",
         }
     }
 }
@@ -104,9 +113,22 @@ impl DurationHistogram {
             .map_or(Duration::ZERO, Duration::from_micros)
     }
 
+    /// The `p`-th percentile observation (`0.0 < p <= 1.0`), estimated from
+    /// the log2 buckets by nearest rank; exact to within one power-of-two
+    /// bucket of the true order statistic (zero when empty).
+    pub fn percentile(&self, p: f64) -> Duration {
+        let snap = self.snapshot();
+        Duration::from_micros(percentile_from_buckets(
+            snap.count,
+            snap.max_us,
+            &snap.buckets,
+            p,
+        ))
+    }
+
     /// An immutable copy of the histogram's state.
     pub fn snapshot(&self) -> StageSnapshot {
-        let buckets = self
+        let buckets: Vec<(u64, u64)> = self
             .buckets
             .iter()
             .enumerate()
@@ -115,13 +137,12 @@ impl DurationHistogram {
                 (count > 0).then(|| (upper_bound_us(i), count))
             })
             .collect();
-        StageSnapshot {
-            count: self.count(),
-            total_us: self.total_us.load(Ordering::Relaxed),
-            mean_us: self.mean().as_micros() as u64,
-            max_us: self.max_us.load(Ordering::Relaxed),
+        StageSnapshot::from_parts(
+            self.count(),
+            self.total_us.load(Ordering::Relaxed),
+            self.max_us.load(Ordering::Relaxed),
             buckets,
-        }
+        )
     }
 
     fn reset(&self) {
@@ -143,6 +164,71 @@ fn upper_bound_us(i: usize) -> u64 {
     }
 }
 
+/// Nearest-rank percentile over sparse `(exclusive upper bound µs, count)`
+/// buckets: walks the cumulative counts to the bucket holding rank
+/// `ceil(p · count)` and reports that bucket's largest representable value,
+/// clamped to the recorded maximum so the estimate always lies inside the
+/// selected bucket. Exact to within one log2 bucket of the true order
+/// statistic; zero when empty.
+fn percentile_from_buckets(count: u64, max_us: u64, buckets: &[(u64, u64)], p: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for &(upper, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return max_us.min(upper.saturating_sub(1));
+        }
+    }
+    max_us
+}
+
+/// Exact nearest-rank percentile of a **sorted** slice: the reference the
+/// histogram estimate is property-tested against. Returns the element at
+/// rank `ceil(p · len)` (1-based); zero when empty.
+pub fn percentile_reference(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Merges two sorted sparse bucket lists by summing counts per bound.
+fn merge_buckets(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ub, n)), None) => {
+                out.push((ub, n));
+                i += 1;
+            }
+            (None, Some(&(ub, n))) => {
+                out.push((ub, n));
+                j += 1;
+            }
+            (Some(&(ua, na)), Some(&(ub, nb))) => {
+                if ua == ub {
+                    out.push((ua, na + nb));
+                    i += 1;
+                    j += 1;
+                } else if ua < ub {
+                    out.push((ua, na));
+                    i += 1;
+                } else {
+                    out.push((ub, nb));
+                    j += 1;
+                }
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    out
+}
+
 /// Aggregated pipeline metrics: counters plus one duration histogram per
 /// [`Stage`].
 #[derive(Debug, Default)]
@@ -158,6 +244,7 @@ pub struct Registry {
     generate: DurationHistogram,
     distribute: DurationHistogram,
     schedule: DurationHistogram,
+    audit: DurationHistogram,
 }
 
 impl Registry {
@@ -167,6 +254,7 @@ impl Registry {
             Stage::Generate => &self.generate,
             Stage::Distribute => &self.distribute,
             Stage::Schedule => &self.schedule,
+            Stage::Audit => &self.audit,
         }
     }
 
@@ -271,6 +359,7 @@ impl Registry {
             generate: self.generate.snapshot(),
             distribute: self.distribute.snapshot(),
             schedule: self.schedule.snapshot(),
+            audit: self.audit.snapshot(),
         }
     }
 
@@ -287,6 +376,7 @@ impl Registry {
         self.generate.reset();
         self.distribute.reset();
         self.schedule.reset();
+        self.audit.reset();
     }
 }
 
@@ -305,10 +395,81 @@ pub struct StageSnapshot {
     pub total_us: u64,
     /// Mean observation, µs.
     pub mean_us: u64,
+    /// Median observation, µs (nearest rank, within one log2 bucket).
+    pub p50_us: u64,
+    /// 90th-percentile observation, µs (within one log2 bucket).
+    pub p90_us: u64,
+    /// 99th-percentile observation, µs (within one log2 bucket).
+    pub p99_us: u64,
     /// Largest observation, µs.
     pub max_us: u64,
     /// Non-empty `(exclusive upper bound µs, count)` power-of-two buckets.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl StageSnapshot {
+    /// Builds a snapshot from raw accumulator state, deriving the mean and
+    /// the percentile estimates.
+    fn from_parts(count: u64, total_us: u64, max_us: u64, buckets: Vec<(u64, u64)>) -> Self {
+        StageSnapshot {
+            count,
+            total_us,
+            mean_us: total_us.checked_div(count).unwrap_or(0),
+            p50_us: percentile_from_buckets(count, max_us, &buckets, 0.50),
+            p90_us: percentile_from_buckets(count, max_us, &buckets, 0.90),
+            p99_us: percentile_from_buckets(count, max_us, &buckets, 0.99),
+            max_us,
+            buckets,
+        }
+    }
+
+    /// The `p`-th percentile (`0.0 < p <= 1.0`) of this snapshot, within
+    /// one log2 bucket of the true order statistic.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        percentile_from_buckets(self.count, self.max_us, &self.buckets, p)
+    }
+
+    /// Combines two snapshots as if every observation had been recorded
+    /// into one histogram: counts, totals and buckets add, the max is the
+    /// larger max, and the derived mean/percentiles are recomputed from the
+    /// merged buckets. Shard merging relies on this being associative and
+    /// commutative.
+    #[must_use]
+    pub fn merge(&self, other: &StageSnapshot) -> StageSnapshot {
+        StageSnapshot::from_parts(
+            self.count + other.count,
+            self.total_us + other.total_us,
+            self.max_us.max(other.max_us),
+            merge_buckets(&self.buckets, &other.buckets),
+        )
+    }
+
+    /// The observations recorded between `earlier` and `self` (two
+    /// snapshots of the *same* histogram): counts, totals and buckets
+    /// subtract and the derived statistics are recomputed. The max cannot
+    /// be windowed from snapshots alone, so the later max is kept as an
+    /// upper bound.
+    #[must_use]
+    pub fn delta(&self, earlier: &StageSnapshot) -> StageSnapshot {
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        for &(upper, n) in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|&&(u, _)| u == upper)
+                .map_or(0, |&(_, c)| c);
+            let remaining = n.saturating_sub(before);
+            if remaining > 0 {
+                buckets.push((upper, remaining));
+            }
+        }
+        StageSnapshot::from_parts(
+            self.count.saturating_sub(earlier.count),
+            self.total_us.saturating_sub(earlier.total_us),
+            self.max_us,
+            buckets,
+        )
+    }
 }
 
 /// Serializable copy of the whole [`Registry`].
@@ -336,10 +497,86 @@ pub struct MetricsSnapshot {
     pub distribute: StageSnapshot,
     /// Scheduling-stage timings.
     pub schedule: StageSnapshot,
+    /// Audit-stage timings (assignment checker + schedule validation).
+    pub audit: StageSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// The named stage's snapshot.
+    pub fn stage(&self, stage: Stage) -> &StageSnapshot {
+        match stage {
+            Stage::Generate => &self.generate,
+            Stage::Distribute => &self.distribute,
+            Stage::Schedule => &self.schedule,
+            Stage::Audit => &self.audit,
+        }
+    }
+
+    /// Combines two snapshots as if both registries' observations had been
+    /// recorded into one: counters add and each stage histogram merges via
+    /// [`StageSnapshot::merge`]. Used to aggregate per-shard `metrics.json`
+    /// files into a sweep-wide view.
+    #[must_use]
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            graphs_generated: self.graphs_generated + other.graphs_generated,
+            schedules_built: self.schedules_built + other.schedules_built,
+            feasibility_failures: self.feasibility_failures + other.feasibility_failures,
+            structural_violations: self.structural_violations + other.structural_violations,
+            window_violations: self.window_violations + other.window_violations,
+            schedule_violations: self.schedule_violations + other.schedule_violations,
+            replications_failed: self.replications_failed + other.replications_failed,
+            checkpoint_retries: self.checkpoint_retries + other.checkpoint_retries,
+            generate: self.generate.merge(&other.generate),
+            distribute: self.distribute.merge(&other.distribute),
+            schedule: self.schedule.merge(&other.schedule),
+            audit: self.audit.merge(&other.audit),
+        }
+    }
+
+    /// Everything recorded between `earlier` and `self` (two snapshots of
+    /// the *same* registry): counters subtract and each stage histogram is
+    /// windowed via [`StageSnapshot::delta`]. Used to attribute the
+    /// process-global registry to one experiment.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            graphs_generated: self
+                .graphs_generated
+                .saturating_sub(earlier.graphs_generated),
+            schedules_built: self.schedules_built.saturating_sub(earlier.schedules_built),
+            feasibility_failures: self
+                .feasibility_failures
+                .saturating_sub(earlier.feasibility_failures),
+            structural_violations: self
+                .structural_violations
+                .saturating_sub(earlier.structural_violations),
+            window_violations: self
+                .window_violations
+                .saturating_sub(earlier.window_violations),
+            schedule_violations: self
+                .schedule_violations
+                .saturating_sub(earlier.schedule_violations),
+            replications_failed: self
+                .replications_failed
+                .saturating_sub(earlier.replications_failed),
+            checkpoint_retries: self
+                .checkpoint_retries
+                .saturating_sub(earlier.checkpoint_retries),
+            generate: self.generate.delta(&earlier.generate),
+            distribute: self.distribute.delta(&earlier.distribute),
+            schedule: self.schedule.delta(&earlier.schedule),
+            audit: self.audit.delta(&earlier.audit),
+        }
+    }
 }
 
 /// One record of the `events.jsonl` stream, serialized externally tagged:
 /// `{"Replication": {...}}`.
+// The once-per-run `RunEnd` variant inlines the full `MetricsSnapshot`;
+// boxing it is not an option (the vendored serde has no `Box` impls) and
+// events live only briefly on the emitting thread's stack.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RunEvent {
     /// A run began (emitted once by the driving binary).
@@ -423,6 +660,35 @@ pub enum RunEvent {
         stage: String,
         /// The failure, rendered.
         error: String,
+    },
+    /// A sampled per-replication stage-profile breakdown (every Nth
+    /// replication; see `Runner::profile_every`). Unlike the `Replication`
+    /// event's coarse timings this separates audit self-time from the
+    /// stages it checks.
+    Profile {
+        /// Scenario label.
+        scenario: String,
+        /// Processors.
+        system_size: usize,
+        /// Replication index.
+        replication: usize,
+        /// Deadline-distribution self-time, µs.
+        distribute_us: u64,
+        /// List-scheduling self-time, µs.
+        schedule_us: u64,
+        /// Audit self-time (assignment checker + schedule validation), µs.
+        audit_us: u64,
+    },
+    /// Deadline-miss warnings were rate-limited: only the first K misses
+    /// of the scenario were logged; the rest are accounted for here
+    /// (emitted at most once per run, at the end).
+    DeadlineMissSummary {
+        /// Scenario label.
+        scenario: String,
+        /// Warnings actually emitted (at most the per-run limit).
+        emitted: u64,
+        /// Warnings suppressed beyond the limit.
+        suppressed: u64,
     },
     /// A fault plan injected a fault (only emitted by `fault-inject`
     /// builds).
@@ -565,6 +831,70 @@ mod tests {
         assert_eq!(snap.total_us, 906);
         assert_eq!(snap.max_us, 900);
         assert_eq!(snap.buckets, vec![(4, 2), (1024, 1)]);
+        // Ranks 1..=2 land in the 2..4 µs bucket, rank 3 in 512..1024 µs.
+        assert_eq!(snap.p50_us, 3); // bucket top (4 - 1)
+        assert_eq!(snap.p90_us, 900); // clamped to the recorded max
+        assert_eq!(snap.p99_us, 900);
+        assert_eq!(h.percentile(0.5), Duration::from_micros(3));
+        assert_eq!(h.percentile(1.0), Duration::from_micros(900));
+    }
+
+    #[test]
+    fn percentiles_match_reference_on_a_known_series() {
+        let h = DurationHistogram::default();
+        let mut values: Vec<u64> = (1..=100).map(|i| i * 7).collect();
+        for &v in &values {
+            h.record(Duration::from_micros(v));
+        }
+        values.sort_unstable();
+        for p in [0.5, 0.9, 0.99] {
+            let reference = percentile_reference(&values, p);
+            let estimate = h.percentile(p).as_micros() as u64;
+            // Same log2 bucket: identical bit length.
+            assert_eq!(
+                64 - estimate.leading_zeros(),
+                64 - reference.leading_zeros(),
+                "p={p}: estimate {estimate} vs reference {reference}"
+            );
+            assert!(estimate >= reference, "nearest-rank upper bound");
+        }
+    }
+
+    #[test]
+    fn snapshots_merge_like_one_histogram() {
+        let (a, b, both) = (
+            DurationHistogram::default(),
+            DurationHistogram::default(),
+            DurationHistogram::default(),
+        );
+        for v in [3u64, 17, 900, 64] {
+            a.record(Duration::from_micros(v));
+            both.record(Duration::from_micros(v));
+        }
+        for v in [5u64, 5000, 12] {
+            b.record(Duration::from_micros(v));
+            both.record(Duration::from_micros(v));
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), both.snapshot());
+        // Commutative, and merging an empty snapshot is the identity.
+        assert_eq!(b.snapshot().merge(&a.snapshot()), both.snapshot());
+        let empty = DurationHistogram::default().snapshot();
+        assert_eq!(both.snapshot().merge(&empty), both.snapshot());
+    }
+
+    #[test]
+    fn snapshot_delta_windows_the_new_observations() {
+        let h = DurationHistogram::default();
+        h.record(Duration::from_micros(10));
+        let earlier = h.snapshot();
+        h.record(Duration::from_micros(300));
+        h.record(Duration::from_micros(12));
+        let delta = h.snapshot().delta(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.total_us, 312);
+        assert_eq!(delta.mean_us, 156);
+        // 10 and 12 share the 8..16 bucket: one of its two entries remains.
+        assert_eq!(delta.buckets, vec![(16, 1), (512, 1)]);
     }
 
     #[test]
@@ -592,6 +922,7 @@ mod tests {
         r.record_stage(Stage::Generate, Duration::from_micros(10));
         r.record_stage(Stage::Distribute, Duration::from_micros(20));
         r.record_stage(Stage::Schedule, Duration::from_micros(30));
+        r.record_stage(Stage::Audit, Duration::from_micros(5));
 
         assert_eq!(r.graphs_generated(), 2);
         assert_eq!(r.schedules_built(), 2);

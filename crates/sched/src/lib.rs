@@ -49,6 +49,7 @@ mod error;
 pub mod gantt;
 mod lateness;
 mod list;
+mod misslog;
 mod schedule;
 mod timeline;
 mod workspace;
@@ -57,6 +58,7 @@ pub use bus::BusModel;
 pub use error::SchedError;
 pub use lateness::LatenessReport;
 pub use list::{ListScheduler, PlacementPolicy};
+pub use misslog::MissLog;
 pub use schedule::{MessageSlot, Schedule, ScheduleEntry, ScheduleViolation};
 pub use workspace::SchedWorkspace;
 
@@ -74,5 +76,6 @@ mod send_sync_tests {
         assert_send_sync::<SchedError>();
         assert_send_sync::<BusModel>();
         assert_send_sync::<SchedWorkspace>();
+        assert_send_sync::<MissLog>();
     }
 }

@@ -232,6 +232,7 @@ impl ListScheduler {
             all_procs,
             trial_slots,
             best_slots,
+            miss_log,
         } = ws;
 
         // Hoisted once per call: the unpinned candidate list is the same
@@ -246,6 +247,7 @@ impl ListScheduler {
 
         // `(deadline, id)` keys are unique (ids are), so the min-heap pops
         // the exact sequence the previous BTreeSet walk produced.
+        let mut suppressed_batch: u64 = 0;
         while let Some(Reverse((deadline, id))) = ready.pop() {
             let pinned = pinning.processor_for(id);
             let candidates: &[ProcessorId] = match pinned.as_ref() {
@@ -307,15 +309,30 @@ impl ListScheduler {
                 "dispatched"
             );
             if finish > deadline {
-                tracing::warn!(
-                    subtask = %id,
-                    processor = proc.index(),
-                    release = %assignment.release(id),
-                    deadline = %deadline,
-                    finish = %finish,
-                    lateness = %(finish - deadline),
-                    "deadline miss"
-                );
+                // Without a miss log every miss warns; with one, only the
+                // first `limit` do and the rest are counted for a summary.
+                // Once the budget is spent the count is batched locally —
+                // an infeasible point misses on hundreds of subtasks, and
+                // per-miss atomics would tax the dispatch loop.
+                let emit = match miss_log.as_ref() {
+                    None => true,
+                    Some(log) if log.is_exhausted() => {
+                        suppressed_batch += 1;
+                        false
+                    }
+                    Some(log) => log.note(),
+                };
+                if emit {
+                    tracing::warn!(
+                        subtask = %id,
+                        processor = proc.index(),
+                        release = %assignment.release(id),
+                        deadline = %deadline,
+                        finish = %finish,
+                        lateness = %(finish - deadline),
+                        "deadline miss"
+                    );
+                }
             }
 
             for succ in graph.successors(id) {
@@ -324,6 +341,12 @@ impl ListScheduler {
                 if *slot == 0 {
                     ready.push(Reverse((assignment.absolute_deadline(succ), succ)));
                 }
+            }
+        }
+
+        if suppressed_batch > 0 {
+            if let Some(log) = miss_log.as_ref() {
+                log.suppress_many(suppressed_batch);
             }
         }
 
@@ -798,6 +821,78 @@ mod tests {
         assert_eq!(field("deadline"), "10");
         assert_eq!(field("finish"), "50");
         assert_eq!(field("lateness"), "40");
+    }
+
+    #[test]
+    fn miss_log_rate_limits_deadline_miss_warns() {
+        use std::sync::{Arc, Mutex};
+
+        use crate::MissLog;
+
+        #[derive(Clone, Default)]
+        struct Capture(Arc<Mutex<Vec<tracing::Event>>>);
+        impl tracing::Subscriber for Capture {
+            fn enabled(&self, level: tracing::Level, _target: &str) -> bool {
+                level <= tracing::Level::Warn
+            }
+            fn event(&self, event: &tracing::Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        // A chain of three subtasks that all run past the end-to-end
+        // deadline: three misses per schedule call.
+        let mut b = TaskGraph::builder();
+        let a = b.add_subtask(Subtask::new(Time::new(50)).released_at(Time::ZERO));
+        let c = b.add_subtask(Subtask::new(Time::new(50)));
+        let d = b.add_subtask(Subtask::new(Time::new(50)).due_at(Time::new(10)));
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = Platform::paper(1).unwrap();
+        let asg = Slicer::bst_pure().distribute(&g, &p).unwrap();
+
+        let log = Arc::new(MissLog::new(2));
+        let mut ws = SchedWorkspace::new();
+        ws.set_miss_log(Some(Arc::clone(&log)));
+
+        let capture = Capture::default();
+        tracing::subscriber::with_default(capture.clone(), || {
+            // Two calls → six misses; only the first two may warn.
+            for _ in 0..2 {
+                ListScheduler::new()
+                    .schedule_with(&g, &p, &asg, &Pinning::new(), &mut ws)
+                    .unwrap();
+            }
+        });
+
+        let warns = capture
+            .0
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.message == "deadline miss")
+            .count();
+        assert_eq!(warns, 2, "only the budgeted warnings may be emitted");
+        assert_eq!(log.emitted(), 2);
+        assert_eq!(log.suppressed(), 4);
+
+        // Detaching the log restores unlimited warnings.
+        ws.set_miss_log(None);
+        let capture = Capture::default();
+        tracing::subscriber::with_default(capture.clone(), || {
+            ListScheduler::new()
+                .schedule_with(&g, &p, &asg, &Pinning::new(), &mut ws)
+                .unwrap();
+        });
+        let warns = capture
+            .0
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.message == "deadline miss")
+            .count();
+        assert_eq!(warns, 3);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Rate limiting for the scheduler's deadline-miss warnings.
+//!
+//! The list scheduler emits a `tracing` WARN for every subtask whose
+//! finish time exceeds its assigned deadline. Standalone that is the
+//! right default, but a million-replication sweep over infeasible
+//! parameter points would flood stderr with millions of identical lines.
+//! A [`MissLog`] caps the warnings: the first `limit` misses log normally,
+//! the rest are counted so the driver can emit one summary at the end.
+//!
+//! Attach one to a [`SchedWorkspace`](crate::SchedWorkspace) via
+//! [`set_miss_log`](crate::SchedWorkspace::set_miss_log); schedulers
+//! called without one warn unlimited, exactly as before.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared, thread-safe deadline-miss warning budget.
+///
+/// Cheap enough for the scheduler's hot path: deciding whether to log is
+/// one relaxed atomic increment.
+#[derive(Debug, Default)]
+pub struct MissLog {
+    limit: u64,
+    emitted: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl MissLog {
+    /// A log that lets the first `limit` misses through.
+    pub fn new(limit: u64) -> MissLog {
+        MissLog {
+            limit,
+            emitted: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Notes one deadline miss; returns whether the caller should emit
+    /// its warning (the first `limit` calls) or stay silent (counted as
+    /// suppressed).
+    pub fn note(&self) -> bool {
+        // Claim a slot first: concurrent callers each get a distinct
+        // ticket, so exactly `limit` warnings are emitted.
+        let ticket = self.emitted.fetch_add(1, Ordering::Relaxed);
+        if ticket < self.limit {
+            true
+        } else {
+            self.emitted.fetch_sub(1, Ordering::Relaxed);
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Whether the warning budget is spent. One relaxed load: the hot
+    /// path of a miss-heavy schedule batches its suppressed count locally
+    /// behind this check and flushes once via
+    /// [`suppress_many`](MissLog::suppress_many).
+    pub fn is_exhausted(&self) -> bool {
+        self.emitted.load(Ordering::Relaxed) >= self.limit
+    }
+
+    /// Notes `n` suppressed misses in one atomic operation.
+    pub fn suppress_many(&self, n: u64) {
+        if n > 0 {
+            self.suppressed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The warning budget this log was created with.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Warnings emitted so far (at most [`limit`](MissLog::limit)).
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Misses noted beyond the budget.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Total misses noted (emitted + suppressed).
+    pub fn total(&self) -> u64 {
+        self.emitted() + self.suppressed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_k_pass_then_suppressed() {
+        let log = MissLog::new(3);
+        let decisions: Vec<bool> = (0..5).map(|_| log.note()).collect();
+        assert_eq!(decisions, [true, true, true, false, false]);
+        assert_eq!(log.emitted(), 3);
+        assert_eq!(log.suppressed(), 2);
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.limit(), 3);
+    }
+
+    #[test]
+    fn batched_suppression_matches_per_miss_notes() {
+        let log = MissLog::new(2);
+        assert!(!log.is_exhausted());
+        assert!(log.note());
+        assert!(log.note());
+        assert!(log.is_exhausted());
+        log.suppress_many(5);
+        log.suppress_many(0);
+        assert_eq!(log.emitted(), 2);
+        assert_eq!(log.suppressed(), 5);
+        assert_eq!(log.total(), 7);
+    }
+
+    #[test]
+    fn zero_budget_suppresses_everything() {
+        let log = MissLog::new(0);
+        assert!(!log.note());
+        assert_eq!(log.emitted(), 0);
+        assert_eq!(log.suppressed(), 1);
+    }
+
+    #[test]
+    fn concurrent_notes_emit_exactly_the_budget() {
+        use std::sync::Arc;
+        let log = Arc::new(MissLog::new(8));
+        let total = 64;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    for _ in 0..total / 4 {
+                        log.note();
+                    }
+                });
+            }
+        });
+        assert_eq!(log.emitted(), 8);
+        assert_eq!(log.suppressed(), total - 8);
+        assert_eq!(log.total(), total);
+    }
+}

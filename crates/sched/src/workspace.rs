@@ -2,10 +2,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use platform::ProcessorId;
 use taskgraph::{SubtaskId, Time};
 
+use crate::misslog::MissLog;
 use crate::timeline::Timeline;
 use crate::{MessageSlot, ScheduleEntry};
 
@@ -27,8 +29,11 @@ use crate::{MessageSlot, ScheduleEntry};
 /// A workspace carries **no results** across calls — `schedule_with` fully
 /// resets it on entry, so a workspace may be reused freely across different
 /// graphs, platforms, scheduler configurations, and even after a panic
-/// unwound through a previous call. It is deliberately *not* `Clone`:
-/// hand each worker thread its own via [`SchedWorkspace::new`].
+/// unwound through a previous call. (The only state that survives a reset
+/// is configuration the caller attached deliberately: the optional
+/// [`MissLog`] set via [`SchedWorkspace::set_miss_log`].) It is
+/// deliberately *not* `Clone`: hand each worker thread its own via
+/// [`SchedWorkspace::new`].
 ///
 /// # Examples
 ///
@@ -80,12 +85,24 @@ pub struct SchedWorkspace {
     pub(crate) trial_slots: Vec<MessageSlot>,
     /// Message slots of the best candidate so far, spliced in on commit.
     pub(crate) best_slots: Vec<MessageSlot>,
+    /// Optional deadline-miss warning budget shared across calls (and,
+    /// via `Arc`, across workspaces). Configuration, not scratch: `reset`
+    /// leaves it in place.
+    pub(crate) miss_log: Option<Arc<MissLog>>,
 }
 
 impl SchedWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         SchedWorkspace::default()
+    }
+
+    /// Attaches (or with `None`, detaches) a shared [`MissLog`] that
+    /// rate-limits the scheduler's per-subtask deadline-miss warnings
+    /// across every `schedule_with` call through this workspace. Without
+    /// one, every miss warns — the standalone default.
+    pub fn set_miss_log(&mut self, log: Option<Arc<MissLog>>) {
+        self.miss_log = log;
     }
 
     /// Sizes every buffer for a `subtasks`/`edges`/`processors` problem and

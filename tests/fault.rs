@@ -165,6 +165,53 @@ fn worker_panics_degrade_to_exactly_the_planned_failed_cells() {
 }
 
 #[test]
+fn degraded_replications_reach_the_installed_event_sink_without_teardown() {
+    use feast::telemetry;
+
+    // Unique label: while the global sink is installed, concurrent tests'
+    // events also stream into this file, so assertions filter on it.
+    const LABEL: &str = "GLOBAL-SINK/FLUSH";
+    let events = TempPath::new("global-sink");
+    telemetry::install(telemetry::EventSink::create(&events.0).unwrap());
+
+    let plan = FaultPlan::new(0xBEEF).with_fault(FaultSpec::new(FaultSite::WorkerPanic, 0.4));
+    let expected = SIZES
+        .iter()
+        .flat_map(|&size| (0..REPS).map(move |rep| (size, rep)))
+        .filter(|&(size, rep)| plan.should_fire(FaultSite::WorkerPanic, size, rep, 0))
+        .count();
+    assert!(expected > 0, "seed must fault at least one cell");
+
+    let scenario = Scenario::paper(
+        LABEL,
+        WorkloadSpec::paper(ExecVariation::Mdet),
+        MetricKind::pure(),
+        CommEstimate::Ccne,
+    )
+    .with_replications(REPS)
+    .with_system_sizes(SIZES.to_vec());
+    Runner::new(scenario)
+        .threads(2)
+        .faults(plan)
+        .run_partial()
+        .unwrap();
+
+    // Read the live file WITHOUT flushing or uninstalling the sink: the
+    // runner itself must have pushed the degraded replications to disk
+    // (it flushes the installed sink after each failure and at exit).
+    let text = std::fs::read_to_string(&events.0).unwrap();
+    let failed = text
+        .lines()
+        .filter(|l| l.contains("ReplicationFailed") && l.contains(LABEL))
+        .count();
+    assert_eq!(
+        failed, expected,
+        "events.jsonl must hold every degraded replication before teardown"
+    );
+    telemetry::uninstall();
+}
+
+#[test]
 fn fail_fast_turns_a_worker_panic_into_an_aborting_error() {
     let plan = FaultPlan::new(0xBEEF).with_fault(FaultSpec::new(FaultSite::WorkerPanic, 0.4));
     let err = Runner::new(scenario())
