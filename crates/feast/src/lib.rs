@@ -76,8 +76,6 @@ pub use error::RunError;
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use progress::{MetricsFile, MetricsWriter, ProgressSnapshot, ProgressTracker};
 pub use report::{ExperimentResult, Panel, ProfileRow, Series};
-#[allow(deprecated)]
-pub use runner::{run_scenario, run_scenario_sequential, run_scenario_with_threads};
 pub use runner::{
     CancelToken, FailedReplication, PartialResult, ReplicationOutcome, ReplicationRecord, Runner,
     ScenarioPoint, ScenarioResult, ShardSpec,

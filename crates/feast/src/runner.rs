@@ -1786,58 +1786,6 @@ fn strict_checks(cells: &BTreeMap<(usize, usize), ReplicationOutcome>) -> Result
     Ok(())
 }
 
-/// Runs a scenario sequentially (all sizes × all replications on the
-/// calling thread).
-///
-/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
-/// to `Runner::new(scenario.clone()).threads(1).run()`. The builder is
-/// strictly more capable: it adds sharding ([`Runner::shard`]),
-/// checkpoint/resume ([`Runner::checkpoint`]), cancellation
-/// ([`Runner::cancel_token`]), per-run event sinks ([`Runner::events`])
-/// and the strict audit gate ([`Runner::strict_validate`]). New code
-/// should construct a [`Runner`] directly.
-///
-/// # Errors
-///
-/// See [`Runner::run`].
-#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).threads(1).run()`")]
-pub fn run_scenario_sequential(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
-    Runner::new(scenario.clone()).threads(1).run()
-}
-
-/// Runs a scenario, parallelizing replications over the available cores.
-///
-/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
-/// to `Runner::new(scenario.clone()).run()`. See
-/// [`run_scenario_sequential`] for what the builder adds; new code should
-/// construct a [`Runner`] directly.
-///
-/// # Errors
-///
-/// See [`Runner::run`].
-#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).run()`")]
-pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, RunError> {
-    Runner::new(scenario.clone()).run()
-}
-
-/// Runs a scenario with an explicit worker-thread count.
-///
-/// Thin compatibility wrapper around the [`Runner`] builder — equivalent
-/// to `Runner::new(scenario.clone()).threads(threads.max(1)).run()`. See
-/// [`run_scenario_sequential`] for what the builder adds; new code should
-/// construct a [`Runner`] directly.
-///
-/// # Errors
-///
-/// See [`Runner::run`].
-#[deprecated(since = "0.2.0", note = "use `Runner::new(scenario).threads(n).run()`")]
-pub fn run_scenario_with_threads(
-    scenario: &Scenario,
-    threads: usize,
-) -> Result<ScenarioResult, RunError> {
-    Runner::new(scenario.clone()).threads(threads.max(1)).run()
-}
-
 #[cfg(test)]
 mod tests {
     use slicing::{CommEstimate, MetricKind};
@@ -1915,17 +1863,6 @@ mod tests {
         let a = Runner::new(scenario.clone()).threads(1).run().unwrap();
         let b = Runner::new(scenario).threads(1).run().unwrap();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    fn deprecated_wrappers_still_run() {
-        #[allow(deprecated)]
-        let seq = run_scenario_sequential(&tiny_scenario(MetricKind::pure())).unwrap();
-        let new = Runner::new(tiny_scenario(MetricKind::pure()))
-            .threads(1)
-            .run()
-            .unwrap();
-        assert_eq!(seq, new);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum Stage {
     Generate,
     /// Deadline distribution (slicing or a baseline).
     Distribute,
+    /// Incremental re-slicing after a graph delta
+    /// ([`Slicer::redistribute`](slicing::Slicer::redistribute)).
+    Redistribute,
     /// List scheduling.
     Schedule,
     /// The always-on audit (assignment checker plus schedule validation),
@@ -40,9 +43,10 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 4] = [
+    pub const ALL: [Stage; 5] = [
         Stage::Generate,
         Stage::Distribute,
+        Stage::Redistribute,
         Stage::Schedule,
         Stage::Audit,
     ];
@@ -52,6 +56,7 @@ impl Stage {
         match self {
             Stage::Generate => "generate",
             Stage::Distribute => "distribute",
+            Stage::Redistribute => "redistribute",
             Stage::Schedule => "schedule",
             Stage::Audit => "audit",
         }
@@ -241,8 +246,13 @@ pub struct Registry {
     schedule_violations: AtomicU64,
     replications_failed: AtomicU64,
     checkpoint_retries: AtomicU64,
+    delta_cache_hits: AtomicU64,
+    delta_cache_misses: AtomicU64,
+    delta_dirty_nodes: AtomicU64,
+    delta_scanned_nodes: AtomicU64,
     generate: DurationHistogram,
     distribute: DurationHistogram,
+    redistribute: DurationHistogram,
     schedule: DurationHistogram,
     audit: DurationHistogram,
 }
@@ -253,6 +263,7 @@ impl Registry {
         match stage {
             Stage::Generate => &self.generate,
             Stage::Distribute => &self.distribute,
+            Stage::Redistribute => &self.redistribute,
             Stage::Schedule => &self.schedule,
             Stage::Audit => &self.audit,
         }
@@ -303,6 +314,19 @@ impl Registry {
         self.checkpoint_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates one incremental redistribution's cache-effectiveness
+    /// counters ([`slicing::RedistributeStats`]).
+    pub fn count_redistribute(&self, stats: &slicing::RedistributeStats) {
+        self.delta_cache_hits
+            .fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.delta_cache_misses
+            .fetch_add(stats.cache_misses, Ordering::Relaxed);
+        self.delta_dirty_nodes
+            .fetch_add(stats.dirty_nodes, Ordering::Relaxed);
+        self.delta_scanned_nodes
+            .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
+    }
+
     /// Number of graphs generated so far.
     pub fn graphs_generated(&self) -> u64 {
         self.graphs_generated.load(Ordering::Relaxed)
@@ -345,6 +369,38 @@ impl Registry {
         self.checkpoint_retries.load(Ordering::Relaxed)
     }
 
+    /// Per-start path searches answered from the delta cache.
+    pub fn delta_cache_hits(&self) -> u64 {
+        self.delta_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-start path searches that ran the DP live during redistribution.
+    pub fn delta_cache_misses(&self) -> u64 {
+        self.delta_cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Dirty (node, iteration) pairs seen by redistributions.
+    pub fn delta_dirty_nodes(&self) -> u64 {
+        self.delta_dirty_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Scanned (node, iteration) pairs — the denominator of
+    /// [`delta_dirty_frac`](Registry::delta_dirty_frac).
+    pub fn delta_scanned_nodes(&self) -> u64 {
+        self.delta_scanned_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of scanned per-iteration node states that were dirty
+    /// across all redistributions (zero when none ran).
+    pub fn delta_dirty_frac(&self) -> f64 {
+        let scanned = self.delta_scanned_nodes();
+        if scanned == 0 {
+            0.0
+        } else {
+            self.delta_dirty_nodes() as f64 / scanned as f64
+        }
+    }
+
     /// An immutable, serializable copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -356,8 +412,13 @@ impl Registry {
             schedule_violations: self.schedule_violations(),
             replications_failed: self.replications_failed(),
             checkpoint_retries: self.checkpoint_retries(),
+            delta_cache_hits: self.delta_cache_hits(),
+            delta_cache_misses: self.delta_cache_misses(),
+            delta_dirty_nodes: self.delta_dirty_nodes(),
+            delta_scanned_nodes: self.delta_scanned_nodes(),
             generate: self.generate.snapshot(),
             distribute: self.distribute.snapshot(),
+            redistribute: self.redistribute.snapshot(),
             schedule: self.schedule.snapshot(),
             audit: self.audit.snapshot(),
         }
@@ -373,8 +434,13 @@ impl Registry {
         self.schedule_violations.store(0, Ordering::Relaxed);
         self.replications_failed.store(0, Ordering::Relaxed);
         self.checkpoint_retries.store(0, Ordering::Relaxed);
+        self.delta_cache_hits.store(0, Ordering::Relaxed);
+        self.delta_cache_misses.store(0, Ordering::Relaxed);
+        self.delta_dirty_nodes.store(0, Ordering::Relaxed);
+        self.delta_scanned_nodes.store(0, Ordering::Relaxed);
         self.generate.reset();
         self.distribute.reset();
+        self.redistribute.reset();
         self.schedule.reset();
         self.audit.reset();
     }
@@ -386,8 +452,10 @@ pub fn global() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
-/// Serializable copy of one stage's histogram.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Serializable copy of one stage's histogram. The default value is an
+/// empty histogram (it also backs deserialization of snapshots written
+/// before a stage existed).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -491,10 +559,26 @@ pub struct MetricsSnapshot {
     pub replications_failed: u64,
     /// Checkpoint appends that had to be retried.
     pub checkpoint_retries: u64,
+    /// Per-start path searches answered from the delta cache.
+    /// (Defaulted so snapshots written before the delta pipeline parse.)
+    #[serde(default)]
+    pub delta_cache_hits: u64,
+    /// Per-start path searches run live during redistribution.
+    #[serde(default)]
+    pub delta_cache_misses: u64,
+    /// Dirty (node, iteration) pairs seen by redistributions.
+    #[serde(default)]
+    pub delta_dirty_nodes: u64,
+    /// Scanned (node, iteration) pairs (the dirty-fraction denominator).
+    #[serde(default)]
+    pub delta_scanned_nodes: u64,
     /// Generation-stage timings.
     pub generate: StageSnapshot,
     /// Distribution-stage timings.
     pub distribute: StageSnapshot,
+    /// Redistribution-stage timings (incremental re-slicing).
+    #[serde(default)]
+    pub redistribute: StageSnapshot,
     /// Scheduling-stage timings.
     pub schedule: StageSnapshot,
     /// Audit-stage timings (assignment checker + schedule validation).
@@ -507,6 +591,7 @@ impl MetricsSnapshot {
         match stage {
             Stage::Generate => &self.generate,
             Stage::Distribute => &self.distribute,
+            Stage::Redistribute => &self.redistribute,
             Stage::Schedule => &self.schedule,
             Stage::Audit => &self.audit,
         }
@@ -527,8 +612,13 @@ impl MetricsSnapshot {
             schedule_violations: self.schedule_violations + other.schedule_violations,
             replications_failed: self.replications_failed + other.replications_failed,
             checkpoint_retries: self.checkpoint_retries + other.checkpoint_retries,
+            delta_cache_hits: self.delta_cache_hits + other.delta_cache_hits,
+            delta_cache_misses: self.delta_cache_misses + other.delta_cache_misses,
+            delta_dirty_nodes: self.delta_dirty_nodes + other.delta_dirty_nodes,
+            delta_scanned_nodes: self.delta_scanned_nodes + other.delta_scanned_nodes,
             generate: self.generate.merge(&other.generate),
             distribute: self.distribute.merge(&other.distribute),
+            redistribute: self.redistribute.merge(&other.redistribute),
             schedule: self.schedule.merge(&other.schedule),
             audit: self.audit.merge(&other.audit),
         }
@@ -563,8 +653,21 @@ impl MetricsSnapshot {
             checkpoint_retries: self
                 .checkpoint_retries
                 .saturating_sub(earlier.checkpoint_retries),
+            delta_cache_hits: self
+                .delta_cache_hits
+                .saturating_sub(earlier.delta_cache_hits),
+            delta_cache_misses: self
+                .delta_cache_misses
+                .saturating_sub(earlier.delta_cache_misses),
+            delta_dirty_nodes: self
+                .delta_dirty_nodes
+                .saturating_sub(earlier.delta_dirty_nodes),
+            delta_scanned_nodes: self
+                .delta_scanned_nodes
+                .saturating_sub(earlier.delta_scanned_nodes),
             generate: self.generate.delta(&earlier.generate),
             distribute: self.distribute.delta(&earlier.distribute),
+            redistribute: self.redistribute.delta(&earlier.redistribute),
             schedule: self.schedule.delta(&earlier.schedule),
             audit: self.audit.delta(&earlier.audit),
         }
@@ -919,8 +1022,16 @@ mod tests {
         r.count_failed_replication();
         r.count_checkpoint_retry();
         r.count_checkpoint_retry();
+        r.count_redistribute(&slicing::RedistributeStats {
+            cache_hits: 10,
+            cache_misses: 2,
+            dirty_nodes: 3,
+            scanned_nodes: 24,
+            fell_back: false,
+        });
         r.record_stage(Stage::Generate, Duration::from_micros(10));
         r.record_stage(Stage::Distribute, Duration::from_micros(20));
+        r.record_stage(Stage::Redistribute, Duration::from_micros(15));
         r.record_stage(Stage::Schedule, Duration::from_micros(30));
         r.record_stage(Stage::Audit, Duration::from_micros(5));
 
@@ -932,6 +1043,11 @@ mod tests {
         assert_eq!(r.schedule_violations(), 1);
         assert_eq!(r.replications_failed(), 1);
         assert_eq!(r.checkpoint_retries(), 2);
+        assert_eq!(r.delta_cache_hits(), 10);
+        assert_eq!(r.delta_cache_misses(), 2);
+        assert_eq!(r.delta_dirty_nodes(), 3);
+        assert_eq!(r.delta_scanned_nodes(), 24);
+        assert!((r.delta_dirty_frac() - 0.125).abs() < 1e-12);
         for stage in Stage::ALL {
             assert_eq!(r.stage(stage).count(), 1, "{}", stage.label());
         }
@@ -939,6 +1055,8 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.graphs_generated, 2);
         assert_eq!(snap.distribute.total_us, 20);
+        assert_eq!(snap.redistribute.total_us, 15);
+        assert_eq!(snap.delta_cache_hits, 10);
 
         r.reset();
         assert_eq!(r.graphs_generated(), 0);
@@ -946,7 +1064,11 @@ mod tests {
         assert_eq!(r.window_violations(), 0);
         assert_eq!(r.replications_failed(), 0);
         assert_eq!(r.checkpoint_retries(), 0);
+        assert_eq!(r.delta_cache_hits(), 0);
+        assert_eq!(r.delta_scanned_nodes(), 0);
+        assert_eq!(r.delta_dirty_frac(), 0.0);
         assert_eq!(r.stage(Stage::Schedule).count(), 0);
+        assert_eq!(r.stage(Stage::Redistribute).count(), 0);
         assert_eq!(r.snapshot().schedule.buckets, vec![]);
     }
 

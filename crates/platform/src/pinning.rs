@@ -60,6 +60,16 @@ impl Pinning {
         }
     }
 
+    /// Removes the strict locality constraint on `subtask`, returning the
+    /// processor it was pinned to (or `None` if it was not pinned).
+    ///
+    /// Unpinning relaxes the constraint set, so it never conflicts — the
+    /// counterpart of [`pin`](Self::pin) for delta application (a pin move
+    /// is an unpin followed by a pin).
+    pub fn unpin(&mut self, subtask: SubtaskId) -> Option<ProcessorId> {
+        self.pins.remove(&subtask)
+    }
+
     /// The processor `subtask` is pinned to, if any.
     pub fn processor_for(&self, subtask: SubtaskId) -> Option<ProcessorId> {
         self.pins.get(&subtask).copied()
@@ -159,6 +169,23 @@ mod tests {
             pins.pin(SubtaskId::new(0), ProcessorId::new(2)),
             Err(PlatformError::ConflictingPin(_))
         ));
+    }
+
+    #[test]
+    fn unpin_releases_the_constraint() {
+        let mut pins = Pinning::new();
+        pins.pin(SubtaskId::new(0), ProcessorId::new(1)).unwrap();
+        assert_eq!(pins.unpin(SubtaskId::new(0)), Some(ProcessorId::new(1)));
+        assert!(!pins.is_pinned(SubtaskId::new(0)));
+        assert_eq!(pins.unpin(SubtaskId::new(0)), None);
+        // A pin move: unpin then pin somewhere else, no conflict.
+        pins.pin(SubtaskId::new(1), ProcessorId::new(0)).unwrap();
+        pins.unpin(SubtaskId::new(1));
+        pins.pin(SubtaskId::new(1), ProcessorId::new(2)).unwrap();
+        assert_eq!(
+            pins.processor_for(SubtaskId::new(1)),
+            Some(ProcessorId::new(2))
+        );
     }
 
     #[test]

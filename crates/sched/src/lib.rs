@@ -57,7 +57,7 @@ mod workspace;
 pub use bus::BusModel;
 pub use error::SchedError;
 pub use lateness::LatenessReport;
-pub use list::{ListScheduler, PlacementPolicy};
+pub use list::{ListScheduler, PlacementPolicy, RepairOutcome};
 pub use misslog::MissLog;
 pub use schedule::{MessageSlot, Schedule, ScheduleEntry, ScheduleViolation};
 pub use workspace::SchedWorkspace;
@@ -77,5 +77,6 @@ mod send_sync_tests {
         assert_send_sync::<BusModel>();
         assert_send_sync::<SchedWorkspace>();
         assert_send_sync::<MissLog>();
+        assert_send_sync::<RepairOutcome>();
     }
 }

@@ -41,7 +41,7 @@ use taskgraph::{SubtaskId, TaskGraph, Time};
 
 use crate::bus::BusModel;
 use crate::timeline::Timeline;
-use crate::workspace::SchedWorkspace;
+use crate::workspace::{DispatchRecord, Provenance, SchedWorkspace};
 use crate::{MessageSlot, SchedError, Schedule, ScheduleEntry};
 
 #[cfg(test)]
@@ -67,6 +67,22 @@ impl PlacementPolicy {
             PlacementPolicy::Append => "append",
         }
     }
+}
+
+/// The result of [`ListScheduler::repair`]: the repaired schedule plus
+/// counters describing how much of the previous run was reused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The new schedule — bit-identical to a from-scratch
+    /// [`ListScheduler::schedule_with`] over the same inputs.
+    pub schedule: Schedule,
+    /// Dispatches kept verbatim from the previous run.
+    pub reused: usize,
+    /// Dispatches recomputed (zero only when the change had no effect).
+    pub evicted: usize,
+    /// Whether the retained workspace state was unusable and a full
+    /// reschedule ran instead.
+    pub fell_back: bool,
 }
 
 /// Deadline-driven list scheduler.
@@ -219,6 +235,271 @@ impl ListScheduler {
             graph.edge_count(),
             platform.processor_count(),
         );
+        ws.missing_preds
+            .extend(graph.subtask_ids().map(|id| graph.in_edges(id).len()));
+        for id in graph.subtask_ids() {
+            if ws.missing_preds[id.index()] == 0 {
+                ws.ready
+                    .push(Reverse((assignment.absolute_deadline(id), id)));
+            }
+        }
+
+        let schedule = self.run_dispatch(graph, platform, assignment, pinning, ws)?;
+        ws.provenance = Some(self.provenance(graph, platform));
+        Ok(schedule)
+    }
+
+    /// Repairs the schedule of the *previous* run through `ws` for a
+    /// changed assignment (and possibly changed WCETs, anchors, or pins),
+    /// recomputing only the dispatches downstream of the first change.
+    ///
+    /// `prev` must be the schedule that run produced. The repair replays
+    /// the EDF dispatch order under the new inputs against the recorded
+    /// dispatch log; the longest prefix whose dispatches are untouched is
+    /// kept verbatim, everything after it is evicted — committed processor
+    /// (and, under contention, bus) reservations are rolled back via
+    /// interval release — and re-dispatched by the ordinary dispatch loop.
+    /// The result is **bit-identical** to a from-scratch
+    /// [`schedule_with`](ListScheduler::schedule_with) over the same
+    /// inputs.
+    ///
+    /// When the retained state is unusable — the workspace ran a different
+    /// graph structure, platform, or scheduler configuration, or `prev` is
+    /// not that run's schedule — the call silently degrades to a full
+    /// reschedule and reports it via [`RepairOutcome::fell_back`]. Changing
+    /// the *graph structure* (subtask or edge insertion/removal) therefore
+    /// always falls back; WCET, anchor, deadline, and pin changes repair
+    /// incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`schedule_with`](ListScheduler::schedule_with).
+    pub fn repair(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+        prev: &Schedule,
+        ws: &mut SchedWorkspace,
+    ) -> Result<RepairOutcome, SchedError> {
+        if assignment.subtask_count() != graph.subtask_count() {
+            return Err(SchedError::AssignmentMismatch {
+                graph_subtasks: graph.subtask_count(),
+                assignment_subtasks: assignment.subtask_count(),
+            });
+        }
+        pinning.validate(graph, platform)?;
+
+        let n = graph.subtask_count();
+        let usable = ws.provenance.as_ref().is_some_and(|prov| {
+            prov.scheduler == *self
+                && prov.platform == *platform
+                && prov.subtasks == n
+                && prov.edges.len() == graph.edge_count()
+                && graph
+                    .edge_ids()
+                    .zip(&prov.edges)
+                    .all(|(eid, &(s, d, items))| {
+                        let e = graph.edge(eid);
+                        e.src().index() as u32 == s
+                            && e.dst().index() as u32 == d
+                            && e.items() == items
+                    })
+        }) && ws.log.len() == n
+            && prev.entries().len() == n
+            && prev.messages().len() == graph.edge_count()
+            && prev
+                .entries()
+                .iter()
+                .enumerate()
+                .all(|(i, e)| ws.placed.get(i).copied().flatten().as_ref() == Some(e));
+        if !usable {
+            let schedule = self.schedule_with(graph, platform, assignment, pinning, ws)?;
+            return Ok(RepairOutcome {
+                schedule,
+                reused: 0,
+                evicted: n,
+                fell_back: true,
+            });
+        }
+
+        let _span = tracing::debug_span!(
+            "repair",
+            subtasks = n,
+            processors = platform.processor_count(),
+            bus = ?self.bus
+        )
+        .entered();
+
+        // Replay the EDF order under the new inputs against the dispatch
+        // log. A dispatch is kept while it pops the same subtask with the
+        // same placement-relevant inputs; by induction the committed state
+        // it saw is then identical too, so its entry is bit-identical.
+        ws.missing_preds.clear();
+        ws.missing_preds
+            .extend(graph.subtask_ids().map(|id| graph.in_edges(id).len()));
+        ws.ready.clear();
+        for id in graph.subtask_ids() {
+            if ws.missing_preds[id.index()] == 0 {
+                ws.ready
+                    .push(Reverse((assignment.absolute_deadline(id), id)));
+            }
+        }
+        ws.trial_slots.clear();
+        ws.best_slots.clear();
+
+        let mut divergence = None;
+        let mut idx = 0usize;
+        while let Some(Reverse((deadline, id))) = ws.ready.pop() {
+            let mut clean = false;
+            if idx < ws.log.len() {
+                let rec = ws.log[idx];
+                if rec.subtask == id
+                    && rec.wcet == graph.subtask(id).wcet()
+                    && rec.pinned == pinning.processor_for(id)
+                {
+                    let new_lb = self.static_lower_bound(graph, assignment, id);
+                    // A changed static bound is placement-neutral when data
+                    // readiness dominates it everywhere: on every candidate
+                    // processor `data_ready` is at least the latest
+                    // predecessor finish, so a bound at or below that
+                    // finish never moves `max(data_ready, static_lb)`.
+                    // (The kept prefix's placements equal a fresh run's by
+                    // induction, so the recorded finishes are exact.)
+                    let lb_neutral = rec.static_lb == new_lb || {
+                        let mut latest: Option<Time> = None;
+                        for &eid in graph.in_edges(id) {
+                            let f = ws.placed[graph.edge(eid).src().index()]
+                                .as_ref()
+                                .expect("prefix predecessors are placed")
+                                .finish;
+                            latest = Some(latest.map_or(f, |l| l.max(f)));
+                        }
+                        latest.is_some_and(|l| rec.static_lb <= l && new_lb <= l)
+                    };
+                    if lb_neutral {
+                        // Future repairs diff against this run's inputs.
+                        ws.log[idx].static_lb = new_lb;
+                        clean = true;
+                    }
+                }
+            }
+            if !clean {
+                ws.ready.push(Reverse((deadline, id)));
+                divergence = Some(idx);
+                break;
+            }
+            idx += 1;
+            for succ in graph.successors(id) {
+                let slot = &mut ws.missing_preds[succ.index()];
+                *slot -= 1;
+                if *slot == 0 {
+                    ws.ready
+                        .push(Reverse((assignment.absolute_deadline(succ), succ)));
+                }
+            }
+        }
+        let p = divergence.unwrap_or(idx);
+
+        if p == n {
+            // Every dispatch replays identically: the previous schedule is
+            // already the answer and the retained state is already it.
+            return Ok(RepairOutcome {
+                schedule: prev.clone(),
+                reused: n,
+                evicted: 0,
+                fell_back: false,
+            });
+        }
+
+        // Evict the suffix: roll the committed reservations of every
+        // dispatch at or after the divergence point back out of the
+        // timelines. What remains is exactly the committed state a fresh
+        // run holds after dispatching the kept prefix.
+        let prov = ws.provenance.take().expect("checked usable above");
+        for rec in &ws.log[p..] {
+            let id = rec.subtask;
+            let entry = ws.placed[id.index()]
+                .take()
+                .expect("logged dispatch was placed");
+            ws.procs[entry.processor.index()].release(entry.start, entry.finish - entry.start);
+            if self.bus == BusModel::Contention {
+                for &eid in graph.in_edges(id) {
+                    if let Some(slot) = prev.messages()[eid.index()] {
+                        ws.bus.release(slot.depart, slot.arrive - slot.depart);
+                    }
+                }
+            }
+        }
+        ws.messages.clear();
+        ws.messages.resize(graph.edge_count(), None);
+        for eid in graph.edge_ids() {
+            if ws.placed[graph.edge(eid).dst().index()].is_some() {
+                ws.messages[eid.index()] = prev.messages()[eid.index()];
+            }
+        }
+        ws.log.truncate(p);
+
+        let schedule = self.run_dispatch(graph, platform, assignment, pinning, ws)?;
+        ws.provenance = Some(prov);
+        tracing::debug!(reused = p, evicted = n - p, "schedule repair complete");
+        Ok(RepairOutcome {
+            schedule,
+            reused: p,
+            evicted: n - p,
+            fell_back: false,
+        })
+    }
+
+    fn provenance(&self, graph: &TaskGraph, platform: &Platform) -> Provenance {
+        Provenance {
+            scheduler: *self,
+            platform: platform.clone(),
+            subtasks: graph.subtask_count(),
+            edges: graph
+                .edge_ids()
+                .map(|eid| {
+                    let e = graph.edge(eid);
+                    (e.src().index() as u32, e.dst().index() as u32, e.items())
+                })
+                .collect(),
+        }
+    }
+
+    /// The placement lower bound of `id` that does not depend on earlier
+    /// placements: the assigned release (when respected) joined with the
+    /// given release.
+    fn static_lower_bound(
+        &self,
+        graph: &TaskGraph,
+        assignment: &DeadlineAssignment,
+        id: SubtaskId,
+    ) -> Time {
+        let mut lb = Time::ZERO;
+        if self.respect_release {
+            lb = lb.max(assignment.release(id));
+        }
+        if let Some(given) = graph.subtask(id).release() {
+            lb = lb.max(given);
+        }
+        lb
+    }
+
+    /// The dispatch loop shared by [`schedule_with`](Self::schedule_with)
+    /// (from an empty, freshly seeded workspace) and
+    /// [`repair`](Self::repair) (from the retained state of the kept
+    /// prefix): drains the ready heap, committing one dispatch per pop and
+    /// appending a [`DispatchRecord`] to the workspace log, then assembles
+    /// the [`Schedule`].
+    fn run_dispatch(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+        ws: &mut SchedWorkspace,
+    ) -> Result<Schedule, SchedError> {
         // Disjoint field borrows: the candidate slice must borrow
         // `all_procs` while the dispatch loop mutates the other buffers.
         let SchedWorkspace {
@@ -233,16 +514,14 @@ impl ListScheduler {
             trial_slots,
             best_slots,
             miss_log,
+            log,
+            provenance: _,
         } = ws;
 
         // Hoisted once per call: the unpinned candidate list is the same
-        // for every dispatch.
-        all_procs.extend(platform.processors());
-        missing_preds.extend(graph.subtask_ids().map(|id| graph.in_edges(id).len()));
-        for id in graph.subtask_ids() {
-            if missing_preds[id.index()] == 0 {
-                ready.push(Reverse((assignment.absolute_deadline(id), id)));
-            }
+        // for every dispatch. (Already populated when continuing a repair.)
+        if all_procs.is_empty() {
+            all_procs.extend(platform.processors());
         }
 
         // `(deadline, id)` keys are unique (ids are), so the min-heap pops
@@ -254,6 +533,7 @@ impl ListScheduler {
                 Some(p) => std::slice::from_ref(p),
                 None => all_procs,
             };
+            let static_lb = self.static_lower_bound(graph, assignment, id);
 
             // Estimate the earliest start on each candidate against the
             // committed state, capturing the candidate's message slots (and
@@ -265,7 +545,7 @@ impl ListScheduler {
                 let start = self.earliest_start(
                     graph,
                     platform,
-                    assignment,
+                    static_lb,
                     placed,
                     procs,
                     bus,
@@ -298,6 +578,12 @@ impl ListScheduler {
                 processor: proc,
                 start,
                 finish,
+            });
+            log.push(DispatchRecord {
+                subtask: id,
+                static_lb,
+                wcet,
+                pinned,
             });
             tracing::trace!(
                 subtask = %id,
@@ -374,7 +660,7 @@ impl ListScheduler {
         &self,
         graph: &TaskGraph,
         platform: &Platform,
-        assignment: &DeadlineAssignment,
+        static_lb: Time,
         placed: &[Option<ScheduleEntry>],
         procs: &[Timeline],
         bus: &Timeline,
@@ -417,14 +703,7 @@ impl ListScheduler {
             });
         }
 
-        let mut lower_bound = data_ready;
-        if self.respect_release {
-            lower_bound = lower_bound.max(assignment.release(id));
-        }
-        if let Some(given) = graph.subtask(id).release() {
-            lower_bound = lower_bound.max(given);
-        }
-
+        let lower_bound = data_ready.max(static_lb);
         let wcet = graph.subtask(id).wcet();
         let start = match self.placement {
             PlacementPolicy::Insertion => procs[p.index()].earliest_gap(lower_bound, wcet),
@@ -734,6 +1013,180 @@ mod tests {
             .schedule_with(&g, &p, &a, &Pinning::new(), &mut ws)
             .unwrap();
         assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn repair_with_unchanged_inputs_reuses_every_dispatch() {
+        let g = fork_graph(30, 2000);
+        let p = Platform::paper(4).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let scheduler = ListScheduler::new();
+        let mut ws = SchedWorkspace::new();
+        let prev = scheduler
+            .schedule_with(&g, &p, &a, &Pinning::new(), &mut ws)
+            .unwrap();
+        let out = scheduler
+            .repair(&g, &p, &a, &Pinning::new(), &prev, &mut ws)
+            .unwrap();
+        assert!(!out.fell_back);
+        assert_eq!(out.reused, 4);
+        assert_eq!(out.evicted, 0);
+        assert_eq!(out.schedule, prev);
+    }
+
+    #[test]
+    fn repair_after_wcet_change_matches_fresh_schedule() {
+        for bus in [BusModel::Delay, BusModel::Contention] {
+            let g = fork_graph(30, 2000);
+            let p = Platform::paper(2).unwrap();
+            let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+            let scheduler = ListScheduler::new().with_bus_model(bus);
+            let mut ws = SchedWorkspace::new();
+            let prev = scheduler
+                .schedule_with(&g, &p, &a, &Pinning::new(), &mut ws)
+                .unwrap();
+
+            // Double one interior subtask's WCET and redo the slicing: both
+            // the assignment and the graph the repair sees have changed.
+            let g2 = slicing::GraphDelta::new()
+                .set_wcet(SubtaskId::new(1), Time::new(40))
+                .apply(&g, &Pinning::new())
+                .unwrap()
+                .graph;
+            let a2 = Slicer::bst_pure().distribute(&g2, &p).unwrap();
+            let out = scheduler
+                .repair(&g2, &p, &a2, &Pinning::new(), &prev, &mut ws)
+                .unwrap();
+            let fresh = scheduler.schedule(&g2, &p, &a2, &Pinning::new()).unwrap();
+            assert!(!out.fell_back, "bus={bus:?}");
+            assert_eq!(out.schedule, fresh, "bus={bus:?}");
+            assert_eq!(out.reused + out.evicted, 4);
+        }
+    }
+
+    #[test]
+    fn repair_after_pin_move_matches_fresh_schedule() {
+        let g = fork_graph(10, 2000);
+        let p = Platform::paper(4).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let scheduler = ListScheduler::new();
+        let mut ws = SchedWorkspace::new();
+        let mut pins = Pinning::new();
+        pins.pin(SubtaskId::new(2), ProcessorId::new(0)).unwrap();
+        let prev = scheduler.schedule_with(&g, &p, &a, &pins, &mut ws).unwrap();
+
+        pins.unpin(SubtaskId::new(2));
+        pins.pin(SubtaskId::new(2), ProcessorId::new(3)).unwrap();
+        let out = scheduler.repair(&g, &p, &a, &pins, &prev, &mut ws).unwrap();
+        let fresh = scheduler.schedule(&g, &p, &a, &pins).unwrap();
+        assert!(!out.fell_back);
+        assert_eq!(out.schedule, fresh);
+        assert_eq!(
+            out.schedule.processor(SubtaskId::new(2)),
+            ProcessorId::new(3)
+        );
+    }
+
+    #[test]
+    fn repairs_chain_across_successive_changes() {
+        let g = fork_graph(30, 2000);
+        let p = Platform::paper(2).unwrap();
+        let scheduler = ListScheduler::new().with_bus_model(BusModel::Contention);
+        let mut ws = SchedWorkspace::new();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let mut prev = scheduler
+            .schedule_with(&g, &p, &a, &Pinning::new(), &mut ws)
+            .unwrap();
+        let mut current = g;
+        for (node, wcet) in [(1u32, 35i64), (2, 5), (1, 20)] {
+            current = slicing::GraphDelta::new()
+                .set_wcet(SubtaskId::new(node), Time::new(wcet))
+                .apply(&current, &Pinning::new())
+                .unwrap()
+                .graph;
+            let a = Slicer::bst_pure().distribute(&current, &p).unwrap();
+            let out = scheduler
+                .repair(&current, &p, &a, &Pinning::new(), &prev, &mut ws)
+                .unwrap();
+            assert!(!out.fell_back);
+            let fresh = scheduler
+                .schedule(&current, &p, &a, &Pinning::new())
+                .unwrap();
+            assert_eq!(out.schedule, fresh);
+            prev = out.schedule;
+        }
+    }
+
+    #[test]
+    fn repair_falls_back_on_structure_or_config_change() {
+        let g = fork_graph(30, 2000);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let scheduler = ListScheduler::new();
+        let mut ws = SchedWorkspace::new();
+        let prev = scheduler
+            .schedule_with(&g, &p, &a, &Pinning::new(), &mut ws)
+            .unwrap();
+
+        // Different message sizes = different edge structure: fall back.
+        let g2 = fork_graph(31, 2000);
+        let a2 = Slicer::bst_pure().distribute(&g2, &p).unwrap();
+        let out = scheduler
+            .repair(&g2, &p, &a2, &Pinning::new(), &prev, &mut ws)
+            .unwrap();
+        assert!(out.fell_back);
+        assert_eq!(out.reused, 0);
+        assert_eq!(
+            out.schedule,
+            scheduler.schedule(&g2, &p, &a2, &Pinning::new()).unwrap()
+        );
+
+        // The fallback re-primed the workspace for the new graph, so a
+        // follow-up repair is incremental again.
+        let again = scheduler
+            .repair(&g2, &p, &a2, &Pinning::new(), &out.schedule, &mut ws)
+            .unwrap();
+        assert!(!again.fell_back);
+        assert_eq!(again.reused, 4);
+
+        // A different scheduler configuration must not trust the state.
+        let contended = scheduler.with_bus_model(BusModel::Contention);
+        let out = contended
+            .repair(&g2, &p, &a2, &Pinning::new(), &again.schedule, &mut ws)
+            .unwrap();
+        assert!(out.fell_back);
+        assert_eq!(
+            out.schedule,
+            contended.schedule(&g2, &p, &a2, &Pinning::new()).unwrap()
+        );
+
+        // An unprimed workspace likewise.
+        let mut fresh_ws = SchedWorkspace::new();
+        let out = scheduler
+            .repair(&g2, &p, &a2, &Pinning::new(), &prev, &mut fresh_ws)
+            .unwrap();
+        assert!(out.fell_back);
+    }
+
+    #[test]
+    fn workspace_reuse_across_shrinking_and_growing_graphs() {
+        // Satellite coverage: a workspace cycled big → small → big must
+        // produce bit-identical schedules to fresh workspaces each time.
+        let scheduler = ListScheduler::new().with_bus_model(BusModel::Contention);
+        let mut ws = SchedWorkspace::new();
+        let configs = [
+            (fork_graph(30, 2000), Platform::paper(8).unwrap()),
+            (fork_graph(5, 300), Platform::paper(1).unwrap()),
+            (fork_graph(50, 4000), Platform::paper(4).unwrap()),
+        ];
+        for (g, p) in &configs {
+            let a = Slicer::bst_pure().distribute(g, p).unwrap();
+            let reused = scheduler
+                .schedule_with(g, p, &a, &Pinning::new(), &mut ws)
+                .unwrap();
+            let fresh = scheduler.schedule(g, p, &a, &Pinning::new()).unwrap();
+            assert_eq!(reused, fresh, "graph with {} procs", p.processor_count());
+        }
     }
 
     #[test]

@@ -168,6 +168,51 @@ impl Timeline {
         self.hint = idx;
     }
 
+    /// Releases `[start, start + duration)`: any busy time inside the span
+    /// becomes free again. Intervals that merely overlap the span are
+    /// trimmed; an interval strictly containing it is split in two —
+    /// coalescing is undone exactly where the released reservation used to
+    /// sit, so the interval set stays sorted, disjoint and canonical
+    /// (touching intervals only ever arise from `reserve`, which merges
+    /// them).
+    ///
+    /// Releasing free time is a no-op, as is a non-positive duration. The
+    /// horizon is recomputed from the remaining intervals so
+    /// [`append_start`](Self::append_start) never points past freed time —
+    /// schedule repair rolls reservations back and then appends again.
+    pub(crate) fn release(&mut self, start: Time, duration: Time) {
+        if !duration.is_positive() {
+            return;
+        }
+        let end = start + duration;
+        // First interval that extends past `start` — the only candidates
+        // that can intersect the released span.
+        let first = self.busy.partition_point(|&(_, e)| e <= start);
+        let mut idx = first;
+        while idx < self.busy.len() && self.busy[idx].0 < end {
+            let (s, e) = self.busy[idx];
+            if s < start && end < e {
+                // Strictly inside: split into the two surviving flanks.
+                self.busy[idx].1 = start;
+                self.busy.insert(idx + 1, (end, e));
+                idx += 2;
+            } else if s < start {
+                // Overlaps the left edge: keep the prefix.
+                self.busy[idx].1 = start;
+                idx += 1;
+            } else if end < e {
+                // Overlaps the right edge: keep the suffix.
+                self.busy[idx].0 = end;
+                idx += 1;
+            } else {
+                // Fully covered: the interval disappears.
+                self.busy.remove(idx);
+            }
+        }
+        self.horizon = self.busy.last().map_or(Time::ZERO, |&(_, e)| e);
+        self.hint = 0;
+    }
+
     /// Busy intervals, for tests.
     #[cfg(test)]
     pub(crate) fn busy(&self) -> &[(Time, Time)] {
@@ -299,6 +344,15 @@ mod tests {
             }
         }
 
+        fn release(&mut self, start: i64, duration: i64) {
+            for u in start..start + duration {
+                self.occupied[u as usize] = false;
+            }
+            if duration > 0 {
+                self.horizon = self.intervals().last().map_or(0, |&(_, e)| e);
+            }
+        }
+
         /// The coalesced busy intervals of the occupancy array.
         fn intervals(&self) -> Vec<(i64, i64)> {
             let mut out: Vec<(i64, i64)> = Vec::new();
@@ -316,11 +370,85 @@ mod tests {
         }
     }
 
+    #[test]
+    fn release_splits_a_coalesced_interval() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(0), t(10));
+        tl.reserve(t(10), t(10));
+        tl.reserve(t(20), t(10));
+        assert_eq!(tl.busy(), &[(t(0), t(30))]);
+        // Releasing the middle reservation splits the run back in two.
+        tl.release(t(10), t(10));
+        assert_eq!(tl.busy(), &[(t(0), t(10)), (t(20), t(30))]);
+        assert_eq!(tl.horizon(), t(30));
+        assert_eq!(tl.earliest_gap(t(0), t(10)), t(10));
+    }
+
+    #[test]
+    fn release_exact_interval_removes_it() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(5), t(10));
+        tl.reserve(t(30), t(5));
+        tl.release(t(30), t(5));
+        assert_eq!(tl.busy(), &[(t(5), t(15))]);
+        // Horizon shrinks back to the surviving interval's end.
+        assert_eq!(tl.horizon(), t(15));
+        assert_eq!(tl.append_start(t(0)), t(15));
+    }
+
+    #[test]
+    fn release_trims_partial_overlaps() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(10), t(10));
+        tl.reserve(t(30), t(10));
+        // The span [15, 35) clips the first interval's tail and the second
+        // interval's head.
+        tl.release(t(15), t(20));
+        assert_eq!(tl.busy(), &[(t(10), t(15)), (t(35), t(40))]);
+        assert_eq!(tl.horizon(), t(40));
+    }
+
+    #[test]
+    fn release_spanning_several_intervals_removes_them_all() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(0), t(5));
+        tl.reserve(t(10), t(5));
+        tl.reserve(t(20), t(5));
+        tl.release(t(0), t(25));
+        assert!(tl.busy().is_empty());
+        assert_eq!(tl.horizon(), t(0));
+        assert_eq!(tl.earliest_gap(t(0), t(100)), t(0));
+    }
+
+    #[test]
+    fn release_of_free_time_is_a_noop() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(10), t(10));
+        tl.release(t(30), t(5));
+        tl.release(t(0), t(10));
+        tl.release(t(5), t(0));
+        assert_eq!(tl.busy(), &[(t(10), t(20))]);
+        assert_eq!(tl.horizon(), t(20));
+    }
+
+    #[test]
+    fn reserve_after_release_reuses_the_freed_span() {
+        let mut tl = Timeline::new();
+        tl.reserve(t(0), t(30));
+        tl.release(t(10), t(10));
+        let gap = tl.earliest_gap(t(0), t(10));
+        assert_eq!(gap, t(10));
+        tl.reserve(gap, t(10));
+        assert_eq!(tl.busy(), &[(t(0), t(30))]);
+        assert_eq!(tl.horizon(), t(30));
+    }
+
     mod properties {
-        //! Random reserve/query sequences against the boolean-array model:
-        //! every query agrees, every reservation leaves the indexed
+        //! Random reserve/release/query sequences against the boolean-array
+        //! model: every query agrees, every mutation leaves the indexed
         //! timeline's (coalesced) intervals equal to the model's occupied
-        //! runs — including zero-duration requests and exact gap fills.
+        //! runs — including zero-duration requests, exact gap fills, and
+        //! releases that split or clip reservations.
 
         use proptest::prelude::*;
         use rand::rngs::StdRng;
@@ -359,17 +487,27 @@ mod tests {
                         rng.gen_range(0..=800)
                     };
 
-                    let fast = tl.earliest_gap(t(earliest), t(duration));
-                    let slow = model.earliest_gap(earliest, duration);
-                    prop_assert_eq!(fast, t(slow));
+                    if rng.gen_bool(0.3) {
+                        // Release an arbitrary span: it may cover free
+                        // time, clip interval edges, or split a coalesced
+                        // run down the middle.
+                        tl.release(t(earliest), t(duration));
+                        model.release(earliest, duration);
+                    } else {
+                        let fast = tl.earliest_gap(t(earliest), t(duration));
+                        let slow = model.earliest_gap(earliest, duration);
+                        prop_assert_eq!(fast, t(slow));
+
+                        // Reserve at the reported gap, as the scheduler
+                        // does.
+                        tl.reserve(fast, t(duration));
+                        model.reserve(slow, duration);
+                    }
+
                     prop_assert_eq!(
                         tl.append_start(t(earliest)),
                         t(model.append_start(earliest))
                     );
-
-                    // Reserve at the reported gap, as the scheduler does.
-                    tl.reserve(fast, t(duration));
-                    model.reserve(slow, duration);
 
                     let intervals: Vec<(i64, i64)> = model
                         .intervals()

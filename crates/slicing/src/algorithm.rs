@@ -156,6 +156,21 @@ impl Slicer {
         self.estimate.label()
     }
 
+    /// The metric, for the incremental replay path.
+    pub(crate) fn metric(&self) -> &(dyn SliceMetric + Send + Sync) {
+        self.metric.as_ref()
+    }
+
+    /// The estimation strategy, for the incremental replay path.
+    pub(crate) fn estimate(&self) -> &CommEstimate {
+        &self.estimate
+    }
+
+    /// Whether the strict-window clamp is enabled.
+    pub(crate) fn strict(&self) -> bool {
+        self.strict_windows
+    }
+
     /// Distributes end-to-end deadlines over all subtasks of `graph`,
     /// producing a window for every subtask and every non-negligible
     /// communication subtask.
@@ -187,7 +202,72 @@ impl Slicer {
             .map(|v| self.metric.virtual_time(exp.weight(v), &ctx))
             .collect();
 
-        let mut assigned = vec![false; n];
+        let mut state = SliceState::init(graph, &exp);
+        let mut search = PathSearch::new(n, exp.max_chain());
+        let mut paths = 0usize;
+        // Scratch reused across loop iterations: the hot loop runs once per
+        // critical path and must not allocate per path.
+        let mut path_weights: Vec<f64> = Vec::new();
+        let mut slices: Vec<Window> = Vec::new();
+
+        while state.remaining > 0 {
+            let cp = search
+                .find_critical_path(
+                    &exp,
+                    &vweights,
+                    &state.assigned,
+                    &state.rel,
+                    &state.dl,
+                    rule,
+                )
+                .ok_or(SliceError::NoAnchoredPath)?;
+            paths += 1;
+            apply_path(
+                &exp,
+                &vweights,
+                rule,
+                &cp,
+                &mut state,
+                &mut path_weights,
+                &mut slices,
+                paths,
+            );
+        }
+
+        tracing::debug!(
+            paths = paths,
+            inverted = state.inverted,
+            expanded_nodes = n,
+            "deadline distribution complete"
+        );
+
+        finalize(self, graph, &exp, state)
+    }
+}
+
+/// Mutable per-run slicing state: which expanded nodes are sliced, the
+/// accumulated release/deadline anchors, and the windows produced so far.
+///
+/// Factored out of [`Slicer::distribute`] so the incremental replay in
+/// [`crate::SliceMemo`]-driven redistribution advances the *same* state with
+/// the *same* transition function — bit-identity between the two is then a
+/// matter of feeding identical critical paths in, which the per-start
+/// dependency sets guarantee.
+#[derive(Debug, Clone)]
+pub(crate) struct SliceState {
+    pub(crate) assigned: Vec<bool>,
+    pub(crate) rel: Vec<Option<Time>>,
+    pub(crate) dl: Vec<Option<Time>>,
+    pub(crate) windows: Vec<Option<Window>>,
+    pub(crate) remaining: usize,
+    pub(crate) inverted: usize,
+}
+
+impl SliceState {
+    /// Fresh state for one run: anchors seeded from the graph's own
+    /// release/deadline attributes, nothing sliced yet.
+    pub(crate) fn init(graph: &TaskGraph, exp: &ExpandedGraph) -> SliceState {
+        let n = exp.len();
         let mut rel: Vec<Option<Time>> = vec![None; n];
         let mut dl: Vec<Option<Time>> = vec![None; n];
         for id in graph.subtask_ids() {
@@ -195,124 +275,133 @@ impl Slicer {
             rel[v] = graph.subtask(id).release();
             dl[v] = graph.subtask(id).deadline();
         }
-
-        let mut windows: Vec<Option<Window>> = vec![None; n];
-        let mut search = PathSearch::new(n, exp.max_chain());
-        let mut remaining = n;
-        let mut inverted = 0usize;
-        let mut paths = 0usize;
-        // Scratch reused across loop iterations: the hot loop runs once per
-        // critical path and must not allocate per path.
-        let mut path_weights: Vec<f64> = Vec::new();
-        let mut slices: Vec<Window> = Vec::new();
-
-        while remaining > 0 {
-            let cp = search
-                .find_critical_path(&exp, &vweights, &assigned, &rel, &dl, rule)
-                .ok_or(SliceError::NoAnchoredPath)?;
-
-            path_weights.clear();
-            path_weights.extend(cp.nodes.iter().map(|&v| vweights[v]));
-            let was_inverted = slice_window(&cp, &path_weights, rule, &mut slices);
-            if was_inverted {
-                inverted += 1;
-            }
-            paths += 1;
-            tracing::trace!(
-                path = paths,
-                len = cp.nodes.len(),
-                window_start = %cp.window_start,
-                window_end = %cp.window_end,
-                slack = (cp.window_end.max(cp.window_start) - cp.window_start).as_f64()
-                    - path_weights.iter().sum::<f64>(),
-                inverted = was_inverted,
-                "sliced critical path"
-            );
-
-            for (&v, &win) in cp.nodes.iter().zip(&slices) {
-                debug_assert!(windows[v].is_none(), "node sliced twice");
-                windows[v] = Some(win);
-                assigned[v] = true;
-                remaining -= 1;
-            }
-
-            // Attach step: spine predecessors inherit deadlines, spine
-            // successors inherit release times. Anchors accumulate across
-            // iterations (max for releases, min for deadlines).
-            for &v in &cp.nodes {
-                let win = windows[v].expect("just assigned");
-                for &p in exp.pred(v) {
-                    let p = p as usize;
-                    if !assigned[p] {
-                        let bound = win.release();
-                        dl[p] = Some(dl[p].map_or(bound, |d| d.min(bound)));
-                    }
-                }
-                for &s in exp.succ(v) {
-                    let s = s as usize;
-                    if !assigned[s] {
-                        let bound = win.deadline();
-                        rel[s] = Some(rel[s].map_or(bound, |r| r.max(bound)));
-                    }
-                }
-            }
+        SliceState {
+            assigned: vec![false; n],
+            rel,
+            dl,
+            windows: vec![None; n],
+            remaining: n,
+            inverted: 0,
         }
-
-        tracing::debug!(
-            paths = paths,
-            inverted = inverted,
-            expanded_nodes = n,
-            "deadline distribution complete"
-        );
-
-        if self.strict_windows {
-            // Reverse-topological clamp: successors are finalized before any
-            // of their predecessors, so one pass suffices even when a clamp
-            // cascades through a chain of zero-slack windows.
-            let mut clamped = 0usize;
-            for &v in exp.topo().iter().rev() {
-                let v = v as usize;
-                let win = windows[v].expect("all expanded nodes are sliced");
-                let mut bound = win.deadline();
-                for &s in exp.succ(v) {
-                    let succ_release = windows[s as usize]
-                        .expect("all expanded nodes are sliced")
-                        .release();
-                    bound = bound.min(succ_release);
-                }
-                if bound < win.deadline() {
-                    clamped += 1;
-                    windows[v] = Some(Window::new(win.release().min(bound), bound));
-                }
-            }
-            if clamped > 0 {
-                tracing::debug!(clamped = clamped, "strict window clamp tightened deadlines");
-            }
-        }
-
-        let mut task_windows = Vec::with_capacity(graph.subtask_count());
-        for id in graph.subtask_ids() {
-            task_windows.push(windows[exp.task_node(id)].ok_or(SliceError::NoAnchoredPath)?);
-        }
-        let mut comm_windows = Vec::with_capacity(graph.edge_count());
-        for eid in graph.edge_ids() {
-            comm_windows.push(match exp.comm_node(eid) {
-                Some(v) => {
-                    debug_assert!(matches!(exp.kind(v), ExpKind::Comm(e) if e == eid));
-                    windows[v]
-                }
-                None => None,
-            });
-        }
-
-        Ok(DeadlineAssignment::new(
-            task_windows,
-            comm_windows,
-            inverted,
-            self.metric.name().to_owned(),
-            self.estimate.label().to_owned(),
-        ))
     }
+}
+
+/// Applies one chosen critical path to the slicing state: slices its window,
+/// marks the spine assigned, and runs the attach step (spine predecessors
+/// inherit deadlines, spine successors inherit release times; anchors
+/// accumulate across iterations — max for releases, min for deadlines).
+///
+/// `path_weights` and `slices` are reusable scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_path(
+    exp: &ExpandedGraph,
+    vweights: &[f64],
+    rule: ShareRule,
+    cp: &CriticalPath,
+    state: &mut SliceState,
+    path_weights: &mut Vec<f64>,
+    slices: &mut Vec<Window>,
+    path_no: usize,
+) {
+    path_weights.clear();
+    path_weights.extend(cp.nodes.iter().map(|&v| vweights[v]));
+    let was_inverted = slice_window(cp, path_weights, rule, slices);
+    if was_inverted {
+        state.inverted += 1;
+    }
+    tracing::trace!(
+        path = path_no,
+        len = cp.nodes.len(),
+        window_start = %cp.window_start,
+        window_end = %cp.window_end,
+        slack = (cp.window_end.max(cp.window_start) - cp.window_start).as_f64()
+            - path_weights.iter().sum::<f64>(),
+        inverted = was_inverted,
+        "sliced critical path"
+    );
+
+    for (&v, &win) in cp.nodes.iter().zip(slices.iter()) {
+        debug_assert!(state.windows[v].is_none(), "node sliced twice");
+        state.windows[v] = Some(win);
+        state.assigned[v] = true;
+        state.remaining -= 1;
+    }
+
+    for &v in &cp.nodes {
+        let win = state.windows[v].expect("just assigned");
+        for &p in exp.pred(v) {
+            let p = p as usize;
+            if !state.assigned[p] {
+                let bound = win.release();
+                state.dl[p] = Some(state.dl[p].map_or(bound, |d| d.min(bound)));
+            }
+        }
+        for &s in exp.succ(v) {
+            let s = s as usize;
+            if !state.assigned[s] {
+                let bound = win.deadline();
+                state.rel[s] = Some(state.rel[s].map_or(bound, |r| r.max(bound)));
+            }
+        }
+    }
+}
+
+/// Turns a fully-sliced state into a [`DeadlineAssignment`]: optional
+/// strict-window clamp, then window collection in subtask/edge order.
+pub(crate) fn finalize(
+    slicer: &Slicer,
+    graph: &TaskGraph,
+    exp: &ExpandedGraph,
+    mut state: SliceState,
+) -> Result<DeadlineAssignment, SliceError> {
+    let windows = &mut state.windows;
+    if slicer.strict() {
+        // Reverse-topological clamp: successors are finalized before any
+        // of their predecessors, so one pass suffices even when a clamp
+        // cascades through a chain of zero-slack windows.
+        let mut clamped = 0usize;
+        for &v in exp.topo().iter().rev() {
+            let v = v as usize;
+            let win = windows[v].expect("all expanded nodes are sliced");
+            let mut bound = win.deadline();
+            for &s in exp.succ(v) {
+                let succ_release = windows[s as usize]
+                    .expect("all expanded nodes are sliced")
+                    .release();
+                bound = bound.min(succ_release);
+            }
+            if bound < win.deadline() {
+                clamped += 1;
+                windows[v] = Some(Window::new(win.release().min(bound), bound));
+            }
+        }
+        if clamped > 0 {
+            tracing::debug!(clamped = clamped, "strict window clamp tightened deadlines");
+        }
+    }
+
+    let mut task_windows = Vec::with_capacity(graph.subtask_count());
+    for id in graph.subtask_ids() {
+        task_windows.push(windows[exp.task_node(id)].ok_or(SliceError::NoAnchoredPath)?);
+    }
+    let mut comm_windows = Vec::with_capacity(graph.edge_count());
+    for eid in graph.edge_ids() {
+        comm_windows.push(match exp.comm_node(eid) {
+            Some(v) => {
+                debug_assert!(matches!(exp.kind(v), ExpKind::Comm(e) if e == eid));
+                windows[v]
+            }
+            None => None,
+        });
+    }
+
+    Ok(DeadlineAssignment::new(
+        task_windows,
+        comm_windows,
+        state.inverted,
+        slicer.metric_name().to_owned(),
+        slicer.estimate_label().to_owned(),
+    ))
 }
 
 /// Partitions the critical path's window into consecutive slices according

@@ -54,9 +54,11 @@ mod algorithm;
 mod assignment;
 mod baselines;
 mod context;
+mod delta;
 mod error;
 mod estimate;
 mod expanded;
+mod incremental;
 pub mod metrics;
 mod path_search;
 
@@ -64,8 +66,10 @@ pub use algorithm::Slicer;
 pub use assignment::{DeadlineAssignment, SliceViolation, ValidationReport, Window};
 pub use baselines::{distribute_baseline, BaselineStrategy};
 pub use context::MetricContext;
+pub use delta::{Applied, DeltaError, DeltaOp, GraphDelta};
 pub use error::SliceError;
 pub use estimate::CommEstimate;
+pub use incremental::{RedistributeStats, Redistribution, SliceMemo};
 pub use metrics::{Adapt, MetricKind, Norm, Pure, ShareRule, SliceMetric, Thres, ThresholdSpec};
 
 #[cfg(test)]
@@ -83,5 +87,12 @@ mod send_sync_tests {
         assert_send_sync::<CommEstimate>();
         assert_send_sync::<SliceError>();
         assert_send_sync::<MetricContext>();
+        assert_send_sync::<GraphDelta>();
+        assert_send_sync::<DeltaOp>();
+        assert_send_sync::<DeltaError>();
+        assert_send_sync::<Applied>();
+        assert_send_sync::<SliceMemo>();
+        assert_send_sync::<Redistribution>();
+        assert_send_sync::<RedistributeStats>();
     }
 }

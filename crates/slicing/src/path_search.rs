@@ -49,6 +49,16 @@ pub(crate) struct CriticalPath {
 
 const NO_PARENT: u32 = u32::MAX;
 
+/// Marks node `v` in the optional dependency bitset (one bit per expanded
+/// node). A no-op when no recording is requested, so the untraced hot path
+/// pays one predictable branch.
+#[inline]
+fn mark(dep: &mut Option<&mut Vec<u64>>, v: usize) {
+    if let Some(bits) = dep.as_deref_mut() {
+        bits[v >> 6] |= 1u64 << (v & 63);
+    }
+}
+
 /// One DP state slot: extremes of total virtual time over admissible paths
 /// reaching `(node, length)`, their parent choices, and the generation that
 /// last wrote the slot. Interleaved so one cache line serves the whole
@@ -126,6 +136,31 @@ impl PathSearch {
         self.epoch
     }
 
+    /// Classifies nodes for one slicing iteration, filling the reusable
+    /// `can_enter`/`endpoints` buffers: paths may *enter* a node only when
+    /// it is unassigned and not release-anchored (a slice entering an
+    /// anchored node from elsewhere could start before the anchor and
+    /// violate an already-assigned predecessor's deadline), and may *end*
+    /// at any unassigned deadline-anchored node.
+    ///
+    /// Returns `false` when no endpoint exists (no anchored path can exist
+    /// either, so per-start searches are pointless).
+    pub(crate) fn classify(
+        &mut self,
+        n: usize,
+        assigned: &[bool],
+        rel: &[Option<Time>],
+        dl: &[Option<Time>],
+    ) -> bool {
+        self.can_enter.clear();
+        self.can_enter
+            .extend((0..n).map(|v| !assigned[v] && rel[v].is_none()));
+        self.endpoints.clear();
+        self.endpoints
+            .extend((0..n as u32).filter(|&t| !assigned[t as usize] && dl[t as usize].is_some()));
+        !self.endpoints.is_empty()
+    }
+
     /// Finds the admissible path minimizing `rule`'s score, or `None` if no
     /// anchored path exists (which the slicing loop treats as an internal
     /// invariant violation).
@@ -133,6 +168,14 @@ impl PathSearch {
     /// `vweights` are per-node virtual execution times; `assigned` marks
     /// nodes already sliced; `rel`/`dl` are the accumulated release/deadline
     /// anchors.
+    ///
+    /// Decomposed into one [`search_from`](Self::search_from) per
+    /// release-anchored start, composed with a strict `<` over ascending
+    /// starts — exactly the evaluation order of the original monolithic
+    /// sweep, so the winner (the first candidate attaining the global
+    /// minimum) is bit-identical. The per-start form is what incremental
+    /// redistribution replays, skipping starts whose recorded read set is
+    /// untouched by a delta.
     pub(crate) fn find_critical_path(
         &mut self,
         exp: &ExpandedGraph,
@@ -143,129 +186,159 @@ impl PathSearch {
         rule: ShareRule,
     ) -> Option<CriticalPath> {
         let n = exp.len();
-        let cols = self.cols;
-        let mut best: Option<CriticalPath> = None;
-
-        // Classify nodes once per call: paths may *enter* a node only when
-        // it is unassigned and not release-anchored (a slice entering an
-        // anchored node from elsewhere could start before the anchor and
-        // violate an already-assigned predecessor's deadline), and may *end*
-        // at any unassigned deadline-anchored node.
-        self.can_enter.clear();
-        self.can_enter
-            .extend((0..n).map(|v| !assigned[v] && rel[v].is_none()));
-        self.endpoints.clear();
-        self.endpoints
-            .extend((0..n as u32).filter(|&t| !assigned[t as usize] && dl[t as usize].is_some()));
-        if self.endpoints.is_empty() {
+        if !self.classify(n, assigned, rel, dl) {
             return None;
         }
-
+        let mut best: Option<CriticalPath> = None;
         for s in 0..n {
             if assigned[s] || rel[s].is_none() {
                 continue;
             }
             let start_release = rel[s].expect("checked above");
-            let epoch = self.next_epoch();
+            if let Some(cand) = self.search_from(exp, vweights, dl, s, start_release, rule, None) {
+                if best.as_ref().is_none_or(|b| cand.score < b.score) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
 
-            // Seed the single-node path (s, length 1).
-            self.states[s * cols + 1] = State {
-                wmax: vweights[s],
-                wmin: vweights[s],
-                pmax: NO_PARENT,
-                pmin: NO_PARENT,
-                stamp: epoch,
-            };
-            self.node_stamp[s] = epoch;
-            self.kmin[s] = 1;
-            self.kmax[s] = 1;
-            debug_assert!(self.frontier.is_empty());
-            self.frontier.push(Reverse(exp.topo_pos(s)));
+    /// Runs the DP from one release-anchored start `s` and returns the best
+    /// candidate path it can reach, or `None` if no endpoint is reachable.
+    ///
+    /// [`classify`](Self::classify) must have been called for the current
+    /// `assigned`/`rel`/`dl` state first. Within a start, candidates are
+    /// evaluated in a fixed order with a strict `<`, so the local winner is
+    /// the first candidate attaining the local minimum — composing local
+    /// winners across ascending starts with the same strict `<` reproduces
+    /// the global sweep exactly.
+    ///
+    /// When `dep` is `Some`, every node whose *mutable per-iteration state*
+    /// the search reads (the start, every popped node, every examined
+    /// successor) is marked in the bitset. A cached result from this start
+    /// stays valid as long as none of those nodes' state changed: unreached
+    /// nodes beyond the recorded boundary cannot influence the search
+    /// without some boundary node's `can_enter`/anchor state changing
+    /// first, and that boundary node is in the set.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn search_from(
+        &mut self,
+        exp: &ExpandedGraph,
+        vweights: &[f64],
+        dl: &[Option<Time>],
+        s: usize,
+        start_release: Time,
+        rule: ShareRule,
+        mut dep: Option<&mut Vec<u64>>,
+    ) -> Option<CriticalPath> {
+        let cols = self.cols;
+        let epoch = self.next_epoch();
+        let mut best: Option<CriticalPath> = None;
+        mark(&mut dep, s);
 
-            // Process live nodes in topological order. Every node on the
-            // frontier already satisfies the interior admissibility rules
-            // (it is the start, or it was entered through `can_enter`), so
-            // it may extend iff it is not deadline-anchored.
-            while let Some(Reverse(pos)) = self.frontier.pop() {
-                let u = exp.topo()[pos as usize] as usize;
-                if dl[u].is_some() {
+        // Seed the single-node path (s, length 1).
+        self.states[s * cols + 1] = State {
+            wmax: vweights[s],
+            wmin: vweights[s],
+            pmax: NO_PARENT,
+            pmin: NO_PARENT,
+            stamp: epoch,
+        };
+        self.node_stamp[s] = epoch;
+        self.kmin[s] = 1;
+        self.kmax[s] = 1;
+        debug_assert!(self.frontier.is_empty());
+        self.frontier.push(Reverse(exp.topo_pos(s)));
+
+        // Process live nodes in topological order. Every node on the
+        // frontier already satisfies the interior admissibility rules
+        // (it is the start, or it was entered through `can_enter`), so
+        // it may extend iff it is not deadline-anchored.
+        while let Some(Reverse(pos)) = self.frontier.pop() {
+            let u = exp.topo()[pos as usize] as usize;
+            mark(&mut dep, u);
+            if dl[u].is_some() {
+                continue;
+            }
+            let (lo, hi) = (self.kmin[u], self.kmax[u]);
+            for k in lo..=hi {
+                let idx = u * cols + k as usize;
+                let st = self.states[idx];
+                if st.stamp != epoch {
                     continue;
                 }
-                let (lo, hi) = (self.kmin[u], self.kmax[u]);
-                for k in lo..=hi {
-                    let idx = u * cols + k as usize;
-                    let st = self.states[idx];
-                    if st.stamp != epoch {
+                if k as usize + 1 >= cols {
+                    // Paths cannot exceed the longest chain.
+                    continue;
+                }
+                for &z in exp.succ(u) {
+                    let z = z as usize;
+                    mark(&mut dep, z);
+                    if !self.can_enter[z] {
                         continue;
                     }
-                    if k as usize + 1 >= cols {
-                        // Paths cannot exceed the longest chain.
-                        continue;
+                    let zidx = z * cols + k as usize + 1;
+                    let zst = &mut self.states[zidx];
+                    if zst.stamp != epoch {
+                        *zst = State {
+                            stamp: epoch,
+                            ..STALE
+                        };
                     }
-                    for &z in exp.succ(u) {
-                        let z = z as usize;
-                        if !self.can_enter[z] {
-                            continue;
-                        }
-                        let zidx = z * cols + k as usize + 1;
-                        let zst = &mut self.states[zidx];
-                        if zst.stamp != epoch {
-                            *zst = State {
-                                stamp: epoch,
-                                ..STALE
-                            };
-                        }
-                        let cand_max = st.wmax + vweights[z];
-                        if cand_max > zst.wmax {
-                            zst.wmax = cand_max;
-                            zst.pmax = u as u32;
-                        }
-                        let cand_min = st.wmin + vweights[z];
-                        if cand_min < zst.wmin {
-                            zst.wmin = cand_min;
-                            zst.pmin = u as u32;
-                        }
-                        if self.node_stamp[z] != epoch {
-                            self.node_stamp[z] = epoch;
-                            self.kmin[z] = k + 1;
-                            self.kmax[z] = k + 1;
-                            // First live state: z joins the frontier. Arcs
-                            // only point forward in topological order, so z
-                            // has not been popped yet.
-                            self.frontier.push(Reverse(exp.topo_pos(z)));
-                        } else {
-                            self.kmin[z] = self.kmin[z].min(k + 1);
-                            self.kmax[z] = self.kmax[z].max(k + 1);
-                        }
+                    let cand_max = st.wmax + vweights[z];
+                    if cand_max > zst.wmax {
+                        zst.wmax = cand_max;
+                        zst.pmax = u as u32;
+                    }
+                    let cand_min = st.wmin + vweights[z];
+                    if cand_min < zst.wmin {
+                        zst.wmin = cand_min;
+                        zst.pmin = u as u32;
+                    }
+                    if self.node_stamp[z] != epoch {
+                        self.node_stamp[z] = epoch;
+                        self.kmin[z] = k + 1;
+                        self.kmax[z] = k + 1;
+                        // First live state: z joins the frontier. Arcs
+                        // only point forward in topological order, so z
+                        // has not been popped yet.
+                        self.frontier.push(Reverse(exp.topo_pos(z)));
+                    } else {
+                        self.kmin[z] = self.kmin[z].min(k + 1);
+                        self.kmax[z] = self.kmax[z].max(k + 1);
                     }
                 }
             }
+        }
 
-            // Evaluate every deadline-anchored endpoint this start reached.
-            for i in 0..self.endpoints.len() {
-                let t = self.endpoints[i] as usize;
-                if self.node_stamp[t] != epoch {
+        // Evaluate every deadline-anchored endpoint this start reached.
+        // Reached endpoints were popped above and are therefore already in
+        // the dependency set; unreached ones only have their (stale) stamp
+        // read, which is not part of the mutable slicing state.
+        for i in 0..self.endpoints.len() {
+            let t = self.endpoints[i] as usize;
+            if self.node_stamp[t] != epoch {
+                continue;
+            }
+            let window_end = dl[t].expect("endpoint is deadline-anchored");
+            let window = window_end - start_release;
+            for k in self.kmin[t]..=self.kmax[t] {
+                let idx = t * cols + k as usize;
+                let st = self.states[idx];
+                if st.stamp != epoch {
                     continue;
                 }
-                let window_end = dl[t].expect("endpoint is deadline-anchored");
-                let window = window_end - start_release;
-                for k in self.kmin[t]..=self.kmax[t] {
-                    let idx = t * cols + k as usize;
-                    let st = self.states[idx];
-                    if st.stamp != epoch {
-                        continue;
-                    }
-                    for (total, use_max) in [(st.wmax, true), (st.wmin, false)] {
-                        let score = rule.score(window, total, k as usize);
-                        if best.as_ref().is_none_or(|b| score < b.score) {
-                            let nodes = self.reconstruct(t, k as usize, use_max);
-                            best = Some(CriticalPath {
-                                nodes,
-                                score,
-                                window_start: start_release,
-                                window_end,
-                            });
-                        }
+                for (total, use_max) in [(st.wmax, true), (st.wmin, false)] {
+                    let score = rule.score(window, total, k as usize);
+                    if best.as_ref().is_none_or(|b| score < b.score) {
+                        let nodes = self.reconstruct(t, k as usize, use_max);
+                        best = Some(CriticalPath {
+                            nodes,
+                            score,
+                            window_start: start_release,
+                            window_end,
+                        });
                     }
                 }
             }

@@ -152,6 +152,17 @@ impl Subtask {
     pub fn set_deadline(&mut self, deadline: Option<Time>) {
         self.deadline = deadline;
     }
+
+    /// Sets the worst-case execution time in place.
+    ///
+    /// The new value is validated the same way [`TaskGraphBuilder::build`]
+    /// validates original WCETs — a rebuilt graph rejects non-positive
+    /// values — so delta application (perturbing one node's cᵢ) can edit a
+    /// cloned subtask without round-tripping through the constructor.
+    #[inline]
+    pub fn set_wcet(&mut self, wcet: Time) {
+        self.wcet = wcet;
+    }
 }
 
 /// A precedence edge carrying a message of `items` data items from `src` to
@@ -586,6 +597,17 @@ mod tests {
         assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![c]);
         assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![c]);
         assert_eq!(g.edge(EdgeId::new(0)).items(), 5);
+    }
+
+    #[test]
+    fn set_wcet_edits_in_place() {
+        let mut s = anchored(10);
+        assert_eq!(s.wcet(), Time::new(10));
+        s.set_wcet(Time::new(25));
+        assert_eq!(s.wcet(), Time::new(25));
+        // Anchors are untouched by a WCET edit.
+        assert_eq!(s.release(), Some(Time::ZERO));
+        assert_eq!(s.deadline(), Some(Time::new(1000)));
     }
 
     #[test]

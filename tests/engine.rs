@@ -418,16 +418,3 @@ fn validation_errors_are_typed() {
         .unwrap_err();
     assert!(matches!(err, RunError::ShardedRun { count: 2 }));
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_runner() {
-    let s = scenario();
-    let from_runner = Runner::new(s.clone()).run().unwrap();
-    assert_eq!(feast::run_scenario(&s).unwrap(), from_runner);
-    assert_eq!(feast::run_scenario_sequential(&s).unwrap(), from_runner);
-    assert_eq!(
-        feast::run_scenario_with_threads(&s, 3).unwrap(),
-        from_runner
-    );
-}

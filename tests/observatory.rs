@@ -109,8 +109,13 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         schedule_violations,
         replications_failed,
         checkpoint_retries,
+        delta_cache_hits,
+        delta_cache_misses,
+        delta_dirty_nodes,
+        delta_scanned_nodes,
         generate,
         distribute,
+        redistribute,
         schedule,
         audit,
     } = snap;
@@ -123,12 +128,17 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         ("schedule_violations", *schedule_violations),
         ("replications_failed", *replications_failed),
         ("checkpoint_retries", *checkpoint_retries),
+        ("delta_cache_hits", *delta_cache_hits),
+        ("delta_cache_misses", *delta_cache_misses),
+        ("delta_dirty_nodes", *delta_dirty_nodes),
+        ("delta_scanned_nodes", *delta_scanned_nodes),
     ] {
         check(name, value);
     }
     for (stage, snap) in [
         ("generate", generate),
         ("distribute", distribute),
+        ("redistribute", redistribute),
         ("schedule", schedule),
         ("audit", audit),
     ] {
@@ -168,6 +178,13 @@ fn populated_registry() -> Registry {
     registry.count_audit(2, 1);
     registry.count_failed_replication();
     registry.count_checkpoint_retry();
+    registry.count_redistribute(&slicing::RedistributeStats {
+        cache_hits: 5,
+        cache_misses: 2,
+        dirty_nodes: 4,
+        scanned_nodes: 40,
+        fell_back: false,
+    });
     registry
 }
 

@@ -178,15 +178,23 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// A config running `cases` random cases.
+        /// A config running `cases` random cases, ignoring the
+        /// environment (use for suites whose case count must not drift).
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
     }
 
     impl Default for ProptestConfig {
+        /// 256 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable (mirroring upstream proptest, so CI can
+        /// pin or scale suites without code edits).
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 
