@@ -1,0 +1,489 @@
+//! Load test of the online admission service (`feast::admission`).
+//!
+//! Generates a deterministic stream of admission requests from the shared
+//! bench seed, pushes them through an [`AdmissionService`] as fast as the
+//! bounded queue accepts them, and records sustained throughput
+//! (admissions decided per second) plus the coordinator's decision-latency
+//! distribution into `BENCH_admission.json` — the committed load
+//! trajectory every future change extends.
+//!
+//! Every run re-verifies the tentpole's determinism contract before
+//! recording anything: the service's transcript is replayed through a
+//! fresh sequential [`AdmissionController`] and must match bit for bit
+//! (verdicts, final state digest, resident count). A run that fails
+//! replay exits non-zero and records nothing.
+//!
+//! ```text
+//! cargo run --release -p bench --bin admit-load -- [--label NAME] \
+//!     [--requests N] [--workers N] [--size P] [--amend-every K] \
+//!     [--out PATH] [--fresh] [--guard] [--floor F] [--metrics PATH]
+//! ```
+//!
+//! * `--label NAME`    tag for this run (default `run`);
+//! * `--requests N`    admission requests to submit (default 4096);
+//! * `--workers N`     slicer worker threads (default 4);
+//! * `--size P`        platform processors (default 8, the paper size);
+//! * `--amend-every K` submit an amendment of the latest admit after every
+//!   K admits (default 16; 0 disables amendments);
+//! * `--trials N`      run the stream N times and record the fastest trial
+//!   (every trial is replay-verified; default 1);
+//! * `--out PATH`      trajectory file (default `BENCH_admission.json`);
+//! * `--fresh`         overwrite instead of appending;
+//! * `--guard`         exit non-zero unless throughput ≥ the floor
+//!   (the CI admission guard);
+//! * `--floor F`       guard floor in admissions/second (default 10000);
+//! * `--metrics PATH`  also write a live `metrics.json` (progress +
+//!   telemetry) while the run drains.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use feast::telemetry::{self, StageSnapshot};
+use feast::{
+    AdmissionLog, AdmissionService, AdmitConfig, AdmitError, AdmitRequest, MetricsWriter,
+    ProgressTracker, Runner, Scenario,
+};
+use serde::{Deserialize, Serialize};
+use slicing::{CommEstimate, GraphDelta, MetricKind};
+use taskgraph::gen::{generate_seeded, stream_label, stream_seed, ExecVariation, WorkloadSpec};
+use taskgraph::{SubtaskId, TaskGraph, Time};
+
+/// Shared bench seed (same as `bench.rs`): request `i` draws its workload
+/// from `stream_seed(SEED, admission stream, size, i)`, so the request
+/// stream is identical across runs and machines.
+const SEED: u64 = 0x000F_EA57_BE5C;
+
+/// Decision-latency statistics, copied from the telemetry registry's
+/// `admission` histogram delta for this run (percentiles are within one
+/// log2 bucket of the exact order statistic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LatencyStats {
+    count: u64,
+    mean_us: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_snapshot(snap: &StageSnapshot) -> LatencyStats {
+        LatencyStats {
+            count: snap.count,
+            mean_us: snap.mean_us,
+            p50_us: snap.p50_us,
+            p90_us: snap.p90_us,
+            p99_us: snap.p99_us,
+            max_us: snap.max_us,
+        }
+    }
+}
+
+/// One measured service run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadPoint {
+    processors: usize,
+    workers: usize,
+    queue_depth: usize,
+    capacity: usize,
+    amend_every: usize,
+    /// Mean origin advance between admits (time units); sets the
+    /// steady-state residency the trials schedule against.
+    stride: i64,
+    /// Trials this point is the best of (every trial replay-verified; the
+    /// fastest is recorded, being the least noise-contaminated).
+    trials: usize,
+    /// Requests submitted (admits + amends; every one was accepted by the
+    /// queue, retrying on backpressure).
+    requests: usize,
+    admitted: usize,
+    rejected: usize,
+    /// Requests answered with a typed error (e.g. amendment of an already
+    /// retired resident) — still decisions, still replayed.
+    errors: usize,
+    /// Submissions refused by the bounded queue before eventually landing
+    /// (backpressure retries; not counted in `requests`).
+    queue_retries: usize,
+    elapsed_ms: f64,
+    /// Decisions per second of wall clock, submit of the first request to
+    /// drained shutdown.
+    admissions_per_sec: f64,
+    /// Coordinator decision latency (trial + commit, excluding queueing
+    /// and parallel slicing).
+    latency: LatencyStats,
+    /// The determinism contract held: sequential replay of the transcript
+    /// reproduced every verdict and the final state digest bit for bit.
+    replay_verified: bool,
+}
+
+/// One invocation of this binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadRun {
+    label: String,
+    seed: u64,
+    points: Vec<LoadPoint>,
+}
+
+/// The committed trajectory, oldest run first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadFile {
+    schema: u32,
+    description: String,
+    runs: Vec<LoadRun>,
+}
+
+impl LoadFile {
+    fn empty() -> LoadFile {
+        LoadFile {
+            schema: 1,
+            description: "Admission-service load trajectory; see README.md \
+                          §Admission control. Throughput is decisions/second \
+                          through the concurrent service; latency is the \
+                          coordinator's per-decision trial+commit time in \
+                          microseconds."
+                .to_owned(),
+            runs: Vec::new(),
+        }
+    }
+}
+
+/// Builds the deterministic request stream: paper workloads at origins
+/// that advance by a seed-derived stride around `stride`, with an
+/// amendment of the latest admit every `amend_every` admits. The stride
+/// sets the steady-state residency (how many committed graphs a trial
+/// schedules against) and is therefore the load axis of this bench.
+fn request_stream(count: usize, size: usize, amend_every: usize, stride: i64) -> Vec<AdmitRequest> {
+    let stream = stream_label(b"admission");
+    let mut requests = Vec::with_capacity(count);
+    let mut origin = 0i64;
+    let mut admits = 0u64;
+    let mut last_admit: Option<(u64, Arc<TaskGraph>)> = None;
+    while requests.len() < count {
+        let draw = stream_seed(SEED, stream, size as u64, requests.len() as u64);
+        let amend_due = amend_every > 0 && admits > 0 && admits.is_multiple_of(amend_every as u64);
+        if amend_due {
+            if let Some((id, graph)) = &last_admit {
+                // Tighten one WCET of the latest admit — the repair fast
+                // path's home turf (it is still the newest commit unless a
+                // retirement intervened, which the service handles too).
+                let subtask = SubtaskId::new((draw % graph.subtask_count() as u64) as u32);
+                let old = graph.subtask(subtask).wcet().as_i64();
+                let wcet = (old - 1 - (draw >> 33) as i64 % 3).max(1);
+                requests.push(AdmitRequest::Amend {
+                    id: *id,
+                    delta: GraphDelta::new().set_wcet(subtask, Time::new(wcet)),
+                });
+                admits += 1; // arm the next window
+                continue;
+            }
+        }
+        // Workload generation can reject a stream; walk to the next one,
+        // as the engine does.
+        let graph = Arc::new(
+            (0..16)
+                .find_map(|attempt| {
+                    generate_seeded(
+                        &WorkloadSpec::paper(ExecVariation::Mdet),
+                        draw.wrapping_add(attempt),
+                    )
+                    .ok()
+                })
+                .expect("a paper workload generates within 16 seed attempts"),
+        );
+        origin += stride / 5 + (draw % (stride as u64 * 2).max(1)) as i64;
+        let id = admits;
+        requests.push(AdmitRequest::Admit {
+            id,
+            graph: Arc::clone(&graph),
+            origin: Time::new(origin),
+        });
+        last_admit = Some((id, graph));
+        admits += 1;
+    }
+    requests
+}
+
+struct Args {
+    label: String,
+    requests: usize,
+    workers: usize,
+    size: usize,
+    amend_every: usize,
+    stride: i64,
+    capacity: usize,
+    trials: usize,
+    out: String,
+    fresh: bool,
+    guard: bool,
+    floor: f64,
+    metrics: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        label: "run".to_owned(),
+        requests: 4096,
+        workers: 4,
+        size: 8,
+        amend_every: 16,
+        stride: 1_000,
+        capacity: 64,
+        trials: 1,
+        out: "BENCH_admission.json".to_owned(),
+        fresh: false,
+        guard: false,
+        floor: 10_000.0,
+        metrics: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--label" => args.label = value("--label"),
+            "--requests" => {
+                args.requests = value("--requests")
+                    .parse()
+                    .expect("--requests takes a positive integer")
+            }
+            "--workers" => {
+                args.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes a positive integer")
+            }
+            "--size" => {
+                args.size = value("--size")
+                    .parse()
+                    .expect("--size takes a positive integer")
+            }
+            "--amend-every" => {
+                args.amend_every = value("--amend-every")
+                    .parse()
+                    .expect("--amend-every takes an integer (0 disables)")
+            }
+            "--stride" => {
+                args.stride = value("--stride")
+                    .parse()
+                    .expect("--stride takes a positive integer (time units)")
+            }
+            "--capacity" => {
+                args.capacity = value("--capacity")
+                    .parse()
+                    .expect("--capacity takes a positive integer")
+            }
+            "--trials" => {
+                args.trials = value("--trials")
+                    .parse()
+                    .expect("--trials takes a positive integer")
+            }
+            "--out" => args.out = value("--out"),
+            "--fresh" => args.fresh = true,
+            "--guard" => args.guard = true,
+            "--floor" => {
+                args.floor = value("--floor")
+                    .parse()
+                    .expect("--floor takes a number (admissions/second)")
+            }
+            "--metrics" => args.metrics = Some(value("--metrics")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: admit-load [--label NAME] [--requests N] [--workers N] [--size P] \
+                     [--amend-every K] [--stride T] [--capacity N] [--trials N] [--out PATH] \
+                     [--fresh] [--guard] [--floor F] [--metrics PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let requests = request_stream(
+        args.requests.max(1),
+        args.size,
+        args.amend_every,
+        args.stride.max(1),
+    );
+
+    let scenario = Scenario::paper(
+        "admit-load",
+        WorkloadSpec::paper(ExecVariation::Mdet),
+        // NORM/CCNE is the paper's baseline technique and — unlike ADAPT,
+        // whose PURE mode has a millisecond-scale distribute tail — slices
+        // with a tight latency distribution, so the coordinator's in-order
+        // reorder buffer is not head-of-line blocked by a slow slicer.
+        MetricKind::norm(),
+        CommEstimate::Ccne,
+    );
+    let config = AdmitConfig::new(scenario, args.size)
+        .with_workers(args.workers.max(1))
+        .with_queue_depth(512)
+        .with_capacity(args.capacity.max(1));
+
+    let trials = args.trials.max(1);
+    let progress = ProgressTracker::new();
+    progress.configure("admit-load", 0, 1, (requests.len() * trials) as u64, 0);
+    let writer = args
+        .metrics
+        .as_ref()
+        .map(|path| MetricsWriter::new(path, Runner::METRICS_WRITE_INTERVAL));
+
+    let registry = telemetry::global();
+
+    eprintln!(
+        "admit-load: {} requests ({} amend stride) onto {} processors, {} slicers, {} trial(s)",
+        requests.len(),
+        args.amend_every,
+        args.size,
+        args.workers,
+        trials
+    );
+    // Best-of-N: the request stream is fixed, so every trial does identical
+    // work and the fastest one is the least noise-contaminated estimate of
+    // the service's sustained rate. Every trial (not just the best) must
+    // pass the replay check before anything is recorded.
+    let mut best: Option<(AdmissionLog, f64, LatencyStats, usize)> = None;
+    let mut last_delta = None;
+    for trial in 0..trials {
+        let before = registry.snapshot();
+        let service = AdmissionService::new(config.clone()).expect("admission service starts");
+        let started = Instant::now();
+        let mut queue_retries = 0usize;
+        for request in &requests {
+            let mut pending = request.clone();
+            loop {
+                match service.submit(pending) {
+                    Ok(()) => break,
+                    Err(AdmitError::QueueFull { .. }) => {
+                        queue_retries += 1;
+                        std::thread::yield_now();
+                        pending = request.clone();
+                    }
+                    Err(other) => panic!("submission failed: {other}"),
+                }
+                if let Some(writer) = &writer {
+                    writer.maybe_write(&progress, || registry.snapshot());
+                }
+            }
+            progress.record_cell(true, 0);
+        }
+        let log = service.shutdown().expect("service drains and stops");
+        let elapsed = started.elapsed();
+
+        let after = registry.snapshot();
+        let latency = LatencyStats::from_snapshot(&after.admission.delta(&before.admission));
+        last_delta = Some(after.delta(&before));
+
+        // The determinism contract, re-proven on every load run: the
+        // service's transcript must replay bit-identically through a fresh
+        // sequential controller before the numbers are worth recording.
+        let replayed = log
+            .replay(&config)
+            .expect("sequential replay controller builds");
+        if !log.matches(&replayed) {
+            eprintln!(
+                "admit-load FAILED: trial {} transcript diverged from sequential replay",
+                trial + 1
+            );
+            std::process::exit(2);
+        }
+
+        let aps = log.outcomes.len() as f64 / elapsed.as_secs_f64();
+        eprintln!(
+            "trial {}/{}: {} decisions in {:.1}ms = {aps:.0}/s (replay verified)",
+            trial + 1,
+            trials,
+            log.outcomes.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
+        if best.as_ref().is_none_or(|(_, b, _, _)| aps > *b) {
+            best = Some((log, aps, latency, queue_retries));
+        }
+    }
+    progress.finish("complete");
+    // The at-exit metrics document (last trial's telemetry delta), written
+    // after finish so it carries the run outcome.
+    if let (Some(writer), Some(delta)) = (&writer, last_delta) {
+        writer.write_now(&progress, delta);
+    }
+
+    let (log, admissions_per_sec, latency, queue_retries) = best.expect("at least one trial ran");
+    let decisions = log.outcomes.len();
+    let admitted = log.admitted();
+    let rejected = log.rejected();
+    let errors = decisions - admitted - rejected;
+    let elapsed_ms = decisions as f64 / admissions_per_sec * 1e3;
+    let replay_verified = true;
+
+    let point = LoadPoint {
+        processors: args.size,
+        workers: args.workers.max(1),
+        queue_depth: config.queue_depth,
+        capacity: config.capacity,
+        amend_every: args.amend_every,
+        stride: args.stride.max(1),
+        trials,
+        requests: decisions,
+        admitted,
+        rejected,
+        errors,
+        queue_retries,
+        elapsed_ms,
+        admissions_per_sec,
+        latency,
+        replay_verified,
+    };
+    eprintln!(
+        "admit-load: {decisions} decisions in {elapsed_ms:.1}ms = {admissions_per_sec:.0}/s \
+         ({admitted} admitted, {rejected} rejected, {errors} errors, {queue_retries} retries)"
+    );
+    eprintln!(
+        "latency: mean {}us p50 {}us p90 {}us p99 {}us max {}us; replay verified",
+        point.latency.mean_us,
+        point.latency.p50_us,
+        point.latency.p90_us,
+        point.latency.p99_us,
+        point.latency.max_us
+    );
+
+    if args.guard && admissions_per_sec < args.floor {
+        eprintln!(
+            "admission guard FAILED: {admissions_per_sec:.0} admissions/s is below the \
+             {:.0}/s floor",
+            args.floor
+        );
+        std::process::exit(2);
+    }
+    if args.guard {
+        eprintln!(
+            "admission guard passed ({admissions_per_sec:.0}/s >= {:.0}/s)",
+            args.floor
+        );
+    }
+
+    let mut file = if args.fresh {
+        LoadFile::empty()
+    } else {
+        std::fs::read_to_string(&args.out)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(LoadFile::empty)
+    };
+    match file.runs.iter_mut().find(|run| run.label == args.label) {
+        Some(run) => run.points = vec![point],
+        None => file.runs.push(LoadRun {
+            label: args.label,
+            seed: SEED,
+            points: vec![point],
+        }),
+    }
+    let json = serde_json::to_string_pretty(&file).expect("serialization cannot fail");
+    std::fs::write(&args.out, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}

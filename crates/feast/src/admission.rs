@@ -1,0 +1,1176 @@
+//! Online admission control: the paper's pipeline as a long-running
+//! scheduler service.
+//!
+//! The sweep engine answers an *offline* question — how late does a
+//! technique run over thousands of independent replications. This module
+//! answers the *online* one: task graphs arrive one by one at a live
+//! platform that already carries committed reservations, and each must be
+//! answered admit/reject **now**, with the predicted worst-case lateness
+//! it would incur against the platform's current load.
+//!
+//! * [`AdmissionController`] — the sequential core. Owns one [`Pipeline`],
+//!   one [`CommittedState`] and the resident set; [`admit`] trial-schedules
+//!   a new graph around the committed reservations (admitted graphs commit
+//!   exactly the trialed schedule, rejected ones leave no trace) and
+//!   [`amend`] re-trials a resident after a [`GraphDelta`], preferring the
+//!   rollback + schedule-repair fast path.
+//! * [`AdmissionService`] — the same semantics behind a bounded queue:
+//!   slicer workers distribute deadlines in parallel (stage one of the
+//!   pipeline never reads committed load), a single coordinator re-orders
+//!   their products by submission sequence and runs every trial + commit
+//!   in submission order, so concurrency never changes a verdict.
+//! * [`AdmissionLog`] — the service's full transcript: every request and
+//!   outcome in submission order plus the final state digest. Replaying it
+//!   through a fresh sequential controller ([`AdmissionLog::replay`])
+//!   reproduces bit-identical verdicts — the determinism contract tests
+//!   and load harnesses check.
+//!
+//! A verdict is a *prediction under the trialed load*, not a
+//! schedulability proof: admitted means the non-preemptive EDF trial met
+//! every sliced deadline given the reservations committed at decision
+//! time. Residents depart automatically once the decision clock passes
+//! their horizon (last reserved completion), and a capacity bound evicts
+//! the oldest residents on admit so the committed state stays small.
+//!
+//! [`admit`]: AdmissionController::admit
+//! [`amend`]: AdmissionController::amend
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use platform::Platform;
+use sched::{CommitReceipt, CommittedState, MissLog, Schedule};
+use serde::{Deserialize, Serialize};
+use slicing::GraphDelta;
+use taskgraph::{TaskGraph, Time};
+
+use crate::error::AdmitError;
+use crate::pipeline::{Pipeline, SliceOutput, Sliced, Verdict};
+use crate::scenario::Scenario;
+use crate::{telemetry, RunError};
+
+/// Configuration of an admission controller or service: the pipeline
+/// scenario, the platform size, and the service's operational bounds.
+#[derive(Debug, Clone)]
+pub struct AdmitConfig {
+    /// The pipeline configuration: technique, scheduler spec, pinning
+    /// policy. Sweep shape (sizes, replications, seeds) is ignored.
+    pub scenario: Scenario,
+    /// Number of processors in the live platform.
+    pub system_size: usize,
+    /// Bound of the service's ingress queue; [`AdmissionService::submit`]
+    /// refuses with [`AdmitError::QueueFull`] instead of blocking.
+    pub queue_depth: usize,
+    /// Maximum number of resident (committed) graphs; an admit beyond the
+    /// bound evicts the oldest residents first.
+    pub capacity: usize,
+    /// Number of parallel slicer workers in an [`AdmissionService`].
+    pub workers: usize,
+    /// Per-service budget of individually logged deadline-miss warnings;
+    /// misses beyond it are counted silently (see [`MissLog`]).
+    pub miss_warn_limit: u64,
+}
+
+impl AdmitConfig {
+    /// A configuration with service defaults: queue depth 256, capacity
+    /// 64 residents, 4 slicer workers, 8 logged miss warnings.
+    pub fn new(scenario: Scenario, system_size: usize) -> AdmitConfig {
+        AdmitConfig {
+            scenario,
+            system_size,
+            queue_depth: 256,
+            capacity: 64,
+            workers: 4,
+            miss_warn_limit: 8,
+        }
+    }
+
+    /// Sets the ingress queue bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the resident capacity bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the number of slicer workers (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the deadline-miss warning budget.
+    #[must_use]
+    pub fn with_miss_warn_limit(mut self, limit: u64) -> Self {
+        self.miss_warn_limit = limit;
+        self
+    }
+}
+
+/// One request to the admission service, identified by a caller-chosen id.
+///
+/// Requests are processed strictly in submission order; the id names the
+/// resident for later amendment and must be unique among live residents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitRequest {
+    /// Admit a new task graph arriving at absolute time `origin`.
+    Admit {
+        /// Caller-chosen resident id (unique among live residents).
+        id: u64,
+        /// The arriving task graph, in graph-local time. Shared so the
+        /// queue, the transcript, and the resident set all reference one
+        /// allocation — cloning a request never copies the graph.
+        graph: Arc<TaskGraph>,
+        /// Absolute arrival time; every sliced window is re-anchored here.
+        origin: Time,
+    },
+    /// Amend a resident graph and re-trial it at its original origin.
+    Amend {
+        /// The resident to amend.
+        id: u64,
+        /// The structural amendment to apply.
+        delta: GraphDelta,
+    },
+}
+
+impl AdmitRequest {
+    /// The resident id this request names.
+    pub fn id(&self) -> u64 {
+        match self {
+            AdmitRequest::Admit { id, .. } | AdmitRequest::Amend { id, .. } => *id,
+        }
+    }
+}
+
+/// The decision for one request: admit/reject plus the trial's predicted
+/// lateness figures.
+///
+/// Deliberately excludes wall-clock latency (that goes to the telemetry
+/// registry), so replaying a request log reproduces verdicts bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmitVerdict {
+    /// The request's resident id.
+    pub id: u64,
+    /// Did the trial meet every sliced deadline? Admitted graphs have
+    /// their trial schedule committed; rejected ones leave no trace.
+    pub admitted: bool,
+    /// Predicted maximum task lateness (negative values are slack).
+    pub max_lateness: Time,
+    /// Predicted maximum end-to-end lateness, relative to the origin.
+    pub end_to_end: Time,
+    /// Completion time of the trialed schedule (absolute time); an
+    /// admitted resident departs once the decision clock passes it.
+    pub makespan: Time,
+    /// Structural violations found by the always-on window and schedule
+    /// audits (expected zero).
+    pub violations: usize,
+    /// For amendments: whether the schedule-repair fast path produced the
+    /// verdict (`false` when the trial re-ran in full — same result,
+    /// more work).
+    pub repaired: bool,
+    /// Residents committed after this decision.
+    pub residents: usize,
+}
+
+/// One committed admission: the graph, its reserved schedule, and when it
+/// arrived / departs.
+#[derive(Debug)]
+struct Resident {
+    graph: Arc<TaskGraph>,
+    schedule: Schedule,
+    origin: Time,
+    horizon: Time,
+}
+
+/// The sequential admission core: one pipeline, one committed state, the
+/// resident set. Processes one request at a time; [`AdmissionService`]
+/// wraps it with a queue and parallel slicers without changing any
+/// verdict.
+///
+/// # Examples
+///
+/// ```
+/// use feast::{AdmissionController, AdmitConfig, Scenario};
+/// use slicing::{CommEstimate, MetricKind};
+/// use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
+/// use taskgraph::Time;
+///
+/// # fn main() -> Result<(), feast::Error> {
+/// let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+/// let scenario = Scenario::paper("ADM", spec.clone(), MetricKind::adapt(), CommEstimate::Ccne);
+/// let mut controller = AdmissionController::new(AdmitConfig::new(scenario, 8))?;
+///
+/// let graph = generate_seeded(&spec, 1).unwrap();
+/// let verdict = controller.admit(1, graph, Time::ZERO)?;
+/// assert_eq!(controller.residents(), usize::from(verdict.admitted));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmitConfig,
+    platform: Platform,
+    pipeline: Pipeline,
+    state: CommittedState,
+    residents: BTreeMap<u64, Resident>,
+    /// Resident ids in admission order — the capacity bound's eviction
+    /// queue.
+    order: VecDeque<u64>,
+    /// The latest commit, if its receipt is still rollback-eligible:
+    /// amendments to this resident can withdraw it without invalidating
+    /// the scheduler's retained dispatch log.
+    last_commit: Option<(u64, CommitReceipt)>,
+    miss_log: Arc<MissLog>,
+}
+
+impl AdmissionController {
+    /// Builds the live platform and an idle (empty) committed state for
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError::Trial`] when the platform cannot be
+    /// constructed (e.g. zero processors).
+    pub fn new(config: AdmitConfig) -> Result<AdmissionController, AdmitError> {
+        let topology = config
+            .scenario
+            .topology
+            .build(config.system_size, config.scenario.cost_per_item);
+        let platform =
+            Platform::homogeneous(config.system_size, topology).map_err(RunError::Platform)?;
+        let miss_log = Arc::new(MissLog::new(config.miss_warn_limit));
+        let mut pipeline = Pipeline::new(&config.scenario).with_delta_memo();
+        pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
+        let state = CommittedState::new(config.system_size, config.scenario.scheduler.bus_model);
+        Ok(AdmissionController {
+            config,
+            platform,
+            pipeline,
+            state,
+            residents: BTreeMap::new(),
+            order: VecDeque::new(),
+            last_commit: None,
+            miss_log,
+        })
+    }
+
+    /// Processes one request: [`admit`](AdmissionController::admit) or
+    /// [`amend`](AdmissionController::amend). This is the replay entry
+    /// point — feeding a recorded request sequence through `handle`
+    /// reproduces the original verdicts bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of the dispatched method.
+    pub fn handle(&mut self, request: &AdmitRequest) -> Result<AdmitVerdict, AdmitError> {
+        match request {
+            AdmitRequest::Admit { id, graph, origin } => {
+                self.admit(*id, Arc::clone(graph), *origin)
+            }
+            AdmitRequest::Amend { id, delta } => self.amend(*id, delta),
+        }
+    }
+
+    /// Slices `graph` and trial-schedules it around the current committed
+    /// reservations at absolute time `origin`. On admit the trial schedule
+    /// is committed as a reservation; on reject the state is left exactly
+    /// as the retirement of expired residents left it.
+    ///
+    /// Processing first advances the decision clock to `origin`: residents
+    /// whose horizon has passed depart. That retirement depends only on
+    /// `origin`, never on this request's verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::DuplicateId`] when `id` is already resident, and
+    /// [`AdmitError::Trial`] when the pipeline itself fails. A *reject* is
+    /// not an error — it is an `Ok` verdict with `admitted == false`.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        graph: impl Into<Arc<TaskGraph>>,
+        origin: Time,
+    ) -> Result<AdmitVerdict, AdmitError> {
+        let graph = graph.into();
+        let output = self.pipeline.slice(&graph, &self.platform)?.into_output();
+        self.decide(id, &graph, origin, output)
+    }
+
+    /// The serial half of an admit: retire, trial against committed load,
+    /// commit on admit. The service's coordinator calls this with products
+    /// sliced on worker threads.
+    pub(crate) fn decide(
+        &mut self,
+        id: u64,
+        graph: &Arc<TaskGraph>,
+        origin: Time,
+        output: SliceOutput,
+    ) -> Result<AdmitVerdict, AdmitError> {
+        let started = Instant::now();
+        self.retire(origin);
+        if self.residents.contains_key(&id) {
+            return Err(AdmitError::DuplicateId { id });
+        }
+        let verdict = self.pipeline.trial_output_against(
+            graph,
+            &self.platform,
+            output,
+            &self.state,
+            origin,
+        )?;
+        let admitted = verdict.admit;
+        if admitted {
+            // The capacity bound evicts oldest-first, only on an actual
+            // admit. The trial ran with the evictees still resident, so
+            // its schedule avoids their reservations too — committing it
+            // after they leave is strictly sound.
+            while self.residents.len() >= self.config.capacity.max(1) {
+                match self.order.front().copied() {
+                    Some(oldest) => self.evict(oldest),
+                    None => break,
+                }
+            }
+            let receipt = self.state.commit(&verdict.schedule)?;
+            self.last_commit = Some((id, receipt));
+            let decision = self.verdict_of(id, true, false, &verdict, self.residents.len() + 1);
+            self.residents.insert(
+                id,
+                Resident {
+                    graph: Arc::clone(graph),
+                    horizon: verdict.makespan,
+                    origin,
+                    schedule: verdict.schedule,
+                },
+            );
+            self.order.push_back(id);
+            telemetry::global().record_admission(true, started.elapsed());
+            Ok(decision)
+        } else {
+            let decision = self.verdict_of(id, false, false, &verdict, self.residents.len());
+            telemetry::global().record_admission(false, started.elapsed());
+            Ok(decision)
+        }
+    }
+
+    /// Applies `delta` to the resident `id`, withdraws its reservation and
+    /// re-trials the amended graph at its original origin. On admit the
+    /// new schedule replaces the old reservation; on reject (or any
+    /// pipeline error) the original reservation is restored unchanged.
+    ///
+    /// When the resident's commit is still the state's latest mutation,
+    /// withdrawal is a receipt rollback and the re-trial runs through the
+    /// scheduler's repair path, reusing every dispatch the amendment did
+    /// not disturb; otherwise it releases and re-trials in full. Both
+    /// paths produce bit-identical verdicts — the fast path is reported in
+    /// [`AdmitVerdict::repaired`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::NoResident`] for an unknown id,
+    /// [`AdmitError::Delta`] when the amendment does not apply, and
+    /// [`AdmitError::Trial`] when the pipeline itself fails.
+    pub fn amend(&mut self, id: u64, delta: &GraphDelta) -> Result<AdmitVerdict, AdmitError> {
+        let started = Instant::now();
+        let resident = match self.residents.remove(&id) {
+            Some(resident) => resident,
+            None => return Err(AdmitError::NoResident { id }),
+        };
+        let (resident, result) = self.amend_inner(id, resident, delta);
+        self.residents.insert(id, resident);
+        if let Ok(decision) = &result {
+            telemetry::global().record_admission(decision.admitted, started.elapsed());
+        }
+        result
+    }
+
+    /// Body of [`amend`](AdmissionController::amend) with the resident
+    /// held out of the map (so the state and pipeline can be borrowed
+    /// mutably alongside it); the caller re-inserts it on every path.
+    fn amend_inner(
+        &mut self,
+        id: u64,
+        mut resident: Resident,
+        delta: &GraphDelta,
+    ) -> (Resident, Result<AdmitVerdict, AdmitError>) {
+        let pinning = match self
+            .config
+            .scenario
+            .pinning
+            .build(&resident.graph, &self.platform)
+        {
+            Ok(pinning) => pinning,
+            Err(e) => return (resident, Err(AdmitError::Trial(RunError::Platform(e)))),
+        };
+        let amended = match delta.apply(&resident.graph, &pinning) {
+            Ok(applied) => applied.graph,
+            Err(e) => return (resident, Err(e.into())),
+        };
+
+        // Withdraw the resident's reservation. When it is the latest
+        // commit, a receipt rollback restores the exact base content the
+        // previous trial ran against, keeping the retained dispatch log
+        // valid for repair; any other history forces release + full trial.
+        let fast = match &self.last_commit {
+            Some((last, receipt)) if *last == id => {
+                self.state.rollback(&resident.schedule, receipt).is_ok()
+            }
+            _ => false,
+        };
+        if !fast {
+            if let Err(e) = self.state.release(&resident.schedule) {
+                return (resident, Err(e.into()));
+            }
+        }
+        self.last_commit = None;
+
+        match self.retrial(&amended, resident.origin, fast, &resident.schedule) {
+            Ok(verdict) => {
+                let repaired = verdict.repair_fell_back == Some(false);
+                if verdict.admit {
+                    let receipt = match self.state.commit(&verdict.schedule) {
+                        Ok(receipt) => receipt,
+                        Err(e) => return (resident, Err(e.into())),
+                    };
+                    self.last_commit = Some((id, receipt));
+                    let decision =
+                        self.verdict_of(id, true, repaired, &verdict, self.residents.len() + 1);
+                    resident.graph = Arc::new(amended);
+                    resident.horizon = verdict.makespan;
+                    resident.schedule = verdict.schedule;
+                    (resident, Ok(decision))
+                } else {
+                    // Reject leaves no trace: restore the original
+                    // reservation (content-identical, so the state digest
+                    // is unchanged).
+                    let decision =
+                        self.verdict_of(id, false, repaired, &verdict, self.residents.len() + 1);
+                    match self.state.commit(&resident.schedule) {
+                        Ok(receipt) => self.last_commit = Some((id, receipt)),
+                        Err(e) => return (resident, Err(e.into())),
+                    }
+                    (resident, Ok(decision))
+                }
+            }
+            Err(e) => {
+                // Pipeline failure: restore the original reservation, then
+                // surface the error.
+                match self.state.commit(&resident.schedule) {
+                    Ok(receipt) => self.last_commit = Some((id, receipt)),
+                    Err(restore) => return (resident, Err(restore.into())),
+                }
+                (resident, Err(AdmitError::Trial(e)))
+            }
+        }
+    }
+
+    /// Re-slices and re-trials an amended graph, through the repair path
+    /// when the preceding rollback kept the base content unchanged.
+    fn retrial(
+        &mut self,
+        graph: &TaskGraph,
+        origin: Time,
+        fast: bool,
+        prev: &Schedule,
+    ) -> Result<Verdict, RunError> {
+        let output = self.pipeline.slice(graph, &self.platform)?.into_output();
+        if fast {
+            self.pipeline.repair_output_against(
+                graph,
+                &self.platform,
+                output,
+                prev,
+                &self.state,
+                origin,
+            )
+        } else {
+            self.pipeline
+                .trial_output_against(graph, &self.platform, output, &self.state, origin)
+        }
+    }
+
+    /// Releases every resident whose horizon has passed the decision
+    /// clock `now` (all reserved work complete — the graph has departed).
+    fn retire(&mut self, now: Time) {
+        let expired: Vec<u64> = self
+            .residents
+            .iter()
+            .filter(|(_, resident)| resident.horizon <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.evict(id);
+        }
+    }
+
+    /// Removes a resident and releases its reservations. Departure stamps
+    /// fresh state, so any retained rollback receipt is invalidated.
+    fn evict(&mut self, id: u64) {
+        if let Some(resident) = self.residents.remove(&id) {
+            // Shape mismatch is impossible for a schedule this state
+            // committed, so the release cannot fail meaningfully.
+            let _ = self.state.release(&resident.schedule);
+            self.order.retain(|&other| other != id);
+            if matches!(self.last_commit, Some((last, _)) if last == id) {
+                self.last_commit = None;
+            }
+        }
+    }
+
+    fn verdict_of(
+        &self,
+        id: u64,
+        admitted: bool,
+        repaired: bool,
+        verdict: &Verdict,
+        residents: usize,
+    ) -> AdmitVerdict {
+        AdmitVerdict {
+            id,
+            admitted,
+            max_lateness: verdict.max_lateness,
+            end_to_end: verdict.end_to_end,
+            makespan: verdict.makespan,
+            violations: verdict.violations(),
+            repaired,
+            residents,
+        }
+    }
+
+    /// The committed reservations the next trial will run against.
+    pub fn state(&self) -> &CommittedState {
+        &self.state
+    }
+
+    /// Number of committed residents.
+    pub fn residents(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Whether `id` is currently resident.
+    pub fn is_resident(&self, id: u64) -> bool {
+        self.residents.contains_key(&id)
+    }
+
+    /// Content digest of the committed state (see
+    /// [`CommittedState::digest`]); equal digests mean identical
+    /// reservations.
+    pub fn digest(&self) -> u64 {
+        self.state.digest()
+    }
+
+    /// The configuration this controller was built from.
+    pub fn config(&self) -> &AdmitConfig {
+        &self.config
+    }
+
+    /// The shared deadline-miss warning budget (see
+    /// [`AdmitConfig::miss_warn_limit`]).
+    pub fn miss_log(&self) -> &Arc<MissLog> {
+        &self.miss_log
+    }
+}
+
+/// A slicing job shipped to a worker: stage one never reads committed
+/// load, so it runs concurrently with other requests' trials.
+struct WorkerJob {
+    seq: u64,
+    id: u64,
+    graph: Arc<TaskGraph>,
+    origin: Time,
+}
+
+/// A unit of serial coordinator work, tagged with its submission sequence.
+enum CoordJob {
+    Admit {
+        seq: u64,
+        id: u64,
+        graph: Arc<TaskGraph>,
+        origin: Time,
+        output: Result<SliceOutput, RunError>,
+    },
+    Amend {
+        seq: u64,
+        id: u64,
+        delta: GraphDelta,
+    },
+}
+
+impl CoordJob {
+    fn seq(&self) -> u64 {
+        match self {
+            CoordJob::Admit { seq, .. } | CoordJob::Amend { seq, .. } => *seq,
+        }
+    }
+}
+
+/// The admission controller behind a bounded queue: a pool of slicer
+/// workers distributes deadlines in parallel while a single coordinator
+/// trials and commits strictly in submission order, so the service's
+/// verdicts are bit-identical to a sequential [`AdmissionController`] fed
+/// the same requests (the contract [`AdmissionLog::replay`] checks).
+///
+/// [`submit`](AdmissionService::submit) never blocks — a full queue is an
+/// [`AdmitError::QueueFull`] refusal — and
+/// [`shutdown`](AdmissionService::shutdown) drains every accepted request
+/// before returning the transcript.
+///
+/// # Examples
+///
+/// ```
+/// use feast::{AdmissionService, AdmitConfig, AdmitRequest, Scenario};
+/// use slicing::{CommEstimate, MetricKind};
+/// use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
+/// use taskgraph::Time;
+///
+/// # fn main() -> Result<(), feast::Error> {
+/// let spec = WorkloadSpec::paper(ExecVariation::Mdet);
+/// let scenario = Scenario::paper("SVC", spec.clone(), MetricKind::adapt(), CommEstimate::Ccne);
+/// let service = AdmissionService::new(AdmitConfig::new(scenario, 8).with_workers(2))?;
+/// for id in 0..4 {
+///     let graph = generate_seeded(&spec, id).unwrap();
+///     service.submit(AdmitRequest::Admit { id, graph: graph.into(), origin: Time::ZERO })?;
+/// }
+/// let log = service.shutdown()?;
+/// assert_eq!(log.outcomes.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AdmissionService {
+    ingress: SyncSender<WorkerJob>,
+    coord: SyncSender<CoordJob>,
+    /// Next submission sequence number; the lock also serializes sends, so
+    /// sequence order equals queue order.
+    seq: Mutex<u64>,
+    depth: usize,
+    workers: Vec<JoinHandle<()>>,
+    coordinator: JoinHandle<AdmissionLog>,
+}
+
+impl AdmissionService {
+    /// Starts the worker pool and coordinator for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`AdmissionController::new`], plus
+    /// [`AdmitError::Trial`] wrapping an I/O error when a thread cannot be
+    /// spawned.
+    pub fn new(config: AdmitConfig) -> Result<AdmissionService, AdmitError> {
+        let controller = AdmissionController::new(config.clone())?;
+        let depth = config.queue_depth.max(1);
+        let (ingress, worker_rx) = sync_channel::<WorkerJob>(depth);
+        let (coord_tx, coord_rx) = sync_channel::<CoordJob>(depth);
+        let worker_rx = Arc::new(Mutex::new(worker_rx));
+
+        let mut workers = Vec::new();
+        for index in 0..config.workers.max(1) {
+            let rx = Arc::clone(&worker_rx);
+            let tx = coord_tx.clone();
+            let scenario = config.scenario.clone();
+            let platform = controller.platform.clone();
+            let miss_log = Arc::clone(&controller.miss_log);
+            let worker = std::thread::Builder::new()
+                .name(format!("admit-slicer-{index}"))
+                .spawn(move || {
+                    let mut pipeline = Pipeline::new(&scenario);
+                    pipeline.set_miss_log(Some(miss_log));
+                    loop {
+                        // Take the receiver lock only to dequeue; slicing
+                        // runs unlocked, concurrently across the pool.
+                        let job = {
+                            let guard = match rx.lock() {
+                                Ok(guard) => guard,
+                                Err(_) => return,
+                            };
+                            match guard.recv() {
+                                Ok(job) => job,
+                                Err(_) => return,
+                            }
+                        };
+                        let output = pipeline
+                            .slice(&job.graph, &platform)
+                            .map(Sliced::into_output);
+                        let shipped = tx.send(CoordJob::Admit {
+                            seq: job.seq,
+                            id: job.id,
+                            graph: job.graph,
+                            origin: job.origin,
+                            output,
+                        });
+                        if shipped.is_err() {
+                            return;
+                        }
+                    }
+                })
+                .map_err(|e| AdmitError::Trial(RunError::Io(e)))?;
+            workers.push(worker);
+        }
+
+        let coordinator = std::thread::Builder::new()
+            .name("admit-coordinator".into())
+            .spawn(move || Self::coordinate(controller, coord_rx))
+            .map_err(|e| AdmitError::Trial(RunError::Io(e)))?;
+
+        Ok(AdmissionService {
+            ingress,
+            coord: coord_tx,
+            seq: Mutex::new(0),
+            depth,
+            workers,
+            coordinator,
+        })
+    }
+
+    /// Enqueues a request without blocking: admits go to the slicer pool,
+    /// amendments straight to the coordinator (they need the resident
+    /// graph, which only the coordinator holds). Both carry the same
+    /// submission sequence, so processing order is exactly submission
+    /// order regardless of which worker finishes first.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::QueueFull`] when the bounded queue is full (the
+    /// request was not accepted; the caller may retry) and
+    /// [`AdmitError::ServiceStopped`] after shutdown began.
+    pub fn submit(&self, request: AdmitRequest) -> Result<(), AdmitError> {
+        let mut seq = match self.seq.lock() {
+            Ok(seq) => seq,
+            Err(_) => return Err(AdmitError::ServiceStopped),
+        };
+        fn refused<T>(depth: usize) -> impl Fn(TrySendError<T>) -> AdmitError {
+            move |e| match e {
+                TrySendError::Full(_) => AdmitError::QueueFull { depth },
+                TrySendError::Disconnected(_) => AdmitError::ServiceStopped,
+            }
+        }
+        match request {
+            AdmitRequest::Admit { id, graph, origin } => self
+                .ingress
+                .try_send(WorkerJob {
+                    seq: *seq,
+                    id,
+                    graph,
+                    origin,
+                })
+                .map_err(refused(self.depth))?,
+            AdmitRequest::Amend { id, delta } => self
+                .coord
+                .try_send(CoordJob::Amend {
+                    seq: *seq,
+                    id,
+                    delta,
+                })
+                .map_err(refused(self.depth))?,
+        }
+        // A sequence number is consumed only by an accepted request, so
+        // the coordinator's reorder buffer never waits on a hole.
+        *seq += 1;
+        Ok(())
+    }
+
+    /// Stops accepting requests, drains everything already accepted, and
+    /// returns the service's transcript.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::ServiceStopped`] if a worker or the coordinator
+    /// panicked.
+    pub fn shutdown(self) -> Result<AdmissionLog, AdmitError> {
+        let AdmissionService {
+            ingress,
+            coord,
+            seq: _,
+            workers,
+            coordinator,
+            ..
+        } = self;
+        drop(ingress);
+        for worker in workers {
+            if worker.join().is_err() {
+                return Err(AdmitError::ServiceStopped);
+            }
+        }
+        drop(coord);
+        coordinator.join().map_err(|_| AdmitError::ServiceStopped)
+    }
+
+    /// The coordinator: re-orders jobs into submission sequence and runs
+    /// every decision serially on the single controller.
+    fn coordinate(mut controller: AdmissionController, rx: Receiver<CoordJob>) -> AdmissionLog {
+        let mut next = 0u64;
+        let mut reorder: BTreeMap<u64, CoordJob> = BTreeMap::new();
+        let mut log = AdmissionLog::default();
+        while let Ok(job) = rx.recv() {
+            reorder.insert(job.seq(), job);
+            while let Some(job) = reorder.remove(&next) {
+                Self::process(&mut controller, job, &mut log);
+                next += 1;
+            }
+        }
+        // Senders are gone; every accepted sequence has arrived.
+        while let Some(job) = reorder.remove(&next) {
+            Self::process(&mut controller, job, &mut log);
+            next += 1;
+        }
+        log.digest = controller.digest();
+        log.residents = controller.residents();
+        log
+    }
+
+    fn process(controller: &mut AdmissionController, job: CoordJob, log: &mut AdmissionLog) {
+        match job {
+            CoordJob::Admit {
+                id,
+                graph,
+                origin,
+                output,
+                ..
+            } => {
+                let outcome = match output {
+                    Ok(output) => controller.decide(id, &graph, origin, output),
+                    Err(e) => Err(AdmitError::Trial(e)),
+                };
+                log.requests.push(AdmitRequest::Admit { id, graph, origin });
+                log.outcomes.push(outcome.map_err(|e| e.to_string()));
+            }
+            CoordJob::Amend { id, delta, .. } => {
+                let outcome = controller.amend(id, &delta);
+                log.requests.push(AdmitRequest::Amend { id, delta });
+                log.outcomes.push(outcome.map_err(|e| e.to_string()));
+            }
+        }
+    }
+}
+
+/// The transcript of an admission run: every request and its outcome in
+/// submission order, plus the final committed-state fingerprint.
+///
+/// The log is the service's determinism witness:
+/// [`replay`](AdmissionLog::replay) re-runs the requests through a fresh
+/// *sequential* controller and must reproduce the service's verdicts and
+/// digest bit for bit ([`matches`](AdmissionLog::matches)).
+#[derive(Debug, Default)]
+pub struct AdmissionLog {
+    /// Every accepted request, in submission order.
+    pub requests: Vec<AdmitRequest>,
+    /// The outcome of each request (errors rendered to their display
+    /// form), aligned with [`requests`](AdmissionLog::requests).
+    pub outcomes: Vec<Result<AdmitVerdict, String>>,
+    /// Content digest of the final committed state.
+    pub digest: u64,
+    /// Residents still committed at the end of the run.
+    pub residents: usize,
+}
+
+impl AdmissionLog {
+    /// Number of admitted requests.
+    pub fn admitted(&self) -> usize {
+        self.verdicts().filter(|v| v.admitted).count()
+    }
+
+    /// Number of rejected requests (successful trials that missed).
+    pub fn rejected(&self) -> usize {
+        self.verdicts().filter(|v| !v.admitted).count()
+    }
+
+    /// The successful verdicts, in submission order.
+    pub fn verdicts(&self) -> impl Iterator<Item = &AdmitVerdict> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+
+    /// Re-runs this log's requests through a fresh sequential
+    /// [`AdmissionController`] and returns the resulting log. Determinism
+    /// means the result [`matches`](AdmissionLog::matches) `self`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`AdmissionController::new`]; per-request failures
+    /// are recorded in the returned log, not raised.
+    pub fn replay(&self, config: &AdmitConfig) -> Result<AdmissionLog, AdmitError> {
+        let mut controller = AdmissionController::new(config.clone())?;
+        let mut log = AdmissionLog {
+            requests: self.requests.clone(),
+            ..AdmissionLog::default()
+        };
+        for request in &log.requests {
+            let outcome = controller.handle(request);
+            log.outcomes.push(outcome.map_err(|e| e.to_string()));
+        }
+        log.digest = controller.digest();
+        log.residents = controller.residents();
+        Ok(log)
+    }
+
+    /// Whether two logs recorded identical outcomes and final state —
+    /// the bit-identical replay check.
+    pub fn matches(&self, other: &AdmissionLog) -> bool {
+        self.outcomes == other.outcomes
+            && self.digest == other.digest
+            && self.residents == other.residents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use slicing::{CommEstimate, DeltaOp, MetricKind};
+    use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
+    use taskgraph::SubtaskId;
+
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::paper(ExecVariation::Mdet)
+    }
+
+    fn config(size: usize) -> AdmitConfig {
+        let scenario = Scenario::paper("ADM/TEST", spec(), MetricKind::adapt(), CommEstimate::Ccne);
+        AdmitConfig::new(scenario, size)
+    }
+
+    fn graph(seed: u64) -> Arc<TaskGraph> {
+        Arc::new(generate_seeded(&spec(), seed).expect("paper workloads generate"))
+    }
+
+    #[test]
+    fn admit_commits_and_reject_leaves_no_trace() {
+        let mut controller = AdmissionController::new(config(8)).unwrap();
+        let idle = controller.digest();
+
+        let first = controller.admit(1, graph(1), Time::ZERO).unwrap();
+        assert!(first.admitted, "paper workload fits an idle platform");
+        assert_eq!(controller.residents(), 1);
+        let loaded = controller.digest();
+        assert_ne!(loaded, idle);
+
+        // Pile on admissions at the same origin until one is rejected:
+        // the rejection must leave the committed state bit-identical.
+        let mut id = 2;
+        loop {
+            let before = controller.digest();
+            let verdict = controller.admit(id, graph(id), Time::ZERO).unwrap();
+            if !verdict.admitted {
+                assert_eq!(controller.digest(), before, "reject left a trace");
+                assert_eq!(controller.residents() as u64, id - 1);
+                break;
+            }
+            id += 1;
+            assert!(id < 100, "platform never saturated");
+        }
+    }
+
+    #[test]
+    fn residents_retire_once_the_clock_passes_their_horizon() {
+        let mut controller = AdmissionController::new(config(8)).unwrap();
+        let first = controller.admit(1, graph(3), Time::ZERO).unwrap();
+        assert!(first.admitted);
+
+        // A later arrival past the first graph's horizon retires it; the
+        // platform is effectively idle again, so the digest after both
+        // depart matches a fresh admit at that origin.
+        let origin = first.makespan + Time::new(1);
+        let second = controller.admit(2, graph(3), origin).unwrap();
+        assert!(second.admitted);
+        assert_eq!(controller.residents(), 1);
+        assert!(!controller.is_resident(1));
+        assert_eq!(second.max_lateness, first.max_lateness);
+
+        let mut fresh = AdmissionController::new(config(8)).unwrap();
+        fresh.admit(2, graph(3), origin).unwrap();
+        assert_eq!(controller.digest(), fresh.digest());
+    }
+
+    #[test]
+    fn duplicate_resident_id_is_refused() {
+        let mut controller = AdmissionController::new(config(8)).unwrap();
+        assert!(controller.admit(7, graph(1), Time::ZERO).unwrap().admitted);
+        let digest = controller.digest();
+        match controller.admit(7, graph(2), Time::ZERO) {
+            Err(AdmitError::DuplicateId { id: 7 }) => {}
+            other => panic!("expected DuplicateId, got {other:?}"),
+        }
+        assert_eq!(controller.digest(), digest);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_on_admit() {
+        // Admit simultaneous graphs (no retirement at a common origin)
+        // until the capacity bound forces an eviction on admit.
+        let mut controller = AdmissionController::new(config(8).with_capacity(2)).unwrap();
+        let mut admitted = Vec::new();
+        for id in 1..32 {
+            let verdict = controller.admit(id, graph(id), Time::ZERO).unwrap();
+            if verdict.admitted {
+                admitted.push(id);
+            }
+            if admitted.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(admitted.len(), 3, "8 processors should admit 3 graphs");
+        assert_eq!(controller.residents(), 2);
+        assert!(
+            !controller.is_resident(admitted[0]),
+            "oldest resident evicted"
+        );
+        assert!(controller.is_resident(admitted[1]));
+        assert!(controller.is_resident(admitted[2]));
+    }
+
+    #[test]
+    fn amend_repairs_in_place_and_matches_a_fresh_controller() {
+        let delta = GraphDelta::new().push(DeltaOp::SetWcet {
+            subtask: SubtaskId::new(2),
+            wcet: Time::new(25),
+        });
+
+        let mut controller = AdmissionController::new(config(8)).unwrap();
+        assert!(controller.admit(1, graph(5), Time::ZERO).unwrap().admitted);
+        let amended = controller.amend(1, &delta).unwrap();
+        assert!(
+            amended.repaired,
+            "latest-commit amendment takes the repair fast path"
+        );
+
+        // A fresh controller admitting the amended graph directly must
+        // land on the identical committed state and lateness.
+        let pinning = platform::Pinning::new();
+        let applied = delta.apply(&graph(5), &pinning).unwrap();
+        let mut fresh = AdmissionController::new(config(8)).unwrap();
+        let direct = fresh.admit(1, applied.graph, Time::ZERO).unwrap();
+        assert_eq!(controller.digest(), fresh.digest());
+        assert_eq!(amended.admitted, direct.admitted);
+        assert_eq!(amended.max_lateness, direct.max_lateness);
+        assert_eq!(amended.makespan, direct.makespan);
+    }
+
+    #[test]
+    fn amend_after_a_newer_commit_falls_back_but_stays_exact() {
+        let delta = GraphDelta::new().push(DeltaOp::SetWcet {
+            subtask: SubtaskId::new(1),
+            wcet: Time::new(30),
+        });
+
+        let mut controller = AdmissionController::new(config(8)).unwrap();
+        assert!(controller.admit(1, graph(5), Time::ZERO).unwrap().admitted);
+        assert!(controller.admit(2, graph(6), Time::ZERO).unwrap().admitted);
+        // Resident 1 is no longer the latest commit: rollback is
+        // impossible, so the amendment releases and re-trials in full.
+        let amended = controller.amend(1, &delta).unwrap();
+        assert!(!amended.repaired);
+
+        // The fallback path is still deterministic: a fresh controller
+        // handling the identical request sequence lands on the identical
+        // verdict and committed state.
+        let mut fresh = AdmissionController::new(config(8)).unwrap();
+        fresh.admit(1, graph(5), Time::ZERO).unwrap();
+        fresh.admit(2, graph(6), Time::ZERO).unwrap();
+        let replayed = fresh.amend(1, &delta).unwrap();
+        assert_eq!(amended, replayed);
+        assert_eq!(controller.digest(), fresh.digest());
+    }
+
+    #[test]
+    fn amend_unknown_resident_is_refused_without_mutation() {
+        let mut controller = AdmissionController::new(config(4)).unwrap();
+        assert!(controller.admit(1, graph(1), Time::ZERO).unwrap().admitted);
+        let digest = controller.digest();
+        let delta = GraphDelta::new().push(DeltaOp::SetWcet {
+            subtask: SubtaskId::new(0),
+            wcet: Time::new(9),
+        });
+        match controller.amend(99, &delta) {
+            Err(AdmitError::NoResident { id: 99 }) => {}
+            other => panic!("expected NoResident, got {other:?}"),
+        }
+        assert_eq!(controller.digest(), digest);
+    }
+
+    #[test]
+    fn service_matches_sequential_replay() {
+        let config = config(8).with_workers(3).with_queue_depth(64);
+        let service = AdmissionService::new(config.clone()).unwrap();
+        for id in 0..12 {
+            service
+                .submit(AdmitRequest::Admit {
+                    id,
+                    graph: graph(id + 1),
+                    origin: Time::new(i64::try_from(id).unwrap() * 500),
+                })
+                .unwrap();
+        }
+        let log = service.shutdown().unwrap();
+        assert_eq!(log.outcomes.len(), 12);
+        assert!(log.admitted() > 0);
+
+        let replayed = log.replay(&config).unwrap();
+        assert!(log.matches(&replayed), "service diverged from replay");
+    }
+
+    #[test]
+    fn service_amendments_keep_submission_order() {
+        let config = config(8).with_workers(2);
+        let service = AdmissionService::new(config.clone()).unwrap();
+        service
+            .submit(AdmitRequest::Admit {
+                id: 1,
+                graph: graph(5),
+                origin: Time::ZERO,
+            })
+            .unwrap();
+        // The amendment is submitted while the admit may still be slicing
+        // on a worker; sequence ordering must hold it back regardless.
+        service
+            .submit(AdmitRequest::Amend {
+                id: 1,
+                delta: GraphDelta::new().push(DeltaOp::SetWcet {
+                    subtask: SubtaskId::new(3),
+                    wcet: Time::new(40),
+                }),
+            })
+            .unwrap();
+        let log = service.shutdown().unwrap();
+        assert_eq!(log.outcomes.len(), 2);
+        assert!(log.outcomes[1].is_ok(), "amend found its resident");
+        let replayed = log.replay(&config).unwrap();
+        assert!(log.matches(&replayed));
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        // A rendezvous ingress (depth clamps to 1) with a saturated
+        // pool: submissions beyond the in-flight capacity are refused.
+        let config = config(4).with_workers(1).with_queue_depth(1);
+        let service = AdmissionService::new(config.clone()).unwrap();
+        let mut refused = 0;
+        for id in 0..64 {
+            match service.submit(AdmitRequest::Admit {
+                id,
+                graph: graph(1),
+                origin: Time::ZERO,
+            }) {
+                Ok(()) => {}
+                Err(AdmitError::QueueFull { depth }) => {
+                    assert_eq!(depth, 1);
+                    refused += 1;
+                }
+                Err(other) => panic!("unexpected refusal: {other}"),
+            }
+        }
+        let log = service.shutdown().unwrap();
+        assert_eq!(log.outcomes.len() + refused, 64);
+        // Refused submissions consumed no sequence numbers: the accepted
+        // ones replay cleanly.
+        let replayed = log.replay(&config).unwrap();
+        assert!(log.matches(&replayed));
+    }
+}

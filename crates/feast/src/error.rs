@@ -1,12 +1,13 @@
-//! Error type for experiment execution.
+//! Error types for experiment execution and the admission service, plus
+//! the crate-wide [`Error`] that unifies them.
 
-use std::error::Error;
+use std::error::Error as StdError;
 use std::fmt;
 use std::path::PathBuf;
 
 use platform::PlatformError;
 use sched::SchedError;
-use slicing::SliceError;
+use slicing::{DeltaError, SliceError};
 use taskgraph::gen::GenerateError;
 
 use crate::ScenarioError;
@@ -166,8 +167,8 @@ impl fmt::Display for RunError {
     }
 }
 
-impl Error for RunError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl StdError for RunError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             RunError::Scenario(e) => Some(e),
             RunError::Generate(e) => Some(e),
@@ -214,6 +215,157 @@ impl From<SchedError> for RunError {
 impl From<std::io::Error> for RunError {
     fn from(e: std::io::Error) -> Self {
         RunError::Io(e)
+    }
+}
+
+/// Error produced by the admission service
+/// ([`AdmissionController`] / [`AdmissionService`]).
+///
+/// [`AdmissionController`]: crate::AdmissionController
+/// [`AdmissionService`]: crate::AdmissionService
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// The service's bounded request queue is full; the request was
+    /// refused without being enqueued (backpressure, not a verdict).
+    QueueFull {
+        /// Configured queue depth.
+        depth: usize,
+    },
+    /// The service has shut down (or its coordinator terminated); no
+    /// further requests are accepted.
+    ServiceStopped,
+    /// An amendment named a resident the state does not hold (never
+    /// admitted, already retired, or already evicted).
+    NoResident {
+        /// The unknown resident id.
+        id: u64,
+    },
+    /// An admit reused the id of a live resident; ids must be unique so
+    /// later amendments are unambiguous.
+    DuplicateId {
+        /// The already-resident id.
+        id: u64,
+    },
+    /// The trial pipeline itself failed (distribution, platform or
+    /// scheduling error) — distinct from a *reject* verdict, which is a
+    /// successful trial with a late result.
+    Trial(RunError),
+    /// A graph amendment could not be applied.
+    Delta(DeltaError),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::QueueFull { depth } => {
+                write!(f, "admission queue is full ({depth} request(s) deep)")
+            }
+            AdmitError::ServiceStopped => write!(f, "admission service has stopped"),
+            AdmitError::NoResident { id } => {
+                write!(f, "no resident admission with id {id}")
+            }
+            AdmitError::DuplicateId { id } => {
+                write!(f, "admission id {id} is already resident")
+            }
+            AdmitError::Trial(e) => write!(f, "admission trial failed: {e}"),
+            AdmitError::Delta(e) => write!(f, "admission amendment failed: {e}"),
+        }
+    }
+}
+
+impl StdError for AdmitError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AdmitError::Trial(e) => Some(e),
+            AdmitError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for AdmitError {
+    fn from(e: RunError) -> Self {
+        AdmitError::Trial(e)
+    }
+}
+
+impl From<DeltaError> for AdmitError {
+    fn from(e: DeltaError) -> Self {
+        AdmitError::Delta(e)
+    }
+}
+
+impl From<SchedError> for AdmitError {
+    fn from(e: SchedError) -> Self {
+        AdmitError::Trial(RunError::Sched(e))
+    }
+}
+
+/// The crate-wide error: everything fallible in `feast` — scenario
+/// construction, workload generation, experiment execution and the
+/// admission service — converges here, so callers driving several
+/// subsystems can use one `Result<_, feast::Error>` and still match on the
+/// precise failure through the variant (or walk [`source`] chains for
+/// display).
+///
+/// [`source`]: std::error::Error::source
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Experiment execution failed ([`RunError`]).
+    Run(RunError),
+    /// A scenario definition is unusable ([`ScenarioError`]).
+    Scenario(ScenarioError),
+    /// Workload generation failed ([`GenerateError`]).
+    Generate(GenerateError),
+    /// The admission service failed ([`AdmitError`]).
+    Admit(AdmitError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Run(e) => write!(f, "{e}"),
+            Error::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            Error::Generate(e) => write!(f, "workload generation failed: {e}"),
+            Error::Admit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Run(e) => Some(e),
+            Error::Scenario(e) => Some(e),
+            Error::Generate(e) => Some(e),
+            Error::Admit(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        Error::Run(e)
+    }
+}
+
+impl From<ScenarioError> for Error {
+    fn from(e: ScenarioError) -> Self {
+        Error::Scenario(e)
+    }
+}
+
+impl From<GenerateError> for Error {
+    fn from(e: GenerateError) -> Self {
+        Error::Generate(e)
+    }
+}
+
+impl From<AdmitError> for Error {
+    fn from(e: AdmitError) -> Self {
+        Error::Admit(e)
     }
 }
 
@@ -281,5 +433,45 @@ mod tests {
         assert!(e.source().is_none());
         let e = RunError::DegradedRun { failed: 4 };
         assert!(e.to_string().contains("4 replication cell(s)"));
+    }
+
+    #[test]
+    fn admit_error_display_and_source() {
+        let e = AdmitError::QueueFull { depth: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.source().is_none());
+        assert!(AdmitError::ServiceStopped.to_string().contains("stopped"));
+        let e = AdmitError::NoResident { id: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = AdmitError::DuplicateId { id: 4 };
+        assert!(e.to_string().contains("already resident"));
+        assert!(e.source().is_none());
+
+        let e: AdmitError = SchedError::RollbackMismatch.into();
+        assert!(e.to_string().contains("admission trial failed"));
+        // Trial → RunError → SchedError: a two-deep source chain.
+        let run = e.source().expect("trial has a source");
+        assert!(run.source().is_some());
+
+        let e: AdmitError = DeltaError::UnknownSubtask(taskgraph::SubtaskId::new(3)).into();
+        assert!(e.to_string().contains("amendment"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn top_level_error_wraps_every_subsystem() {
+        let e: Error = RunError::Cancelled.into();
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.source().is_some());
+
+        let e: Error = ScenarioError::NoReplications.into();
+        assert!(e.to_string().contains("invalid scenario"));
+
+        let e: Error = GenerateError::InvalidSpec("x".into()).into();
+        assert!(e.to_string().contains("generation"));
+
+        let e: Error = AdmitError::ServiceStopped.into();
+        assert!(e.to_string().contains("admission service"));
+        assert!(e.source().is_some());
     }
 }

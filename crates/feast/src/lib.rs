@@ -62,9 +62,11 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 mod error;
 pub mod experiments;
 pub mod fault;
+mod pipeline;
 pub mod progress;
 mod report;
 mod runner;
@@ -72,8 +74,12 @@ mod scenario;
 mod stats;
 pub mod telemetry;
 
-pub use error::RunError;
+pub use admission::{
+    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitRequest, AdmitVerdict,
+};
+pub use error::{AdmitError, Error, RunError};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
+pub use pipeline::{Pipeline, SliceOutput, Sliced, Verdict};
 pub use progress::{MetricsFile, MetricsWriter, ProgressSnapshot, ProgressTracker};
 pub use report::{ExperimentResult, Panel, ProfileRow, Series};
 pub use runner::{
@@ -114,5 +120,16 @@ mod send_sync_tests {
         assert_send_sync::<MetricsWriter>();
         assert_send_sync::<MetricsFile>();
         assert_send_sync::<ProfileRow>();
+        assert_send_sync::<Error>();
+        assert_send_sync::<AdmitError>();
+        assert_send_sync::<Pipeline>();
+        assert_send_sync::<SliceOutput>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<AdmissionController>();
+        assert_send_sync::<AdmissionService>();
+        assert_send_sync::<AdmitConfig>();
+        assert_send_sync::<AdmitRequest>();
+        assert_send_sync::<AdmitVerdict>();
+        assert_send_sync::<AdmissionLog>();
     }
 }

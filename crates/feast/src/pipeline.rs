@@ -1,0 +1,697 @@
+//! The consolidated slice → trial pipeline facade.
+//!
+//! Every consumer of the paper's pipeline used to hand-wire the same four
+//! steps — build a distributor from the scenario's technique, distribute
+//! deadlines, build the scheduler from the scenario's spec, list-schedule —
+//! plus the always-on audits and the lateness measurement. [`Pipeline`]
+//! owns that wiring once: it is configured from a [`Scenario`], holds the
+//! per-worker [`SchedWorkspace`] (and optionally a [`SliceMemo`] for
+//! incremental re-slicing), and exposes the whole pipeline as
+//!
+//! ```text
+//! Pipeline::new(&scenario).slice(&graph, &platform)?.trial(&platform)?  →  Verdict
+//! ```
+//!
+//! The sweep engine ([`Runner`]) and the admission service
+//! ([`AdmissionController`]) both run on this facade; the pre-existing
+//! entry points ([`Slicer::distribute`], [`ListScheduler::schedule_with`])
+//! are unchanged and remain the primitives the facade composes, so output
+//! is bit-identical to the hand-wired sequence.
+//!
+//! The two stages are deliberately separable: [`Pipeline::slice`] depends
+//! only on the graph and the platform *shape* (never on committed load),
+//! so an admission service can slice requests on parallel workers and
+//! trial them serially against the platform's [`CommittedState`] — see
+//! [`Sliced::into_output`] and [`Pipeline::trial_output_against`].
+//!
+//! [`Runner`]: crate::Runner
+//! [`AdmissionController`]: crate::AdmissionController
+//! [`Slicer::distribute`]: slicing::Slicer::distribute
+//! [`ListScheduler::schedule_with`]: sched::ListScheduler::schedule_with
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use platform::Platform;
+use sched::{
+    BusModel, CommittedState, LatenessReport, ListScheduler, MissLog, SchedWorkspace, Schedule,
+};
+use slicing::{
+    distribute_baseline, BaselineStrategy, DeadlineAssignment, RedistributeStats, SliceMemo, Slicer,
+};
+use taskgraph::{TaskGraph, Time};
+
+use crate::scenario::{PinningPolicy, Scenario, SchedulerSpec, Technique};
+use crate::RunError;
+
+/// How a pipeline distributes deadlines: the scenario's technique,
+/// materialized once.
+#[derive(Debug)]
+enum Distributor {
+    /// A slicing technique (§4 of the paper), built with the scenario's
+    /// metric, estimate and strictness.
+    Slicing(Slicer),
+    /// A pre-slicing baseline (UD/ED).
+    Baseline(BaselineStrategy),
+}
+
+/// The full deadline-distribution pipeline of the paper, configured once
+/// from a [`Scenario`] and reusable across graphs: distribute → audit
+/// windows → schedule → audit schedule → measure lateness.
+///
+/// A pipeline owns its scratch state (a [`SchedWorkspace`], plus a
+/// [`SliceMemo`] when delta support is enabled), so steady-state runs are
+/// allocation-free; hand each worker thread its own pipeline. It is the
+/// single entry point both the sweep engine and the admission service
+/// drive.
+///
+/// # Examples
+///
+/// ```
+/// use feast::{Pipeline, Scenario};
+/// use platform::Platform;
+/// use slicing::{CommEstimate, MetricKind};
+/// use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
+///
+/// # fn main() -> Result<(), feast::RunError> {
+/// let scenario = Scenario::paper(
+///     "ADAPT/CCNE",
+///     WorkloadSpec::paper(ExecVariation::Mdet),
+///     MetricKind::adapt(),
+///     CommEstimate::Ccne,
+/// );
+/// let graph = generate_seeded(&WorkloadSpec::paper(ExecVariation::Mdet), 7).unwrap();
+/// let platform = Platform::paper(8).unwrap();
+///
+/// let mut pipeline = Pipeline::new(&scenario);
+/// let verdict = pipeline.slice(&graph, &platform)?.trial(&platform)?;
+/// println!(
+///     "max lateness {} → {}",
+///     verdict.max_lateness,
+///     if verdict.admit { "admit" } else { "reject" }
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    distributor: Distributor,
+    scheduler: ListScheduler,
+    spec: SchedulerSpec,
+    pinning: PinningPolicy,
+    ws: SchedWorkspace,
+    memo: Option<SliceMemo>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline a scenario describes: its technique (slicer or
+    /// baseline), scheduler configuration and pinning policy. Only the
+    /// pipeline-relevant fields of the scenario are read — sweep shape
+    /// (sizes, replications, seeds) stays with the [`Runner`].
+    ///
+    /// [`Runner`]: crate::Runner
+    pub fn new(scenario: &Scenario) -> Pipeline {
+        let distributor = match &scenario.technique {
+            Technique::Slicing { metric, estimate } => Distributor::Slicing(
+                Slicer::new(*metric)
+                    .with_estimate(estimate.clone())
+                    .with_strict_windows(scenario.strict_windows),
+            ),
+            Technique::Baseline(strategy) => Distributor::Baseline(*strategy),
+        };
+        Pipeline {
+            distributor,
+            scheduler: ListScheduler::new()
+                .with_respect_release(scenario.scheduler.respect_release)
+                .with_bus_model(scenario.scheduler.bus_model)
+                .with_placement(scenario.scheduler.placement),
+            spec: scenario.scheduler,
+            pinning: scenario.pinning,
+            ws: SchedWorkspace::new(),
+            memo: None,
+        }
+    }
+
+    /// Enables incremental re-slicing: every [`slice`](Pipeline::slice)
+    /// call runs through [`Slicer::redistribute`] against a retained
+    /// [`SliceMemo`], so re-slicing a lightly-amended graph reuses the
+    /// unaffected per-start searches. Output is bit-identical either way;
+    /// baselines ignore the memo.
+    ///
+    /// [`Slicer::redistribute`]: slicing::Slicer::redistribute
+    #[must_use]
+    pub fn with_delta_memo(mut self) -> Self {
+        self.memo = Some(SliceMemo::new());
+        self
+    }
+
+    /// Attaches (or detaches) a shared [`MissLog`] rate-limiting the
+    /// scheduler's deadline-miss warnings across every trial through this
+    /// pipeline.
+    pub fn set_miss_log(&mut self, log: Option<Arc<MissLog>>) {
+        self.ws.set_miss_log(log);
+    }
+
+    /// Stage one: distributes deadlines over `graph` for `platform` and
+    /// audits the produced windows, returning a [`Sliced`] handle that
+    /// trial-schedules fluently (or detaches into a [`SliceOutput`] for a
+    /// pipelined service).
+    ///
+    /// Slicing reads the platform's processor count and communication
+    /// costs but never its committed load, so this stage may run on any
+    /// worker, concurrently with other requests' trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Slice`] when deadline distribution fails.
+    pub fn slice<'p, 'g>(
+        &'p mut self,
+        graph: &'g TaskGraph,
+        platform: &'g Platform,
+    ) -> Result<Sliced<'p, 'g>, RunError> {
+        let started = Instant::now();
+        let (assignment, redistribute) = match (&self.distributor, &mut self.memo) {
+            (Distributor::Slicing(slicer), None) => (slicer.distribute(graph, platform)?, None),
+            (Distributor::Slicing(slicer), Some(memo)) => {
+                let r = slicer.redistribute(graph, platform, memo)?;
+                (r.assignment, Some(r.stats))
+            }
+            (Distributor::Baseline(strategy), _) => (distribute_baseline(graph, *strategy), None),
+        };
+        let distribute = started.elapsed();
+
+        // Baselines produce deliberately overlapping windows, so
+        // structural window validation only applies to slicing.
+        let audit_started = Instant::now();
+        let window_violations = match &self.distributor {
+            Distributor::Slicing(_) => assignment.validate(graph).violations().len(),
+            Distributor::Baseline(_) => 0,
+        };
+        let window_audit = audit_started.elapsed();
+
+        Ok(Sliced {
+            pipeline: self,
+            graph,
+            output: SliceOutput {
+                assignment,
+                window_violations,
+                distribute,
+                window_audit,
+                redistribute,
+            },
+        })
+    }
+
+    /// Stage two against an empty platform: schedules a detached slice
+    /// product and measures it. [`Sliced::trial`] is the fluent form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Platform`] for an invalid pinning and
+    /// [`RunError::Sched`] when scheduling fails.
+    pub fn trial_output(
+        &mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        output: SliceOutput,
+    ) -> Result<Verdict, RunError> {
+        self.trial_inner(graph, platform, output, None)
+    }
+
+    /// Stage two against committed load: re-anchors the slice product at
+    /// `origin` (every window shifted uniformly), trial-schedules it
+    /// around `base`'s reservations, and measures the predicted lateness.
+    /// `base` is untouched — an admission service commits the verdict's
+    /// schedule only on admit. [`Sliced::trial_against`] is the fluent
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Platform`] for an invalid pinning and
+    /// [`RunError::Sched`] when scheduling fails (including a `base`
+    /// incompatible with the platform or bus model).
+    pub fn trial_output_against(
+        &mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        output: SliceOutput,
+        base: &CommittedState,
+        origin: Time,
+    ) -> Result<Verdict, RunError> {
+        self.trial_inner(graph, platform, output, Some((base, origin)))
+    }
+
+    /// Stage two as a repair: like
+    /// [`trial_output_against`](Pipeline::trial_output_against), but
+    /// replays the retained dispatch log of `prev` (the schedule produced
+    /// by this pipeline's immediately preceding trial against the same
+    /// base content) and recomputes only the dispatches the amendment
+    /// disturbed. Falls back to a full trial — silently, with bit-identical
+    /// output — whenever the retained state is unusable; the verdict's
+    /// [`repair_fell_back`](Verdict::repair_fell_back) reports which path
+    /// ran.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of
+    /// [`trial_output_against`](Pipeline::trial_output_against).
+    pub fn repair_output_against(
+        &mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        output: SliceOutput,
+        prev: &Schedule,
+        base: &CommittedState,
+        origin: Time,
+    ) -> Result<Verdict, RunError> {
+        let pinning = self.pinning.build(graph, platform)?;
+        let shifted = output.assignment.shifted(origin);
+        let schedule_started = Instant::now();
+        let outcome = self.scheduler.repair_against(
+            graph,
+            platform,
+            &shifted,
+            &pinning,
+            prev,
+            base,
+            &mut self.ws,
+        )?;
+        let fell_back = outcome.fell_back;
+        self.measure(
+            graph,
+            platform,
+            &pinning,
+            shifted,
+            outcome.schedule,
+            output,
+            origin,
+            schedule_started.elapsed(),
+            Some(fell_back),
+        )
+    }
+
+    fn trial_inner(
+        &mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        output: SliceOutput,
+        base: Option<(&CommittedState, Time)>,
+    ) -> Result<Verdict, RunError> {
+        let pinning = self.pinning.build(graph, platform)?;
+        let schedule_started = Instant::now();
+        let (assignment, schedule) = match base {
+            None => {
+                let schedule = self.scheduler.schedule_with(
+                    graph,
+                    platform,
+                    &output.assignment,
+                    &pinning,
+                    &mut self.ws,
+                )?;
+                (output.assignment.clone(), schedule)
+            }
+            Some((state, origin)) => {
+                let shifted = output.assignment.shifted(origin);
+                let schedule = self.scheduler.schedule_against(
+                    graph,
+                    platform,
+                    &shifted,
+                    &pinning,
+                    state,
+                    &mut self.ws,
+                )?;
+                (shifted, schedule)
+            }
+        };
+        let schedule_elapsed = schedule_started.elapsed();
+        let origin = base.map_or(Time::ZERO, |(_, origin)| origin);
+        self.measure(
+            graph,
+            platform,
+            &pinning,
+            assignment,
+            schedule,
+            output,
+            origin,
+            schedule_elapsed,
+            None,
+        )
+    }
+
+    /// Shared tail of every trial: schedule audit, lateness measurement,
+    /// verdict assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn measure(
+        &mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        pinning: &platform::Pinning,
+        assignment: DeadlineAssignment,
+        schedule: Schedule,
+        output: SliceOutput,
+        origin: Time,
+        schedule_elapsed: Duration,
+        repair_fell_back: Option<bool>,
+    ) -> Result<Verdict, RunError> {
+        let audit_started = Instant::now();
+        let schedule_violations = schedule
+            .validate(
+                graph,
+                platform,
+                pinning,
+                self.spec.bus_model == BusModel::Contention,
+            )
+            .len();
+        let audit = output.window_audit + audit_started.elapsed();
+
+        let report = LatenessReport::new(graph, &assignment, &schedule);
+        Ok(Verdict {
+            admit: report.is_feasible(),
+            max_lateness: report.max_lateness(),
+            end_to_end: report.end_to_end_lateness() - origin,
+            makespan: report.makespan(),
+            window_violations: output.window_violations,
+            schedule_violations,
+            distribute: output.distribute,
+            schedule_time: schedule_elapsed,
+            audit,
+            redistribute: output.redistribute,
+            repair_fell_back,
+            assignment,
+            schedule,
+        })
+    }
+}
+
+/// A graph with its deadlines distributed, bound to the pipeline that
+/// produced it: stage one's result, ready for a trial. Borrow-holds the
+/// pipeline so the fluent chain reuses its workspace; a pipelined service
+/// detaches the owned product with [`into_output`](Sliced::into_output)
+/// instead.
+#[derive(Debug)]
+pub struct Sliced<'p, 'g> {
+    pipeline: &'p mut Pipeline,
+    graph: &'g TaskGraph,
+    output: SliceOutput,
+}
+
+impl Sliced<'_, '_> {
+    /// The distributed deadline assignment (graph-local time).
+    pub fn assignment(&self) -> &DeadlineAssignment {
+        &self.output.assignment
+    }
+
+    /// Structural window violations found by the always-on audit.
+    pub fn window_violations(&self) -> usize {
+        self.output.window_violations
+    }
+
+    /// Detaches the owned slice product, releasing the pipeline borrow.
+    /// The product is `Send`: an admission service slices on worker
+    /// threads and ships products to the coordinator that owns the
+    /// committed state.
+    pub fn into_output(self) -> SliceOutput {
+        self.output
+    }
+
+    /// Trial-schedules against an empty platform and measures the result.
+    ///
+    /// `platform` must be the platform the graph was sliced for.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Pipeline::trial_output`].
+    pub fn trial(self, platform: &Platform) -> Result<Verdict, RunError> {
+        self.pipeline
+            .trial_output(self.graph, platform, self.output)
+    }
+
+    /// Trial-schedules around `base`'s committed reservations with every
+    /// window re-anchored at `origin`, leaving `base` untouched.
+    ///
+    /// `platform` must be the platform the graph was sliced for.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Pipeline::trial_output_against`].
+    pub fn trial_against(
+        self,
+        platform: &Platform,
+        base: &CommittedState,
+        origin: Time,
+    ) -> Result<Verdict, RunError> {
+        self.pipeline
+            .trial_output_against(self.graph, platform, self.output, base, origin)
+    }
+}
+
+/// The detached product of [`Pipeline::slice`]: the assignment plus the
+/// stage's audit result and timings. Owned and `Send`, so it can cross the
+/// thread boundary between slicer workers and a trial coordinator.
+#[derive(Debug, Clone)]
+pub struct SliceOutput {
+    /// The distributed deadline assignment, in graph-local time (inputs at
+    /// their given releases). Trials against committed load re-anchor it
+    /// via [`DeadlineAssignment::shifted`].
+    pub assignment: DeadlineAssignment,
+    /// Structural window violations found by the always-on audit (always
+    /// zero for baselines, whose overlapping windows are intentional).
+    pub window_violations: usize,
+    /// Wall-clock of the distribution stage alone.
+    pub distribute: Duration,
+    /// Wall-clock of the window audit (accounted to the audit stage).
+    pub window_audit: Duration,
+    /// Cache-effectiveness counters when the pipeline re-sliced through a
+    /// delta memo ([`Pipeline::with_delta_memo`]); `None` for plain
+    /// distribution.
+    pub redistribute: Option<RedistributeStats>,
+}
+
+/// The measured outcome of one trial: everything the sweep engine records
+/// and everything an admission decision needs.
+///
+/// A verdict is a *prediction under the trialed load*, not a
+/// schedulability proof: `admit` says the non-preemptive EDF trial met
+/// every assigned deadline given the committed reservations at trial time.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Did the trial meet every assigned deadline? (The paper's
+    /// feasibility criterion: maximum task lateness not positive.)
+    pub admit: bool,
+    /// Maximum task lateness over all subtasks (the paper's figure of
+    /// merit; negative values are slack).
+    pub max_lateness: Time,
+    /// Maximum end-to-end lateness over output subtasks, relative to the
+    /// trial's origin (directly comparable across origins).
+    pub end_to_end: Time,
+    /// Completion time of the last subtask (absolute time).
+    pub makespan: Time,
+    /// Structural window violations from stage one's audit.
+    pub window_violations: usize,
+    /// Structural schedule violations from stage two's audit.
+    pub schedule_violations: usize,
+    /// Wall-clock of the distribution stage.
+    pub distribute: Duration,
+    /// Wall-clock of the scheduling stage.
+    pub schedule_time: Duration,
+    /// Wall-clock of both audits combined.
+    pub audit: Duration,
+    /// Re-slicing cache effectiveness, when stage one ran through a memo.
+    pub redistribute: Option<RedistributeStats>,
+    /// For repair trials ([`Pipeline::repair_output_against`]): whether
+    /// the repair abandoned the retained dispatch log and re-ran in full.
+    /// `None` for ordinary trials.
+    pub repair_fell_back: Option<bool>,
+    /// The assignment the trial measured (shifted to the trial's origin).
+    pub assignment: DeadlineAssignment,
+    /// The trial schedule. On admit, committing exactly this schedule
+    /// reserves what the verdict predicted.
+    pub schedule: Schedule,
+}
+
+impl Verdict {
+    /// Total structural violations found by both audits.
+    pub fn violations(&self) -> usize {
+        self.window_violations + self.schedule_violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use slicing::{CommEstimate, MetricKind};
+    use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
+
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn paper_scenario() -> Scenario {
+        Scenario::paper(
+            "PIPE/TEST",
+            WorkloadSpec::paper(ExecVariation::Mdet),
+            MetricKind::adapt(),
+            CommEstimate::Ccne,
+        )
+    }
+
+    fn workload(seed: u64) -> TaskGraph {
+        generate_seeded(&WorkloadSpec::paper(ExecVariation::Mdet), seed).unwrap()
+    }
+
+    #[test]
+    fn facade_matches_hand_wired_pipeline() {
+        let scenario = paper_scenario();
+        let graph = workload(3);
+        let platform = Platform::paper(8).unwrap();
+
+        let mut pipeline = Pipeline::new(&scenario);
+        let verdict = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial(&platform)
+            .unwrap();
+
+        // The same steps, hand-wired as every consumer wrote them before.
+        let assignment = Slicer::new(MetricKind::adapt())
+            .with_estimate(CommEstimate::Ccne)
+            .distribute(&graph, &platform)
+            .unwrap();
+        let schedule = ListScheduler::new()
+            .schedule(&graph, &platform, &assignment, &platform::Pinning::new())
+            .unwrap();
+        let report = LatenessReport::new(&graph, &assignment, &schedule);
+
+        assert_eq!(verdict.assignment, assignment);
+        assert_eq!(verdict.schedule, schedule);
+        assert_eq!(verdict.max_lateness, report.max_lateness());
+        assert_eq!(verdict.end_to_end, report.end_to_end_lateness());
+        assert_eq!(verdict.makespan, report.makespan());
+        assert_eq!(verdict.admit, report.is_feasible());
+        assert!(verdict.repair_fell_back.is_none());
+        assert!(verdict.redistribute.is_none());
+    }
+
+    #[test]
+    fn trial_against_empty_state_at_zero_matches_plain_trial() {
+        let scenario = paper_scenario();
+        let graph = workload(11);
+        let platform = Platform::paper(4).unwrap();
+        let state = CommittedState::new(4, scenario.scheduler.bus_model);
+
+        let mut pipeline = Pipeline::new(&scenario);
+        let plain = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial(&platform)
+            .unwrap();
+        let against = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, Time::ZERO)
+            .unwrap();
+
+        assert_eq!(against.schedule, plain.schedule);
+        assert_eq!(against.max_lateness, plain.max_lateness);
+        assert_eq!(against.end_to_end, plain.end_to_end);
+        assert_eq!(against.admit, plain.admit);
+    }
+
+    #[test]
+    fn shifted_trial_predicts_origin_invariant_lateness() {
+        let scenario = paper_scenario();
+        let graph = workload(5);
+        let platform = Platform::paper(4).unwrap();
+        let state = CommittedState::new(4, scenario.scheduler.bus_model);
+        let origin = Time::new(10_000);
+
+        let mut pipeline = Pipeline::new(&scenario);
+        let at_zero = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, Time::ZERO)
+            .unwrap();
+        let at_origin = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, origin)
+            .unwrap();
+
+        // An empty platform is origin-invariant: the shifted trial is the
+        // zero trial translated wholesale.
+        assert_eq!(at_origin.max_lateness, at_zero.max_lateness);
+        assert_eq!(at_origin.end_to_end, at_zero.end_to_end);
+        assert_eq!(at_origin.admit, at_zero.admit);
+        assert_eq!(at_origin.makespan, at_zero.makespan + origin);
+        assert_eq!(at_origin.assignment, at_zero.assignment.shifted(origin));
+    }
+
+    #[test]
+    fn trial_leaves_committed_state_untouched() {
+        let scenario = paper_scenario();
+        let graph = workload(2);
+        let platform = Platform::paper(4).unwrap();
+        let mut state = CommittedState::new(4, scenario.scheduler.bus_model);
+        let mut pipeline = Pipeline::new(&scenario);
+
+        let first = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, Time::ZERO)
+            .unwrap();
+        state.commit(&first.schedule).unwrap();
+        let digest = state.digest();
+
+        // Trials are read-only: same state in, same verdict out, digest
+        // unchanged.
+        let probe = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, Time::new(50))
+            .unwrap();
+        assert_eq!(state.digest(), digest);
+        assert_eq!(state.residents(), 1);
+        let again = pipeline
+            .slice(&graph, &platform)
+            .unwrap()
+            .trial_against(&platform, &state, Time::new(50))
+            .unwrap();
+        assert_eq!(probe.schedule, again.schedule);
+    }
+
+    #[test]
+    fn baseline_technique_skips_window_audit() {
+        let scenario = Scenario::baseline(
+            "UD/BASE",
+            WorkloadSpec::paper(ExecVariation::Mdet),
+            BaselineStrategy::Ultimate,
+        );
+        let graph = workload(4);
+        let platform = Platform::paper(4).unwrap();
+        let mut pipeline = Pipeline::new(&scenario);
+        let sliced = pipeline.slice(&graph, &platform).unwrap();
+        assert_eq!(sliced.window_violations(), 0);
+        let verdict = sliced.trial(&platform).unwrap();
+        assert_eq!(verdict.window_violations, 0);
+    }
+
+    #[test]
+    fn delta_memo_reslice_is_bit_identical() {
+        let scenario = paper_scenario();
+        let graph = workload(9);
+        let platform = Platform::paper(4).unwrap();
+
+        let mut plain = Pipeline::new(&scenario);
+        let mut memoized = Pipeline::new(&scenario).with_delta_memo();
+
+        let a = plain.slice(&graph, &platform).unwrap().into_output();
+        let b = memoized.slice(&graph, &platform).unwrap().into_output();
+        assert_eq!(a.assignment, b.assignment);
+        assert!(a.redistribute.is_none());
+        assert!(b.redistribute.is_some());
+
+        // Second pass over the same graph: the memo now hits.
+        let c = memoized.slice(&graph, &platform).unwrap().into_output();
+        assert_eq!(c.assignment, a.assignment);
+        let stats = c.redistribute.unwrap();
+        assert!(!stats.fell_back);
+    }
+}

@@ -64,8 +64,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use platform::Platform;
-use sched::{LatenessReport, ListScheduler, MissLog, SchedWorkspace};
-use slicing::{distribute_baseline, Slicer};
+use sched::MissLog;
 use taskgraph::gen::{
     generate_seeded, generate_shape_seeded, stream_label, stream_seed, sub_stream, GenerateError,
 };
@@ -76,7 +75,7 @@ use crate::fault::FaultPlan;
 use crate::fault::FaultSite;
 use crate::progress::{MetricsWriter, ProgressTracker};
 use crate::telemetry::{self, EventSink, RunEvent, Stage};
-use crate::{RunError, Scenario, SummaryStats, Technique, WorkloadSource};
+use crate::{Pipeline, RunError, Scenario, SummaryStats, WorkloadSource};
 
 /// Measurements of one scenario at one system size, aggregated over all
 /// replications.
@@ -701,11 +700,13 @@ fn workload(
     })
 }
 
-/// Runs one full pipeline: distribute deadlines, schedule, measure.
+/// Runs one full replication through the [`Pipeline`] facade: distribute
+/// deadlines, schedule, measure.
 ///
-/// `ws` is per-worker scratch for the scheduler: `schedule_with` fully
-/// resets it on entry, so reusing one workspace across replications (even
-/// after a caught panic) changes nothing but the allocation count.
+/// `pipeline` is per-worker: it owns the scheduler scratch state, which
+/// every trial fully resets on entry, so reusing one pipeline across
+/// replications (even after a caught panic) changes nothing but the
+/// allocation count.
 ///
 /// Stage timing is self-time: `distribute_us` covers the slicer alone and
 /// `schedule_us` the list scheduler alone, while both validation passes
@@ -719,76 +720,37 @@ fn run_once(
     platform: &Platform,
     rep: usize,
     events: &EventScope,
-    ws: &mut SchedWorkspace,
+    pipeline: &mut Pipeline,
     profile_every: usize,
 ) -> Result<ReplicationRecord, RunError> {
-    let distribute_started = Instant::now();
-    let assignment = match &scenario.technique {
-        Technique::Slicing { metric, estimate } => Slicer::new(*metric)
-            .with_estimate(estimate.clone())
-            .with_strict_windows(scenario.strict_windows)
-            .distribute(graph, platform)?,
-        Technique::Baseline(strategy) => distribute_baseline(graph, *strategy),
-    };
-    let distribute_elapsed = distribute_started.elapsed();
-
-    // Baselines produce deliberately overlapping windows, so structural
-    // window validation only applies to the slicing techniques.
-    let audit_started = Instant::now();
-    let window_violations = match &scenario.technique {
-        Technique::Slicing { .. } => assignment.validate(graph).violations().len(),
-        Technique::Baseline(_) => 0,
-    };
-    let window_audit_elapsed = audit_started.elapsed();
-
-    let pinning = scenario.pinning.build(graph, platform)?;
-    let scheduler = ListScheduler::new()
-        .with_respect_release(scenario.scheduler.respect_release)
-        .with_bus_model(scenario.scheduler.bus_model)
-        .with_placement(scenario.scheduler.placement);
-    let schedule_started = Instant::now();
-    let schedule = scheduler.schedule_with(graph, platform, &assignment, &pinning, ws)?;
-    let schedule_elapsed = schedule_started.elapsed();
-
-    let audit_started = Instant::now();
-    let schedule_violations = schedule
-        .validate(
-            graph,
-            platform,
-            &pinning,
-            scenario.scheduler.bus_model == sched::BusModel::Contention,
-        )
-        .len();
-    let audit_elapsed = window_audit_elapsed + audit_started.elapsed();
-    let violations = window_violations + schedule_violations;
-
-    let report = LatenessReport::new(graph, &assignment, &schedule);
+    let verdict = pipeline.slice(graph, platform)?.trial(platform)?;
+    let violations = verdict.violations();
     let record = ReplicationRecord {
         system_size: platform.processor_count(),
         replication: rep,
-        max_lateness: report.max_lateness().as_f64(),
-        end_to_end: report.end_to_end_lateness().as_f64(),
-        makespan: report.makespan().as_f64(),
-        feasible: report.is_feasible(),
+        max_lateness: verdict.max_lateness.as_f64(),
+        end_to_end: verdict.end_to_end.as_f64(),
+        makespan: verdict.makespan.as_f64(),
+        feasible: verdict.admit,
         violations,
-        window_violations: Some(window_violations),
-        schedule_violations: Some(schedule_violations),
+        window_violations: Some(verdict.window_violations),
+        schedule_violations: Some(verdict.schedule_violations),
     };
 
     let registry = telemetry::global();
-    registry.record_stage(Stage::Distribute, distribute_elapsed);
-    registry.record_stage(Stage::Schedule, schedule_elapsed);
-    registry.record_stage(Stage::Audit, audit_elapsed);
+    registry.record_stage(Stage::Distribute, verdict.distribute);
+    registry.record_stage(Stage::Schedule, verdict.schedule_time);
+    registry.record_stage(Stage::Audit, verdict.audit);
     registry.count_schedule(record.feasible, violations);
-    registry.count_audit(window_violations, schedule_violations);
+    registry.count_audit(verdict.window_violations, verdict.schedule_violations);
     if profile_every != 0 && rep.is_multiple_of(profile_every) {
         events.emit(|| RunEvent::Profile {
             scenario: scenario.label.clone(),
             system_size: platform.processor_count(),
             replication: rep,
-            distribute_us: distribute_elapsed.as_micros() as u64,
-            schedule_us: schedule_elapsed.as_micros() as u64,
-            audit_us: audit_elapsed.as_micros() as u64,
+            distribute_us: verdict.distribute.as_micros() as u64,
+            schedule_us: verdict.schedule_time.as_micros() as u64,
+            audit_us: verdict.audit.as_micros() as u64,
         });
     }
     if violations > 0 {
@@ -796,16 +758,16 @@ fn run_once(
             scenario: scenario.label.clone(),
             system_size: platform.processor_count(),
             replication: rep,
-            window: window_violations,
-            schedule: schedule_violations,
+            window: verdict.window_violations,
+            schedule: verdict.schedule_violations,
         });
     }
     events.emit(|| RunEvent::Replication {
         scenario: scenario.label.clone(),
         system_size: platform.processor_count(),
         replication: rep,
-        distribute_us: distribute_elapsed.as_micros() as u64,
-        schedule_us: schedule_elapsed.as_micros() as u64,
+        distribute_us: verdict.distribute.as_micros() as u64,
+        schedule_us: verdict.schedule_time.as_micros() as u64,
         feasible: record.feasible,
         violations,
         max_lateness: record.max_lateness,
@@ -1616,11 +1578,11 @@ impl Runner {
             let computed: Vec<Result<Vec<ReplicationOutcome>, RunError>> =
                 fan_out(&schedulable, threads, "schedule", |chunk: &[usize]| {
                     let mut out = Vec::with_capacity(chunk.len());
-                    // One scheduling workspace per worker: steady-state
-                    // replications run the scheduler allocation-free. All
-                    // workers share the run's deadline-miss warning budget.
-                    let mut ws = SchedWorkspace::new();
-                    ws.set_miss_log(Some(Arc::clone(miss_log)));
+                    // One pipeline (and thus one scheduling workspace) per
+                    // worker: steady-state replications run allocation-free.
+                    // All workers share the run's deadline-miss budget.
+                    let mut pipeline = Pipeline::new(&scenario);
+                    pipeline.set_miss_log(Some(Arc::clone(miss_log)));
                     for &rep in chunk {
                         if cancel.is_cancelled() {
                             break;
@@ -1638,7 +1600,7 @@ impl Runner {
                                 &platform,
                                 rep,
                                 &events,
-                                &mut ws,
+                                &mut pipeline,
                                 profile_every,
                             )
                         }));

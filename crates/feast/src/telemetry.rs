@@ -250,6 +250,9 @@ pub struct Registry {
     delta_cache_misses: AtomicU64,
     delta_dirty_nodes: AtomicU64,
     delta_scanned_nodes: AtomicU64,
+    admissions_admitted: AtomicU64,
+    admissions_rejected: AtomicU64,
+    admission: DurationHistogram,
     generate: DurationHistogram,
     distribute: DurationHistogram,
     redistribute: DurationHistogram,
@@ -325,6 +328,32 @@ impl Registry {
             .fetch_add(stats.dirty_nodes, Ordering::Relaxed);
         self.delta_scanned_nodes
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
+    }
+
+    /// Records one admission decision and the service time spent deciding
+    /// it (the trial-schedule + commit/discard critical section).
+    pub fn record_admission(&self, admitted: bool, elapsed: Duration) {
+        if admitted {
+            self.admissions_admitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admissions_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.admission.record(elapsed);
+    }
+
+    /// Admission requests answered with an admit verdict.
+    pub fn admissions_admitted(&self) -> u64 {
+        self.admissions_admitted.load(Ordering::Relaxed)
+    }
+
+    /// Admission requests answered with a reject verdict.
+    pub fn admissions_rejected(&self) -> u64 {
+        self.admissions_rejected.load(Ordering::Relaxed)
+    }
+
+    /// The admission-decision service-time histogram.
+    pub fn admission(&self) -> &DurationHistogram {
+        &self.admission
     }
 
     /// Number of graphs generated so far.
@@ -416,6 +445,9 @@ impl Registry {
             delta_cache_misses: self.delta_cache_misses(),
             delta_dirty_nodes: self.delta_dirty_nodes(),
             delta_scanned_nodes: self.delta_scanned_nodes(),
+            admissions_admitted: self.admissions_admitted(),
+            admissions_rejected: self.admissions_rejected(),
+            admission: self.admission.snapshot(),
             generate: self.generate.snapshot(),
             distribute: self.distribute.snapshot(),
             redistribute: self.redistribute.snapshot(),
@@ -438,6 +470,9 @@ impl Registry {
         self.delta_cache_misses.store(0, Ordering::Relaxed);
         self.delta_dirty_nodes.store(0, Ordering::Relaxed);
         self.delta_scanned_nodes.store(0, Ordering::Relaxed);
+        self.admissions_admitted.store(0, Ordering::Relaxed);
+        self.admissions_rejected.store(0, Ordering::Relaxed);
+        self.admission.reset();
         self.generate.reset();
         self.distribute.reset();
         self.redistribute.reset();
@@ -572,6 +607,16 @@ pub struct MetricsSnapshot {
     /// Scanned (node, iteration) pairs (the dirty-fraction denominator).
     #[serde(default)]
     pub delta_scanned_nodes: u64,
+    /// Admission requests answered with an admit verdict.
+    /// (Defaulted so snapshots written before the admission service parse.)
+    #[serde(default)]
+    pub admissions_admitted: u64,
+    /// Admission requests answered with a reject verdict.
+    #[serde(default)]
+    pub admissions_rejected: u64,
+    /// Admission-decision service-time histogram.
+    #[serde(default)]
+    pub admission: StageSnapshot,
     /// Generation-stage timings.
     pub generate: StageSnapshot,
     /// Distribution-stage timings.
@@ -616,6 +661,9 @@ impl MetricsSnapshot {
             delta_cache_misses: self.delta_cache_misses + other.delta_cache_misses,
             delta_dirty_nodes: self.delta_dirty_nodes + other.delta_dirty_nodes,
             delta_scanned_nodes: self.delta_scanned_nodes + other.delta_scanned_nodes,
+            admissions_admitted: self.admissions_admitted + other.admissions_admitted,
+            admissions_rejected: self.admissions_rejected + other.admissions_rejected,
+            admission: self.admission.merge(&other.admission),
             generate: self.generate.merge(&other.generate),
             distribute: self.distribute.merge(&other.distribute),
             redistribute: self.redistribute.merge(&other.redistribute),
@@ -665,6 +713,13 @@ impl MetricsSnapshot {
             delta_scanned_nodes: self
                 .delta_scanned_nodes
                 .saturating_sub(earlier.delta_scanned_nodes),
+            admissions_admitted: self
+                .admissions_admitted
+                .saturating_sub(earlier.admissions_admitted),
+            admissions_rejected: self
+                .admissions_rejected
+                .saturating_sub(earlier.admissions_rejected),
+            admission: self.admission.delta(&earlier.admission),
             generate: self.generate.delta(&earlier.generate),
             distribute: self.distribute.delta(&earlier.distribute),
             redistribute: self.redistribute.delta(&earlier.redistribute),
@@ -1034,6 +1089,9 @@ mod tests {
         r.record_stage(Stage::Redistribute, Duration::from_micros(15));
         r.record_stage(Stage::Schedule, Duration::from_micros(30));
         r.record_stage(Stage::Audit, Duration::from_micros(5));
+        r.record_admission(true, Duration::from_micros(40));
+        r.record_admission(true, Duration::from_micros(45));
+        r.record_admission(false, Duration::from_micros(50));
 
         assert_eq!(r.graphs_generated(), 2);
         assert_eq!(r.schedules_built(), 2);
@@ -1048,6 +1106,9 @@ mod tests {
         assert_eq!(r.delta_dirty_nodes(), 3);
         assert_eq!(r.delta_scanned_nodes(), 24);
         assert!((r.delta_dirty_frac() - 0.125).abs() < 1e-12);
+        assert_eq!(r.admissions_admitted(), 2);
+        assert_eq!(r.admissions_rejected(), 1);
+        assert_eq!(r.admission().count(), 3);
         for stage in Stage::ALL {
             assert_eq!(r.stage(stage).count(), 1, "{}", stage.label());
         }
@@ -1057,6 +1118,8 @@ mod tests {
         assert_eq!(snap.distribute.total_us, 20);
         assert_eq!(snap.redistribute.total_us, 15);
         assert_eq!(snap.delta_cache_hits, 10);
+        assert_eq!(snap.admissions_admitted, 2);
+        assert_eq!(snap.admission.count, 3);
 
         r.reset();
         assert_eq!(r.graphs_generated(), 0);
@@ -1067,6 +1130,9 @@ mod tests {
         assert_eq!(r.delta_cache_hits(), 0);
         assert_eq!(r.delta_scanned_nodes(), 0);
         assert_eq!(r.delta_dirty_frac(), 0.0);
+        assert_eq!(r.admissions_admitted(), 0);
+        assert_eq!(r.admissions_rejected(), 0);
+        assert_eq!(r.admission().count(), 0);
         assert_eq!(r.stage(Stage::Schedule).count(), 0);
         assert_eq!(r.stage(Stage::Redistribute).count(), 0);
         assert_eq!(r.snapshot().schedule.buckets, vec![]);

@@ -25,6 +25,14 @@ pub enum SchedError {
     /// A subtask could not be scheduled (indicates an internal bug: list
     /// scheduling always places every subtask of a DAG).
     Unschedulable(SubtaskId),
+    /// A committed base state is incompatible with the platform, scheduler
+    /// configuration, or schedule it was used with.
+    BaseMismatch(String),
+    /// A [`CommittedState::rollback`] receipt no longer names the state's
+    /// latest mutation; the rollback was refused.
+    ///
+    /// [`CommittedState::rollback`]: crate::CommittedState::rollback
+    RollbackMismatch,
 }
 
 impl fmt::Display for SchedError {
@@ -39,6 +47,13 @@ impl fmt::Display for SchedError {
             ),
             SchedError::Platform(e) => write!(f, "invalid platform configuration: {e}"),
             SchedError::Unschedulable(id) => write!(f, "subtask {id} could not be placed"),
+            SchedError::BaseMismatch(detail) => {
+                write!(f, "committed state mismatch: {detail}")
+            }
+            SchedError::RollbackMismatch => write!(
+                f,
+                "rollback receipt is stale: the committed state was mutated since that commit"
+            ),
         }
     }
 }

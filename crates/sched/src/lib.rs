@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod bus;
+mod committed;
 mod error;
 pub mod gantt;
 mod lateness;
@@ -55,6 +56,7 @@ mod timeline;
 mod workspace;
 
 pub use bus::BusModel;
+pub use committed::{CommitReceipt, CommittedState};
 pub use error::SchedError;
 pub use lateness::LatenessReport;
 pub use list::{ListScheduler, PlacementPolicy, RepairOutcome};
@@ -78,5 +80,7 @@ mod send_sync_tests {
         assert_send_sync::<SchedWorkspace>();
         assert_send_sync::<MissLog>();
         assert_send_sync::<RepairOutcome>();
+        assert_send_sync::<CommittedState>();
+        assert_send_sync::<CommitReceipt>();
     }
 }

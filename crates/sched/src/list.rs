@@ -40,6 +40,7 @@ use slicing::DeadlineAssignment;
 use taskgraph::{SubtaskId, TaskGraph, Time};
 
 use crate::bus::BusModel;
+use crate::committed::CommittedState;
 use crate::timeline::Timeline;
 use crate::workspace::{DispatchRecord, Provenance, SchedWorkspace};
 use crate::{MessageSlot, SchedError, Schedule, ScheduleEntry};
@@ -235,18 +236,106 @@ impl ListScheduler {
             graph.edge_count(),
             platform.processor_count(),
         );
+        Self::seed_ready(graph, assignment, ws);
+
+        let schedule = self.run_dispatch(graph, platform, assignment, pinning, ws)?;
+        ws.provenance = Some(self.provenance(graph, platform, None));
+        Ok(schedule)
+    }
+
+    /// Schedules `graph` on `platform` **against committed load**: the
+    /// workspace timelines are seeded from `base`, so the graph is placed
+    /// into the idle time the admitted residents leave free. `base` itself
+    /// is read-only — a caller that rejects the resulting schedule simply
+    /// drops it (no trace), one that admits it calls
+    /// [`CommittedState::commit`].
+    ///
+    /// Data dependencies still only exist *within* `graph`; resident
+    /// schedules interact with the request purely through processor (and,
+    /// under [`BusModel::Contention`], bus) availability.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`ListScheduler::schedule_with`], plus
+    /// [`SchedError::BaseMismatch`] if `base` covers a different processor
+    /// count than `platform` or was built for a different bus model than
+    /// this scheduler uses.
+    pub fn schedule_against(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+        base: &CommittedState,
+        ws: &mut SchedWorkspace,
+    ) -> Result<Schedule, SchedError> {
+        if assignment.subtask_count() != graph.subtask_count() {
+            return Err(SchedError::AssignmentMismatch {
+                graph_subtasks: graph.subtask_count(),
+                assignment_subtasks: assignment.subtask_count(),
+            });
+        }
+        pinning.validate(graph, platform)?;
+        self.check_base(platform, base)?;
+
+        let _span = tracing::debug_span!(
+            "schedule_against",
+            subtasks = graph.subtask_count(),
+            processors = platform.processor_count(),
+            residents = base.residents(),
+            bus = ?self.bus
+        )
+        .entered();
+
+        ws.reset(
+            graph.subtask_count(),
+            graph.edge_count(),
+            platform.processor_count(),
+        );
+        for (tl, committed) in ws.procs.iter_mut().zip(&base.procs) {
+            tl.clone_from(committed);
+        }
+        if self.bus == BusModel::Contention {
+            ws.bus.clone_from(&base.bus);
+        }
+        Self::seed_ready(graph, assignment, ws);
+
+        let schedule = self.run_dispatch(graph, platform, assignment, pinning, ws)?;
+        ws.provenance = Some(self.provenance(graph, platform, Some(base)));
+        Ok(schedule)
+    }
+
+    fn check_base(&self, platform: &Platform, base: &CommittedState) -> Result<(), SchedError> {
+        if base.processor_count() != platform.processor_count() {
+            return Err(SchedError::BaseMismatch(format!(
+                "committed state covers {} processors but the platform has {}",
+                base.processor_count(),
+                platform.processor_count()
+            )));
+        }
+        if base.bus_model() != self.bus {
+            return Err(SchedError::BaseMismatch(format!(
+                "committed state was built for bus model {:?} but the scheduler uses {:?}",
+                base.bus_model(),
+                self.bus
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seeds the dependency counters and the EDF-ready heap for a fresh
+    /// dispatch run over `graph`.
+    fn seed_ready(graph: &TaskGraph, assignment: &DeadlineAssignment, ws: &mut SchedWorkspace) {
+        ws.missing_preds.clear();
         ws.missing_preds
             .extend(graph.subtask_ids().map(|id| graph.in_edges(id).len()));
+        ws.ready.clear();
         for id in graph.subtask_ids() {
             if ws.missing_preds[id.index()] == 0 {
                 ws.ready
                     .push(Reverse((assignment.absolute_deadline(id), id)));
             }
         }
-
-        let schedule = self.run_dispatch(graph, platform, assignment, pinning, ws)?;
-        ws.provenance = Some(self.provenance(graph, platform));
-        Ok(schedule)
     }
 
     /// Repairs the schedule of the *previous* run through `ws` for a
@@ -283,6 +372,51 @@ impl ListScheduler {
         prev: &Schedule,
         ws: &mut SchedWorkspace,
     ) -> Result<RepairOutcome, SchedError> {
+        self.repair_inner(graph, platform, assignment, pinning, prev, None, ws)
+    }
+
+    /// [`ListScheduler::repair`] for a run that was trial-scheduled against
+    /// committed load via [`ListScheduler::schedule_against`]: bit-identical
+    /// to a fresh `schedule_against` over the same inputs and `base`.
+    ///
+    /// The retained workspace state is only trusted when `base` is the
+    /// *same* [`CommittedState`] **at the same token** the previous run was
+    /// seeded from — a rolled-back amend restores that token, any other
+    /// mutation (commit, release) invalidates it and the call silently
+    /// degrades to a full `schedule_against`, reported via
+    /// [`RepairOutcome::fell_back`]. This is the admission service's amend
+    /// hot path: retract the latest admission, repair its schedule for the
+    /// changed graph, re-commit.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ListScheduler::schedule_against`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_against(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+        prev: &Schedule,
+        base: &CommittedState,
+        ws: &mut SchedWorkspace,
+    ) -> Result<RepairOutcome, SchedError> {
+        self.check_base(platform, base)?;
+        self.repair_inner(graph, platform, assignment, pinning, prev, Some(base), ws)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn repair_inner(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        assignment: &DeadlineAssignment,
+        pinning: &Pinning,
+        prev: &Schedule,
+        base: Option<&CommittedState>,
+        ws: &mut SchedWorkspace,
+    ) -> Result<RepairOutcome, SchedError> {
         if assignment.subtask_count() != graph.subtask_count() {
             return Err(SchedError::AssignmentMismatch {
                 graph_subtasks: graph.subtask_count(),
@@ -296,6 +430,7 @@ impl ListScheduler {
             prov.scheduler == *self
                 && prov.platform == *platform
                 && prov.subtasks == n
+                && prov.base == base.map(CommittedState::stamp)
                 && prov.edges.len() == graph.edge_count()
                 && graph
                     .edge_ids()
@@ -315,7 +450,12 @@ impl ListScheduler {
                 .enumerate()
                 .all(|(i, e)| ws.placed.get(i).copied().flatten().as_ref() == Some(e));
         if !usable {
-            let schedule = self.schedule_with(graph, platform, assignment, pinning, ws)?;
+            let schedule = match base {
+                None => self.schedule_with(graph, platform, assignment, pinning, ws)?,
+                Some(base) => {
+                    self.schedule_against(graph, platform, assignment, pinning, base, ws)?
+                }
+            };
             return Ok(RepairOutcome {
                 schedule,
                 reused: 0,
@@ -336,16 +476,9 @@ impl ListScheduler {
         // log. A dispatch is kept while it pops the same subtask with the
         // same placement-relevant inputs; by induction the committed state
         // it saw is then identical too, so its entry is bit-identical.
-        ws.missing_preds.clear();
-        ws.missing_preds
-            .extend(graph.subtask_ids().map(|id| graph.in_edges(id).len()));
-        ws.ready.clear();
-        for id in graph.subtask_ids() {
-            if ws.missing_preds[id.index()] == 0 {
-                ws.ready
-                    .push(Reverse((assignment.absolute_deadline(id), id)));
-            }
-        }
+        // (With a base, the usable check above pinned the base content via
+        // its token, so the seeded-from load is identical as well.)
+        Self::seed_ready(graph, assignment, ws);
         ws.trial_slots.clear();
         ws.best_slots.clear();
 
@@ -452,7 +585,12 @@ impl ListScheduler {
         })
     }
 
-    fn provenance(&self, graph: &TaskGraph, platform: &Platform) -> Provenance {
+    fn provenance(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        base: Option<&CommittedState>,
+    ) -> Provenance {
         Provenance {
             scheduler: *self,
             platform: platform.clone(),
@@ -464,6 +602,7 @@ impl ListScheduler {
                     (e.src().index() as u32, e.dst().index() as u32, e.items())
                 })
                 .collect(),
+            base: base.map(CommittedState::stamp),
         }
     }
 
@@ -1187,6 +1326,191 @@ mod tests {
             let fresh = scheduler.schedule(g, p, &a, &Pinning::new()).unwrap();
             assert_eq!(reused, fresh, "graph with {} procs", p.processor_count());
         }
+    }
+
+    #[test]
+    fn schedule_against_packs_around_committed_load() {
+        use crate::CommittedState;
+
+        let g = fork_graph(5, 2000);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let scheduler = ListScheduler::new().with_respect_release(false);
+        let mut ws = SchedWorkspace::new();
+        let mut state = CommittedState::new(2, BusModel::Delay);
+
+        // Admit the same graph three times; every trial must avoid the
+        // reservations of all earlier residents.
+        let mut schedules = Vec::new();
+        for round in 0..3 {
+            let s = scheduler
+                .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+                .unwrap();
+            for entry in s.entries() {
+                for &(busy_s, busy_e) in state.processor_busy(entry.processor.index()) {
+                    assert!(
+                        entry.finish <= busy_s || busy_e <= entry.start,
+                        "round {round}: entry [{}, {}) overlaps committed [{busy_s}, {busy_e})",
+                        entry.start,
+                        entry.finish
+                    );
+                }
+            }
+            state.commit(&s).unwrap();
+            schedules.push(s);
+        }
+        assert_eq!(state.residents(), 3);
+        // Same graph, same windows: later admissions must finish no earlier.
+        assert!(schedules[1].makespan() >= schedules[0].makespan());
+        assert!(schedules[2].makespan() >= schedules[1].makespan());
+    }
+
+    #[test]
+    fn schedule_against_empty_state_matches_schedule_with() {
+        use crate::CommittedState;
+
+        for bus in [BusModel::Delay, BusModel::Contention] {
+            let g = fork_graph(30, 2000);
+            let p = Platform::paper(4).unwrap();
+            let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+            let scheduler = ListScheduler::new().with_bus_model(bus);
+            let state = CommittedState::new(4, bus);
+            let mut ws = SchedWorkspace::new();
+            let against = scheduler
+                .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+                .unwrap();
+            let plain = scheduler.schedule(&g, &p, &a, &Pinning::new()).unwrap();
+            assert_eq!(against, plain, "bus={bus:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_against_rejects_incompatible_base() {
+        use crate::CommittedState;
+
+        let g = fork_graph(5, 2000);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let mut ws = SchedWorkspace::new();
+
+        let wrong_size = CommittedState::new(4, BusModel::Delay);
+        assert!(matches!(
+            ListScheduler::new().schedule_against(
+                &g,
+                &p,
+                &a,
+                &Pinning::new(),
+                &wrong_size,
+                &mut ws
+            ),
+            Err(SchedError::BaseMismatch(_))
+        ));
+
+        let wrong_bus = CommittedState::new(2, BusModel::Contention);
+        assert!(matches!(
+            ListScheduler::new().schedule_against(&g, &p, &a, &Pinning::new(), &wrong_bus, &mut ws),
+            Err(SchedError::BaseMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn repair_against_reuses_after_rollback_and_falls_back_after_foreign_commit() {
+        use crate::CommittedState;
+
+        for bus in [BusModel::Delay, BusModel::Contention] {
+            let g = fork_graph(30, 4000);
+            let p = Platform::paper(2).unwrap();
+            let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+            let scheduler = ListScheduler::new().with_bus_model(bus);
+            let mut ws = SchedWorkspace::new();
+            let mut state = CommittedState::new(2, bus);
+
+            // Pre-load the platform with one resident, then trial + admit
+            // the graph under test.
+            let resident = scheduler
+                .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+                .unwrap();
+            state.commit(&resident).unwrap();
+            let prev = scheduler
+                .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+                .unwrap();
+            let receipt = state.commit(&prev).unwrap();
+
+            // Amend: roll the admission back, repair for a changed WCET.
+            state.rollback(&prev, &receipt).unwrap();
+            let g2 = slicing::GraphDelta::new()
+                .set_wcet(SubtaskId::new(2), Time::new(25))
+                .apply(&g, &Pinning::new())
+                .unwrap()
+                .graph;
+            let a2 = Slicer::bst_pure().distribute(&g2, &p).unwrap();
+            let out = scheduler
+                .repair_against(&g2, &p, &a2, &Pinning::new(), &prev, &state, &mut ws)
+                .unwrap();
+            assert!(!out.fell_back, "bus={bus:?}");
+            let mut fresh_ws = SchedWorkspace::new();
+            let fresh = scheduler
+                .schedule_against(&g2, &p, &a2, &Pinning::new(), &state, &mut fresh_ws)
+                .unwrap();
+            assert_eq!(out.schedule, fresh, "bus={bus:?}");
+            let receipt = state.commit(&out.schedule).unwrap();
+
+            // A mutation that is *not* a rollback of this run's commit must
+            // not be trusted: roll back, commit someone else, repair again.
+            state.rollback(&out.schedule, &receipt).unwrap();
+            let other = scheduler
+                .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut fresh_ws)
+                .unwrap();
+            state.commit(&other).unwrap();
+            let out2 = scheduler
+                .repair_against(
+                    &g2,
+                    &p,
+                    &a2,
+                    &Pinning::new(),
+                    &out.schedule,
+                    &state,
+                    &mut ws,
+                )
+                .unwrap();
+            assert!(out2.fell_back, "bus={bus:?}");
+            let fresh2 = scheduler
+                .schedule_against(&g2, &p, &a2, &Pinning::new(), &state, &mut fresh_ws)
+                .unwrap();
+            assert_eq!(out2.schedule, fresh2, "bus={bus:?}");
+        }
+    }
+
+    #[test]
+    fn plain_repair_refuses_state_retained_from_a_based_run() {
+        use crate::CommittedState;
+
+        let g = fork_graph(30, 4000);
+        let p = Platform::paper(2).unwrap();
+        let a = Slicer::bst_pure().distribute(&g, &p).unwrap();
+        let scheduler = ListScheduler::new();
+        let mut ws = SchedWorkspace::new();
+        let mut state = CommittedState::new(2, BusModel::Delay);
+
+        let resident = scheduler
+            .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+            .unwrap();
+        state.commit(&resident).unwrap();
+        let prev = scheduler
+            .schedule_against(&g, &p, &a, &Pinning::new(), &state, &mut ws)
+            .unwrap();
+
+        // `repair` targets an *empty* platform; the retained state was
+        // seeded from committed load, so it must fall back — silently
+        // producing the correct empty-platform schedule.
+        let out = scheduler
+            .repair(&g, &p, &a, &Pinning::new(), &prev, &mut ws)
+            .unwrap();
+        assert!(out.fell_back);
+        assert_eq!(
+            out.schedule,
+            scheduler.schedule(&g, &p, &a, &Pinning::new()).unwrap()
+        );
     }
 
     #[test]

@@ -213,8 +213,7 @@ impl Timeline {
         self.hint = 0;
     }
 
-    /// Busy intervals, for tests.
-    #[cfg(test)]
+    /// The sorted, disjoint, coalesced busy intervals.
     pub(crate) fn busy(&self) -> &[(Time, Time)] {
         &self.busy
     }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use platform::{Platform, ProcessorId};
 use taskgraph::{SubtaskId, Time};
 
+use crate::committed::BaseStamp;
 use crate::list::ListScheduler;
 use crate::misslog::MissLog;
 use crate::timeline::Timeline;
@@ -130,6 +131,12 @@ pub(crate) struct Provenance {
     pub(crate) platform: Platform,
     pub(crate) subtasks: usize,
     pub(crate) edges: Vec<(u32, u32, u64)>,
+    /// The committed-load snapshot the run was seeded from: `None` for a
+    /// plain [`ListScheduler::schedule_with`] (empty platform), the base
+    /// state's stamp for
+    /// [`ListScheduler::schedule_against`](crate::ListScheduler::schedule_against).
+    /// Repairs refuse retained state whose base no longer matches.
+    pub(crate) base: Option<BaseStamp>,
 }
 
 impl SchedWorkspace {

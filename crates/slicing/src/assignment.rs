@@ -49,6 +49,20 @@ impl Window {
     pub fn relative_deadline(self) -> Time {
         self.deadline - self.release
     }
+
+    /// The same window translated `offset` time units into the future.
+    ///
+    /// Deadline distribution works in graph-local time (inputs released at
+    /// their given releases, typically 0); an admission service re-anchors
+    /// the result at the arrival instant by shifting every window.
+    #[inline]
+    #[must_use]
+    pub fn shifted(self, offset: Time) -> Self {
+        Window {
+            release: self.release + offset,
+            deadline: self.deadline + offset,
+        }
+    }
 }
 
 impl fmt::Display for Window {
@@ -157,6 +171,35 @@ impl DeadlineAssignment {
     /// Number of subtasks covered by this assignment.
     pub fn subtask_count(&self) -> usize {
         self.task_windows.len()
+    }
+
+    /// The same assignment translated `offset` time units into the future:
+    /// every task and communication window is [`Window::shifted`] uniformly,
+    /// preserving all relative deadlines, laxities, and edge orderings.
+    ///
+    /// This is how an admission service re-anchors a graph-local
+    /// distribution at its arrival instant before trial-scheduling it
+    /// against the platform's committed load. Validate **before** shifting:
+    /// [`validate`](DeadlineAssignment::validate) compares assigned output
+    /// deadlines against the graph's *given* (graph-local) deadlines, which
+    /// a shifted assignment legitimately exceeds.
+    #[must_use]
+    pub fn shifted(&self, offset: Time) -> Self {
+        DeadlineAssignment {
+            task_windows: self
+                .task_windows
+                .iter()
+                .map(|w| w.shifted(offset))
+                .collect(),
+            comm_windows: self
+                .comm_windows
+                .iter()
+                .map(|w| w.map(|w| w.shifted(offset)))
+                .collect(),
+            inverted_paths: self.inverted_paths,
+            metric: self.metric.clone(),
+            estimate: self.estimate.clone(),
+        }
     }
 
     /// Checks the structural soundness of the assignment against its graph:
@@ -327,6 +370,36 @@ mod tests {
     #[should_panic(expected = "precedes release")]
     fn window_rejects_inversion() {
         let _ = Window::new(Time::new(10), Time::new(9));
+    }
+
+    #[test]
+    fn shifted_translates_uniformly() {
+        let w = Window::new(Time::new(10), Time::new(35));
+        let s = w.shifted(Time::new(100));
+        assert_eq!(s.release(), Time::new(110));
+        assert_eq!(s.deadline(), Time::new(135));
+        assert_eq!(s.relative_deadline(), w.relative_deadline());
+
+        let a = DeadlineAssignment::new(
+            vec![w, Window::new(Time::new(35), Time::new(50))],
+            vec![None, Some(Window::new(Time::new(35), Time::new(40)))],
+            1,
+            "norm".into(),
+            "ccne".into(),
+        );
+        let shifted = a.shifted(Time::new(7));
+        assert_eq!(shifted.release(SubtaskId::new(0)), Time::new(17));
+        assert_eq!(shifted.absolute_deadline(SubtaskId::new(1)), Time::new(57));
+        assert_eq!(shifted.comm_window(EdgeId::new(0)), None);
+        assert_eq!(
+            shifted.comm_window(EdgeId::new(1)),
+            Some(Window::new(Time::new(42), Time::new(47)))
+        );
+        assert_eq!(shifted.inverted_paths(), 1);
+        assert_eq!(shifted.metric_name(), "norm");
+        assert_eq!(shifted.estimate_name(), "ccne");
+        // Zero offset is the identity.
+        assert_eq!(a.shifted(Time::ZERO), a);
     }
 
     #[test]

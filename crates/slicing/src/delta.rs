@@ -265,6 +265,9 @@ impl GraphDelta {
     /// validation. On error nothing is produced and the inputs are
     /// untouched.
     pub fn apply(&self, graph: &TaskGraph, pinning: &Pinning) -> Result<Applied, DeltaError> {
+        if let Some(applied) = self.apply_attributes_only(graph, pinning)? {
+            return Ok(applied);
+        }
         let mut subs: Vec<Subtask> = graph
             .subtask_ids()
             .map(|id| graph.subtask(id).clone())
@@ -362,6 +365,65 @@ impl GraphDelta {
         }
 
         Ok(Applied { graph, pinning })
+    }
+
+    /// Fast path for deltas that only rewrite subtask attributes (WCET and
+    /// anchor values): clones the graph and mutates it in place via
+    /// [`TaskGraph::try_update_subtasks`], skipping the full builder
+    /// rebuild. Sound because attribute ops cannot change the structure
+    /// the builder derives (adjacency, topological order, input/output
+    /// sets), and the in-place update re-checks exactly the attribute
+    /// invariants the builder would. Returns `Ok(None)` when any op is
+    /// structural or touches the pinning, deferring to the rebuild path.
+    ///
+    /// Errors and results are identical to the rebuild path: ids are
+    /// checked in op order first, attribute invariants afterwards — the
+    /// same observable sequence the builder-based path produces.
+    fn apply_attributes_only(
+        &self,
+        graph: &TaskGraph,
+        pinning: &Pinning,
+    ) -> Result<Option<Applied>, DeltaError> {
+        let attribute_only = self.ops.iter().all(|op| {
+            matches!(
+                op,
+                DeltaOp::SetWcet { .. } | DeltaOp::SetRelease { .. } | DeltaOp::SetDeadline { .. }
+            )
+        });
+        if !attribute_only {
+            return Ok(None);
+        }
+        let n = graph.subtask_count();
+        for op in &self.ops {
+            let id = match op {
+                DeltaOp::SetWcet { subtask, .. }
+                | DeltaOp::SetRelease { subtask, .. }
+                | DeltaOp::SetDeadline { subtask, .. } => *subtask,
+                _ => unreachable!("attribute-only checked above"),
+            };
+            if id.index() >= n {
+                return Err(DeltaError::UnknownSubtask(id));
+            }
+        }
+        let mut graph = graph.clone();
+        graph.try_update_subtasks(|subs| {
+            for op in &self.ops {
+                match op {
+                    DeltaOp::SetWcet { subtask, wcet } => subs[subtask.index()].set_wcet(*wcet),
+                    DeltaOp::SetRelease { subtask, release } => {
+                        subs[subtask.index()].set_release(*release)
+                    }
+                    DeltaOp::SetDeadline { subtask, deadline } => {
+                        subs[subtask.index()].set_deadline(*deadline)
+                    }
+                    _ => unreachable!("attribute-only checked above"),
+                }
+            }
+        })?;
+        Ok(Some(Applied {
+            graph,
+            pinning: pinning.clone(),
+        }))
     }
 }
 
@@ -521,5 +583,52 @@ mod tests {
             .apply(&g, &Pinning::new())
             .unwrap();
         assert_eq!(applied.graph.subtask(id(1)).wcet(), Time::new(99));
+    }
+
+    /// The attribute-only fast path must be observationally identical to
+    /// the builder rebuild. Forcing the rebuild by appending a structural
+    /// no-op (add then remove a fresh edge) makes the two comparable on
+    /// the same net mutation.
+    #[test]
+    fn attribute_fast_path_matches_the_rebuild_path() {
+        let g = diamond();
+        let mut pins = Pinning::new();
+        pins.pin(id(2), ProcessorId::new(1)).unwrap();
+        let attrs = GraphDelta::new()
+            .set_wcet(id(1), Time::new(75))
+            .set_release(id(0), Some(Time::new(5)))
+            .set_deadline(id(3), Some(Time::new(300)));
+        let fast = attrs.clone().apply(&g, &pins).unwrap();
+        // No other x→y edge exists, so remove drops exactly the added one.
+        let slow = attrs
+            .add_edge(id(1), id(2), 3)
+            .remove_edge(id(1), id(2))
+            .apply(&g, &pins)
+            .unwrap();
+        assert_eq!(fast.graph, slow.graph);
+        assert_eq!(fast.pinning, slow.pinning);
+    }
+
+    #[test]
+    fn attribute_fast_path_reports_rebuild_errors() {
+        let g = diamond();
+        assert!(matches!(
+            GraphDelta::new()
+                .set_wcet(id(1), Time::ZERO)
+                .apply(&g, &Pinning::new()),
+            Err(DeltaError::Graph(GraphError::NonPositiveWcet(v))) if v == id(1)
+        ));
+        assert!(matches!(
+            GraphDelta::new()
+                .set_release(id(0), None)
+                .apply(&g, &Pinning::new()),
+            Err(DeltaError::Graph(GraphError::MissingRelease(v))) if v == id(0)
+        ));
+        assert!(matches!(
+            GraphDelta::new()
+                .set_wcet(id(9), Time::new(5))
+                .apply(&g, &Pinning::new()),
+            Err(DeltaError::UnknownSubtask(v)) if v == id(9)
+        ));
     }
 }

@@ -338,9 +338,8 @@ impl Slicer {
     ///
     /// The result is bit-identical to `self.distribute(graph, platform)`;
     /// only the work performed differs. `memo` is refreshed to describe
-    /// this run, so deltas can be chained. See the
-    /// [module docs](self) for the dirty-set rules and fallback
-    /// conditions.
+    /// this run, so deltas can be chained. See this module's source
+    /// docs for the dirty-set rules and fallback conditions.
     ///
     /// # Errors
     ///

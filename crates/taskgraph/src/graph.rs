@@ -269,6 +269,46 @@ impl TaskGraph {
         self.edges[id.index()]
     }
 
+    /// Updates subtask attributes in place, then re-checks the attribute
+    /// invariants ([`TaskGraphBuilder::build`] enforces on construction):
+    /// every WCET positive, every input released, every output
+    /// deadline-anchored. The graph's structure — and therefore its
+    /// derived adjacency, topological order and input/output sets — is
+    /// untouched, which is what makes the in-place form sound: only the
+    /// attribute invariants can be violated by `f`.
+    ///
+    /// This is the cheap path for attribute-only graph amendments
+    /// (WCET re-estimation, anchor shifts), avoiding a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`GraphError`] a full rebuild would report for the
+    /// violated invariant. The graph is left with `f` applied even on
+    /// error; callers treating the update as a transaction should apply it
+    /// to a clone.
+    pub fn try_update_subtasks<F>(&mut self, f: F) -> Result<(), GraphError>
+    where
+        F: FnOnce(&mut [Subtask]),
+    {
+        f(&mut self.nodes);
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.wcet.is_positive() {
+                return Err(GraphError::NonPositiveWcet(SubtaskId::new(i as u32)));
+            }
+        }
+        for &id in &self.inputs {
+            if self.nodes[id.index()].release.is_none() {
+                return Err(GraphError::MissingRelease(id));
+            }
+        }
+        for &id in &self.outputs {
+            if self.nodes[id.index()].deadline.is_none() {
+                return Err(GraphError::MissingDeadline(id));
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over all subtask ids in insertion order.
     pub fn subtask_ids(&self) -> impl ExactSizeIterator<Item = SubtaskId> + '_ {
         (0..self.nodes.len() as u32).map(SubtaskId::new)

@@ -113,6 +113,9 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         delta_cache_misses,
         delta_dirty_nodes,
         delta_scanned_nodes,
+        admissions_admitted,
+        admissions_rejected,
+        admission,
         generate,
         distribute,
         redistribute,
@@ -132,10 +135,13 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         ("delta_cache_misses", *delta_cache_misses),
         ("delta_dirty_nodes", *delta_dirty_nodes),
         ("delta_scanned_nodes", *delta_scanned_nodes),
+        ("admissions_admitted", *admissions_admitted),
+        ("admissions_rejected", *admissions_rejected),
     ] {
         check(name, value);
     }
     for (stage, snap) in [
+        ("admission", admission),
         ("generate", generate),
         ("distribute", distribute),
         ("redistribute", redistribute),
@@ -185,6 +191,8 @@ fn populated_registry() -> Registry {
         scanned_nodes: 40,
         fell_back: false,
     });
+    registry.record_admission(true, Duration::from_micros(45));
+    registry.record_admission(false, Duration::from_micros(60));
     registry
 }
 
