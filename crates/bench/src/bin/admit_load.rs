@@ -16,7 +16,9 @@
 //! ```text
 //! cargo run --release -p bench --bin admit-load -- [--label NAME] \
 //!     [--requests N] [--workers N] [--size P] [--amend-every K] \
-//!     [--out PATH] [--fresh] [--guard] [--floor F] [--metrics PATH]
+//!     [--out PATH] [--fresh] [--guard] [--floor F] [--metrics PATH] \
+//!     [--durable] [--wal PATH] [--recover PATH] [--budget-us N] \
+//!     [--fault SPEC]
 //! ```
 //!
 //! * `--label NAME`    tag for this run (default `run`);
@@ -33,15 +35,26 @@
 //!   (the CI admission guard);
 //! * `--floor F`       guard floor in admissions/second (default 10000);
 //! * `--metrics PATH`  also write a live `metrics.json` (progress +
-//!   telemetry) while the run drains.
+//!   telemetry) while the run drains;
+//! * `--durable`       seal every verdict to a write-ahead log before it
+//!   returns, and re-verify crash recovery after every trial;
+//! * `--wal PATH`      the write-ahead log path (default
+//!   `admit_load.wal.jsonl`; implies `--durable`);
+//! * `--recover PATH`  standalone mode: recover the WAL at PATH, verify
+//!   bit-identical replay, report, and exit (0 ok / 2 divergence);
+//! * `--budget-us N`   decision budget in µs — requests that out-wait it
+//!   are shed before slicing (with `--guard`, also bounds the non-shed
+//!   p99 sojourn);
+//! * `--fault SPEC`    deterministic fault injection, `site:rate[:attempts]`
+//!   (only fires in `--features fault-inject` builds; repeatable).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use feast::telemetry::{self, StageSnapshot};
 use feast::{
-    AdmissionLog, AdmissionService, AdmitConfig, AdmitError, AdmitRequest, MetricsWriter,
-    ProgressTracker, Runner, Scenario,
+    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitError, AdmitRequest,
+    FaultPlan, FaultSpec, MetricsWriter, ProgressTracker, Runner, Scenario,
 };
 use serde::{Deserialize, Serialize};
 use slicing::{CommEstimate, GraphDelta, MetricKind};
@@ -98,9 +111,17 @@ struct LoadPoint {
     requests: usize,
     admitted: usize,
     rejected: usize,
-    /// Requests answered with a typed error (e.g. amendment of an already
-    /// retired resident) — still decisions, still replayed.
+    /// Requests answered with a typed refusal (e.g. amendment of an
+    /// already retired resident) — still decisions, still replayed.
     errors: usize,
+    /// Requests shed over the decision budget (environmental outcomes;
+    /// replayed verbatim, never trialed).
+    #[serde(default)]
+    shed: usize,
+    /// Requests lost to supervised worker failures (environmental; the
+    /// worker was respawned and the stream continued).
+    #[serde(default)]
+    failed: usize,
     /// Submissions refused by the bounded queue before eventually landing
     /// (backpressure retries; not counted in `requests`).
     queue_retries: usize,
@@ -111,9 +132,21 @@ struct LoadPoint {
     /// Coordinator decision latency (trial + commit, excluding queueing
     /// and parallel slicing).
     latency: LatencyStats,
+    /// End-to-end sojourn of non-shed, non-failed requests: submit to
+    /// concluded verdict, including queueing and slicing.
+    #[serde(default)]
+    sojourn: Option<LatencyStats>,
     /// The determinism contract held: sequential replay of the transcript
     /// reproduced every verdict and the final state digest bit for bit.
     replay_verified: bool,
+    /// This run sealed every verdict to a write-ahead log before
+    /// returning it.
+    #[serde(default)]
+    durable: bool,
+    /// In durable mode: sealed decisions recovered (and digest-verified)
+    /// from the WAL after the run.
+    #[serde(default)]
+    wal_recovered: Option<usize>,
 }
 
 /// One invocation of this binary.
@@ -217,6 +250,11 @@ struct Args {
     guard: bool,
     floor: f64,
     metrics: Option<String>,
+    durable: bool,
+    wal: Option<String>,
+    recover: Option<String>,
+    budget_us: Option<u64>,
+    faults: Vec<FaultSpec>,
 }
 
 fn parse_args() -> Args {
@@ -234,6 +272,11 @@ fn parse_args() -> Args {
         guard: false,
         floor: 10_000.0,
         metrics: None,
+        durable: false,
+        wal: None,
+        recover: None,
+        budget_us: None,
+        faults: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -287,11 +330,30 @@ fn parse_args() -> Args {
                     .expect("--floor takes a number (admissions/second)")
             }
             "--metrics" => args.metrics = Some(value("--metrics")),
+            "--durable" => args.durable = true,
+            "--wal" => {
+                args.wal = Some(value("--wal"));
+                args.durable = true;
+            }
+            "--recover" => args.recover = Some(value("--recover")),
+            "--budget-us" => {
+                args.budget_us = Some(
+                    value("--budget-us")
+                        .parse()
+                        .expect("--budget-us takes a positive integer (microseconds)"),
+                )
+            }
+            "--fault" => args.faults.push(
+                value("--fault")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad --fault spec: {e}")),
+            ),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: admit-load [--label NAME] [--requests N] [--workers N] [--size P] \
                      [--amend-every K] [--stride T] [--capacity N] [--trials N] [--out PATH] \
-                     [--fresh] [--guard] [--floor F] [--metrics PATH]"
+                     [--fresh] [--guard] [--floor F] [--metrics PATH] [--durable] [--wal PATH] \
+                     [--recover PATH] [--budget-us N] [--fault SPEC]"
                 );
                 std::process::exit(0);
             }
@@ -301,15 +363,9 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-    let requests = request_stream(
-        args.requests.max(1),
-        args.size,
-        args.amend_every,
-        args.stride.max(1),
-    );
-
+/// Builds the bench's admission configuration (shared by load runs and
+/// the standalone `--recover` mode, whose WAL fingerprints must agree).
+fn bench_config(args: &Args) -> AdmitConfig {
     let scenario = Scenario::paper(
         "admit-load",
         WorkloadSpec::paper(ExecVariation::Mdet),
@@ -320,10 +376,78 @@ fn main() {
         MetricKind::norm(),
         CommEstimate::Ccne,
     );
-    let config = AdmitConfig::new(scenario, args.size)
+    let mut config = AdmitConfig::new(scenario, args.size)
         .with_workers(args.workers.max(1))
         .with_queue_depth(512)
         .with_capacity(args.capacity.max(1));
+    if let Some(budget_us) = args.budget_us {
+        config = config.with_decision_budget(Duration::from_micros(budget_us));
+    }
+    if !args.faults.is_empty() {
+        let mut plan = FaultPlan::new(SEED);
+        for spec in &args.faults {
+            plan = plan.with_fault(*spec);
+        }
+        config = config.with_fault_plan(plan);
+    }
+    config
+}
+
+/// Standalone `--recover PATH`: rebuild the committed state from a
+/// write-ahead log (e.g. one left behind by a killed run), verify the
+/// transcript replays bit-identically, report, and exit.
+fn recover_and_report(args: &Args, path: &str) -> ! {
+    let config = bench_config(args);
+    let (controller, log) = match AdmissionController::recover(config.clone(), path) {
+        Ok(recovered) => recovered,
+        Err(e) => {
+            eprintln!("admit-load recovery FAILED: {e}");
+            std::process::exit(2);
+        }
+    };
+    let replayed = log
+        .replay(&config)
+        .expect("sequential replay controller builds");
+    if !log.matches(&replayed) {
+        eprintln!("admit-load recovery FAILED: transcript diverged from sequential replay");
+        std::process::exit(2);
+    }
+    println!(
+        "recovered {} sealed decisions from {path}: {} admitted, {} rejected, {} errors, \
+         {} shed, {} failed; digest {:#018x}, {} residents; replay verified",
+        log.outcomes.len(),
+        log.admitted(),
+        log.rejected(),
+        log.refused(),
+        log.shed(),
+        log.failed(),
+        controller.digest(),
+        controller.residents()
+    );
+    std::process::exit(0)
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = args.recover.clone() {
+        recover_and_report(&args, &path);
+    }
+    let requests = request_stream(
+        args.requests.max(1),
+        args.size,
+        args.amend_every,
+        args.stride.max(1),
+    );
+
+    let wal_path = args.durable.then(|| {
+        args.wal
+            .clone()
+            .unwrap_or_else(|| "admit_load.wal.jsonl".to_owned())
+    });
+    let mut config = bench_config(&args);
+    if let Some(path) = &wal_path {
+        config = config.durable(path);
+    }
 
     let trials = args.trials.max(1);
     let progress = ProgressTracker::new();
@@ -347,8 +471,9 @@ fn main() {
     // work and the fastest one is the least noise-contaminated estimate of
     // the service's sustained rate. Every trial (not just the best) must
     // pass the replay check before anything is recorded.
-    let mut best: Option<(AdmissionLog, f64, LatencyStats, usize)> = None;
+    let mut best: Option<(AdmissionLog, f64, LatencyStats, LatencyStats, usize)> = None;
     let mut last_delta = None;
+    let mut wal_recovered: Option<usize> = None;
     for trial in 0..trials {
         let before = registry.snapshot();
         let service = AdmissionService::new(config.clone()).expect("admission service starts");
@@ -377,6 +502,8 @@ fn main() {
 
         let after = registry.snapshot();
         let latency = LatencyStats::from_snapshot(&after.admission.delta(&before.admission));
+        let sojourn =
+            LatencyStats::from_snapshot(&after.admission_sojourn.delta(&before.admission_sojourn));
         last_delta = Some(after.delta(&before));
 
         // The determinism contract, re-proven on every load run: the
@@ -393,16 +520,45 @@ fn main() {
             std::process::exit(2);
         }
 
+        // Durable runs additionally re-prove crash recovery on every
+        // trial: rebuilding from the WAL must reproduce the live
+        // transcript (outcomes, digest, residents) bit for bit.
+        if let Some(path) = &wal_path {
+            let (recovered, rlog) = match AdmissionController::recover(config.clone(), path) {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    eprintln!("admit-load FAILED: trial {} WAL recovery: {e}", trial + 1);
+                    std::process::exit(2);
+                }
+            };
+            if !log.matches(&rlog) || recovered.digest() != log.digest {
+                eprintln!(
+                    "admit-load FAILED: trial {} WAL recovery diverged from the live run",
+                    trial + 1
+                );
+                std::process::exit(2);
+            }
+            wal_recovered = Some(rlog.outcomes.len());
+        }
+
         let aps = log.outcomes.len() as f64 / elapsed.as_secs_f64();
         eprintln!(
-            "trial {}/{}: {} decisions in {:.1}ms = {aps:.0}/s (replay verified)",
+            "trial {}/{}: {} decisions in {:.1}ms = {aps:.0}/s ({} shed, {} failed; \
+             replay verified{})",
             trial + 1,
             trials,
             log.outcomes.len(),
-            elapsed.as_secs_f64() * 1e3
+            elapsed.as_secs_f64() * 1e3,
+            log.shed(),
+            log.failed(),
+            if wal_path.is_some() {
+                ", recovery verified"
+            } else {
+                ""
+            }
         );
-        if best.as_ref().is_none_or(|(_, b, _, _)| aps > *b) {
-            best = Some((log, aps, latency, queue_retries));
+        if best.as_ref().is_none_or(|(_, b, _, _, _)| aps > *b) {
+            best = Some((log, aps, latency, sojourn, queue_retries));
         }
     }
     progress.finish("complete");
@@ -412,11 +568,14 @@ fn main() {
         writer.write_now(&progress, delta);
     }
 
-    let (log, admissions_per_sec, latency, queue_retries) = best.expect("at least one trial ran");
+    let (log, admissions_per_sec, latency, sojourn, queue_retries) =
+        best.expect("at least one trial ran");
     let decisions = log.outcomes.len();
     let admitted = log.admitted();
     let rejected = log.rejected();
-    let errors = decisions - admitted - rejected;
+    let errors = log.refused();
+    let shed = log.shed();
+    let failed = log.failed();
     let elapsed_ms = decisions as f64 / admissions_per_sec * 1e3;
     let replay_verified = true;
 
@@ -432,15 +591,21 @@ fn main() {
         admitted,
         rejected,
         errors,
+        shed,
+        failed,
         queue_retries,
         elapsed_ms,
         admissions_per_sec,
         latency,
+        sojourn: Some(sojourn),
+        durable: wal_path.is_some(),
+        wal_recovered,
         replay_verified,
     };
     eprintln!(
         "admit-load: {decisions} decisions in {elapsed_ms:.1}ms = {admissions_per_sec:.0}/s \
-         ({admitted} admitted, {rejected} rejected, {errors} errors, {queue_retries} retries)"
+         ({admitted} admitted, {rejected} rejected, {errors} errors, {shed} shed, \
+         {failed} failed, {queue_retries} retries)"
     );
     eprintln!(
         "latency: mean {}us p50 {}us p90 {}us p99 {}us max {}us; replay verified",
@@ -450,6 +615,15 @@ fn main() {
         point.latency.p99_us,
         point.latency.max_us
     );
+    if let Some(sojourn) = &point.sojourn {
+        eprintln!(
+            "sojourn: mean {}us p50 {}us p90 {}us p99 {}us max {}us",
+            sojourn.mean_us, sojourn.p50_us, sojourn.p90_us, sojourn.p99_us, sojourn.max_us
+        );
+    }
+    if let Some(recovered) = wal_recovered {
+        eprintln!("durable: {recovered} sealed decisions recovered bit-identically from the WAL");
+    }
 
     if args.guard && admissions_per_sec < args.floor {
         eprintln!(
@@ -465,14 +639,42 @@ fn main() {
             args.floor
         );
     }
+    // With a decision budget in force, no request may sojourn far past it:
+    // anything older is shed before slicing, so the sojourn tail is bounded
+    // by budget + service time (doubled to absorb the log2-bucket
+    // percentile error of the histogram).
+    if args.guard {
+        if let (Some(budget_us), Some(sojourn)) = (args.budget_us, &point.sojourn) {
+            let bound = 2 * (budget_us + point.latency.max_us);
+            if sojourn.p99_us > bound {
+                eprintln!(
+                    "staleness guard FAILED: p99 sojourn {}us exceeds {bound}us \
+                     (budget {budget_us}us)",
+                    sojourn.p99_us
+                );
+                std::process::exit(2);
+            }
+            eprintln!(
+                "staleness guard passed (p99 sojourn {}us <= {bound}us)",
+                sojourn.p99_us
+            );
+        }
+    }
 
     let mut file = if args.fresh {
         LoadFile::empty()
     } else {
-        std::fs::read_to_string(&args.out)
-            .ok()
-            .and_then(|text| serde_json::from_str(&text).ok())
-            .unwrap_or_else(LoadFile::empty)
+        match std::fs::read_to_string(&args.out) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!(
+                    "warning: {} exists but does not parse ({e}); starting a fresh file \
+                     (previously recorded runs are dropped)",
+                    args.out
+                );
+                LoadFile::empty()
+            }),
+            Err(_) => LoadFile::empty(),
+        }
     };
     match file.runs.iter_mut().find(|run| run.label == args.label) {
         Some(run) => run.points = vec![point],

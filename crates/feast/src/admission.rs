@@ -24,33 +24,55 @@
 //!   through a fresh sequential controller ([`AdmissionLog::replay`])
 //!   reproduces bit-identical verdicts — the determinism contract tests
 //!   and load harnesses check.
+//! * [`AdmissionWal`] — the durable half of the transcript: every
+//!   concluded request is CRC32-sealed to an append-only JSONL
+//!   write-ahead log *before* its verdict is returned, and
+//!   [`AdmissionController::recover`] rebuilds the committed state from
+//!   that log after a crash, bit-identical to the pre-crash digest.
+//!
+//! The service is built to *degrade, not die*: a slicer-worker panic
+//! becomes a typed [`Failed`](AdmitOutcome::Failed) outcome and the
+//! worker's pipeline is rebuilt in place; a request that out-waits its
+//! [decision budget](AdmitConfig::with_decision_budget) is shed with a
+//! typed [`Shed`](AdmitOutcome::Shed) outcome before any slicing work is
+//! spent on it, bounding decision latency under overload; WAL appends
+//! retry transiently failing I/O with bounded exponential backoff.
 //!
 //! A verdict is a *prediction under the trialed load*, not a
 //! schedulability proof: admitted means the non-preemptive EDF trial met
 //! every sliced deadline given the reservations committed at decision
 //! time. Residents depart automatically once the decision clock passes
 //! their horizon (last reserved completion), and a capacity bound evicts
-//! the oldest residents on admit so the committed state stays small.
+//! residents chosen by the configured [`EvictionPolicy`] on admit so the
+//! committed state stays small.
 //!
 //! [`admit`]: AdmissionController::admit
 //! [`amend`]: AdmissionController::amend
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use platform::Platform;
 use sched::{CommitReceipt, CommittedState, MissLog, Schedule};
 use serde::{Deserialize, Serialize};
 use slicing::GraphDelta;
+use taskgraph::gen::{stream_label, stream_seed};
 use taskgraph::{TaskGraph, Time};
 
 use crate::error::AdmitError;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::pipeline::{Pipeline, SliceOutput, Sliced, Verdict};
+use crate::runner::{fingerprint, seal};
 use crate::scenario::Scenario;
-use crate::{telemetry, RunError};
+use crate::{telemetry, RunError, Runner};
 
 /// Configuration of an admission controller or service: the pipeline
 /// scenario, the platform size, and the service's operational bounds.
@@ -65,18 +87,40 @@ pub struct AdmitConfig {
     /// refuses with [`AdmitError::QueueFull`] instead of blocking.
     pub queue_depth: usize,
     /// Maximum number of resident (committed) graphs; an admit beyond the
-    /// bound evicts the oldest residents first.
+    /// bound evicts residents chosen by [`eviction`](AdmitConfig::eviction).
     pub capacity: usize,
     /// Number of parallel slicer workers in an [`AdmissionService`].
     pub workers: usize,
     /// Per-service budget of individually logged deadline-miss warnings;
-    /// misses beyond it are counted silently (see [`MissLog`]).
+    /// misses beyond it are counted silently (see [`MissLog`]). The same
+    /// budget bounds structural-fallback WARNs.
     pub miss_warn_limit: u64,
+    /// The capacity bound's victim-selection policy (default
+    /// [`OldestFirst`]). Part of the WAL fingerprint: recovery refuses a
+    /// log written under a different policy.
+    pub eviction: Arc<dyn EvictionPolicy>,
+    /// Decision budget for staleness-aware shedding: a service request
+    /// that has already waited longer than this when a worker or the
+    /// coordinator picks it up is refused with [`AdmitError::Shed`]
+    /// before any slicing or trial work is spent on it. `None` (the
+    /// default) never sheds. The sequential controller has no queue and
+    /// ignores the budget.
+    pub decision_budget: Option<Duration>,
+    /// Path of the durable write-ahead log. `Some` makes every concluded
+    /// request durable before its verdict is returned (see
+    /// [`AdmissionWal`]); `None` (the default) keeps the transcript
+    /// in-memory only.
+    pub wal_path: Option<PathBuf>,
+    /// Deterministic fault plan for the admission fault sites. Only
+    /// consulted when the `fault-inject` cargo feature is enabled;
+    /// release builds compile the hooks to constant `false`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl AdmitConfig {
     /// A configuration with service defaults: queue depth 256, capacity
-    /// 64 residents, 4 slicer workers, 8 logged miss warnings.
+    /// 64 residents, 4 slicer workers, 8 logged miss warnings,
+    /// oldest-first eviction, no shedding, no write-ahead log.
     pub fn new(scenario: Scenario, system_size: usize) -> AdmitConfig {
         AdmitConfig {
             scenario,
@@ -85,6 +129,10 @@ impl AdmitConfig {
             capacity: 64,
             workers: 4,
             miss_warn_limit: 8,
+            eviction: Arc::new(OldestFirst),
+            decision_budget: None,
+            wal_path: None,
+            fault_plan: None,
         }
     }
 
@@ -113,6 +161,38 @@ impl AdmitConfig {
     #[must_use]
     pub fn with_miss_warn_limit(mut self, limit: u64) -> Self {
         self.miss_warn_limit = limit;
+        self
+    }
+
+    /// Sets the capacity bound's eviction policy.
+    #[must_use]
+    pub fn with_eviction(mut self, policy: impl EvictionPolicy + 'static) -> Self {
+        self.eviction = Arc::new(policy);
+        self
+    }
+
+    /// Sets the decision budget for staleness-aware shedding.
+    #[must_use]
+    pub fn with_decision_budget(mut self, budget: Duration) -> Self {
+        self.decision_budget = Some(budget);
+        self
+    }
+
+    /// Makes the transcript durable: every concluded request is sealed to
+    /// the write-ahead log at `path` before its verdict is returned. A
+    /// fresh controller truncates any existing file at `path`; use
+    /// [`AdmissionController::recover`] to resume from one instead.
+    #[must_use]
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wal_path = Some(path.into());
+        self
+    }
+
+    /// Installs a deterministic fault plan for the admission fault sites
+    /// (no effect unless built with the `fault-inject` feature).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
         self
     }
 }
@@ -182,6 +262,161 @@ pub struct AdmitVerdict {
     pub residents: usize,
 }
 
+/// One resolved request: what the transcript and the write-ahead log
+/// record per submission.
+///
+/// Splits the service's four ways of answering a request into variants a
+/// replay can reason about: [`Verdict`](AdmitOutcome::Verdict) and
+/// [`Refused`](AdmitOutcome::Refused) are *deterministic* — a fresh
+/// controller fed the same request sequence reproduces them bit for bit —
+/// while [`Shed`](AdmitOutcome::Shed) and [`Failed`](AdmitOutcome::Failed)
+/// are *environmental* (wall-clock overload, injected or real panics):
+/// replay copies them verbatim, which is sound because both conclude a
+/// request **before** any state mutation, so they provably leave no trace
+/// in committed state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmitOutcome {
+    /// The trial completed: an admit or reject verdict.
+    Verdict(AdmitVerdict),
+    /// A deterministic typed refusal (duplicate id, unknown resident,
+    /// inapplicable delta, pipeline failure), rendered to display form.
+    Refused(String),
+    /// The request out-waited its decision budget and was shed before any
+    /// slicing or trial work was spent on it.
+    Shed {
+        /// How long the request had waited when it was shed, µs.
+        waited_us: u64,
+    },
+    /// A slicer worker panicked while processing the request; the worker
+    /// was respawned and the service kept running.
+    Failed {
+        /// The pipeline stage the worker died in.
+        stage: String,
+    },
+}
+
+impl AdmitOutcome {
+    /// The transcript form of a controller result.
+    pub fn of(result: &Result<AdmitVerdict, AdmitError>) -> AdmitOutcome {
+        match result {
+            Ok(verdict) => AdmitOutcome::Verdict(verdict.clone()),
+            Err(AdmitError::Shed { waited_us }) => AdmitOutcome::Shed {
+                waited_us: *waited_us,
+            },
+            Err(AdmitError::WorkerFailed { stage }) => AdmitOutcome::Failed {
+                stage: (*stage).to_owned(),
+            },
+            Err(e) => AdmitOutcome::Refused(e.to_string()),
+        }
+    }
+
+    /// The verdict, when the trial completed.
+    pub fn verdict(&self) -> Option<&AdmitVerdict> {
+        match self {
+            AdmitOutcome::Verdict(verdict) => Some(verdict),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome depends on the environment (queue timing,
+    /// panics) rather than the request sequence. Environmental outcomes
+    /// are copied verbatim on replay; deterministic ones are re-derived.
+    pub fn is_environmental(&self) -> bool {
+        matches!(
+            self,
+            AdmitOutcome::Shed { .. } | AdmitOutcome::Failed { .. }
+        )
+    }
+}
+
+/// One resident's identity and load figures, offered to an
+/// [`EvictionPolicy`] when the capacity bound must choose a victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictionCandidate {
+    /// The resident id.
+    pub id: u64,
+    /// Position in admission order (0 = oldest resident).
+    pub seniority: usize,
+    /// The resident's arrival time.
+    pub origin: Time,
+    /// Completion time of the resident's reserved schedule.
+    pub horizon: Time,
+    /// Total reserved processor-busy time of the resident's schedule.
+    pub busy: Time,
+}
+
+impl EvictionCandidate {
+    /// The resident's processor-time utilization over its reservation
+    /// span: `busy / (horizon - origin)`. Low values mean the resident
+    /// blocks capacity it barely uses.
+    pub fn utilization(&self) -> f64 {
+        let span = (self.horizon - self.origin).as_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_f64() / span
+        }
+    }
+}
+
+/// Victim selection for the capacity bound: which resident departs when
+/// an admit would exceed [`AdmitConfig::capacity`].
+///
+/// Policies must be deterministic functions of the candidate list — the
+/// choice is part of the replay contract (and of the WAL fingerprint, so
+/// recovery refuses a log written under a different policy).
+pub trait EvictionPolicy: fmt::Debug + Send + Sync {
+    /// The policy's stable name (used in the WAL fingerprint).
+    fn name(&self) -> &'static str;
+    /// Chooses the victim among `candidates` (never empty), returning its
+    /// resident id.
+    fn victim(&self, candidates: &[EvictionCandidate]) -> u64;
+}
+
+/// Evicts the longest-resident graph first — the default policy (and the
+/// only behavior before eviction became pluggable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OldestFirst;
+
+impl EvictionPolicy for OldestFirst {
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+
+    fn victim(&self, candidates: &[EvictionCandidate]) -> u64 {
+        candidates
+            .iter()
+            .min_by_key(|c| c.seniority)
+            .expect("eviction candidates are never empty")
+            .id
+    }
+}
+
+/// Evicts the resident with the lowest processor-time utilization over
+/// its reservation span (ties broken oldest-first): frees the most
+/// blocked capacity per unit of reserved work discarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestUtilization;
+
+impl EvictionPolicy for LowestUtilization {
+    fn name(&self) -> &'static str {
+        "lowest-utilization"
+    }
+
+    fn victim(&self, candidates: &[EvictionCandidate]) -> u64 {
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                a.utilization()
+                    .partial_cmp(&b.utilization())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.seniority.cmp(&b.seniority))
+            })
+            .expect("eviction candidates are never empty")
+            .id
+    }
+}
+
 /// One committed admission: the graph, its reserved schedule, and when it
 /// arrived / departs.
 #[derive(Debug)]
@@ -190,6 +425,339 @@ struct Resident {
     schedule: Schedule,
     origin: Time,
     horizon: Time,
+}
+
+/// One line of an admission write-ahead log.
+// The variant size gap is harmless: a `WalLine` is a transient codec
+// value (one per append / one per loaded line), never stored in bulk,
+// and the vendored serde has no `Box` impls to shrink `Sealed` with.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum WalLine {
+    /// First line: identifies the configuration the records belong to.
+    Header {
+        /// Configuration fingerprint (see [`wal_fingerprint`]).
+        fingerprint: u64,
+        /// Scenario label, for human readers of the file.
+        label: String,
+    },
+    /// One concluded request, sealed with the CRC32 of the record's
+    /// canonical JSON so silent corruption is detected on recovery.
+    Sealed {
+        /// IEEE CRC32 of `serde_json::to_string(&record)`.
+        crc: u32,
+        /// The concluded request.
+        record: WalRecord,
+    },
+}
+
+/// The wire form of an [`AdmitRequest`]: owns its graph, because the
+/// vendored serde has no `Arc` impls and the log must be self-contained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum WalRequest {
+    /// An [`AdmitRequest::Admit`].
+    Admit {
+        /// Resident id.
+        id: u64,
+        /// The arriving graph, owned.
+        graph: TaskGraph,
+        /// Absolute arrival time.
+        origin: Time,
+    },
+    /// An [`AdmitRequest::Amend`].
+    Amend {
+        /// Resident id.
+        id: u64,
+        /// The amendment.
+        delta: GraphDelta,
+    },
+}
+
+impl WalRequest {
+    fn of(request: &AdmitRequest) -> WalRequest {
+        match request {
+            AdmitRequest::Admit { id, graph, origin } => WalRequest::Admit {
+                id: *id,
+                graph: (**graph).clone(),
+                origin: *origin,
+            },
+            AdmitRequest::Amend { id, delta } => WalRequest::Amend {
+                id: *id,
+                delta: delta.clone(),
+            },
+        }
+    }
+
+    fn into_request(self) -> AdmitRequest {
+        match self {
+            WalRequest::Admit { id, graph, origin } => AdmitRequest::Admit {
+                id,
+                graph: Arc::new(graph),
+                origin,
+            },
+            WalRequest::Amend { id, delta } => AdmitRequest::Amend { id, delta },
+        }
+    }
+}
+
+/// One sealed record of the admission write-ahead log: a request, its
+/// outcome, and the state digest *after* the outcome was applied — the
+/// per-record self-check [`AdmissionController::recover`] verifies while
+/// replaying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WalRecord {
+    /// Submission sequence (records are contiguous from 0).
+    seq: u64,
+    /// The concluded request.
+    request: WalRequest,
+    /// How it was concluded.
+    outcome: AdmitOutcome,
+    /// [`CommittedState::digest`] after this record's outcome.
+    digest: u64,
+}
+
+/// Fingerprint of everything a write-ahead log's records depend on: the
+/// scenario's measurement-relevant content (reusing the checkpoint
+/// [`fingerprint`]), the platform size, the capacity bound and the
+/// eviction policy. Operational knobs that cannot change a committed
+/// record — queue depth, worker count, decision budget — are deliberately
+/// excluded, so a log recovers under a differently-tuned service.
+fn wal_fingerprint(config: &AdmitConfig) -> u64 {
+    stream_seed(
+        fingerprint(&config.scenario),
+        stream_label(b"admission-wal"),
+        config.system_size as u64,
+        (config.capacity as u64) ^ stream_label(config.eviction.name().as_bytes()),
+    )
+}
+
+/// Does the admission fault `site` fire at `(system_size, seq, attempt)`?
+/// Compiled to constant `false` without the `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+fn fault_fires(
+    plan: &Option<Arc<FaultPlan>>,
+    site: FaultSite,
+    system_size: usize,
+    seq: u64,
+    attempt: u64,
+) -> bool {
+    let Some(plan) = plan else {
+        return false;
+    };
+    if !plan.should_fire(site, system_size, seq as usize, attempt) {
+        return false;
+    }
+    tracing::warn!(
+        site = %site,
+        seq = seq,
+        attempt = attempt,
+        "injecting admission fault"
+    );
+    true
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn fault_fires(
+    _plan: &Option<Arc<FaultPlan>>,
+    _site: crate::fault::FaultSite,
+    _system_size: usize,
+    _seq: u64,
+    _attempt: u64,
+) -> bool {
+    false
+}
+
+/// The admission service's durable transcript: an append-only,
+/// CRC32-sealed JSONL write-ahead log (the same on-disk discipline as the
+/// Runner's checkpoints).
+///
+/// The first line is a header carrying a configuration fingerprint;
+/// every further line seals one [`AdmitRequest`] + [`AdmitOutcome`] +
+/// post-outcome state digest. Appends `flush` to the OS per record, so a
+/// killed process loses at most the record in flight; transient append
+/// failures retry with bounded exponential backoff (the Runner's
+/// [`CHECKPOINT_RETRY_LIMIT`](Runner::CHECKPOINT_RETRY_LIMIT) /
+/// [`CHECKPOINT_BACKOFF_BASE`](Runner::CHECKPOINT_BACKOFF_BASE) policy).
+/// On load, a torn *final* line is tolerated (the in-flight record a
+/// crash tore is simply not yet committed); any other unreadable or
+/// seal-mismatching line is a typed
+/// [`CheckpointCorrupt`](RunError::CheckpointCorrupt) error — corruption
+/// is detected, never silently replayed.
+#[derive(Debug)]
+pub struct AdmissionWal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    /// Sequence the next sealed record will carry.
+    seq: u64,
+    system_size: usize,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+impl AdmissionWal {
+    /// Creates (truncating) the log at `path` and writes its header.
+    fn create(path: &Path, config: &AdmitConfig) -> Result<AdmissionWal, RunError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut wal = AdmissionWal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            seq: 0,
+            system_size: config.system_size,
+            fault: config.fault_plan.clone(),
+        };
+        let header = serde_json::to_string(&WalLine::Header {
+            fingerprint: wal_fingerprint(config),
+            label: config.scenario.label.clone(),
+        })
+        .expect("plain data serializes");
+        writeln!(wal.writer, "{header}")?;
+        wal.writer.flush()?;
+        Ok(wal)
+    }
+
+    /// Reopens the log at `path` for appending after recovery replayed
+    /// `seq` sealed records from it.
+    fn reopen(path: &Path, config: &AdmitConfig, seq: u64) -> Result<AdmissionWal, RunError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(AdmissionWal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            seq,
+            system_size: config.system_size,
+            fault: config.fault_plan.clone(),
+        })
+    }
+
+    /// Seals one concluded request to disk before its verdict is
+    /// returned. Retries transiently failing appends with exponential
+    /// backoff; an error is returned only once every retry is exhausted.
+    fn append(&mut self, record: &WalRecord) -> Result<(), RunError> {
+        let line = WalLine::Sealed {
+            crc: seal(record),
+            record: record.clone(),
+        };
+        #[allow(unused_mut)] // mutated only by the fault-inject hook below
+        let mut text = serde_json::to_string(&line).expect("plain data serializes");
+        #[cfg(feature = "fault-inject")]
+        if fault_fires(
+            &self.fault,
+            FaultSite::AdmitLogCorrupt,
+            self.system_size,
+            record.seq,
+            0,
+        ) {
+            crate::runner::corrupt_digit(&mut text);
+        }
+
+        let mut attempt: u64 = 0;
+        loop {
+            let injected = fault_fires(
+                &self.fault,
+                FaultSite::AdmitLogIo,
+                self.system_size,
+                record.seq,
+                attempt,
+            );
+            let result: Result<(), std::io::Error> = if injected {
+                Err(std::io::Error::other("injected admission log failure"))
+            } else {
+                writeln!(self.writer, "{text}").and_then(|()| self.writer.flush())
+            };
+            match result {
+                Ok(()) => {
+                    self.seq = record.seq + 1;
+                    return Ok(());
+                }
+                Err(e) if attempt < u64::from(Runner::CHECKPOINT_RETRY_LIMIT) => {
+                    let backoff = Runner::CHECKPOINT_BACKOFF_BASE * 2u32.pow(attempt as u32);
+                    tracing::warn!(
+                        path = %self.path.display(),
+                        seq = record.seq,
+                        attempt = attempt,
+                        backoff_ms = backoff.as_millis() as u64,
+                        "admission log append failed ({e}); retrying"
+                    );
+                    telemetry::global().count_admission_log_retry();
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Loads every sealed record from the log at `path`, verifying the
+    /// header fingerprint against `config`, each record's CRC seal, and
+    /// sequence contiguity. A torn final line is skipped with a warning.
+    fn load(path: &Path, config: &AdmitConfig) -> Result<Vec<WalRecord>, RunError> {
+        let corrupt = |line_no: usize, detail: &str| RunError::CheckpointCorrupt {
+            path: path.to_path_buf(),
+            detail: format!("{detail} at line {line_no}"),
+        };
+        let lines: Vec<String> = BufReader::new(File::open(path)?)
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(RunError::Io)?;
+        match lines.first() {
+            Some(first) => match serde_json::from_str::<WalLine>(first) {
+                Ok(WalLine::Header { fingerprint, .. })
+                    if fingerprint == wal_fingerprint(config) => {}
+                Ok(WalLine::Header { .. }) => {
+                    return Err(RunError::CheckpointMismatch {
+                        path: path.to_path_buf(),
+                    });
+                }
+                _ => {
+                    return Err(RunError::CheckpointCorrupt {
+                        path: path.to_path_buf(),
+                        detail: "first line is not an admission log header".to_owned(),
+                    });
+                }
+            },
+            None => {
+                return Err(RunError::CheckpointCorrupt {
+                    path: path.to_path_buf(),
+                    detail: "log file is empty (no header)".to_owned(),
+                });
+            }
+        }
+        let mut records = Vec::new();
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            let line_no = i + 1;
+            let last = i + 1 == lines.len();
+            let parsed = match serde_json::from_str::<WalLine>(line) {
+                Ok(parsed) => parsed,
+                Err(_) if last => {
+                    tracing::warn!(
+                        path = %path.display(),
+                        line = line_no,
+                        "skipping unparseable final admission log line (torn write)"
+                    );
+                    continue;
+                }
+                Err(_) => return Err(corrupt(line_no, "unparseable record")),
+            };
+            match parsed {
+                WalLine::Header { .. } => {
+                    return Err(corrupt(line_no, "unexpected extra header"));
+                }
+                WalLine::Sealed { crc, record } => {
+                    if seal(&record) != crc {
+                        return Err(corrupt(line_no, "record checksum mismatch"));
+                    }
+                    if record.seq != records.len() as u64 {
+                        return Err(corrupt(line_no, "record sequence gap"));
+                    }
+                    records.push(record);
+                }
+            }
+        }
+        Ok(records)
+    }
 }
 
 /// The sequential admission core: one pipeline, one committed state, the
@@ -231,6 +799,11 @@ pub struct AdmissionController {
     /// the scheduler's retained dispatch log.
     last_commit: Option<(u64, CommitReceipt)>,
     miss_log: Arc<MissLog>,
+    /// The durable transcript, when [`AdmitConfig::wal_path`] is set.
+    wal: Option<AdmissionWal>,
+    /// Remaining individually-logged structural-fallback WARNs (shares
+    /// the [`AdmitConfig::miss_warn_limit`] budget size).
+    fallback_warns: u64,
 }
 
 impl AdmissionController {
@@ -252,6 +825,11 @@ impl AdmissionController {
         let mut pipeline = Pipeline::new(&config.scenario).with_delta_memo();
         pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
         let state = CommittedState::new(config.system_size, config.scenario.scheduler.bus_model);
+        let wal = match &config.wal_path {
+            Some(path) => Some(AdmissionWal::create(path, &config).map_err(AdmitError::Log)?),
+            None => None,
+        };
+        let fallback_warns = config.miss_warn_limit;
         Ok(AdmissionController {
             config,
             platform,
@@ -261,7 +839,78 @@ impl AdmissionController {
             order: VecDeque::new(),
             last_commit: None,
             miss_log,
+            wal,
+            fallback_warns,
         })
+    }
+
+    /// Rebuilds a controller from the write-ahead log at `path`, replaying
+    /// every sealed record through a fresh sequential controller and
+    /// verifying each against its recorded outcome and post-outcome state
+    /// digest — the recovered state is provably bit-identical to the
+    /// pre-crash committed state. Environmental outcomes
+    /// ([`Shed`](AdmitOutcome::Shed), [`Failed`](AdmitOutcome::Failed))
+    /// are adopted verbatim (they concluded before any state mutation;
+    /// the digest check still validates their no-trace invariant).
+    ///
+    /// Returns the recovered controller — re-attached to `path` for
+    /// further appends — and the transcript of the replayed prefix.
+    /// `config` must match the log's fingerprint (scenario, platform
+    /// size, capacity, eviction policy); operational knobs may differ.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Log`] for an unreadable, corrupt, or
+    /// fingerprint-mismatching log, and [`AdmitError::RecoveryDiverged`]
+    /// when a replayed record does not reproduce its sealed outcome or
+    /// digest.
+    pub fn recover(
+        config: AdmitConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<(AdmissionController, AdmissionLog), AdmitError> {
+        let path = path.as_ref();
+        let records = AdmissionWal::load(path, &config).map_err(AdmitError::Log)?;
+        let mut replay_config = config.clone();
+        replay_config.wal_path = None;
+        let mut controller = AdmissionController::new(replay_config)?;
+        let mut log = AdmissionLog::default();
+        for record in records {
+            let WalRecord {
+                seq,
+                request,
+                outcome: recorded,
+                digest,
+            } = record;
+            let request = request.into_request();
+            let outcome = if recorded.is_environmental() {
+                recorded.clone()
+            } else {
+                AdmitOutcome::of(&controller.handle(&request))
+            };
+            if outcome != recorded {
+                return Err(AdmitError::RecoveryDiverged {
+                    seq,
+                    detail: format!("recorded outcome {recorded:?}, replay produced {outcome:?}"),
+                });
+            }
+            if controller.digest() != digest {
+                return Err(AdmitError::RecoveryDiverged {
+                    seq,
+                    detail: format!(
+                        "recorded state digest {digest:#018x}, replay reached {:#018x}",
+                        controller.digest()
+                    ),
+                });
+            }
+            log.requests.push(request);
+            log.outcomes.push(outcome);
+        }
+        log.digest = controller.digest();
+        log.residents = controller.residents();
+        let next = log.requests.len() as u64;
+        controller.wal = Some(AdmissionWal::reopen(path, &config, next).map_err(AdmitError::Log)?);
+        controller.config.wal_path = Some(path.to_path_buf());
+        Ok((controller, log))
     }
 
     /// Processes one request: [`admit`](AdmissionController::admit) or
@@ -302,8 +951,55 @@ impl AdmissionController {
         origin: Time,
     ) -> Result<AdmitVerdict, AdmitError> {
         let graph = graph.into();
-        let output = self.pipeline.slice(&graph, &self.platform)?.into_output();
-        self.decide(id, &graph, origin, output)
+        let sliced = match self.pipeline.slice(&graph, &self.platform) {
+            Ok(sliced) => Ok(sliced.into_output()),
+            Err(e) => Err(e),
+        };
+        let result = match sliced {
+            Ok(output) => self.decide(id, &graph, origin, output),
+            Err(e) => Err(AdmitError::Trial(e)),
+        };
+        let request = AdmitRequest::Admit { id, graph, origin };
+        self.conclude(&request, result)
+    }
+
+    /// The sealing choke point: records `result` for `request` in the
+    /// write-ahead log (when durable) **before** handing the verdict back.
+    /// Every public conclusion — the controller's own
+    /// [`admit`](AdmissionController::admit) /
+    /// [`amend`](AdmissionController::amend) and the service coordinator —
+    /// funnels through here exactly once per request.
+    ///
+    /// An append that exhausts its retries degrades rather than dies: the
+    /// failure is WARNed and counted
+    /// ([`admission_log_failures`](crate::telemetry::MetricsSnapshot::admission_log_failures))
+    /// and the verdict is still returned — the caller gets its answer, the
+    /// operator gets the signal that durability lapsed.
+    pub(crate) fn conclude(
+        &mut self,
+        request: &AdmitRequest,
+        result: Result<AdmitVerdict, AdmitError>,
+    ) -> Result<AdmitVerdict, AdmitError> {
+        if self.wal.is_some() {
+            let outcome = AdmitOutcome::of(&result);
+            let record = WalRecord {
+                seq: self.wal.as_ref().map_or(0, |wal| wal.seq),
+                request: WalRequest::of(request),
+                outcome,
+                digest: self.state.digest(),
+            };
+            if let Some(wal) = self.wal.as_mut() {
+                if let Err(e) = wal.append(&record) {
+                    tracing::warn!(
+                        path = %wal.path.display(),
+                        seq = record.seq,
+                        "admission log append exhausted retries ({e}); verdict returned undurable"
+                    );
+                    telemetry::global().count_admission_log_failure();
+                }
+            }
+        }
+        result
     }
 
     /// The serial half of an admit: retire, trial against committed load,
@@ -330,15 +1026,39 @@ impl AdmissionController {
         )?;
         let admitted = verdict.admit;
         if admitted {
-            // The capacity bound evicts oldest-first, only on an actual
-            // admit. The trial ran with the evictees still resident, so
-            // its schedule avoids their reservations too — committing it
-            // after they leave is strictly sound.
+            // The capacity bound evicts via the configured policy, only on
+            // an actual admit. The trial ran with the evictees still
+            // resident, so its schedule avoids their reservations too —
+            // committing it after they leave is strictly sound.
             while self.residents.len() >= self.config.capacity.max(1) {
-                match self.order.front().copied() {
-                    Some(oldest) => self.evict(oldest),
-                    None => break,
+                let candidates: Vec<EvictionCandidate> = self
+                    .order
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(seniority, &rid)| {
+                        self.residents.get(&rid).map(|resident| EvictionCandidate {
+                            id: rid,
+                            seniority,
+                            origin: resident.origin,
+                            horizon: resident.horizon,
+                            busy: resident
+                                .schedule
+                                .entries()
+                                .iter()
+                                .fold(Time::ZERO, |acc, entry| acc + (entry.finish - entry.start)),
+                        })
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    break;
                 }
+                let victim = self.config.eviction.victim(&candidates);
+                if !self.residents.contains_key(&victim) {
+                    debug_assert!(false, "eviction policy chose a non-resident id {victim}");
+                    break;
+                }
+                self.evict(victim);
+                telemetry::global().count_admission_evicted();
             }
             let receipt = self.state.commit(&verdict.schedule)?;
             self.last_commit = Some((id, receipt));
@@ -380,7 +1100,37 @@ impl AdmissionController {
     /// [`AdmitError::Delta`] when the amendment does not apply, and
     /// [`AdmitError::Trial`] when the pipeline itself fails.
     pub fn amend(&mut self, id: u64, delta: &GraphDelta) -> Result<AdmitVerdict, AdmitError> {
+        let result = self.amend_unsealed(id, delta);
+        let request = AdmitRequest::Amend {
+            id,
+            delta: delta.clone(),
+        };
+        self.conclude(&request, result)
+    }
+
+    /// [`amend`](AdmissionController::amend) without the sealing step —
+    /// the service's coordinator runs this and seals through
+    /// [`conclude`](AdmissionController::conclude) itself.
+    pub(crate) fn amend_unsealed(
+        &mut self,
+        id: u64,
+        delta: &GraphDelta,
+    ) -> Result<AdmitVerdict, AdmitError> {
         let started = Instant::now();
+        if !delta.is_attribute_only() {
+            // Structural amendments can never ride the schedule-repair
+            // fast path; count them so an operator can see when an
+            // amendment-heavy workload degrades to full re-trials.
+            telemetry::global().count_admission_structural_fallback();
+            if self.fallback_warns > 0 {
+                self.fallback_warns -= 1;
+                tracing::warn!(
+                    id = id,
+                    remaining = self.fallback_warns,
+                    "structural amendment forces a full re-slice (repair fast path unavailable)"
+                );
+            }
+        }
         let resident = match self.residents.remove(&id) {
             Some(resident) => resident,
             None => return Err(AdmitError::NoResident { id }),
@@ -587,6 +1337,9 @@ struct WorkerJob {
     id: u64,
     graph: Arc<TaskGraph>,
     origin: Time,
+    /// When [`AdmissionService::submit`] accepted the request — the
+    /// decision budget's staleness clock.
+    accepted: Instant,
 }
 
 /// A unit of serial coordinator work, tagged with its submission sequence.
@@ -596,20 +1349,39 @@ enum CoordJob {
         id: u64,
         graph: Arc<TaskGraph>,
         origin: Time,
-        output: Result<SliceOutput, RunError>,
+        accepted: Instant,
+        output: Result<SliceOutput, AdmitError>,
     },
     Amend {
         seq: u64,
         id: u64,
         delta: GraphDelta,
+        accepted: Instant,
     },
+    /// A spurious redelivery of an already-shipped sequence (injected by
+    /// the `admit-queue-race` fault site); the coordinator's dedup guard
+    /// must drop it without disturbing the real job.
+    Duplicate { seq: u64 },
 }
 
 impl CoordJob {
     fn seq(&self) -> u64 {
         match self {
-            CoordJob::Admit { seq, .. } | CoordJob::Amend { seq, .. } => *seq,
+            CoordJob::Admit { seq, .. }
+            | CoordJob::Amend { seq, .. }
+            | CoordJob::Duplicate { seq } => *seq,
         }
+    }
+}
+
+/// Micro-seconds `accepted` has waited beyond `budget`, when over it.
+fn over_budget(budget: Option<Duration>, accepted: Instant) -> Option<u64> {
+    let budget = budget?;
+    let waited = accepted.elapsed();
+    if waited > budget {
+        Some(waited.as_micros() as u64)
+    } else {
+        None
     }
 }
 
@@ -679,11 +1451,14 @@ impl AdmissionService {
             let scenario = config.scenario.clone();
             let platform = controller.platform.clone();
             let miss_log = Arc::clone(&controller.miss_log);
+            let budget = config.decision_budget;
+            let fault = config.fault_plan.clone();
+            let system_size = config.system_size;
             let worker = std::thread::Builder::new()
                 .name(format!("admit-slicer-{index}"))
                 .spawn(move || {
                     let mut pipeline = Pipeline::new(&scenario);
-                    pipeline.set_miss_log(Some(miss_log));
+                    pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
                     loop {
                         // Take the receiver lock only to dequeue; slicing
                         // runs unlocked, concurrently across the pool.
@@ -697,17 +1472,62 @@ impl AdmissionService {
                                 Err(_) => return,
                             }
                         };
-                        let output = pipeline
-                            .slice(&job.graph, &platform)
-                            .map(Sliced::into_output);
+                        // Staleness-aware shedding: a request already over
+                        // its decision budget is refused before any slicing
+                        // work is spent on it. The typed refusal still
+                        // ships, so the reorder buffer never waits on a
+                        // hole.
+                        let output = if let Some(waited_us) = over_budget(budget, job.accepted) {
+                            Err(AdmitError::Shed { waited_us })
+                        } else {
+                            // Supervision: a panicking slicer (real or
+                            // injected) is caught, its possibly-poisoned
+                            // pipeline discarded and rebuilt in place, and
+                            // the request concluded with a typed failure —
+                            // the service degrades by one verdict, it
+                            // never dies.
+                            let sliced = catch_unwind(AssertUnwindSafe(|| {
+                                if fault_fires(
+                                    &fault,
+                                    FaultSite::AdmitWorkerPanic,
+                                    system_size,
+                                    job.seq,
+                                    0,
+                                ) {
+                                    panic!("injected admission worker panic");
+                                }
+                                pipeline
+                                    .slice(&job.graph, &platform)
+                                    .map(Sliced::into_output)
+                            }));
+                            match sliced {
+                                Ok(result) => result.map_err(AdmitError::Trial),
+                                Err(_) => {
+                                    pipeline = Pipeline::new(&scenario);
+                                    pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
+                                    Err(AdmitError::WorkerFailed { stage: "slice" })
+                                }
+                            }
+                        };
+                        let seq = job.seq;
                         let shipped = tx.send(CoordJob::Admit {
-                            seq: job.seq,
+                            seq,
                             id: job.id,
                             graph: job.graph,
                             origin: job.origin,
+                            accepted: job.accepted,
                             output,
                         });
                         if shipped.is_err() {
+                            return;
+                        }
+                        // Queue-race injection: redeliver the sequence. The
+                        // channel is FIFO per sender, so the real job above
+                        // always lands first and the coordinator's dedup
+                        // guard must discard this one.
+                        if fault_fires(&fault, FaultSite::AdmitQueueRace, system_size, seq, 0)
+                            && tx.send(CoordJob::Duplicate { seq }).is_err()
+                        {
                             return;
                         }
                     }
@@ -753,6 +1573,7 @@ impl AdmissionService {
                 TrySendError::Disconnected(_) => AdmitError::ServiceStopped,
             }
         }
+        let accepted = Instant::now();
         match request {
             AdmitRequest::Admit { id, graph, origin } => self
                 .ingress
@@ -761,6 +1582,7 @@ impl AdmissionService {
                     id,
                     graph,
                     origin,
+                    accepted,
                 })
                 .map_err(refused(self.depth))?,
             AdmitRequest::Amend { id, delta } => self
@@ -769,6 +1591,7 @@ impl AdmissionService {
                     seq: *seq,
                     id,
                     delta,
+                    accepted,
                 })
                 .map_err(refused(self.depth))?,
         }
@@ -811,7 +1634,17 @@ impl AdmissionService {
         let mut reorder: BTreeMap<u64, CoordJob> = BTreeMap::new();
         let mut log = AdmissionLog::default();
         while let Ok(job) = rx.recv() {
-            reorder.insert(job.seq(), job);
+            // Dedup guard: each sequence is processed exactly once. A
+            // redelivery — the injected queue race, or any future retry
+            // path — is dropped whether its twin is already processed
+            // (seq < next) or still waiting in the reorder buffer.
+            let seq = job.seq();
+            if matches!(job, CoordJob::Duplicate { .. }) || seq < next || reorder.contains_key(&seq)
+            {
+                tracing::warn!(seq = seq, "dropping duplicate coordinator delivery");
+                continue;
+            }
+            reorder.insert(seq, job);
             while let Some(job) = reorder.remove(&next) {
                 Self::process(&mut controller, job, &mut log);
                 next += 1;
@@ -828,27 +1661,67 @@ impl AdmissionService {
     }
 
     fn process(controller: &mut AdmissionController, job: CoordJob, log: &mut AdmissionLog) {
+        let budget = controller.config.decision_budget;
         match job {
             CoordJob::Admit {
                 id,
                 graph,
                 origin,
+                accepted,
                 output,
                 ..
             } => {
-                let outcome = match output {
-                    Ok(output) => controller.decide(id, &graph, origin, output),
-                    Err(e) => Err(AdmitError::Trial(e)),
+                // The coordinator re-checks the budget: slicing may have
+                // been fast, but a request can also go stale waiting in
+                // the reorder buffer behind a slow predecessor.
+                let result = match output {
+                    Ok(output) => match over_budget(budget, accepted) {
+                        Some(waited_us) => Err(AdmitError::Shed { waited_us }),
+                        None => controller.decide(id, &graph, origin, output),
+                    },
+                    Err(e) => Err(e),
                 };
-                log.requests.push(AdmitRequest::Admit { id, graph, origin });
-                log.outcomes.push(outcome.map_err(|e| e.to_string()));
+                let request = AdmitRequest::Admit { id, graph, origin };
+                Self::record(controller, log, request, result, accepted);
             }
-            CoordJob::Amend { id, delta, .. } => {
-                let outcome = controller.amend(id, &delta);
-                log.requests.push(AdmitRequest::Amend { id, delta });
-                log.outcomes.push(outcome.map_err(|e| e.to_string()));
+            CoordJob::Amend {
+                id,
+                delta,
+                accepted,
+                ..
+            } => {
+                let result = match over_budget(budget, accepted) {
+                    Some(waited_us) => Err(AdmitError::Shed { waited_us }),
+                    None => controller.amend_unsealed(id, &delta),
+                };
+                let request = AdmitRequest::Amend { id, delta };
+                Self::record(controller, log, request, result, accepted);
+            }
+            CoordJob::Duplicate { .. } => {
+                // Unreachable past the dedup guard; nothing to process.
             }
         }
+    }
+
+    /// Concludes one request on the coordinator: seals it (through the
+    /// controller's choke point), counts it, and appends it to the
+    /// transcript.
+    fn record(
+        controller: &mut AdmissionController,
+        log: &mut AdmissionLog,
+        request: AdmitRequest,
+        result: Result<AdmitVerdict, AdmitError>,
+        accepted: Instant,
+    ) {
+        let result = controller.conclude(&request, result);
+        let outcome = AdmitOutcome::of(&result);
+        match &outcome {
+            AdmitOutcome::Shed { .. } => telemetry::global().count_admission_shed(),
+            AdmitOutcome::Failed { .. } => telemetry::global().count_admission_worker_failed(),
+            _ => telemetry::global().record_admission_sojourn(accepted.elapsed()),
+        }
+        log.requests.push(request);
+        log.outcomes.push(outcome);
     }
 }
 
@@ -863,9 +1736,9 @@ impl AdmissionService {
 pub struct AdmissionLog {
     /// Every accepted request, in submission order.
     pub requests: Vec<AdmitRequest>,
-    /// The outcome of each request (errors rendered to their display
-    /// form), aligned with [`requests`](AdmissionLog::requests).
-    pub outcomes: Vec<Result<AdmitVerdict, String>>,
+    /// The outcome of each request, aligned with
+    /// [`requests`](AdmissionLog::requests).
+    pub outcomes: Vec<AdmitOutcome>,
     /// Content digest of the final committed state.
     pub digest: u64,
     /// Residents still committed at the end of the run.
@@ -883,28 +1756,64 @@ impl AdmissionLog {
         self.verdicts().filter(|v| !v.admitted).count()
     }
 
-    /// The successful verdicts, in submission order.
+    /// Number of requests shed over their decision budget.
+    pub fn shed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AdmitOutcome::Shed { .. }))
+            .count()
+    }
+
+    /// Number of requests lost to worker failures.
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AdmitOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Number of deterministic typed refusals.
+    pub fn refused(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AdmitOutcome::Refused(_)))
+            .count()
+    }
+
+    /// The completed verdicts, in submission order.
     pub fn verdicts(&self) -> impl Iterator<Item = &AdmitVerdict> {
-        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+        self.outcomes.iter().filter_map(AdmitOutcome::verdict)
     }
 
     /// Re-runs this log's requests through a fresh sequential
     /// [`AdmissionController`] and returns the resulting log. Determinism
     /// means the result [`matches`](AdmissionLog::matches) `self`.
     ///
+    /// Environmental outcomes (shed, worker failure) are copied verbatim —
+    /// they are artifacts of queue timing and faults, not of the request
+    /// sequence, and they conclude a request before any state mutation, so
+    /// skipping their (never-run) trials preserves every later verdict.
+    /// The replay runs in memory only, even when `config` names a WAL.
+    ///
     /// # Errors
     ///
     /// Exactly those of [`AdmissionController::new`]; per-request failures
     /// are recorded in the returned log, not raised.
     pub fn replay(&self, config: &AdmitConfig) -> Result<AdmissionLog, AdmitError> {
-        let mut controller = AdmissionController::new(config.clone())?;
+        let mut replay_config = config.clone();
+        replay_config.wal_path = None;
+        let mut controller = AdmissionController::new(replay_config)?;
         let mut log = AdmissionLog {
             requests: self.requests.clone(),
             ..AdmissionLog::default()
         };
-        for request in &log.requests {
-            let outcome = controller.handle(request);
-            log.outcomes.push(outcome.map_err(|e| e.to_string()));
+        for (request, recorded) in log.requests.iter().zip(self.outcomes.iter()) {
+            let outcome = if recorded.is_environmental() {
+                recorded.clone()
+            } else {
+                AdmitOutcome::of(&controller.handle(request))
+            };
+            log.outcomes.push(outcome);
         }
         log.digest = controller.digest();
         log.residents = controller.residents();
@@ -922,11 +1831,33 @@ impl AdmissionLog {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     use slicing::{CommEstimate, DeltaOp, MetricKind};
     use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
     use taskgraph::SubtaskId;
 
     use super::*;
+
+    /// A fresh temp-file path; the file is removed by Drop.
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> TempPath {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            TempPath(std::env::temp_dir().join(format!(
+                "feast-admission-{tag}-{}-{n}.jsonl",
+                std::process::id()
+            )))
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
 
     fn spec() -> WorkloadSpec {
         WorkloadSpec::paper(ExecVariation::Mdet)
@@ -1140,9 +2071,220 @@ mod tests {
             .unwrap();
         let log = service.shutdown().unwrap();
         assert_eq!(log.outcomes.len(), 2);
-        assert!(log.outcomes[1].is_ok(), "amend found its resident");
+        assert!(
+            log.outcomes[1].verdict().is_some(),
+            "amend found its resident"
+        );
         let replayed = log.replay(&config).unwrap();
         assert!(log.matches(&replayed));
+    }
+
+    #[test]
+    fn durable_controller_recovers_bit_identical() {
+        let wal = TempPath::new("recover");
+        let delta = GraphDelta::new().push(DeltaOp::SetWcet {
+            subtask: SubtaskId::new(2),
+            wcet: Time::new(25),
+        });
+
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        for id in 1..6 {
+            durable.admit(id, graph(id), Time::ZERO).unwrap();
+        }
+        durable.amend(1, &delta).unwrap();
+        // A deterministic refusal is sealed too.
+        assert!(matches!(
+            durable.admit(1, graph(9), Time::ZERO),
+            Err(AdmitError::DuplicateId { id: 1 })
+        ));
+        let digest = durable.digest();
+        let residents = durable.residents();
+        drop(durable); // crash stand-in: recovery reads only the file
+
+        let (recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(recovered.digest(), digest, "recovered state diverged");
+        assert_eq!(recovered.residents(), residents);
+        assert_eq!(log.outcomes.len(), 7);
+        assert_eq!(log.refused(), 1);
+        let replayed = log.replay(&config(8)).unwrap();
+        assert!(log.matches(&replayed));
+    }
+
+    #[test]
+    fn recovered_controller_keeps_appending_to_the_same_log() {
+        let wal = TempPath::new("reattach");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        durable.admit(1, graph(1), Time::ZERO).unwrap();
+        drop(durable);
+
+        let (mut recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 1);
+        recovered.admit(2, graph(2), Time::ZERO).unwrap();
+        let digest = recovered.digest();
+        drop(recovered);
+
+        let (again, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 2, "post-recovery admit was sealed");
+        assert_eq!(again.digest(), digest);
+    }
+
+    #[test]
+    fn recovery_tolerates_a_torn_final_line() {
+        let wal = TempPath::new("torn");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        for id in 1..5 {
+            durable.admit(id, graph(id), Time::ZERO).unwrap();
+        }
+        drop(durable);
+        let (intact, _) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        let _ = intact;
+
+        // Tear the final record mid-line, as a crash mid-append would.
+        let text = std::fs::read_to_string(&wal.0).unwrap();
+        let torn = &text[..text.len() - 17];
+        std::fs::write(&wal.0, torn).unwrap();
+
+        let (recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 3, "torn record dropped, prefix kept");
+        let mut fresh = AdmissionController::new(config(8)).unwrap();
+        for id in 1..4 {
+            fresh.admit(id, graph(id), Time::ZERO).unwrap();
+        }
+        assert_eq!(recovered.digest(), fresh.digest());
+    }
+
+    #[test]
+    fn recovery_refuses_a_mismatching_configuration() {
+        let wal = TempPath::new("mismatch");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        durable.admit(1, graph(1), Time::ZERO).unwrap();
+        drop(durable);
+
+        match AdmissionController::recover(config(4), &wal.0) {
+            Err(AdmitError::Log(RunError::CheckpointMismatch { .. })) => {}
+            other => panic!("expected a fingerprint mismatch, got {other:?}"),
+        }
+        match AdmissionController::recover(config(8).with_eviction(LowestUtilization), &wal.0) {
+            Err(AdmitError::Log(RunError::CheckpointMismatch { .. })) => {}
+            other => panic!("expected an eviction-policy mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_rejects_mid_file_corruption() {
+        let wal = TempPath::new("corrupt");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        for id in 1..4 {
+            durable.admit(id, graph(id), Time::ZERO).unwrap();
+        }
+        drop(durable);
+
+        // Flip a digit inside the *second* record (not the final line, so
+        // the torn-tail tolerance must not apply).
+        let text = std::fs::read_to_string(&wal.0).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let target = &mut lines[2];
+        let pos = target
+            .char_indices()
+            .position(|(_, c)| c.is_ascii_digit())
+            .expect("record contains digits");
+        let original = target.as_bytes()[pos];
+        let flipped = if original == b'9' { b'0' } else { original + 1 };
+        target.replace_range(pos..=pos, std::str::from_utf8(&[flipped]).unwrap());
+        std::fs::write(&wal.0, lines.join("\n") + "\n").unwrap();
+
+        match AdmissionController::recover(config(8), &wal.0) {
+            Err(AdmitError::Log(RunError::CheckpointCorrupt { .. })) => {}
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowest_utilization_policy_picks_the_idlest_resident() {
+        let candidates = vec![
+            EvictionCandidate {
+                id: 1,
+                seniority: 0,
+                origin: Time::ZERO,
+                horizon: Time::new(100),
+                busy: Time::new(90),
+            },
+            EvictionCandidate {
+                id: 2,
+                seniority: 1,
+                origin: Time::ZERO,
+                horizon: Time::new(100),
+                busy: Time::new(10),
+            },
+            EvictionCandidate {
+                id: 3,
+                seniority: 2,
+                origin: Time::ZERO,
+                horizon: Time::new(100),
+                busy: Time::new(50),
+            },
+        ];
+        assert_eq!(OldestFirst.victim(&candidates), 1);
+        assert_eq!(LowestUtilization.victim(&candidates), 2);
+        // Ties break oldest-first.
+        let tied = vec![candidates[1], candidates[1]];
+        assert_eq!(LowestUtilization.victim(&tied), 2);
+    }
+
+    #[test]
+    fn eviction_policy_changes_the_victim_in_a_live_controller() {
+        let mut controller =
+            AdmissionController::new(config(8).with_capacity(2).with_eviction(LowestUtilization))
+                .unwrap();
+        let mut admitted = Vec::new();
+        for id in 1..32 {
+            let verdict = controller.admit(id, graph(id), Time::ZERO).unwrap();
+            if verdict.admitted {
+                admitted.push(id);
+            }
+            if admitted.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(admitted.len(), 3);
+        assert_eq!(controller.residents(), 2, "capacity bound held");
+    }
+
+    #[test]
+    fn shed_outcomes_leave_no_trace_and_replay_verbatim() {
+        // A zero budget sheds every service request before any slicing.
+        let config = config(8)
+            .with_workers(2)
+            .with_decision_budget(Duration::ZERO);
+        let service = AdmissionService::new(config.clone()).unwrap();
+        for id in 0..6 {
+            service
+                .submit(AdmitRequest::Admit {
+                    id,
+                    graph: graph(id + 1),
+                    origin: Time::ZERO,
+                })
+                .unwrap();
+        }
+        let log = service.shutdown().unwrap();
+        assert_eq!(log.outcomes.len(), 6);
+        assert_eq!(log.shed(), 6, "zero budget sheds everything");
+        assert_eq!(log.admitted(), 0);
+        assert_eq!(log.residents, 0, "shed requests leave no residents");
+
+        let idle = AdmissionController::new(config.clone()).unwrap();
+        assert_eq!(log.digest, idle.digest(), "shed requests left a trace");
+
+        let replayed = log.replay(&config).unwrap();
+        assert!(log.matches(&replayed), "shed outcomes must copy verbatim");
+    }
+
+    #[test]
+    fn sequential_controller_ignores_the_decision_budget() {
+        let mut controller =
+            AdmissionController::new(config(8).with_decision_budget(Duration::ZERO)).unwrap();
+        let verdict = controller.admit(1, graph(1), Time::ZERO).unwrap();
+        assert!(verdict.admitted, "no queue, nothing to shed");
     }
 
     #[test]
@@ -1172,5 +2314,129 @@ mod tests {
         // ones replay cleanly.
         let replayed = log.replay(&config).unwrap();
         assert!(log.matches(&replayed));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod fault_inject {
+        use crate::fault::FaultSpec;
+
+        use super::*;
+
+        #[test]
+        fn worker_panic_becomes_one_typed_failure_and_the_service_survives() {
+            // Pick a seed whose plan panics exactly one of the 8 requests,
+            // so the assertion is exact rather than statistical.
+            let plan_for = |seed: u64| {
+                FaultPlan::new(seed).with_fault(FaultSpec::new(FaultSite::AdmitWorkerPanic, 0.2))
+            };
+            let (seed, victim) = (0..500u64)
+                .find_map(|seed| {
+                    let plan = plan_for(seed);
+                    let firing: Vec<u64> = (0..8)
+                        .filter(|&s| {
+                            plan.should_fire(FaultSite::AdmitWorkerPanic, 8, s as usize, 0)
+                        })
+                        .collect();
+                    match firing.as_slice() {
+                        [only] => Some((seed, *only)),
+                        _ => None,
+                    }
+                })
+                .expect("some seed fires exactly once in 8 draws");
+
+            let config = config(8).with_workers(2).with_fault_plan(plan_for(seed));
+            let service = AdmissionService::new(config.clone()).unwrap();
+            for id in 0..8 {
+                service
+                    .submit(AdmitRequest::Admit {
+                        id,
+                        graph: graph(id + 1),
+                        origin: Time::new(i64::try_from(id).unwrap() * 500),
+                    })
+                    .unwrap();
+            }
+            let log = service.shutdown().unwrap();
+            assert_eq!(log.outcomes.len(), 8, "service concluded every request");
+            assert_eq!(log.failed(), 1, "exactly one typed worker failure");
+            assert!(matches!(
+                &log.outcomes[victim as usize],
+                AdmitOutcome::Failed { stage } if stage == "slice"
+            ));
+            assert_eq!(log.verdicts().count(), 7, "every other request decided");
+            let replayed = log.replay(&config).unwrap();
+            assert!(log.matches(&replayed), "failure outcome replays verbatim");
+        }
+
+        #[test]
+        fn queue_race_duplicates_are_dropped_by_the_dedup_guard() {
+            // Redeliver every sequence: each request must still conclude
+            // exactly once, in order, with unchanged verdicts.
+            let plan =
+                FaultPlan::new(11).with_fault(FaultSpec::new(FaultSite::AdmitQueueRace, 1.0));
+            let config = config(8).with_workers(3).with_fault_plan(plan);
+            let service = AdmissionService::new(config.clone()).unwrap();
+            for id in 0..10 {
+                service
+                    .submit(AdmitRequest::Admit {
+                        id,
+                        graph: graph(id + 1),
+                        origin: Time::new(i64::try_from(id).unwrap() * 500),
+                    })
+                    .unwrap();
+            }
+            let log = service.shutdown().unwrap();
+            assert_eq!(log.outcomes.len(), 10, "each sequence concluded once");
+            let replayed = log.replay(&config).unwrap();
+            assert!(log.matches(&replayed));
+        }
+
+        #[test]
+        fn transient_log_io_faults_retry_and_the_log_stays_durable() {
+            let wal = TempPath::new("faulty-io");
+            // Every append fails twice, then the retry clears it.
+            let plan = FaultPlan::new(3)
+                .with_fault(FaultSpec::new(FaultSite::AdmitLogIo, 1.0).transient(2));
+            let mut durable =
+                AdmissionController::new(config(8).durable(&wal.0).with_fault_plan(plan)).unwrap();
+            for id in 1..4 {
+                durable.admit(id, graph(id), Time::ZERO).unwrap();
+            }
+            let digest = durable.digest();
+            drop(durable);
+
+            let (recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+            assert_eq!(log.outcomes.len(), 3, "no record lost to the faults");
+            assert_eq!(recovered.digest(), digest);
+        }
+
+        #[test]
+        fn injected_corruption_is_detected_on_recovery() {
+            // Pick a seed that corrupts a record which is *not* the final
+            // line, so the torn-tail tolerance cannot excuse it.
+            let plan_for = |seed: u64| {
+                FaultPlan::new(seed).with_fault(FaultSpec::new(FaultSite::AdmitLogCorrupt, 0.3))
+            };
+            let seed = (0..500u64)
+                .find(|&seed| {
+                    let plan = plan_for(seed);
+                    plan.should_fire(FaultSite::AdmitLogCorrupt, 8, 1, 0)
+                        && !plan.should_fire(FaultSite::AdmitLogCorrupt, 8, 2, 0)
+                })
+                .expect("some seed corrupts only the middle record");
+
+            let wal = TempPath::new("faulty-crc");
+            let mut durable =
+                AdmissionController::new(config(8).durable(&wal.0).with_fault_plan(plan_for(seed)))
+                    .unwrap();
+            for id in 1..4 {
+                durable.admit(id, graph(id), Time::ZERO).unwrap();
+            }
+            drop(durable);
+
+            match AdmissionController::recover(config(8), &wal.0) {
+                Err(AdmitError::Log(RunError::CheckpointCorrupt { .. })) => {}
+                other => panic!("expected CheckpointCorrupt, got {other:?}"),
+            }
+        }
     }
 }

@@ -253,6 +253,33 @@ pub enum AdmitError {
     Trial(RunError),
     /// A graph amendment could not be applied.
     Delta(DeltaError),
+    /// The request out-waited its decision budget in the service queue
+    /// and was shed before any slicing or trial work was spent on it.
+    /// Shed requests leave no trace in committed state.
+    Shed {
+        /// How long the request had waited when it was shed, µs.
+        waited_us: u64,
+    },
+    /// A slicer worker panicked while processing this request. The
+    /// request degrades to this typed outcome, the worker is respawned,
+    /// and the service keeps running.
+    WorkerFailed {
+        /// The pipeline stage the worker died in.
+        stage: &'static str,
+    },
+    /// The admission write-ahead log could not be read or written
+    /// (recovery from a missing, foreign or corrupt log file, or an
+    /// append failure that survived every bounded retry).
+    Log(RunError),
+    /// Replaying the write-ahead log reproduced a different outcome or
+    /// state digest than the sealed record — the log and the controller
+    /// code disagree, so the recovered state cannot be trusted.
+    RecoveryDiverged {
+        /// Submission sequence of the diverging record.
+        seq: u64,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -270,6 +297,22 @@ impl fmt::Display for AdmitError {
             }
             AdmitError::Trial(e) => write!(f, "admission trial failed: {e}"),
             AdmitError::Delta(e) => write!(f, "admission amendment failed: {e}"),
+            AdmitError::Shed { waited_us } => {
+                write!(
+                    f,
+                    "request shed after waiting {waited_us} µs over its decision budget"
+                )
+            }
+            AdmitError::WorkerFailed { stage } => {
+                write!(f, "admission worker panicked during {stage}")
+            }
+            AdmitError::Log(e) => write!(f, "admission log failed: {e}"),
+            AdmitError::RecoveryDiverged { seq, detail } => {
+                write!(
+                    f,
+                    "admission log replay diverged at sequence {seq}: {detail}"
+                )
+            }
         }
     }
 }
@@ -279,6 +322,7 @@ impl StdError for AdmitError {
         match self {
             AdmitError::Trial(e) => Some(e),
             AdmitError::Delta(e) => Some(e),
+            AdmitError::Log(e) => Some(e),
             _ => None,
         }
     }
@@ -456,6 +500,27 @@ mod tests {
         let e: AdmitError = DeltaError::UnknownSubtask(taskgraph::SubtaskId::new(3)).into();
         assert!(e.to_string().contains("amendment"));
         assert!(e.source().is_some());
+
+        let e = AdmitError::Shed { waited_us: 1500 };
+        assert!(e.to_string().contains("1500"));
+        assert!(e.source().is_none());
+        let e = AdmitError::WorkerFailed { stage: "slice" };
+        assert!(e.to_string().contains("slice"));
+        assert!(e.source().is_none());
+        let e = AdmitError::Log(RunError::CheckpointCorrupt {
+            path: PathBuf::from("/tmp/wal.jsonl"),
+            detail: "bad crc".into(),
+        });
+        assert!(e.to_string().contains("admission log failed"));
+        assert!(e.to_string().contains("bad crc"));
+        assert!(e.source().is_some());
+        let e = AdmitError::RecoveryDiverged {
+            seq: 42,
+            detail: "digest mismatch".into(),
+        };
+        assert!(e.to_string().contains("sequence 42"));
+        assert!(e.to_string().contains("digest mismatch"));
+        assert!(e.source().is_none());
     }
 
     #[test]

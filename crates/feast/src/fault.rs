@@ -23,6 +23,10 @@
 //! | `worker-panic` | a replication panics mid-pipeline | caught and degraded to a typed failed outcome |
 //! | `generate-reject` | a workload draw is (virtually) rejected | bounded retry; then a typed failed outcome |
 //! | `cancel-race` | cancellation races a completed replication | checkpoint survives; resume completes the sweep |
+//! | `admit-log-io` | an admission WAL append attempt fails | bounded retry with exponential backoff |
+//! | `admit-log-corrupt` | an admission WAL line is written corrupted | per-record CRC32 detects it on recovery |
+//! | `admit-worker-panic` | a slicer worker panics mid-request | caught; a typed `WorkerFailed` verdict, worker respawns |
+//! | `admit-queue-race` | a worker delivers its product twice | the coordinator drops the duplicate by sequence |
 //!
 //! The `attempts` knob of a [`FaultSpec`] bounds how many *consecutive
 //! attempts* at a faulted cell fail, which distinguishes transient faults
@@ -55,16 +59,35 @@ pub enum FaultSite {
     /// Cancellation is requested immediately after a replication
     /// completes, racing the run shutdown against the checkpoint append.
     CancelRace,
+    /// An admission write-ahead-log append fails with a synthetic I/O
+    /// error. Coordinates are `(system size, sequence, attempt)`.
+    AdmitLogIo,
+    /// An admission write-ahead-log line is written silently corrupted
+    /// (one digit of the sealed record is altered); recovery's per-record
+    /// CRC32 detects it as a typed error.
+    AdmitLogCorrupt,
+    /// A slicer worker panics while distributing deadlines for a request;
+    /// the request degrades to a typed `WorkerFailed` verdict and the
+    /// worker's pipeline is rebuilt in place.
+    AdmitWorkerPanic,
+    /// A slicer worker delivers its product to the coordinator twice
+    /// (at-least-once delivery); the coordinator must deduplicate by
+    /// submission sequence, bit-identically to the fault-free run.
+    AdmitQueueRace,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (the CLI fault-matrix order).
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::CheckpointIo,
         FaultSite::CheckpointCorrupt,
         FaultSite::WorkerPanic,
         FaultSite::GenerateReject,
         FaultSite::CancelRace,
+        FaultSite::AdmitLogIo,
+        FaultSite::AdmitLogCorrupt,
+        FaultSite::AdmitWorkerPanic,
+        FaultSite::AdmitQueueRace,
     ];
 
     /// The site's stable kebab-case name (CLI spelling).
@@ -75,6 +98,10 @@ impl FaultSite {
             FaultSite::WorkerPanic => "worker-panic",
             FaultSite::GenerateReject => "generate-reject",
             FaultSite::CancelRace => "cancel-race",
+            FaultSite::AdmitLogIo => "admit-log-io",
+            FaultSite::AdmitLogCorrupt => "admit-log-corrupt",
+            FaultSite::AdmitWorkerPanic => "admit-worker-panic",
+            FaultSite::AdmitQueueRace => "admit-queue-race",
         }
     }
 
@@ -346,5 +373,26 @@ mod tests {
         for site in FaultSite::ALL {
             assert_eq!(site.name().parse::<FaultSite>().unwrap(), site);
         }
+        let spec: FaultSpec = "admit-worker-panic:0.125".parse().unwrap();
+        assert_eq!(spec.site, FaultSite::AdmitWorkerPanic);
+    }
+
+    #[test]
+    fn admission_sites_draw_from_streams_independent_of_the_engine_sites() {
+        // Site streams hash the site *name*, so extending `ALL` must never
+        // perturb the patterns existing sites draw.
+        let plan = FaultPlan::new(11)
+            .with_fault(FaultSpec::new(FaultSite::AdmitLogIo, 0.5))
+            .with_fault(FaultSpec::new(FaultSite::CheckpointIo, 0.5));
+        let fires = |site| -> Vec<bool> {
+            (0..256)
+                .map(|seq| plan.should_fire(site, 8, seq, 0))
+                .collect()
+        };
+        assert_ne!(
+            fires(FaultSite::AdmitLogIo),
+            fires(FaultSite::CheckpointIo),
+            "admission sites must not alias the checkpoint streams"
+        );
     }
 }

@@ -75,7 +75,8 @@ mod stats;
 pub mod telemetry;
 
 pub use admission::{
-    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitRequest, AdmitVerdict,
+    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitOutcome, AdmitRequest,
+    AdmitVerdict, EvictionCandidate, EvictionPolicy, LowestUtilization, OldestFirst,
 };
 pub use error::{AdmitError, Error, RunError};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};

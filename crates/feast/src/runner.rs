@@ -617,7 +617,7 @@ impl FaultCtx {
 /// Options that default to "off" (currently `strict_windows`) are stripped
 /// from the canonical form when disabled, so checkpoints written before an
 /// option existed keep fingerprinting identically.
-fn fingerprint(scenario: &Scenario) -> u64 {
+pub(crate) fn fingerprint(scenario: &Scenario) -> u64 {
     let mut canonical = scenario.clone();
     canonical.label = String::new();
     canonical.replications = 0;
@@ -811,7 +811,7 @@ enum CheckpointLine {
 
 /// IEEE CRC32 (the zlib/PNG polynomial), bitwise — checkpoint lines are
 /// short, so no table is needed.
-fn crc32(bytes: &[u8]) -> u32 {
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
         crc ^= u32::from(b);
@@ -826,7 +826,7 @@ fn crc32(bytes: &[u8]) -> u32 {
 /// JSON (not the enclosing line), so any value-altering corruption —
 /// a flipped digit included — changes either the payload or the stored
 /// checksum, and re-serializing the parsed record exposes the mismatch.
-fn seal<T: Serialize>(record: &T) -> u32 {
+pub(crate) fn seal<T: Serialize>(record: &T) -> u32 {
     crc32(
         serde_json::to_string(record)
             .expect("plain data serializes")
@@ -905,7 +905,7 @@ impl CheckpointWriter {
 /// fault writes. The line stays parseable, so only the CRC seal can
 /// catch it.
 #[cfg(feature = "fault-inject")]
-fn corrupt_digit(text: &mut String) {
+pub(crate) fn corrupt_digit(text: &mut String) {
     if let Some(pos) = text.rfind(|c: char| c.is_ascii_digit()) {
         let old = text.as_bytes()[pos];
         let new = b'0' + (old - b'0' + 1) % 10;

@@ -252,7 +252,14 @@ pub struct Registry {
     delta_scanned_nodes: AtomicU64,
     admissions_admitted: AtomicU64,
     admissions_rejected: AtomicU64,
+    admissions_shed: AtomicU64,
+    admissions_worker_failed: AtomicU64,
+    admissions_evicted: AtomicU64,
+    admissions_structural_fallbacks: AtomicU64,
+    admission_log_retries: AtomicU64,
+    admission_log_failures: AtomicU64,
     admission: DurationHistogram,
+    admission_sojourn: DurationHistogram,
     generate: DurationHistogram,
     distribute: DurationHistogram,
     redistribute: DurationHistogram,
@@ -356,6 +363,83 @@ impl Registry {
         &self.admission
     }
 
+    /// Counts one request shed for out-waiting its decision budget.
+    pub fn count_admission_shed(&self) {
+        self.admissions_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request degraded to a `WorkerFailed` verdict by a
+    /// slicer-worker panic.
+    pub fn count_admission_worker_failed(&self) {
+        self.admissions_worker_failed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one resident evicted by the capacity bound's eviction
+    /// policy (retirement at the horizon is not an eviction).
+    pub fn count_admission_evicted(&self) {
+        self.admissions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one structural amendment that fell back to a full rebuild
+    /// and re-trial instead of the schedule-repair fast path.
+    pub fn count_admission_structural_fallback(&self) {
+        self.admissions_structural_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one retried admission-WAL append (transient I/O failure).
+    pub fn count_admission_log_retry(&self) {
+        self.admission_log_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admission-WAL append that failed past every retry (the
+    /// verdict was still returned; durability for that record is lost).
+    pub fn count_admission_log_failure(&self) {
+        self.admission_log_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one non-shed request's queue sojourn: submission to
+    /// decision, including queue wait and slicing.
+    pub fn record_admission_sojourn(&self, elapsed: Duration) {
+        self.admission_sojourn.record(elapsed);
+    }
+
+    /// Requests shed for out-waiting their decision budget.
+    pub fn admissions_shed(&self) -> u64 {
+        self.admissions_shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests degraded to `WorkerFailed` verdicts by worker panics.
+    pub fn admissions_worker_failed(&self) -> u64 {
+        self.admissions_worker_failed.load(Ordering::Relaxed)
+    }
+
+    /// Residents evicted by the capacity bound's eviction policy.
+    pub fn admissions_evicted(&self) -> u64 {
+        self.admissions_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Structural amendments that fell back to full rebuild + re-trial.
+    pub fn admissions_structural_fallbacks(&self) -> u64 {
+        self.admissions_structural_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Admission-WAL appends that had to be retried.
+    pub fn admission_log_retries(&self) -> u64 {
+        self.admission_log_retries.load(Ordering::Relaxed)
+    }
+
+    /// Admission-WAL appends that failed past every retry.
+    pub fn admission_log_failures(&self) -> u64 {
+        self.admission_log_failures.load(Ordering::Relaxed)
+    }
+
+    /// The submission-to-decision sojourn histogram (non-shed requests).
+    pub fn admission_sojourn(&self) -> &DurationHistogram {
+        &self.admission_sojourn
+    }
+
     /// Number of graphs generated so far.
     pub fn graphs_generated(&self) -> u64 {
         self.graphs_generated.load(Ordering::Relaxed)
@@ -447,7 +531,14 @@ impl Registry {
             delta_scanned_nodes: self.delta_scanned_nodes(),
             admissions_admitted: self.admissions_admitted(),
             admissions_rejected: self.admissions_rejected(),
+            admissions_shed: self.admissions_shed(),
+            admissions_worker_failed: self.admissions_worker_failed(),
+            admissions_evicted: self.admissions_evicted(),
+            admissions_structural_fallbacks: self.admissions_structural_fallbacks(),
+            admission_log_retries: self.admission_log_retries(),
+            admission_log_failures: self.admission_log_failures(),
             admission: self.admission.snapshot(),
+            admission_sojourn: self.admission_sojourn.snapshot(),
             generate: self.generate.snapshot(),
             distribute: self.distribute.snapshot(),
             redistribute: self.redistribute.snapshot(),
@@ -472,7 +563,15 @@ impl Registry {
         self.delta_scanned_nodes.store(0, Ordering::Relaxed);
         self.admissions_admitted.store(0, Ordering::Relaxed);
         self.admissions_rejected.store(0, Ordering::Relaxed);
+        self.admissions_shed.store(0, Ordering::Relaxed);
+        self.admissions_worker_failed.store(0, Ordering::Relaxed);
+        self.admissions_evicted.store(0, Ordering::Relaxed);
+        self.admissions_structural_fallbacks
+            .store(0, Ordering::Relaxed);
+        self.admission_log_retries.store(0, Ordering::Relaxed);
+        self.admission_log_failures.store(0, Ordering::Relaxed);
         self.admission.reset();
+        self.admission_sojourn.reset();
         self.generate.reset();
         self.distribute.reset();
         self.redistribute.reset();
@@ -614,9 +713,31 @@ pub struct MetricsSnapshot {
     /// Admission requests answered with a reject verdict.
     #[serde(default)]
     pub admissions_rejected: u64,
+    /// Admission requests shed for out-waiting their decision budget.
+    /// (Defaulted so snapshots written before PR 9's robustness layer parse.)
+    #[serde(default)]
+    pub admissions_shed: u64,
+    /// Admission requests degraded to `WorkerFailed` verdicts.
+    #[serde(default)]
+    pub admissions_worker_failed: u64,
+    /// Residents evicted by the capacity bound's eviction policy.
+    #[serde(default)]
+    pub admissions_evicted: u64,
+    /// Structural amendments that fell back to full rebuild + re-trial.
+    #[serde(default)]
+    pub admissions_structural_fallbacks: u64,
+    /// Admission-WAL appends that had to be retried.
+    #[serde(default)]
+    pub admission_log_retries: u64,
+    /// Admission-WAL appends that failed past every retry.
+    #[serde(default)]
+    pub admission_log_failures: u64,
     /// Admission-decision service-time histogram.
     #[serde(default)]
     pub admission: StageSnapshot,
+    /// Submission-to-decision sojourn histogram (non-shed requests).
+    #[serde(default)]
+    pub admission_sojourn: StageSnapshot,
     /// Generation-stage timings.
     pub generate: StageSnapshot,
     /// Distribution-stage timings.
@@ -663,7 +784,16 @@ impl MetricsSnapshot {
             delta_scanned_nodes: self.delta_scanned_nodes + other.delta_scanned_nodes,
             admissions_admitted: self.admissions_admitted + other.admissions_admitted,
             admissions_rejected: self.admissions_rejected + other.admissions_rejected,
+            admissions_shed: self.admissions_shed + other.admissions_shed,
+            admissions_worker_failed: self.admissions_worker_failed
+                + other.admissions_worker_failed,
+            admissions_evicted: self.admissions_evicted + other.admissions_evicted,
+            admissions_structural_fallbacks: self.admissions_structural_fallbacks
+                + other.admissions_structural_fallbacks,
+            admission_log_retries: self.admission_log_retries + other.admission_log_retries,
+            admission_log_failures: self.admission_log_failures + other.admission_log_failures,
             admission: self.admission.merge(&other.admission),
+            admission_sojourn: self.admission_sojourn.merge(&other.admission_sojourn),
             generate: self.generate.merge(&other.generate),
             distribute: self.distribute.merge(&other.distribute),
             redistribute: self.redistribute.merge(&other.redistribute),
@@ -719,7 +849,24 @@ impl MetricsSnapshot {
             admissions_rejected: self
                 .admissions_rejected
                 .saturating_sub(earlier.admissions_rejected),
+            admissions_shed: self.admissions_shed.saturating_sub(earlier.admissions_shed),
+            admissions_worker_failed: self
+                .admissions_worker_failed
+                .saturating_sub(earlier.admissions_worker_failed),
+            admissions_evicted: self
+                .admissions_evicted
+                .saturating_sub(earlier.admissions_evicted),
+            admissions_structural_fallbacks: self
+                .admissions_structural_fallbacks
+                .saturating_sub(earlier.admissions_structural_fallbacks),
+            admission_log_retries: self
+                .admission_log_retries
+                .saturating_sub(earlier.admission_log_retries),
+            admission_log_failures: self
+                .admission_log_failures
+                .saturating_sub(earlier.admission_log_failures),
             admission: self.admission.delta(&earlier.admission),
+            admission_sojourn: self.admission_sojourn.delta(&earlier.admission_sojourn),
             generate: self.generate.delta(&earlier.generate),
             distribute: self.distribute.delta(&earlier.distribute),
             redistribute: self.redistribute.delta(&earlier.redistribute),

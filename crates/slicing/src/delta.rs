@@ -16,6 +16,7 @@
 use std::fmt;
 
 use platform::{Pinning, PlatformError, ProcessorId};
+use serde::{Deserialize, Serialize};
 use taskgraph::{GraphError, Subtask, SubtaskId, TaskGraph, Time};
 
 /// One mutation of a task graph or its locality constraints.
@@ -25,7 +26,7 @@ use taskgraph::{GraphError, Subtask, SubtaskId, TaskGraph, Time};
 /// [`RemoveSubtask`](DeltaOp::RemoveSubtask) renumbers every id above the
 /// removed one down by one; an [`AddSubtask`](DeltaOp::AddSubtask) appends
 /// at the end).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DeltaOp {
     /// Replaces a subtask's worst-case execution time.
     SetWcet {
@@ -114,7 +115,7 @@ pub enum DeltaOp {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GraphDelta {
     ops: Vec<DeltaOp>,
 }
@@ -252,6 +253,20 @@ impl GraphDelta {
         self.ops.len()
     }
 
+    /// Whether every op only rewrites subtask attributes (WCET and anchor
+    /// values). Attribute-only deltas take the in-place
+    /// [`apply`](GraphDelta::apply) fast path; anything else (structure or
+    /// pinning) forces the full builder rebuild — and, downstream, a full
+    /// re-trial instead of schedule repair.
+    pub fn is_attribute_only(&self) -> bool {
+        self.ops.iter().all(|op| {
+            matches!(
+                op,
+                DeltaOp::SetWcet { .. } | DeltaOp::SetRelease { .. } | DeltaOp::SetDeadline { .. }
+            )
+        })
+    }
+
     /// Applies every op in order to a working copy of `graph` + `pinning`
     /// and rebuilds through the ordinary builder, so the result satisfies
     /// every invariant a from-scratch graph does (acyclic, anchored inputs
@@ -384,13 +399,7 @@ impl GraphDelta {
         graph: &TaskGraph,
         pinning: &Pinning,
     ) -> Result<Option<Applied>, DeltaError> {
-        let attribute_only = self.ops.iter().all(|op| {
-            matches!(
-                op,
-                DeltaOp::SetWcet { .. } | DeltaOp::SetRelease { .. } | DeltaOp::SetDeadline { .. }
-            )
-        });
-        if !attribute_only {
+        if !self.is_attribute_only() {
             return Ok(None);
         }
         let n = graph.subtask_count();
@@ -430,6 +439,35 @@ impl GraphDelta {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deltas_round_trip_through_serde() {
+        let delta = GraphDelta::new()
+            .set_wcet(SubtaskId::new(1), Time::new(25))
+            .add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(90)))
+            .add_edge(SubtaskId::new(0), SubtaskId::new(2), 7)
+            .pin(SubtaskId::new(0), ProcessorId::new(3));
+        let json = serde_json::to_string(&delta).unwrap();
+        let parsed: GraphDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, delta);
+    }
+
+    #[test]
+    fn attribute_only_classification() {
+        let attrs = GraphDelta::new()
+            .set_wcet(SubtaskId::new(0), Time::new(5))
+            .set_release(SubtaskId::new(1), None)
+            .set_deadline(SubtaskId::new(1), Some(Time::new(50)));
+        assert!(attrs.is_attribute_only());
+        assert!(GraphDelta::new().is_attribute_only(), "empty delta");
+        assert!(!attrs
+            .clone()
+            .remove_edge(SubtaskId::new(0), SubtaskId::new(1))
+            .is_attribute_only());
+        assert!(!GraphDelta::new()
+            .pin(SubtaskId::new(0), ProcessorId::new(0))
+            .is_attribute_only());
+    }
 
     fn diamond() -> TaskGraph {
         let mut b = TaskGraph::builder();

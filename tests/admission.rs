@@ -1,8 +1,10 @@
 //! Integration coverage of the admission service: the determinism
 //! contract (a concurrent service's transcript replays bit-identically
 //! through a sequential controller, for arbitrary request mixes), the
-//! reject-leaves-no-trace invariant, and the unified `feast::Error`
-//! surface over the admission path.
+//! reject-leaves-no-trace invariant, crash durability (write-ahead log
+//! recovery after an arbitrarily torn tail), staleness-aware shedding
+//! accounting, and the unified `feast::Error` surface over the admission
+//! path.
 
 use feast::{
     AdmissionController, AdmissionService, AdmitConfig, AdmitError, AdmitRequest, Error, Scenario,
@@ -14,7 +16,30 @@ use slicing::{CommEstimate, DeltaOp, GraphDelta, MetricKind};
 use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
 use taskgraph::{SubtaskId, TaskGraph, Time};
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A fresh temp-file path; the file is removed by Drop.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TempPath(std::env::temp_dir().join(format!(
+            "feast-admission-it-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec::paper(ExecVariation::Mdet)
@@ -93,6 +118,47 @@ proptest! {
             "service verdicts diverged from sequential replay at seed {}",
             seed
         );
+    }
+
+    /// Crash durability: tear an arbitrary number of bytes off the final
+    /// write-ahead-log line (as a crash mid-append would) and recovery
+    /// must land on exactly the state of the sealed prefix — the torn
+    /// record behaves as if the request was never concluded.
+    #[test]
+    fn recovery_after_a_torn_tail_matches_the_sealed_prefix(
+        seed in 0u64..500,
+        cut in 1usize..200,
+    ) {
+        let wal = TempPath::new("torn");
+        let requests = request_mix(seed, 6);
+        let mut durable =
+            AdmissionController::new(config(8).durable(&wal.0)).expect("controller builds");
+        for request in &requests {
+            let _ = durable.handle(request);
+        }
+        drop(durable);
+
+        let text = std::fs::read_to_string(&wal.0).expect("wal exists");
+        let body = text.trim_end_matches('\n');
+        let final_len = body.len() - body.rfind('\n').map_or(0, |p| p + 1);
+        // Clamp the tear inside the final record (+1 for its newline), so
+        // exactly one record is at stake.
+        let cut = cut.min(final_len + 1);
+        std::fs::write(&wal.0, &text[..text.len() - cut]).expect("torn wal written");
+
+        // cut == 1 removes only the trailing newline: the final record is
+        // still complete. Any deeper cut tears it.
+        let expected = if cut == 1 { requests.len() } else { requests.len() - 1 };
+        let (recovered, log) =
+            AdmissionController::recover(config(8), &wal.0).expect("recovery succeeds");
+        prop_assert_eq!(log.outcomes.len(), expected);
+
+        let mut fresh = AdmissionController::new(config(8)).expect("controller builds");
+        for request in requests.iter().take(expected) {
+            let _ = fresh.handle(request);
+        }
+        prop_assert_eq!(recovered.digest(), fresh.digest());
+        prop_assert_eq!(recovered.residents(), fresh.residents());
     }
 }
 
@@ -181,6 +247,95 @@ fn admission_errors_flow_through_the_unified_error() {
     }
     assert!(saw_full, "rendezvous queue must exert backpressure");
     service.shutdown().unwrap();
+}
+
+/// Staleness-aware shedding accounting: every shed request is concluded
+/// with a typed outcome, appears in the transcript, is sealed to the WAL,
+/// and leaves no trace in committed state — recovery and replay both
+/// reproduce the run with the shed requests' (never-run) trials skipped.
+#[test]
+fn shed_requests_are_accounted_sealed_and_leave_no_trace() {
+    let wal = TempPath::new("shed");
+    let svc_config = config(8)
+        .with_workers(2)
+        .with_decision_budget(Duration::ZERO)
+        .durable(&wal.0);
+    let service = AdmissionService::new(svc_config.clone()).unwrap();
+    for id in 0..5 {
+        service
+            .submit(AdmitRequest::Admit {
+                id,
+                graph: graph(id + 1),
+                origin: Time::ZERO,
+            })
+            .unwrap();
+    }
+    let log = service.shutdown().unwrap();
+    assert_eq!(log.outcomes.len(), 5, "every request concluded");
+    assert_eq!(log.shed(), 5, "zero budget sheds everything");
+    assert_eq!(log.admitted() + log.rejected(), 0, "no trial ever ran");
+    assert_eq!(log.residents, 0);
+
+    // No trace: the final state is the idle state.
+    let idle = AdmissionController::new(config(8)).unwrap();
+    assert_eq!(log.digest, idle.digest());
+
+    // The shed outcomes were sealed; recovery adopts them verbatim and
+    // lands on the same (idle) digest.
+    let (recovered, recovered_log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+    assert_eq!(recovered_log.outcomes.len(), 5);
+    assert_eq!(recovered_log.shed(), 5);
+    assert_eq!(recovered.digest(), idle.digest());
+    assert!(log.matches(&recovered_log), "recovered transcript diverged");
+
+    // And the in-memory replay agrees too.
+    let replayed = log.replay(&svc_config).unwrap();
+    assert!(log.matches(&replayed));
+}
+
+/// A service with a generous budget sheds nothing: the budget bounds
+/// latency without distorting an unloaded run.
+#[test]
+fn generous_budget_sheds_nothing() {
+    let svc_config = config(8)
+        .with_workers(2)
+        .with_decision_budget(Duration::from_secs(3600));
+    let service = AdmissionService::new(svc_config.clone()).unwrap();
+    for id in 0..5 {
+        service
+            .submit(AdmitRequest::Admit {
+                id,
+                graph: graph(id + 1),
+                origin: Time::new(i64::try_from(id).unwrap() * 700),
+            })
+            .unwrap();
+    }
+    let log = service.shutdown().unwrap();
+    assert_eq!(log.shed(), 0);
+    assert_eq!(log.outcomes.len(), 5);
+    assert_eq!(log.admitted() + log.rejected(), 5);
+    let replayed = log.replay(&svc_config).unwrap();
+    assert!(log.matches(&replayed));
+}
+
+/// The durable service: a full service run seals every verdict, and
+/// recovery from the WAL is bit-identical to the live transcript.
+#[test]
+fn durable_service_run_recovers_bit_identically() {
+    let wal = TempPath::new("service");
+    let svc_config = config(8).with_workers(3).durable(&wal.0);
+    let service = AdmissionService::new(svc_config.clone()).unwrap();
+    let requests = request_mix(17, 10);
+    for request in &requests {
+        service.submit(request.clone()).unwrap();
+    }
+    let log = service.shutdown().unwrap();
+    assert_eq!(log.outcomes.len(), requests.len());
+
+    let (recovered, recovered_log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+    assert!(log.matches(&recovered_log), "WAL transcript diverged");
+    assert_eq!(recovered.digest(), log.digest);
+    assert_eq!(recovered.residents(), log.residents);
 }
 
 /// Origin-shifted admissions onto an idle platform predict the same

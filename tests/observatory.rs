@@ -115,7 +115,14 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         delta_scanned_nodes,
         admissions_admitted,
         admissions_rejected,
+        admissions_shed,
+        admissions_worker_failed,
+        admissions_evicted,
+        admissions_structural_fallbacks,
+        admission_log_retries,
+        admission_log_failures,
         admission,
+        admission_sojourn,
         generate,
         distribute,
         redistribute,
@@ -137,11 +144,21 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         ("delta_scanned_nodes", *delta_scanned_nodes),
         ("admissions_admitted", *admissions_admitted),
         ("admissions_rejected", *admissions_rejected),
+        ("admissions_shed", *admissions_shed),
+        ("admissions_worker_failed", *admissions_worker_failed),
+        ("admissions_evicted", *admissions_evicted),
+        (
+            "admissions_structural_fallbacks",
+            *admissions_structural_fallbacks,
+        ),
+        ("admission_log_retries", *admission_log_retries),
+        ("admission_log_failures", *admission_log_failures),
     ] {
         check(name, value);
     }
     for (stage, snap) in [
         ("admission", admission),
+        ("admission_sojourn", admission_sojourn),
         ("generate", generate),
         ("distribute", distribute),
         ("redistribute", redistribute),
@@ -193,6 +210,13 @@ fn populated_registry() -> Registry {
     });
     registry.record_admission(true, Duration::from_micros(45));
     registry.record_admission(false, Duration::from_micros(60));
+    registry.record_admission_sojourn(Duration::from_micros(90));
+    registry.count_admission_shed();
+    registry.count_admission_worker_failed();
+    registry.count_admission_evicted();
+    registry.count_admission_structural_fallback();
+    registry.count_admission_log_retry();
+    registry.count_admission_log_failure();
     registry
 }
 
