@@ -52,7 +52,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -63,7 +63,7 @@ use std::time::{Duration, Instant};
 use platform::Platform;
 use sched::{CommitReceipt, CommittedState, MissLog, Schedule};
 use serde::{Deserialize, Serialize};
-use slicing::GraphDelta;
+use slicing::{DeltaError, GraphDelta};
 use taskgraph::gen::{stream_label, stream_seed};
 use taskgraph::{TaskGraph, Time};
 
@@ -279,8 +279,8 @@ pub enum AdmitOutcome {
     /// The trial completed: an admit or reject verdict.
     Verdict(AdmitVerdict),
     /// A deterministic typed refusal (duplicate id, unknown resident,
-    /// inapplicable delta, pipeline failure), rendered to display form.
-    Refused(String),
+    /// inapplicable delta, pipeline failure), sealed in structured form.
+    Refused(Refusal),
     /// The request out-waited its decision budget and was shed before any
     /// slicing or trial work was spent on it.
     Shed {
@@ -306,7 +306,7 @@ impl AdmitOutcome {
             Err(AdmitError::WorkerFailed { stage }) => AdmitOutcome::Failed {
                 stage: (*stage).to_owned(),
             },
-            Err(e) => AdmitOutcome::Refused(e.to_string()),
+            Err(e) => AdmitOutcome::Refused(Refusal::of(e)),
         }
     }
 
@@ -326,6 +326,69 @@ impl AdmitOutcome {
             self,
             AdmitOutcome::Shed { .. } | AdmitOutcome::Failed { .. }
         )
+    }
+}
+
+/// The structured, message-stable form of a deterministic refusal: a
+/// variant plus the fields replay re-derives from the request sequence.
+///
+/// This — not the rendered [`AdmitError`] message — is what the
+/// write-ahead log seals and recovery compares, so rewording a `Display`
+/// impl never invalidates an existing log. The variant shapes and the
+/// kind tags ([`AdmitError::kind`], [`RunError::kind`], and the delta
+/// tags below) are part of the WAL format contract and must stay stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Refusal {
+    /// [`AdmitError::DuplicateId`].
+    DuplicateId {
+        /// The already-resident id.
+        id: u64,
+    },
+    /// [`AdmitError::NoResident`].
+    NoResident {
+        /// The unknown resident id.
+        id: u64,
+    },
+    /// [`AdmitError::Delta`]: the amendment did not apply.
+    Delta {
+        /// Stable tag of the delta failure: `unknown-subtask`,
+        /// `unknown-edge` or `invalid-graph`.
+        kind: String,
+    },
+    /// [`AdmitError::Trial`]: the pipeline itself failed.
+    Trial {
+        /// Stable tag of the failing stage ([`RunError::kind`]).
+        kind: String,
+    },
+    /// Any other deterministic refusal, by its stable tag
+    /// ([`AdmitError::kind`]).
+    Other {
+        /// The refusal's stable tag.
+        kind: String,
+    },
+}
+
+impl Refusal {
+    /// The sealed form of a refusing [`AdmitError`].
+    fn of(error: &AdmitError) -> Refusal {
+        let delta_kind = |e: &DeltaError| match e {
+            DeltaError::UnknownSubtask(_) => "unknown-subtask",
+            DeltaError::UnknownEdge(..) => "unknown-edge",
+            DeltaError::Graph(_) => "invalid-graph",
+        };
+        match error {
+            AdmitError::DuplicateId { id } => Refusal::DuplicateId { id: *id },
+            AdmitError::NoResident { id } => Refusal::NoResident { id: *id },
+            AdmitError::Delta(e) => Refusal::Delta {
+                kind: delta_kind(e).to_owned(),
+            },
+            AdmitError::Trial(e) => Refusal::Trial {
+                kind: e.kind().to_owned(),
+            },
+            other => Refusal::Other {
+                kind: other.kind().to_owned(),
+            },
+        }
     }
 }
 
@@ -523,11 +586,20 @@ struct WalRecord {
 /// record — queue depth, worker count, decision budget — are deliberately
 /// excluded, so a log recovers under a differently-tuned service.
 fn wal_fingerprint(config: &AdmitConfig) -> u64 {
-    stream_seed(
+    // Capacity and eviction policy feed separate chained mixing steps —
+    // never XORed into one word — so distinct (capacity, policy) pairs
+    // cannot cancel into the same fingerprint.
+    let shape = stream_seed(
         fingerprint(&config.scenario),
         stream_label(b"admission-wal"),
         config.system_size as u64,
-        (config.capacity as u64) ^ stream_label(config.eviction.name().as_bytes()),
+        config.capacity as u64,
+    );
+    stream_seed(
+        shape,
+        stream_label(b"admission-wal-eviction"),
+        stream_label(config.eviction.name().as_bytes()),
+        0,
     )
 }
 
@@ -580,8 +652,9 @@ fn fault_fires(
 /// [`CHECKPOINT_RETRY_LIMIT`](Runner::CHECKPOINT_RETRY_LIMIT) /
 /// [`CHECKPOINT_BACKOFF_BASE`](Runner::CHECKPOINT_BACKOFF_BASE) policy).
 /// On load, a torn *final* line is tolerated (the in-flight record a
-/// crash tore is simply not yet committed); any other unreadable or
-/// seal-mismatching line is a typed
+/// crash tore is simply not yet committed), and reopening for append
+/// truncates the fragment first so the next record starts a fresh line;
+/// any other unreadable or seal-mismatching line is a typed
 /// [`CheckpointCorrupt`](RunError::CheckpointCorrupt) error — corruption
 /// is detected, never silently replayed.
 #[derive(Debug)]
@@ -620,16 +693,41 @@ impl AdmissionWal {
     }
 
     /// Reopens the log at `path` for appending after recovery replayed
-    /// `seq` sealed records from it.
-    fn reopen(path: &Path, config: &AdmitConfig, seq: u64) -> Result<AdmissionWal, RunError> {
+    /// `seq` sealed records from it. Anything past `valid_len` — the torn
+    /// tail a crash left behind — is truncated first, and a final record
+    /// that survived minus its newline (`terminated == false`) gets its
+    /// terminator restored, so the next append always starts a fresh
+    /// line instead of merging with the fragment.
+    fn reopen(
+        path: &Path,
+        config: &AdmitConfig,
+        seq: u64,
+        valid_len: u64,
+        terminated: bool,
+    ) -> Result<AdmissionWal, RunError> {
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(AdmissionWal {
+        let len = file.metadata()?.len();
+        if len > valid_len {
+            tracing::warn!(
+                path = %path.display(),
+                kept = valid_len,
+                dropped = len - valid_len,
+                "truncating torn admission log tail before reopening for append"
+            );
+            file.set_len(valid_len)?;
+        }
+        let mut wal = AdmissionWal {
             writer: BufWriter::new(file),
             path: path.to_path_buf(),
             seq,
             system_size: config.system_size,
             fault: config.fault_plan.clone(),
-        })
+        };
+        if !terminated {
+            wal.writer.write_all(b"\n")?;
+            wal.writer.flush()?;
+        }
+        Ok(wal)
     }
 
     /// Seals one concluded request to disk before its verdict is
@@ -692,46 +790,74 @@ impl AdmissionWal {
 
     /// Loads every sealed record from the log at `path`, verifying the
     /// header fingerprint against `config`, each record's CRC seal, and
-    /// sequence contiguity. A torn final line is skipped with a warning.
-    fn load(path: &Path, config: &AdmitConfig) -> Result<Vec<WalRecord>, RunError> {
+    /// sequence contiguity. A torn final line is skipped with a warning;
+    /// the returned [`LoadedWal`] carries the byte length of the valid
+    /// prefix so [`reopen`](AdmissionWal::reopen) can truncate the torn
+    /// fragment before appending to the file again.
+    fn load(path: &Path, config: &AdmitConfig) -> Result<LoadedWal, RunError> {
         let corrupt = |line_no: usize, detail: &str| RunError::CheckpointCorrupt {
             path: path.to_path_buf(),
             detail: format!("{detail} at line {line_no}"),
         };
-        let lines: Vec<String> = BufReader::new(File::open(path)?)
-            .lines()
-            .collect::<Result<_, _>>()
-            .map_err(RunError::Io)?;
-        match lines.first() {
-            Some(first) => match serde_json::from_str::<WalLine>(first) {
-                Ok(WalLine::Header { fingerprint, .. })
-                    if fingerprint == wal_fingerprint(config) => {}
-                Ok(WalLine::Header { .. }) => {
-                    return Err(RunError::CheckpointMismatch {
-                        path: path.to_path_buf(),
-                    });
+        let bytes = std::fs::read(path)?;
+        // Split into lines by hand, keeping each line's end offset and
+        // whether its `\n` terminator is present — `BufRead::lines` would
+        // lose both, and recovery needs them to truncate a torn tail.
+        let mut lines: Vec<(&[u8], u64, bool)> = Vec::new();
+        let mut start = 0;
+        while start < bytes.len() {
+            match bytes[start..].iter().position(|&b| b == b'\n') {
+                Some(p) => {
+                    lines.push((&bytes[start..start + p], (start + p + 1) as u64, true));
+                    start += p + 1;
                 }
-                _ => {
-                    return Err(RunError::CheckpointCorrupt {
-                        path: path.to_path_buf(),
-                        detail: "first line is not an admission log header".to_owned(),
-                    });
+                None => {
+                    lines.push((&bytes[start..], bytes.len() as u64, false));
+                    break;
                 }
-            },
+            }
+        }
+        let (mut valid_len, mut terminated) = match lines.first() {
+            Some(&(content, end, term)) => {
+                match std::str::from_utf8(content)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<WalLine>(text).ok())
+                {
+                    Some(WalLine::Header { fingerprint, .. })
+                        if fingerprint == wal_fingerprint(config) =>
+                    {
+                        (end, term)
+                    }
+                    Some(WalLine::Header { .. }) => {
+                        return Err(RunError::CheckpointMismatch {
+                            path: path.to_path_buf(),
+                        });
+                    }
+                    _ => {
+                        return Err(RunError::CheckpointCorrupt {
+                            path: path.to_path_buf(),
+                            detail: "first line is not an admission log header".to_owned(),
+                        });
+                    }
+                }
+            }
             None => {
                 return Err(RunError::CheckpointCorrupt {
                     path: path.to_path_buf(),
                     detail: "log file is empty (no header)".to_owned(),
                 });
             }
-        }
+        };
         let mut records = Vec::new();
-        for (i, line) in lines.iter().enumerate().skip(1) {
+        for (i, &(content, end, term)) in lines.iter().enumerate().skip(1) {
             let line_no = i + 1;
             let last = i + 1 == lines.len();
-            let parsed = match serde_json::from_str::<WalLine>(line) {
-                Ok(parsed) => parsed,
-                Err(_) if last => {
+            let parsed = match std::str::from_utf8(content)
+                .ok()
+                .and_then(|text| serde_json::from_str::<WalLine>(text).ok())
+            {
+                Some(parsed) => parsed,
+                None if last => {
                     tracing::warn!(
                         path = %path.display(),
                         line = line_no,
@@ -739,7 +865,7 @@ impl AdmissionWal {
                     );
                     continue;
                 }
-                Err(_) => return Err(corrupt(line_no, "unparseable record")),
+                None => return Err(corrupt(line_no, "unparseable record")),
             };
             match parsed {
                 WalLine::Header { .. } => {
@@ -753,11 +879,33 @@ impl AdmissionWal {
                         return Err(corrupt(line_no, "record sequence gap"));
                     }
                     records.push(record);
+                    valid_len = end;
+                    terminated = term;
                 }
             }
         }
-        Ok(records)
+        Ok(LoadedWal {
+            records,
+            valid_len,
+            terminated,
+        })
     }
+}
+
+/// Everything [`AdmissionWal::load`] learns from a log file: the sealed
+/// records plus where the valid prefix ends, so
+/// [`reopen`](AdmissionWal::reopen) can cut a torn tail off before
+/// appending instead of merging the next record into the fragment.
+#[derive(Debug)]
+struct LoadedWal {
+    /// The sealed records, in sequence order.
+    records: Vec<WalRecord>,
+    /// Byte offset just past the last valid line (header included);
+    /// anything beyond it is a torn fragment.
+    valid_len: u64,
+    /// Whether the valid prefix ends with its `\n` terminator (`false`
+    /// only when a crash tore exactly the final record's newline off).
+    terminated: bool,
 }
 
 /// The sequential admission core: one pipeline, one committed state, the
@@ -869,7 +1017,11 @@ impl AdmissionController {
         path: impl AsRef<Path>,
     ) -> Result<(AdmissionController, AdmissionLog), AdmitError> {
         let path = path.as_ref();
-        let records = AdmissionWal::load(path, &config).map_err(AdmitError::Log)?;
+        let LoadedWal {
+            records,
+            valid_len,
+            terminated,
+        } = AdmissionWal::load(path, &config).map_err(AdmitError::Log)?;
         let mut replay_config = config.clone();
         replay_config.wal_path = None;
         let mut controller = AdmissionController::new(replay_config)?;
@@ -908,7 +1060,10 @@ impl AdmissionController {
         log.digest = controller.digest();
         log.residents = controller.residents();
         let next = log.requests.len() as u64;
-        controller.wal = Some(AdmissionWal::reopen(path, &config, next).map_err(AdmitError::Log)?);
+        controller.wal = Some(
+            AdmissionWal::reopen(path, &config, next, valid_len, terminated)
+                .map_err(AdmitError::Log)?,
+        );
         controller.config.wal_path = Some(path.to_path_buf());
         Ok((controller, log))
     }
@@ -2154,6 +2309,98 @@ mod tests {
     }
 
     #[test]
+    fn appends_after_torn_tail_recovery_do_not_merge_with_the_fragment() {
+        let wal = TempPath::new("torn-append");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        for id in 1..5 {
+            durable.admit(id, graph(id), Time::ZERO).unwrap();
+        }
+        drop(durable);
+
+        // Tear the final record mid-line, recover, and keep appending:
+        // the fragment must be truncated, not fused with the new record.
+        let text = std::fs::read_to_string(&wal.0).unwrap();
+        std::fs::write(&wal.0, &text[..text.len() - 17]).unwrap();
+        let (mut recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 3);
+        recovered.admit(9, graph(9), Time::ZERO).unwrap();
+        let digest = recovered.digest();
+        drop(recovered);
+
+        let (again, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 4, "post-recovery admit sealed cleanly");
+        assert_eq!(again.digest(), digest);
+    }
+
+    #[test]
+    fn appends_after_a_missing_final_newline_start_a_fresh_line() {
+        let wal = TempPath::new("unterminated");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        durable.admit(1, graph(1), Time::ZERO).unwrap();
+        durable.admit(2, graph(2), Time::ZERO).unwrap();
+        drop(durable);
+
+        // Strip only the trailing newline: the final record is intact and
+        // must be kept — and the next append must restore the terminator
+        // rather than writing onto the same line.
+        let text = std::fs::read_to_string(&wal.0).unwrap();
+        assert!(text.ends_with('\n'));
+        std::fs::write(&wal.0, &text[..text.len() - 1]).unwrap();
+        let (mut recovered, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 2, "unterminated final record kept");
+        recovered.admit(3, graph(3), Time::ZERO).unwrap();
+        let digest = recovered.digest();
+        drop(recovered);
+
+        let (again, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.outcomes.len(), 3);
+        assert_eq!(again.digest(), digest);
+    }
+
+    #[test]
+    fn wal_fingerprint_separates_capacity_from_eviction_policy() {
+        // Craft a (capacity, policy) pair that would collide with the
+        // base configuration if capacity and policy-name hash were XORed
+        // into a single fingerprint input word.
+        let oldest = stream_label(b"oldest-first");
+        let lowest = stream_label(b"lowest-utilization");
+        let base = config(8).with_capacity(16);
+        let crafted = config(8)
+            .with_capacity((16u64 ^ oldest ^ lowest) as usize)
+            .with_eviction(LowestUtilization);
+        assert_eq!(
+            (base.capacity as u64) ^ oldest,
+            (crafted.capacity as u64) ^ lowest,
+            "the crafted pair must collide under the old XOR folding"
+        );
+        assert_ne!(wal_fingerprint(&base), wal_fingerprint(&crafted));
+    }
+
+    #[test]
+    fn refusals_seal_stable_tags_not_rendered_messages() {
+        let wal = TempPath::new("refusal");
+        let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
+        durable.admit(1, graph(1), Time::ZERO).unwrap();
+        let refusal = durable.admit(1, graph(2), Time::ZERO).unwrap_err();
+        drop(durable);
+
+        // The WAL carries the structured refusal, never the Display
+        // rendering — rewording an error message must not invalidate it.
+        let text = std::fs::read_to_string(&wal.0).unwrap();
+        assert!(
+            !text.contains(&refusal.to_string()),
+            "WAL sealed a rendered error message"
+        );
+        assert!(text.contains("DuplicateId"), "structured refusal missing");
+        let (_, log) = AdmissionController::recover(config(8), &wal.0).unwrap();
+        assert_eq!(log.refused(), 1);
+        assert_eq!(
+            log.outcomes[1],
+            AdmitOutcome::Refused(Refusal::DuplicateId { id: 1 })
+        );
+    }
+
+    #[test]
     fn recovery_refuses_a_mismatching_configuration() {
         let wal = TempPath::new("mismatch");
         let mut durable = AdmissionController::new(config(8).durable(&wal.0)).unwrap();
@@ -2226,9 +2473,28 @@ mod tests {
         ];
         assert_eq!(OldestFirst.victim(&candidates), 1);
         assert_eq!(LowestUtilization.victim(&candidates), 2);
-        // Ties break oldest-first.
-        let tied = vec![candidates[1], candidates[1]];
-        assert_eq!(LowestUtilization.victim(&tied), 2);
+        // Ties break oldest-first: equal utilization, distinct
+        // seniorities — the lower seniority must win regardless of
+        // candidate order.
+        let tied = vec![
+            EvictionCandidate {
+                id: 7,
+                seniority: 3,
+                origin: Time::ZERO,
+                horizon: Time::new(100),
+                busy: Time::new(10),
+            },
+            EvictionCandidate {
+                id: 8,
+                seniority: 1,
+                origin: Time::ZERO,
+                horizon: Time::new(100),
+                busy: Time::new(10),
+            },
+        ];
+        assert_eq!(LowestUtilization.victim(&tied), 8);
+        let reversed: Vec<_> = tied.iter().rev().copied().collect();
+        assert_eq!(LowestUtilization.victim(&reversed), 8);
     }
 
     #[test]

@@ -114,6 +114,35 @@ pub enum RunError {
     Io(std::io::Error),
 }
 
+impl RunError {
+    /// The error's stable kind tag: a short machine-readable label that
+    /// identifies the variant without its rendered message. Sealed
+    /// refusals in the admission write-ahead log record these tags, not
+    /// `Display` strings, so the values are part of the WAL format
+    /// contract and must never change.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Scenario(_) => "scenario",
+            RunError::InvalidShard { .. } => "invalid-shard",
+            RunError::ShardedRun { .. } => "sharded-run",
+            RunError::Generate(_) => "generate",
+            RunError::GenerateRejected { .. } => "generate-rejected",
+            RunError::Slice(_) => "slice",
+            RunError::Platform(_) => "platform",
+            RunError::Sched(_) => "sched",
+            RunError::Cancelled => "cancelled",
+            RunError::WorkerPanic(_) => "worker-panic",
+            RunError::CheckpointMismatch { .. } => "checkpoint-mismatch",
+            RunError::CheckpointCorrupt { .. } => "checkpoint-corrupt",
+            RunError::MergeMismatch(_) => "merge-mismatch",
+            RunError::MergeIncomplete { .. } => "merge-incomplete",
+            RunError::AuditFailed { .. } => "audit-failed",
+            RunError::DegradedRun { .. } => "degraded-run",
+            RunError::Io(_) => "io",
+        }
+    }
+}
+
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -280,6 +309,25 @@ pub enum AdmitError {
         /// What diverged.
         detail: String,
     },
+}
+
+impl AdmitError {
+    /// The error's stable kind tag (see [`RunError::kind`] for the
+    /// contract: sealed in the admission write-ahead log, never renamed).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmitError::QueueFull { .. } => "queue-full",
+            AdmitError::ServiceStopped => "service-stopped",
+            AdmitError::NoResident { .. } => "no-resident",
+            AdmitError::DuplicateId { .. } => "duplicate-id",
+            AdmitError::Trial(_) => "trial",
+            AdmitError::Delta(_) => "delta",
+            AdmitError::Shed { .. } => "shed",
+            AdmitError::WorkerFailed { .. } => "worker-failed",
+            AdmitError::Log(_) => "log",
+            AdmitError::RecoveryDiverged { .. } => "recovery-diverged",
+        }
+    }
 }
 
 impl fmt::Display for AdmitError {

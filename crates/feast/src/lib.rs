@@ -76,7 +76,7 @@ pub mod telemetry;
 
 pub use admission::{
     AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitOutcome, AdmitRequest,
-    AdmitVerdict, EvictionCandidate, EvictionPolicy, LowestUtilization, OldestFirst,
+    AdmitVerdict, EvictionCandidate, EvictionPolicy, LowestUtilization, OldestFirst, Refusal,
 };
 pub use error::{AdmitError, Error, RunError};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
