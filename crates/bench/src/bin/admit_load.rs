@@ -18,7 +18,8 @@
 //!     [--requests N] [--workers N] [--size P] [--amend-every K] \
 //!     [--out PATH] [--fresh] [--guard] [--floor F] [--metrics PATH] \
 //!     [--durable] [--wal PATH] [--recover PATH] [--budget-us N] \
-//!     [--fault SPEC]
+//!     [--fault SPEC] [--template-pool N] [--infeasible-frac F] \
+//!     [--slice-cache on|off] [--eviction oldest|lowest]
 //! ```
 //!
 //! * `--label NAME`    tag for this run (default `run`);
@@ -46,20 +47,31 @@
 //!   are shed before slicing (with `--guard`, also bounds the non-shed
 //!   p99 sojourn);
 //! * `--fault SPEC`    deterministic fault injection, `site:rate[:attempts]`
-//!   (only fires in `--features fault-inject` builds; repeatable).
+//!   (only fires in `--features fault-inject` builds; repeatable);
+//! * `--template-pool N` draw admit graphs from a pool of N seed-derived
+//!   templates instead of a fresh graph per request (exercises the
+//!   cross-request slice cache; 0 = fresh graphs, the default);
+//! * `--infeasible-frac F` make fraction F (0..1) of admits provably
+//!   infeasible chains (exercises the feasibility pre-filter; default 0);
+//! * `--slice-cache on|off` enable the cross-request slice cache
+//!   (default on; `off` is the cache-equivalence baseline);
+//! * `--prefilter on|off` enable the feasibility pre-filter (default on);
+//! * `--eviction oldest|lowest` capacity-pressure eviction policy
+//!   (default oldest = `OldestFirst`; lowest = `LowestUtilization`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use feast::telemetry::{self, StageSnapshot};
 use feast::{
-    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitError, AdmitRequest,
-    FaultPlan, FaultSpec, MetricsWriter, ProgressTracker, Runner, Scenario,
+    AdmissionController, AdmissionLog, AdmissionService, AdmitConfig, AdmitError, AdmitOutcome,
+    AdmitRequest, FaultPlan, FaultSpec, LowestUtilization, MetricsWriter, OldestFirst,
+    ProgressTracker, Refusal, Runner, Scenario,
 };
 use serde::{Deserialize, Serialize};
 use slicing::{CommEstimate, GraphDelta, MetricKind};
 use taskgraph::gen::{generate_seeded, stream_label, stream_seed, ExecVariation, WorkloadSpec};
-use taskgraph::{SubtaskId, TaskGraph, Time};
+use taskgraph::{Subtask, SubtaskId, TaskGraph, TaskGraphBuilder, Time};
 
 /// Shared bench seed (same as `bench.rs`): request `i` draws its workload
 /// from `stream_seed(SEED, admission stream, size, i)`, so the request
@@ -113,7 +125,33 @@ struct LoadPoint {
     rejected: usize,
     /// Requests answered with a typed refusal (e.g. amendment of an
     /// already retired resident) — still decisions, still replayed.
+    /// Pre-filter refusals are counted separately in `prefilter_rejects`,
+    /// so `prefilter_rejects + admitted + rejected + errors + shed +
+    /// failed == requests`.
     errors: usize,
+    /// Requests refused by the O(V+E) feasibility pre-filter before any
+    /// slicing ran (a deterministic refusal; disjoint from `errors`).
+    #[serde(default)]
+    prefilter_rejects: usize,
+    /// Template pool this run drew admit graphs from (0 = a fresh graph
+    /// per request).
+    #[serde(default)]
+    template_pool: usize,
+    /// Fraction of admits built provably infeasible (pre-filter fodder).
+    #[serde(default)]
+    infeasible_frac: f64,
+    /// Cross-request slice cache capacity in force (0 = cache off;
+    /// old points predate the cache and read 0).
+    #[serde(default)]
+    slice_cache: usize,
+    /// Capacity-pressure eviction policy (empty on old points =
+    /// oldest-first, the only policy that existed).
+    #[serde(default)]
+    eviction: String,
+    /// Residents evicted under capacity pressure during the recorded
+    /// trial (telemetry delta).
+    #[serde(default)]
+    evicted: u64,
     /// Requests shed over the decision budget (environmental outcomes;
     /// replayed verbatim, never trialed).
     #[serde(default)]
@@ -180,13 +218,61 @@ impl LoadFile {
     }
 }
 
+/// A provably infeasible two-subtask chain: 100 + 100 time units of
+/// serial WCET against an end-to-end deadline of 50, so the pre-filter's
+/// chain bound (and, without the pre-filter, the full slice + trial path)
+/// must refuse it. `salt` perturbs the WCETs so the infeasible stream is
+/// not one endlessly repeated graph.
+fn infeasible_chain(salt: u64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    let head =
+        b.add_subtask(Subtask::new(Time::new(100 + (salt % 7) as i64)).released_at(Time::ZERO));
+    let tail = b.add_subtask(Subtask::new(Time::new(100)).due_at(Time::new(50)));
+    b.add_edge(head, tail, 1).expect("two-node chain edge");
+    b.build().expect("infeasible chain still builds")
+}
+
 /// Builds the deterministic request stream: paper workloads at origins
 /// that advance by a seed-derived stride around `stride`, with an
 /// amendment of the latest admit every `amend_every` admits. The stride
 /// sets the steady-state residency (how many committed graphs a trial
 /// schedules against) and is therefore the load axis of this bench.
-fn request_stream(count: usize, size: usize, amend_every: usize, stride: i64) -> Vec<AdmitRequest> {
+///
+/// `template_pool` > 0 draws every feasible admit from a pool of that
+/// many seed-derived template graphs (the templated-workload regime the
+/// cross-request slice cache targets); `infeasible_frac` replaces that
+/// fraction of admits with [`infeasible_chain`]s for the pre-filter.
+fn request_stream(
+    count: usize,
+    size: usize,
+    amend_every: usize,
+    stride: i64,
+    template_pool: usize,
+    infeasible_frac: f64,
+) -> Vec<AdmitRequest> {
     let stream = stream_label(b"admission");
+    let templates: Vec<Arc<TaskGraph>> = (0..template_pool)
+        .map(|slot| {
+            Arc::new(
+                (0..16)
+                    .find_map(|attempt| {
+                        generate_seeded(
+                            &WorkloadSpec::paper(ExecVariation::Mdet),
+                            stream_seed(
+                                SEED,
+                                stream_label(b"admission-template"),
+                                size as u64,
+                                slot as u64,
+                            )
+                            .wrapping_add(attempt),
+                        )
+                        .ok()
+                    })
+                    .expect("a paper workload generates within 16 seed attempts"),
+            )
+        })
+        .collect();
+    let infeasible_per_mille = (infeasible_frac.clamp(0.0, 1.0) * 1000.0) as u64;
     let mut requests = Vec::with_capacity(count);
     let mut origin = 0i64;
     let mut admits = 0u64;
@@ -210,19 +296,36 @@ fn request_stream(count: usize, size: usize, amend_every: usize, stride: i64) ->
                 continue;
             }
         }
-        // Workload generation can reject a stream; walk to the next one,
-        // as the engine does.
-        let graph = Arc::new(
-            (0..16)
-                .find_map(|attempt| {
-                    generate_seeded(
-                        &WorkloadSpec::paper(ExecVariation::Mdet),
-                        draw.wrapping_add(attempt),
-                    )
-                    .ok()
-                })
-                .expect("a paper workload generates within 16 seed attempts"),
-        );
+        // A seed-derived slice of the stream is provably infeasible: the
+        // pre-filter refuses these before slicing, and they are never
+        // amended (they hold no residency).
+        if infeasible_per_mille > 0 && (draw >> 17) % 1000 < infeasible_per_mille {
+            origin += stride / 5 + (draw % (stride as u64 * 2).max(1)) as i64;
+            requests.push(AdmitRequest::Admit {
+                id: admits,
+                graph: Arc::new(infeasible_chain(draw)),
+                origin: Time::new(origin),
+            });
+            admits += 1;
+            continue;
+        }
+        let graph = if templates.is_empty() {
+            // Workload generation can reject a stream; walk to the next
+            // one, as the engine does.
+            Arc::new(
+                (0..16)
+                    .find_map(|attempt| {
+                        generate_seeded(
+                            &WorkloadSpec::paper(ExecVariation::Mdet),
+                            draw.wrapping_add(attempt),
+                        )
+                        .ok()
+                    })
+                    .expect("a paper workload generates within 16 seed attempts"),
+            )
+        } else {
+            Arc::clone(&templates[(draw % templates.len() as u64) as usize])
+        };
         origin += stride / 5 + (draw % (stride as u64 * 2).max(1)) as i64;
         let id = admits;
         requests.push(AdmitRequest::Admit {
@@ -255,6 +358,11 @@ struct Args {
     recover: Option<String>,
     budget_us: Option<u64>,
     faults: Vec<FaultSpec>,
+    template_pool: usize,
+    infeasible_frac: f64,
+    slice_cache: bool,
+    prefilter: bool,
+    eviction: String,
 }
 
 fn parse_args() -> Args {
@@ -277,6 +385,11 @@ fn parse_args() -> Args {
         recover: None,
         budget_us: None,
         faults: Vec::new(),
+        template_pool: 0,
+        infeasible_frac: 0.0,
+        slice_cache: true,
+        prefilter: true,
+        eviction: "oldest".to_owned(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -343,6 +456,41 @@ fn parse_args() -> Args {
                         .expect("--budget-us takes a positive integer (microseconds)"),
                 )
             }
+            "--template-pool" => {
+                args.template_pool = value("--template-pool")
+                    .parse()
+                    .expect("--template-pool takes an integer (0 disables)")
+            }
+            "--infeasible-frac" => {
+                args.infeasible_frac = value("--infeasible-frac")
+                    .parse()
+                    .expect("--infeasible-frac takes a fraction in 0..1");
+                assert!(
+                    (0.0..=1.0).contains(&args.infeasible_frac),
+                    "--infeasible-frac takes a fraction in 0..1"
+                );
+            }
+            "--slice-cache" => {
+                args.slice_cache = match value("--slice-cache").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--slice-cache takes on|off, not `{other}`"),
+                }
+            }
+            "--prefilter" => {
+                args.prefilter = match value("--prefilter").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--prefilter takes on|off, not `{other}`"),
+                }
+            }
+            "--eviction" => {
+                args.eviction = value("--eviction");
+                assert!(
+                    args.eviction == "oldest" || args.eviction == "lowest",
+                    "--eviction takes oldest|lowest"
+                );
+            }
             "--fault" => args.faults.push(
                 value("--fault")
                     .parse()
@@ -353,7 +501,9 @@ fn parse_args() -> Args {
                     "usage: admit-load [--label NAME] [--requests N] [--workers N] [--size P] \
                      [--amend-every K] [--stride T] [--capacity N] [--trials N] [--out PATH] \
                      [--fresh] [--guard] [--floor F] [--metrics PATH] [--durable] [--wal PATH] \
-                     [--recover PATH] [--budget-us N] [--fault SPEC]"
+                     [--recover PATH] [--budget-us N] [--fault SPEC] [--template-pool N] \
+                     [--infeasible-frac F] [--slice-cache on|off] [--prefilter on|off] \
+                     [--eviction oldest|lowest]"
                 );
                 std::process::exit(0);
             }
@@ -379,7 +529,14 @@ fn bench_config(args: &Args) -> AdmitConfig {
     let mut config = AdmitConfig::new(scenario, args.size)
         .with_workers(args.workers.max(1))
         .with_queue_depth(512)
-        .with_capacity(args.capacity.max(1));
+        .with_capacity(args.capacity.max(1))
+        .with_slice_cache(if args.slice_cache { 64 } else { 0 })
+        .with_prefilter(args.prefilter);
+    if args.eviction == "lowest" {
+        config = config.with_eviction(LowestUtilization);
+    } else {
+        config = config.with_eviction(OldestFirst);
+    }
     if let Some(budget_us) = args.budget_us {
         config = config.with_decision_budget(Duration::from_micros(budget_us));
     }
@@ -413,12 +570,14 @@ fn recover_and_report(args: &Args, path: &str) -> ! {
         std::process::exit(2);
     }
     println!(
-        "recovered {} sealed decisions from {path}: {} admitted, {} rejected, {} errors, \
-         {} shed, {} failed; digest {:#018x}, {} residents; replay verified",
+        "recovered {} sealed decisions from {path}: {} admitted, {} rejected, \
+         {} prefilter-rejected, {} errors, {} shed, {} failed; digest {:#018x}, \
+         {} residents; replay verified",
         log.outcomes.len(),
         log.admitted(),
         log.rejected(),
-        log.refused(),
+        log.prefilter_rejected(),
+        log.refused() - log.prefilter_rejected(),
         log.shed(),
         log.failed(),
         controller.digest(),
@@ -437,6 +596,8 @@ fn main() {
         args.size,
         args.amend_every,
         args.stride.max(1),
+        args.template_pool,
+        args.infeasible_frac,
     );
 
     let wal_path = args.durable.then(|| {
@@ -471,7 +632,7 @@ fn main() {
     // work and the fastest one is the least noise-contaminated estimate of
     // the service's sustained rate. Every trial (not just the best) must
     // pass the replay check before anything is recorded.
-    let mut best: Option<(AdmissionLog, f64, LatencyStats, LatencyStats, usize)> = None;
+    let mut best: Option<(AdmissionLog, f64, LatencyStats, LatencyStats, usize, u64)> = None;
     let mut last_delta = None;
     let mut wal_recovered: Option<usize> = None;
     for trial in 0..trials {
@@ -504,6 +665,7 @@ fn main() {
         let latency = LatencyStats::from_snapshot(&after.admission.delta(&before.admission));
         let sojourn =
             LatencyStats::from_snapshot(&after.admission_sojourn.delta(&before.admission_sojourn));
+        let evicted = after.admissions_evicted - before.admissions_evicted;
         last_delta = Some(after.delta(&before));
 
         // The determinism contract, re-proven on every load run: the
@@ -557,8 +719,8 @@ fn main() {
                 ""
             }
         );
-        if best.as_ref().is_none_or(|(_, b, _, _, _)| aps > *b) {
-            best = Some((log, aps, latency, sojourn, queue_retries));
+        if best.as_ref().is_none_or(|(_, b, _, _, _, _)| aps > *b) {
+            best = Some((log, aps, latency, sojourn, queue_retries, evicted));
         }
     }
     progress.finish("complete");
@@ -568,14 +730,52 @@ fn main() {
         writer.write_now(&progress, delta);
     }
 
-    let (log, admissions_per_sec, latency, sojourn, queue_retries) =
+    let (log, admissions_per_sec, latency, sojourn, queue_retries, evicted) =
         best.expect("at least one trial ran");
     let decisions = log.outcomes.len();
     let admitted = log.admitted();
     let rejected = log.rejected();
-    let errors = log.refused();
+    let prefilter_rejects = log.prefilter_rejected();
+    let errors = log.refused() - prefilter_rejects;
     let shed = log.shed();
     let failed = log.failed();
+
+    // Conservativeness audit: the pre-filter may only refuse graphs the
+    // full slice + trial path would also have rejected. Re-run every
+    // pre-filter refusal through a pre-filter-off controller against an
+    // empty state (the most permissive state any trial can see); an
+    // admit here means a bound is unsound and the run is worthless.
+    if prefilter_rejects > 0 {
+        let mut audit_config = config.clone();
+        audit_config.wal_path = None;
+        audit_config = audit_config.with_prefilter(false);
+        let mut unsound = 0usize;
+        for (request, outcome) in log.requests.iter().zip(log.outcomes.iter()) {
+            if !matches!(outcome, AdmitOutcome::Refused(Refusal::Prefilter { .. })) {
+                continue;
+            }
+            let mut probe = AdmissionController::new(audit_config.clone())
+                .expect("conservativeness-audit controller builds");
+            if matches!(
+                probe.handle(request),
+                Ok(verdict) if verdict.admitted
+            ) {
+                unsound += 1;
+            }
+        }
+        if unsound > 0 {
+            eprintln!(
+                "WARNING: pre-filter UNSOUND — {unsound} of {prefilter_rejects} \
+                 pre-filter refusals would have been ADMITTED by the full \
+                 slice + trial path; a necessary-condition bound is wrong"
+            );
+            std::process::exit(2);
+        }
+        eprintln!(
+            "conservativeness audit passed: all {prefilter_rejects} pre-filter \
+             refusals also reject under the full slice + trial path"
+        );
+    }
     let elapsed_ms = decisions as f64 / admissions_per_sec * 1e3;
     let replay_verified = true;
 
@@ -591,6 +791,12 @@ fn main() {
         admitted,
         rejected,
         errors,
+        prefilter_rejects,
+        template_pool: args.template_pool,
+        infeasible_frac: args.infeasible_frac,
+        slice_cache: if args.slice_cache { 64 } else { 0 },
+        eviction: args.eviction.clone(),
+        evicted,
         shed,
         failed,
         queue_retries,
@@ -604,8 +810,9 @@ fn main() {
     };
     eprintln!(
         "admit-load: {decisions} decisions in {elapsed_ms:.1}ms = {admissions_per_sec:.0}/s \
-         ({admitted} admitted, {rejected} rejected, {errors} errors, {shed} shed, \
-         {failed} failed, {queue_retries} retries)"
+         ({admitted} admitted, {rejected} rejected, {prefilter_rejects} prefilter-rejected, \
+         {errors} errors, {shed} shed, {failed} failed, {evicted} evicted, \
+         {queue_retries} retries)"
     );
     eprintln!(
         "latency: mean {}us p50 {}us p90 {}us p99 {}us max {}us; replay verified",

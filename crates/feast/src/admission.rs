@@ -69,7 +69,7 @@ use taskgraph::{TaskGraph, Time};
 
 use crate::error::AdmitError;
 use crate::fault::{FaultPlan, FaultSite};
-use crate::pipeline::{Pipeline, SliceOutput, Sliced, Verdict};
+use crate::pipeline::{Pipeline, SharedSliceCache, SliceOutput, Sliced, Verdict};
 use crate::runner::{fingerprint, seal};
 use crate::scenario::Scenario;
 use crate::{telemetry, RunError, Runner};
@@ -115,12 +115,24 @@ pub struct AdmitConfig {
     /// consulted when the `fault-inject` cargo feature is enabled;
     /// release builds compile the hooks to constant `false`.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Whether the feasibility pre-filter runs in front of slicing
+    /// (default `true`). A pre-filtered graph is refused with the typed
+    /// [`AdmitError::Prefilter`] before any DP work; the bounds are
+    /// conservative, so the full path would have rejected it too.
+    pub prefilter: bool,
+    /// Capacity of the cross-request slice cache shared by the
+    /// controller and its slicer workers (default 64 entries; `0`
+    /// disables caching). The cache is invisible in transcripts — hits
+    /// return bit-identical output — so it is a pure throughput knob,
+    /// not part of the WAL fingerprint.
+    pub slice_cache: usize,
 }
 
 impl AdmitConfig {
     /// A configuration with service defaults: queue depth 256, capacity
     /// 64 residents, 4 slicer workers, 8 logged miss warnings,
-    /// oldest-first eviction, no shedding, no write-ahead log.
+    /// oldest-first eviction, no shedding, no write-ahead log, the
+    /// feasibility pre-filter on, and a 64-entry slice cache.
     pub fn new(scenario: Scenario, system_size: usize) -> AdmitConfig {
         AdmitConfig {
             scenario,
@@ -133,6 +145,8 @@ impl AdmitConfig {
             decision_budget: None,
             wal_path: None,
             fault_plan: None,
+            prefilter: true,
+            slice_cache: 64,
         }
     }
 
@@ -193,6 +207,20 @@ impl AdmitConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Enables or disables the feasibility pre-filter.
+    #[must_use]
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+
+    /// Sets the cross-request slice-cache capacity (`0` disables it).
+    #[must_use]
+    pub fn with_slice_cache(mut self, capacity: usize) -> Self {
+        self.slice_cache = capacity;
         self
     }
 }
@@ -360,6 +388,13 @@ pub enum Refusal {
         /// Stable tag of the failing stage ([`RunError::kind`]).
         kind: String,
     },
+    /// [`AdmitError::Prefilter`]: the feasibility pre-filter proved the
+    /// graph infeasible before slicing.
+    Prefilter {
+        /// Stable tag of the failed bound: `chain-bound` or
+        /// `capacity-bound` ([`slicing::PrefilterReject::kind`]).
+        bound: String,
+    },
     /// Any other deterministic refusal, by its stable tag
     /// ([`AdmitError::kind`]).
     Other {
@@ -384,6 +419,9 @@ impl Refusal {
             },
             AdmitError::Trial(e) => Refusal::Trial {
                 kind: e.kind().to_owned(),
+            },
+            AdmitError::Prefilter(reject) => Refusal::Prefilter {
+                bound: reject.kind().to_owned(),
             },
             other => Refusal::Other {
                 kind: other.kind().to_owned(),
@@ -952,6 +990,9 @@ pub struct AdmissionController {
     /// Remaining individually-logged structural-fallback WARNs (shares
     /// the [`AdmitConfig::miss_warn_limit`] budget size).
     fallback_warns: u64,
+    /// The cross-request slice cache, when enabled — shared with every
+    /// slicer worker of an [`AdmissionService`] built on this controller.
+    slice_cache: Option<SharedSliceCache>,
 }
 
 impl AdmissionController {
@@ -970,7 +1011,17 @@ impl AdmissionController {
         let platform =
             Platform::homogeneous(config.system_size, topology).map_err(RunError::Platform)?;
         let miss_log = Arc::new(MissLog::new(config.miss_warn_limit));
+        let slice_cache: Option<SharedSliceCache> = if config.slice_cache > 0 {
+            Some(Arc::new(Mutex::new(slicing::SliceCache::new(
+                config.slice_cache,
+            ))))
+        } else {
+            None
+        };
         let mut pipeline = Pipeline::new(&config.scenario).with_delta_memo();
+        if let Some(cache) = &slice_cache {
+            pipeline = pipeline.with_slice_cache(Arc::clone(cache));
+        }
         pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
         let state = CommittedState::new(config.system_size, config.scenario.scheduler.bus_model);
         let wal = match &config.wal_path {
@@ -989,6 +1040,7 @@ impl AdmissionController {
             miss_log,
             wal,
             fallback_warns,
+            slice_cache,
         })
     }
 
@@ -1037,7 +1089,25 @@ impl AdmissionController {
             let outcome = if recorded.is_environmental() {
                 recorded.clone()
             } else {
-                AdmitOutcome::of(&controller.handle(&request))
+                // Schema-compatible replay: each record re-derives under
+                // the slicing schema it was sealed with. A record sealed
+                // as a pre-filter refusal re-derives through the
+                // pre-filter; every other record re-derives through the
+                // full slice + trial path — which is exactly what
+                // produced it, whether the writing session predated the
+                // pre-filter, had it disabled, or had it enabled (the
+                // bounds are conservative, so a sealed verdict means the
+                // pre-filter passed the graph through). Outcome and
+                // digest stay strict bit-for-bit checks either way, and
+                // the session's own knob is restored for post-recovery
+                // appends.
+                let sealed_prefiltered =
+                    matches!(&recorded, AdmitOutcome::Refused(Refusal::Prefilter { .. }));
+                let session = controller.config.prefilter;
+                controller.config.prefilter = sealed_prefiltered;
+                let outcome = AdmitOutcome::of(&controller.handle(&request));
+                controller.config.prefilter = session;
+                outcome
             };
             if outcome != recorded {
                 return Err(AdmitError::RecoveryDiverged {
@@ -1055,7 +1125,10 @@ impl AdmissionController {
                 });
             }
             log.requests.push(request);
-            log.outcomes.push(outcome);
+            // The sealed record stays the truth in the recovered
+            // transcript, even where the schema bridge accepted a
+            // non-identical (but provably trace-free) derivation.
+            log.outcomes.push(recorded);
         }
         log.digest = controller.digest();
         log.residents = controller.residents();
@@ -1106,13 +1179,24 @@ impl AdmissionController {
         origin: Time,
     ) -> Result<AdmitVerdict, AdmitError> {
         let graph = graph.into();
-        let sliced = match self.pipeline.slice(&graph, &self.platform) {
-            Ok(sliced) => Ok(sliced.into_output()),
-            Err(e) => Err(e),
+        let sliced = if self.config.prefilter {
+            match self.pipeline.prefilter(&graph, &self.platform) {
+                Some(reject) => Err(AdmitError::Prefilter(reject)),
+                None => self
+                    .pipeline
+                    .slice(&graph, &self.platform)
+                    .map(Sliced::into_output)
+                    .map_err(AdmitError::Trial),
+            }
+        } else {
+            self.pipeline
+                .slice(&graph, &self.platform)
+                .map(Sliced::into_output)
+                .map_err(AdmitError::Trial)
         };
         let result = match sliced {
             Ok(output) => self.decide(id, &graph, origin, output),
-            Err(e) => Err(AdmitError::Trial(e)),
+            Err(e) => Err(e),
         };
         let request = AdmitRequest::Admit { id, graph, origin };
         self.conclude(&request, result)
@@ -1135,6 +1219,9 @@ impl AdmissionController {
         request: &AdmitRequest,
         result: Result<AdmitVerdict, AdmitError>,
     ) -> Result<AdmitVerdict, AdmitError> {
+        if matches!(result, Err(AdmitError::Prefilter(_))) {
+            telemetry::global().count_admission_prefiltered();
+        }
         if self.wal.is_some() {
             let outcome = AdmitOutcome::of(&result);
             let record = WalRecord {
@@ -1387,7 +1474,16 @@ impl AdmissionController {
         fast: bool,
         prev: &Schedule,
     ) -> Result<Verdict, RunError> {
-        let output = self.pipeline.slice(graph, &self.platform)?.into_output();
+        // Amended graphs are per-resident mutations: bypass the
+        // cross-request cache (see `Pipeline::suspend_slice_cache`) and
+        // let the delta memo's incremental path do its work.
+        let cache = self.pipeline.suspend_slice_cache();
+        let sliced = self
+            .pipeline
+            .slice(graph, &self.platform)
+            .map(Sliced::into_output);
+        self.pipeline.resume_slice_cache(cache);
+        let output = sliced?;
         if fast {
             self.pipeline.repair_output_against(
                 graph,
@@ -1529,6 +1625,13 @@ impl CoordJob {
     }
 }
 
+/// How many queued requests a slicer worker drains per pickup. One
+/// blocking receive plus up to `WORKER_BATCH - 1` opportunistic ones
+/// amortizes the receiver-lock round trip under load, and duplicate
+/// graphs inside a batch slice once; under light load `try_recv` comes
+/// back empty immediately, so batching adds no latency.
+const WORKER_BATCH: usize = 8;
+
 /// Micro-seconds `accepted` has waited beyond `budget`, when over it.
 fn over_budget(budget: Option<Duration>, accepted: Instant) -> Option<u64> {
     let budget = budget?;
@@ -1609,81 +1712,148 @@ impl AdmissionService {
             let budget = config.decision_budget;
             let fault = config.fault_plan.clone();
             let system_size = config.system_size;
+            let prefilter_on = config.prefilter;
+            let slice_cache = controller.slice_cache.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("admit-slicer-{index}"))
                 .spawn(move || {
-                    let mut pipeline = Pipeline::new(&scenario);
-                    pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
+                    let attach = |mut pipeline: Pipeline| {
+                        if let Some(cache) = &slice_cache {
+                            pipeline = pipeline.with_slice_cache(Arc::clone(cache));
+                        }
+                        pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
+                        pipeline
+                    };
+                    let mut pipeline = attach(Pipeline::new(&scenario));
+                    let mut batch: Vec<WorkerJob> = Vec::with_capacity(WORKER_BATCH);
                     loop {
                         // Take the receiver lock only to dequeue; slicing
                         // runs unlocked, concurrently across the pool.
-                        let job = {
+                        // One blocking receive, then opportunistically
+                        // drain up to the batch bound — under light load
+                        // the batch is a single job and nothing waits.
+                        batch.clear();
+                        {
                             let guard = match rx.lock() {
                                 Ok(guard) => guard,
                                 Err(_) => return,
                             };
                             match guard.recv() {
-                                Ok(job) => job,
+                                Ok(job) => batch.push(job),
                                 Err(_) => return,
                             }
-                        };
-                        // Staleness-aware shedding: a request already over
-                        // its decision budget is refused before any slicing
-                        // work is spent on it. The typed refusal still
-                        // ships, so the reorder buffer never waits on a
-                        // hole.
-                        let output = if let Some(waited_us) = over_budget(budget, job.accepted) {
-                            Err(AdmitError::Shed { waited_us })
-                        } else {
-                            // Supervision: a panicking slicer (real or
-                            // injected) is caught, its possibly-poisoned
-                            // pipeline discarded and rebuilt in place, and
-                            // the request concluded with a typed failure —
-                            // the service degrades by one verdict, it
-                            // never dies.
-                            let sliced = catch_unwind(AssertUnwindSafe(|| {
-                                if fault_fires(
-                                    &fault,
-                                    FaultSite::AdmitWorkerPanic,
-                                    system_size,
-                                    job.seq,
-                                    0,
-                                ) {
-                                    panic!("injected admission worker panic");
-                                }
-                                pipeline
-                                    .slice(&job.graph, &platform)
-                                    .map(Sliced::into_output)
-                            }));
-                            match sliced {
-                                Ok(result) => result.map_err(AdmitError::Trial),
-                                Err(_) => {
-                                    pipeline = Pipeline::new(&scenario);
-                                    pipeline.set_miss_log(Some(Arc::clone(&miss_log)));
-                                    Err(AdmitError::WorkerFailed { stage: "slice" })
+                            while batch.len() < WORKER_BATCH {
+                                match guard.try_recv() {
+                                    Ok(job) => batch.push(job),
+                                    Err(_) => break,
                                 }
                             }
-                        };
-                        let seq = job.seq;
-                        let shipped = tx.send(CoordJob::Admit {
-                            seq,
-                            id: job.id,
-                            graph: job.graph,
-                            origin: job.origin,
-                            accepted: job.accepted,
-                            output,
-                        });
-                        if shipped.is_err() {
-                            return;
                         }
-                        // Queue-race injection: redeliver the sequence. The
-                        // channel is FIFO per sender, so the real job above
-                        // always lands first and the coordinator's dedup
-                        // guard must discard this one.
-                        if fault_fires(&fault, FaultSite::AdmitQueueRace, system_size, seq, 0)
-                            && tx.send(CoordJob::Duplicate { seq }).is_err()
-                        {
-                            return;
+                        // Duplicate graphs inside one batch slice once:
+                        // keyed by the full-content SliceKey, so reuse
+                        // carries the same bit-identical-output witness
+                        // the cross-request cache does. With the shared
+                        // cache attached the first job's insert already
+                        // turns its batch-mates into cache hits (a batch
+                        // of 8 cannot evict its own entry from a 64-slot
+                        // LRU), so the local table — and its second key
+                        // computation per job — only runs when the cache
+                        // is off. Each job still ships its own CoordJob
+                        // in batch (= submission) order, so the
+                        // coordinator's commit order is untouched.
+                        let dedup_locally = slice_cache.is_none();
+                        let mut sliced_in_batch: Vec<(slicing::SliceKey, SliceOutput)> = Vec::new();
+                        for job in batch.drain(..) {
+                            // Staleness-aware shedding: a request already
+                            // over its decision budget is refused before
+                            // any slicing work is spent on it. The typed
+                            // refusal still ships, so the reorder buffer
+                            // never waits on a hole.
+                            let output = if let Some(waited_us) = over_budget(budget, job.accepted)
+                            {
+                                Err(AdmitError::Shed { waited_us })
+                            } else if let Some(reject) = prefilter_on
+                                .then(|| pipeline.prefilter(&job.graph, &platform))
+                                .flatten()
+                            {
+                                // Necessary-condition bounds refuse the
+                                // graph before any DP search runs; the
+                                // bounds are conservative, so no admissible
+                                // graph is lost here.
+                                Err(AdmitError::Prefilter(reject))
+                            } else {
+                                let key = if dedup_locally {
+                                    pipeline.slice_key(&job.graph, &platform)
+                                } else {
+                                    None
+                                };
+                                let dup = key.as_ref().and_then(|k| {
+                                    sliced_in_batch
+                                        .iter()
+                                        .find(|(seen, _)| seen == k)
+                                        .map(|(_, output)| output.clone())
+                                });
+                                if let Some(output) = dup {
+                                    Ok(output)
+                                } else {
+                                    // Supervision: a panicking slicer (real
+                                    // or injected) is caught, its possibly-
+                                    // poisoned pipeline discarded and
+                                    // rebuilt in place, and the request
+                                    // concluded with a typed failure — the
+                                    // service degrades by one verdict, it
+                                    // never dies.
+                                    let sliced = catch_unwind(AssertUnwindSafe(|| {
+                                        if fault_fires(
+                                            &fault,
+                                            FaultSite::AdmitWorkerPanic,
+                                            system_size,
+                                            job.seq,
+                                            0,
+                                        ) {
+                                            panic!("injected admission worker panic");
+                                        }
+                                        pipeline
+                                            .slice(&job.graph, &platform)
+                                            .map(Sliced::into_output)
+                                    }));
+                                    match sliced {
+                                        Ok(Ok(output)) => {
+                                            if let Some(key) = key {
+                                                sliced_in_batch.push((key, output.clone()));
+                                            }
+                                            Ok(output)
+                                        }
+                                        Ok(Err(e)) => Err(AdmitError::Trial(e)),
+                                        Err(_) => {
+                                            pipeline = attach(Pipeline::new(&scenario));
+                                            Err(AdmitError::WorkerFailed { stage: "slice" })
+                                        }
+                                    }
+                                }
+                            };
+                            let seq = job.seq;
+                            let shipped = tx.send(CoordJob::Admit {
+                                seq,
+                                id: job.id,
+                                graph: job.graph,
+                                origin: job.origin,
+                                accepted: job.accepted,
+                                output,
+                            });
+                            if shipped.is_err() {
+                                return;
+                            }
+                            // Queue-race injection: redeliver the sequence.
+                            // The channel is FIFO per sender, so the real
+                            // job above always lands first and the
+                            // coordinator's dedup guard must discard this
+                            // one.
+                            if fault_fires(&fault, FaultSite::AdmitQueueRace, system_size, seq, 0)
+                                && tx.send(CoordJob::Duplicate { seq }).is_err()
+                            {
+                                return;
+                            }
                         }
                     }
                 })
@@ -1932,6 +2102,15 @@ impl AdmissionLog {
         self.outcomes
             .iter()
             .filter(|o| matches!(o, AdmitOutcome::Refused(_)))
+            .count()
+    }
+
+    /// Number of requests refused by the feasibility pre-filter (a subset
+    /// of [`refused`](AdmissionLog::refused)).
+    pub fn prefilter_rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, AdmitOutcome::Refused(Refusal::Prefilter { .. })))
             .count()
     }
 

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use platform::PlatformError;
 use sched::SchedError;
-use slicing::{DeltaError, SliceError};
+use slicing::{DeltaError, PrefilterReject, SliceError};
 use taskgraph::gen::GenerateError;
 
 use crate::ScenarioError;
@@ -280,6 +280,12 @@ pub enum AdmitError {
     /// scheduling error) — distinct from a *reject* verdict, which is a
     /// successful trial with a late result.
     Trial(RunError),
+    /// The admission fast lane's feasibility pre-filter proved the graph
+    /// cannot meet its deadlines under any schedule — a deterministic
+    /// refusal issued before any slicing work. Conservative by
+    /// construction: every pre-filtered graph would also have been
+    /// rejected by the full slice + trial path.
+    Prefilter(PrefilterReject),
     /// A graph amendment could not be applied.
     Delta(DeltaError),
     /// The request out-waited its decision budget in the service queue
@@ -321,6 +327,7 @@ impl AdmitError {
             AdmitError::NoResident { .. } => "no-resident",
             AdmitError::DuplicateId { .. } => "duplicate-id",
             AdmitError::Trial(_) => "trial",
+            AdmitError::Prefilter(_) => "prefilter",
             AdmitError::Delta(_) => "delta",
             AdmitError::Shed { .. } => "shed",
             AdmitError::WorkerFailed { .. } => "worker-failed",
@@ -344,6 +351,13 @@ impl fmt::Display for AdmitError {
                 write!(f, "admission id {id} is already resident")
             }
             AdmitError::Trial(e) => write!(f, "admission trial failed: {e}"),
+            AdmitError::Prefilter(reject) => {
+                write!(
+                    f,
+                    "admission pre-filter ({}) refused: {reject}",
+                    reject.kind()
+                )
+            }
             AdmitError::Delta(e) => write!(f, "admission amendment failed: {e}"),
             AdmitError::Shed { waited_us } => {
                 write!(
@@ -548,6 +562,14 @@ mod tests {
         let e: AdmitError = DeltaError::UnknownSubtask(taskgraph::SubtaskId::new(3)).into();
         assert!(e.to_string().contains("amendment"));
         assert!(e.source().is_some());
+
+        let e = AdmitError::Prefilter(PrefilterReject::CapacityBound {
+            demand: 300,
+            capacity: 200,
+        });
+        assert_eq!(e.kind(), "prefilter");
+        assert!(e.to_string().contains("capacity-bound"));
+        assert!(e.source().is_none());
 
         let e = AdmitError::Shed { waited_us: 1500 };
         assert!(e.to_string().contains("1500"));

@@ -29,7 +29,7 @@
 //! [`Slicer::distribute`]: slicing::Slicer::distribute
 //! [`ListScheduler::schedule_with`]: sched::ListScheduler::schedule_with
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use platform::Platform;
@@ -37,12 +37,20 @@ use sched::{
     BusModel, CommittedState, LatenessReport, ListScheduler, MissLog, SchedWorkspace, Schedule,
 };
 use slicing::{
-    distribute_baseline, BaselineStrategy, DeadlineAssignment, RedistributeStats, SliceMemo, Slicer,
+    distribute_baseline, prefilter, BaselineStrategy, DeadlineAssignment, PrefilterReject,
+    RedistributeStats, SliceCache, SliceKey, SliceMemo, Slicer,
 };
 use taskgraph::{TaskGraph, Time};
 
 use crate::scenario::{PinningPolicy, Scenario, SchedulerSpec, Technique};
-use crate::RunError;
+use crate::{telemetry, RunError};
+
+/// A cross-request slice cache shared between pipelines (the admission
+/// controller and its slicer workers): full-content [`SliceKey`]s mapping
+/// to the memoized [`SliceOutput`] plus, when the producing pipeline kept
+/// a delta memo, a [`SliceMemo`] snapshot so a later amendment of a
+/// cache-hit graph still enters the incremental re-slicing path.
+pub type SharedSliceCache = Arc<Mutex<SliceCache<(SliceOutput, Option<SliceMemo>)>>>;
 
 /// How a pipeline distributes deadlines: the scenario's technique,
 /// materialized once.
@@ -101,6 +109,7 @@ pub struct Pipeline {
     pinning: PinningPolicy,
     ws: SchedWorkspace,
     memo: Option<SliceMemo>,
+    cache: Option<SharedSliceCache>,
 }
 
 impl Pipeline {
@@ -129,6 +138,7 @@ impl Pipeline {
             pinning: scenario.pinning,
             ws: SchedWorkspace::new(),
             memo: None,
+            cache: None,
         }
     }
 
@@ -145,11 +155,73 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a shared cross-request slice cache:
+    /// [`slice`](Pipeline::slice) first probes it under a full-content
+    /// [`SliceKey`] and returns the memoized product on a hit, skipping
+    /// the distribution DP entirely. Hit output is bit-identical to a
+    /// fresh run by the key's construction (equal keys pin every slicing
+    /// input), so the cache is invisible in admission transcripts.
+    /// Baselines never consult the cache.
+    #[must_use]
+    pub fn with_slice_cache(mut self, cache: SharedSliceCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Attaches (or detaches) a shared [`MissLog`] rate-limiting the
     /// scheduler's deadline-miss warnings across every trial through this
     /// pipeline.
     pub fn set_miss_log(&mut self, log: Option<Arc<MissLog>>) {
         self.ws.set_miss_log(log);
+    }
+
+    /// The admission fast lane's feasibility pre-filter: runs the O(V+E)
+    /// necessary-condition bounds ([`slicing::prefilter`]) over `graph`
+    /// with the pinning this pipeline's trials will use. `Some` proves the
+    /// full slice + trial path would reject — under any committed load —
+    /// so admission can refuse without slicing.
+    ///
+    /// Conservatively answers `None` (no claim) when the scheduler spec
+    /// does not respect given releases (the bounds' proofs need that
+    /// floor), for baseline distributors, and when the pinning policy
+    /// fails to build (the trial will surface that error itself).
+    pub fn prefilter(&self, graph: &TaskGraph, platform: &Platform) -> Option<PrefilterReject> {
+        if !self.spec.respect_release {
+            return None;
+        }
+        if !matches!(self.distributor, Distributor::Slicing(_)) {
+            return None;
+        }
+        let pins = self.pinning.build(graph, platform).ok()?;
+        prefilter(graph, platform, Some(&pins))
+    }
+
+    /// The cross-request cache key for `graph` on `platform`, when this
+    /// pipeline distributes by slicing (`None` for baselines). Workers use
+    /// it to group duplicate graphs within a batch.
+    /// Detaches the cross-request slice cache, returning it for
+    /// [`resume_slice_cache`](Pipeline::resume_slice_cache). Amendment
+    /// re-slices run between the two: an amended graph is a per-resident
+    /// mutation that essentially never repeats across requests, so
+    /// caching it would only pay key/clone overhead and churn useful
+    /// fresh-admit entries out of the LRU.
+    pub(crate) fn suspend_slice_cache(&mut self) -> Option<SharedSliceCache> {
+        self.cache.take()
+    }
+
+    /// Reattaches a cache detached by
+    /// [`suspend_slice_cache`](Pipeline::suspend_slice_cache).
+    pub(crate) fn resume_slice_cache(&mut self, cache: Option<SharedSliceCache>) {
+        if cache.is_some() {
+            self.cache = cache;
+        }
+    }
+
+    pub(crate) fn slice_key(&self, graph: &TaskGraph, platform: &Platform) -> Option<SliceKey> {
+        match &self.distributor {
+            Distributor::Slicing(slicer) => Some(slicer.cache_key(graph, platform)),
+            Distributor::Baseline(_) => None,
+        }
     }
 
     /// Stage one: distributes deadlines over `graph` for `platform` and
@@ -170,6 +242,35 @@ impl Pipeline {
         platform: &'g Platform,
     ) -> Result<Sliced<'p, 'g>, RunError> {
         let started = Instant::now();
+        // Cross-request cache probe: a full-content key hit returns the
+        // memoized product verbatim (bit-identical by the key contract)
+        // and re-primes the delta memo from the cached snapshot so later
+        // amendments keep their incremental path.
+        let key = match (&self.distributor, &self.cache) {
+            (Distributor::Slicing(slicer), Some(_)) => Some(slicer.cache_key(graph, platform)),
+            _ => None,
+        };
+        if let (Some(key), Some(cache)) = (&key, &self.cache) {
+            let hit = cache.lock().ok().and_then(|mut c| c.get(key));
+            if let Some((mut output, memo)) = hit {
+                telemetry::global().count_slice_cache_hit();
+                if let (Some(slot), Some(memo)) = (&mut self.memo, memo) {
+                    *slot = memo;
+                }
+                // The cached timings described the producing run; report
+                // this call's (lookup) cost and no redistribute stats so
+                // stage accounting stays honest.
+                output.distribute = started.elapsed();
+                output.window_audit = Duration::ZERO;
+                output.redistribute = None;
+                return Ok(Sliced {
+                    pipeline: self,
+                    graph,
+                    output,
+                });
+            }
+            telemetry::global().count_slice_cache_miss();
+        }
         let (assignment, redistribute) = match (&self.distributor, &mut self.memo) {
             (Distributor::Slicing(slicer), None) => (slicer.distribute(graph, platform)?, None),
             (Distributor::Slicing(slicer), Some(memo)) => {
@@ -189,16 +290,28 @@ impl Pipeline {
         };
         let window_audit = audit_started.elapsed();
 
+        let output = SliceOutput {
+            assignment,
+            window_violations,
+            distribute,
+            window_audit,
+            redistribute,
+        };
+        if let (Some(key), Some(cache)) = (key, &self.cache) {
+            // After a slicing run the delta memo (when kept) describes
+            // exactly this graph's trace — snapshot it alongside the
+            // product so a hit can restore both.
+            let memo = self.memo.clone();
+            if let Ok(mut c) = cache.lock() {
+                if c.insert(key, (output.clone(), memo)) {
+                    telemetry::global().count_slice_cache_eviction();
+                }
+            }
+        }
         Ok(Sliced {
             pipeline: self,
             graph,
-            output: SliceOutput {
-                assignment,
-                window_violations,
-                distribute,
-                window_audit,
-                redistribute,
-            },
+            output,
         })
     }
 

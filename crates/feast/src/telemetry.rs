@@ -255,7 +255,11 @@ pub struct Registry {
     admissions_shed: AtomicU64,
     admissions_worker_failed: AtomicU64,
     admissions_evicted: AtomicU64,
+    admissions_prefiltered: AtomicU64,
     admissions_structural_fallbacks: AtomicU64,
+    slice_cache_hits: AtomicU64,
+    slice_cache_misses: AtomicU64,
+    slice_cache_evictions: AtomicU64,
     admission_log_retries: AtomicU64,
     admission_log_failures: AtomicU64,
     admission: DurationHistogram,
@@ -381,6 +385,30 @@ impl Registry {
         self.admissions_evicted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one admission refused by the feasibility pre-filter before
+    /// any slicing work.
+    pub fn count_admission_prefiltered(&self) {
+        self.admissions_prefiltered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one slicing run answered from the cross-request slice
+    /// cache.
+    pub fn count_slice_cache_hit(&self) {
+        self.slice_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one slicing run that missed the cross-request slice cache
+    /// and ran the DP live.
+    pub fn count_slice_cache_miss(&self) {
+        self.slice_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one entry evicted from the cross-request slice cache by
+    /// its LRU bound.
+    pub fn count_slice_cache_eviction(&self) {
+        self.slice_cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one structural amendment that fell back to a full rebuild
     /// and re-trial instead of the schedule-repair fast path.
     pub fn count_admission_structural_fallback(&self) {
@@ -418,6 +446,26 @@ impl Registry {
     /// Residents evicted by the capacity bound's eviction policy.
     pub fn admissions_evicted(&self) -> u64 {
         self.admissions_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Admissions refused by the feasibility pre-filter.
+    pub fn admissions_prefiltered(&self) -> u64 {
+        self.admissions_prefiltered.load(Ordering::Relaxed)
+    }
+
+    /// Slicing runs answered from the cross-request slice cache.
+    pub fn slice_cache_hits(&self) -> u64 {
+        self.slice_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Slicing runs that missed the cross-request slice cache.
+    pub fn slice_cache_misses(&self) -> u64 {
+        self.slice_cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted from the cross-request slice cache.
+    pub fn slice_cache_evictions(&self) -> u64 {
+        self.slice_cache_evictions.load(Ordering::Relaxed)
     }
 
     /// Structural amendments that fell back to full rebuild + re-trial.
@@ -534,7 +582,11 @@ impl Registry {
             admissions_shed: self.admissions_shed(),
             admissions_worker_failed: self.admissions_worker_failed(),
             admissions_evicted: self.admissions_evicted(),
+            admissions_prefiltered: self.admissions_prefiltered(),
             admissions_structural_fallbacks: self.admissions_structural_fallbacks(),
+            slice_cache_hits: self.slice_cache_hits(),
+            slice_cache_misses: self.slice_cache_misses(),
+            slice_cache_evictions: self.slice_cache_evictions(),
             admission_log_retries: self.admission_log_retries(),
             admission_log_failures: self.admission_log_failures(),
             admission: self.admission.snapshot(),
@@ -566,8 +618,12 @@ impl Registry {
         self.admissions_shed.store(0, Ordering::Relaxed);
         self.admissions_worker_failed.store(0, Ordering::Relaxed);
         self.admissions_evicted.store(0, Ordering::Relaxed);
+        self.admissions_prefiltered.store(0, Ordering::Relaxed);
         self.admissions_structural_fallbacks
             .store(0, Ordering::Relaxed);
+        self.slice_cache_hits.store(0, Ordering::Relaxed);
+        self.slice_cache_misses.store(0, Ordering::Relaxed);
+        self.slice_cache_evictions.store(0, Ordering::Relaxed);
         self.admission_log_retries.store(0, Ordering::Relaxed);
         self.admission_log_failures.store(0, Ordering::Relaxed);
         self.admission.reset();
@@ -723,9 +779,22 @@ pub struct MetricsSnapshot {
     /// Residents evicted by the capacity bound's eviction policy.
     #[serde(default)]
     pub admissions_evicted: u64,
+    /// Admissions refused by the feasibility pre-filter before slicing.
+    /// (Defaulted so snapshots written before the fast lane parse.)
+    #[serde(default)]
+    pub admissions_prefiltered: u64,
     /// Structural amendments that fell back to full rebuild + re-trial.
     #[serde(default)]
     pub admissions_structural_fallbacks: u64,
+    /// Slicing runs answered from the cross-request slice cache.
+    #[serde(default)]
+    pub slice_cache_hits: u64,
+    /// Slicing runs that missed the cross-request slice cache.
+    #[serde(default)]
+    pub slice_cache_misses: u64,
+    /// Entries evicted from the cross-request slice cache.
+    #[serde(default)]
+    pub slice_cache_evictions: u64,
     /// Admission-WAL appends that had to be retried.
     #[serde(default)]
     pub admission_log_retries: u64,
@@ -788,8 +857,12 @@ impl MetricsSnapshot {
             admissions_worker_failed: self.admissions_worker_failed
                 + other.admissions_worker_failed,
             admissions_evicted: self.admissions_evicted + other.admissions_evicted,
+            admissions_prefiltered: self.admissions_prefiltered + other.admissions_prefiltered,
             admissions_structural_fallbacks: self.admissions_structural_fallbacks
                 + other.admissions_structural_fallbacks,
+            slice_cache_hits: self.slice_cache_hits + other.slice_cache_hits,
+            slice_cache_misses: self.slice_cache_misses + other.slice_cache_misses,
+            slice_cache_evictions: self.slice_cache_evictions + other.slice_cache_evictions,
             admission_log_retries: self.admission_log_retries + other.admission_log_retries,
             admission_log_failures: self.admission_log_failures + other.admission_log_failures,
             admission: self.admission.merge(&other.admission),
@@ -856,9 +929,21 @@ impl MetricsSnapshot {
             admissions_evicted: self
                 .admissions_evicted
                 .saturating_sub(earlier.admissions_evicted),
+            admissions_prefiltered: self
+                .admissions_prefiltered
+                .saturating_sub(earlier.admissions_prefiltered),
             admissions_structural_fallbacks: self
                 .admissions_structural_fallbacks
                 .saturating_sub(earlier.admissions_structural_fallbacks),
+            slice_cache_hits: self
+                .slice_cache_hits
+                .saturating_sub(earlier.slice_cache_hits),
+            slice_cache_misses: self
+                .slice_cache_misses
+                .saturating_sub(earlier.slice_cache_misses),
+            slice_cache_evictions: self
+                .slice_cache_evictions
+                .saturating_sub(earlier.slice_cache_evictions),
             admission_log_retries: self
                 .admission_log_retries
                 .saturating_sub(earlier.admission_log_retries),
@@ -1239,6 +1324,11 @@ mod tests {
         r.record_admission(true, Duration::from_micros(40));
         r.record_admission(true, Duration::from_micros(45));
         r.record_admission(false, Duration::from_micros(50));
+        r.count_admission_prefiltered();
+        r.count_slice_cache_hit();
+        r.count_slice_cache_hit();
+        r.count_slice_cache_miss();
+        r.count_slice_cache_eviction();
 
         assert_eq!(r.graphs_generated(), 2);
         assert_eq!(r.schedules_built(), 2);
@@ -1255,6 +1345,10 @@ mod tests {
         assert!((r.delta_dirty_frac() - 0.125).abs() < 1e-12);
         assert_eq!(r.admissions_admitted(), 2);
         assert_eq!(r.admissions_rejected(), 1);
+        assert_eq!(r.admissions_prefiltered(), 1);
+        assert_eq!(r.slice_cache_hits(), 2);
+        assert_eq!(r.slice_cache_misses(), 1);
+        assert_eq!(r.slice_cache_evictions(), 1);
         assert_eq!(r.admission().count(), 3);
         for stage in Stage::ALL {
             assert_eq!(r.stage(stage).count(), 1, "{}", stage.label());
@@ -1266,10 +1360,15 @@ mod tests {
         assert_eq!(snap.redistribute.total_us, 15);
         assert_eq!(snap.delta_cache_hits, 10);
         assert_eq!(snap.admissions_admitted, 2);
+        assert_eq!(snap.admissions_prefiltered, 1);
+        assert_eq!(snap.slice_cache_hits, 2);
         assert_eq!(snap.admission.count, 3);
 
         r.reset();
         assert_eq!(r.graphs_generated(), 0);
+        assert_eq!(r.admissions_prefiltered(), 0);
+        assert_eq!(r.slice_cache_hits(), 0);
+        assert_eq!(r.slice_cache_evictions(), 0);
         assert_eq!(r.schedules_built(), 0);
         assert_eq!(r.window_violations(), 0);
         assert_eq!(r.replications_failed(), 0);

@@ -84,7 +84,7 @@ use crate::{DeadlineAssignment, MetricContext, ShareRule, SliceError, Slicer, Wi
 /// and prime it. A memo is tied to the slicer configuration and platform
 /// it was primed with; mismatches are detected and degrade to a full
 /// recompute rather than an error.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SliceMemo {
     inner: Option<MemoInner>,
 }
@@ -101,7 +101,7 @@ impl SliceMemo {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MemoInner {
     fingerprint: Fingerprint,
     graph_sig: GraphSig,
@@ -129,7 +129,7 @@ struct Fingerprint {
 /// which the [`Fingerprint`] pins). While this signature holds, the
 /// memoized [`ExpandedGraph`] is valid verbatim except for task-node
 /// weights, which are re-read from the graph.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct GraphSig {
     subtasks: usize,
     edges: Vec<(u32, u32, u64)>,
@@ -152,7 +152,7 @@ impl GraphSig {
 
 /// One iteration of a traced run: the slicing state at its start plus the
 /// local winner (and read set) of every per-start search.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct IterationTrace {
     assigned: Vec<bool>,
     rel: Vec<Option<Time>>,
@@ -187,7 +187,7 @@ fn unions(cands: &[StartCandidate], words: usize) -> (Vec<u64>, Vec<u64>) {
     (dep_union, path_union)
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StartCandidate {
     start: u32,
     /// Bitset over expanded nodes: every node whose mutable state the

@@ -53,6 +53,7 @@
 mod algorithm;
 mod assignment;
 mod baselines;
+mod cache;
 mod context;
 mod delta;
 mod error;
@@ -61,16 +62,19 @@ mod expanded;
 mod incremental;
 pub mod metrics;
 mod path_search;
+mod prefilter;
 
 pub use algorithm::Slicer;
 pub use assignment::{DeadlineAssignment, SliceViolation, ValidationReport, Window};
 pub use baselines::{distribute_baseline, BaselineStrategy};
+pub use cache::{SliceCache, SliceKey};
 pub use context::MetricContext;
 pub use delta::{Applied, DeltaError, DeltaOp, GraphDelta};
 pub use error::SliceError;
 pub use estimate::CommEstimate;
 pub use incremental::{RedistributeStats, Redistribution, SliceMemo};
 pub use metrics::{Adapt, MetricKind, Norm, Pure, ShareRule, SliceMetric, Thres, ThresholdSpec};
+pub use prefilter::{prefilter, PrefilterReject};
 
 #[cfg(test)]
 mod send_sync_tests {
@@ -94,5 +98,8 @@ mod send_sync_tests {
         assert_send_sync::<SliceMemo>();
         assert_send_sync::<Redistribution>();
         assert_send_sync::<RedistributeStats>();
+        assert_send_sync::<SliceKey>();
+        assert_send_sync::<SliceCache<u32>>();
+        assert_send_sync::<PrefilterReject>();
     }
 }

@@ -81,7 +81,7 @@ const STALE: State = State {
 };
 
 /// Scratch buffers reused across iterations of the slicing loop.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PathSearch {
     cols: usize,
     /// Current generation; a state slot or node marker is live iff its

@@ -1,0 +1,363 @@
+//! Necessary-condition feasibility pre-filter: O(V+E) bounds that refuse
+//! obviously hopeless graphs before the slicing DP runs.
+//!
+//! Both bounds are **conservative**: a rejection here implies the full
+//! slice + trial pipeline also rejects, for *any* committed load. The
+//! argument leans on three invariants of the surrounding crates:
+//!
+//! 1. [`TaskGraph`] construction rejects non-positive WCETs, so every
+//!    subtask executes for at least one time unit.
+//! 2. The list scheduler never starts a subtask before its **given**
+//!    release (it floors every start at `graph.subtask(v).release()` in
+//!    addition to the assigned window), and trials against committed load
+//!    shift all windows *forward* by the admission origin — they never
+//!    legalize running earlier than a given release.
+//! 3. A trial admits iff the maximum lateness against assigned deadlines
+//!    is non-positive, and the slicer only ever *tightens* given
+//!    deadlines (assigned deadlines satisfy `assigned ≤ given` for
+//!    deadline-anchored subtasks; strict-window clamping shrinks them
+//!    further).
+//!
+//! # Chain bound
+//!
+//! For every subtask `v`, a lower bound `ef(v)` on its earliest possible
+//! finish on an *idle* platform:
+//!
+//! ```text
+//! ef(v) = max( release(v),                        if v is release-anchored
+//!              max over predecessors p of
+//!                  ef(p) + unavoidable_comm(p→v) ) + wcet(v)
+//! ```
+//!
+//! propagated only from release-anchored subtasks (no global time floor:
+//! an admission origin shift translates the whole window set, so only
+//! distances *from given releases* survive translation). A message
+//! contributes `unavoidable_comm` only when both endpoints are pinned to
+//! distinct processors — then every bus model charges at least the
+//! topology's transfer cost; otherwise the scheduler may co-locate the
+//! endpoints for free and the bound uses zero. If `ef(d) > deadline(d)`
+//! for a deadline-anchored `d`, no schedule — under any load, any
+//! placement of the unpinned subtasks, any slicing — finishes `d` by its
+//! given deadline, so the trial's lateness at `d` is strictly positive
+//! and the full path rejects.
+//!
+//! # Capacity bound
+//!
+//! All execution must happen inside `[min release, max deadline]` (every
+//! start is floored at a given release transitively through precedence —
+//! but the aggregate form needs no precedence at all: each subtask
+//! individually starts no earlier than the *minimum* given release and
+//! must finish by the *maximum* given deadline to meet its own deadline).
+//! `P` processors provide `P × (max deadline − min release)` units of
+//! processing in that interval; if total WCET demand exceeds it, some
+//! subtask finishes past the maximum deadline and the trial rejects. The
+//! bound is only claimed when the graph has at least one release anchor
+//! *and* every-subtask-covering deadline information exists, i.e. at
+//! least one deadline anchor; without a release anchor there is no left
+//! edge to the interval.
+//!
+//! Both bounds assume the scheduler respects given releases
+//! (`respect_release`); callers must skip the pre-filter otherwise (see
+//! `Pipeline::prefilter` in the `feast` crate, which gates on the
+//! scenario's scheduler spec).
+
+use platform::{Pinning, Platform};
+use taskgraph::{SubtaskId, TaskGraph, Time};
+
+/// A failed necessary condition: the graph cannot meet its deadlines
+/// under any schedule, so admission can refuse it without slicing.
+///
+/// The [`kind`](PrefilterReject::kind) tags are part of the admission
+/// WAL format contract and must never change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefilterReject {
+    /// A precedence chain's earliest possible finish overshoots a given
+    /// end-to-end deadline even on an idle platform.
+    ChainBound {
+        /// The deadline-anchored subtask that cannot make its deadline.
+        subtask: SubtaskId,
+        /// Lower bound on the subtask's finish time (graph-local).
+        earliest_finish: Time,
+        /// The given deadline it overshoots.
+        deadline: Time,
+    },
+    /// Total WCET demand exceeds the platform's processing capacity over
+    /// the `[min release, max deadline]` window.
+    CapacityBound {
+        /// Total WCET over all subtasks.
+        demand: i128,
+        /// `processors × (max deadline − min release)`, floored at zero.
+        capacity: i128,
+    },
+}
+
+impl PrefilterReject {
+    /// The stable machine-readable tag of the failed bound:
+    /// `chain-bound` or `capacity-bound`. Sealed into admission WALs —
+    /// never rename.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PrefilterReject::ChainBound { .. } => "chain-bound",
+            PrefilterReject::CapacityBound { .. } => "capacity-bound",
+        }
+    }
+}
+
+impl std::fmt::Display for PrefilterReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefilterReject::ChainBound {
+                subtask,
+                earliest_finish,
+                deadline,
+            } => write!(
+                f,
+                "subtask {subtask:?} cannot finish before {earliest_finish} (deadline {deadline})"
+            ),
+            PrefilterReject::CapacityBound { demand, capacity } => write!(
+                f,
+                "WCET demand {demand} exceeds platform capacity {capacity} over the deadline window"
+            ),
+        }
+    }
+}
+
+/// Runs both necessary-condition bounds over `graph`; `Some` means the
+/// graph is infeasible for *any* schedule on `platform` that respects
+/// given releases (see the module docs for the proof obligations).
+///
+/// `pins` is the pinning the trial will actually use; message delay is
+/// counted only for edges whose endpoints are pinned to distinct
+/// processors, so a relaxed (empty) pinning contributes no
+/// communication — strictly conservative.
+pub fn prefilter(
+    graph: &TaskGraph,
+    platform: &Platform,
+    pins: Option<&Pinning>,
+) -> Option<PrefilterReject> {
+    if let Some(reject) = chain_bound(graph, platform, pins) {
+        return Some(reject);
+    }
+    capacity_bound(graph, platform)
+}
+
+/// Unavoidable lower bound on the transfer delay of `src → dst`: the
+/// topology cost when both are pinned to distinct processors, zero
+/// otherwise (the scheduler may co-locate them).
+fn unavoidable_comm(
+    platform: &Platform,
+    pins: Option<&Pinning>,
+    src: SubtaskId,
+    dst: SubtaskId,
+    items: u64,
+) -> i64 {
+    let Some(pins) = pins else { return 0 };
+    match (pins.processor_for(src), pins.processor_for(dst)) {
+        (Some(a), Some(b)) if a != b => platform
+            .comm_cost(a, b, items)
+            .map_or(0, Time::as_i64)
+            .max(0),
+        _ => 0,
+    }
+}
+
+fn chain_bound(
+    graph: &TaskGraph,
+    platform: &Platform,
+    pins: Option<&Pinning>,
+) -> Option<PrefilterReject> {
+    // ef[v]: earliest finish reachable from a release anchor; None when no
+    // release anchor precedes v (then nothing pins v to the timeline and
+    // the bound claims nothing about it).
+    let mut ef: Vec<Option<i64>> = vec![None; graph.subtask_count()];
+    for &v in graph.topological_order() {
+        let subtask = graph.subtask(v);
+        let mut start: Option<i64> = subtask.release().map(Time::as_i64);
+        for &eid in graph.in_edges(v) {
+            let e = graph.edge(eid);
+            if let Some(pf) = ef[e.src().index()] {
+                let arrival = pf.saturating_add(unavoidable_comm(
+                    platform,
+                    pins,
+                    e.src(),
+                    e.dst(),
+                    e.items(),
+                ));
+                start = Some(start.map_or(arrival, |s| s.max(arrival)));
+            }
+        }
+        let finish = start.map(|s| s.saturating_add(subtask.wcet().as_i64()));
+        if let (Some(finish), Some(deadline)) = (finish, subtask.deadline()) {
+            if finish > deadline.as_i64() {
+                return Some(PrefilterReject::ChainBound {
+                    subtask: v,
+                    earliest_finish: Time::new(finish),
+                    deadline,
+                });
+            }
+        }
+        ef[v.index()] = finish;
+    }
+    None
+}
+
+fn capacity_bound(graph: &TaskGraph, platform: &Platform) -> Option<PrefilterReject> {
+    let mut min_release: Option<i64> = None;
+    let mut max_deadline: Option<i64> = None;
+    let mut demand: i128 = 0;
+    for &v in graph.topological_order() {
+        let subtask = graph.subtask(v);
+        demand += i128::from(subtask.wcet().as_i64());
+        if let Some(r) = subtask.release() {
+            let r = r.as_i64();
+            min_release = Some(min_release.map_or(r, |m| m.min(r)));
+        }
+        if let Some(d) = subtask.deadline() {
+            let d = d.as_i64();
+            max_deadline = Some(max_deadline.map_or(d, |m| m.max(d)));
+        }
+    }
+    let (r, d) = (min_release?, max_deadline?);
+    let capacity =
+        i128::from(platform.processor_count() as u64) * i128::from(d.saturating_sub(r)).max(0);
+    if demand > capacity {
+        return Some(PrefilterReject::CapacityBound { demand, capacity });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use platform::{ProcessorId, Topology};
+    use taskgraph::{Subtask, TaskGraphBuilder};
+
+    use super::*;
+
+    fn platform(n: usize) -> Platform {
+        Platform::homogeneous(
+            n,
+            Topology::SharedBus {
+                cost_per_item: Time::new(1),
+            },
+        )
+        .unwrap()
+    }
+
+    /// in → out chain with wcets and an end-to-end deadline.
+    fn chain(wcets: &[i64], deadline: i64) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        let last = wcets.len() - 1;
+        for (i, &w) in wcets.iter().enumerate() {
+            let mut s = Subtask::new(Time::new(w));
+            if i == 0 {
+                s = s.released_at(Time::ZERO);
+            }
+            if i == last {
+                s = s.due_at(Time::new(deadline));
+            }
+            let id = b.add_subtask(s);
+            if let Some(p) = prev {
+                b.add_edge(p, id, 1).unwrap();
+            }
+            prev = Some(id);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feasible_chain_passes() {
+        let g = chain(&[10, 10, 10], 100);
+        assert_eq!(prefilter(&g, &platform(4), None), None);
+    }
+
+    #[test]
+    fn chain_bound_rejects_overlong_path() {
+        let g = chain(&[40, 40, 40], 100);
+        let reject = prefilter(&g, &platform(4), None).expect("must reject");
+        assert_eq!(reject.kind(), "chain-bound");
+        match reject {
+            PrefilterReject::ChainBound {
+                earliest_finish,
+                deadline,
+                ..
+            } => {
+                assert_eq!(earliest_finish, Time::new(120));
+                assert_eq!(deadline, Time::new(100));
+            }
+            other => panic!("wrong bound: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_bound_boundary_is_exclusive() {
+        // ef == deadline is feasible (lateness zero admits).
+        let g = chain(&[50, 50], 100);
+        assert_eq!(prefilter(&g, &platform(4), None), None);
+    }
+
+    #[test]
+    fn capacity_bound_rejects_overloaded_window() {
+        // 6 independent 50-unit subtasks, all in [0, 100], on 2 CPUs:
+        // demand 300 > capacity 200. Chains of one node each, so the
+        // chain bound passes (50 ≤ 100) and only capacity catches it.
+        let mut b = TaskGraphBuilder::new();
+        for _ in 0..6 {
+            b.add_subtask(
+                Subtask::new(Time::new(50))
+                    .released_at(Time::ZERO)
+                    .due_at(Time::new(100)),
+            );
+        }
+        let g = b.build().unwrap();
+        let reject = prefilter(&g, &platform(2), None).expect("must reject");
+        assert_eq!(reject.kind(), "capacity-bound");
+        // Four CPUs provide 400 ≥ 300: passes.
+        assert_eq!(prefilter(&g, &platform(4), None), None);
+    }
+
+    #[test]
+    fn late_release_shifts_the_chain() {
+        // Released at 50, 30+30 wcet, due at 100: ef = 110 > 100.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_subtask(Subtask::new(Time::new(30)).released_at(Time::new(50)));
+        let z = b.add_subtask(Subtask::new(Time::new(30)).due_at(Time::new(100)));
+        b.add_edge(a, z, 1).unwrap();
+        let g = b.build().unwrap();
+        let reject = prefilter(&g, &platform(4), None).expect("must reject");
+        assert_eq!(reject.kind(), "chain-bound");
+
+        // Released at zero the same chain fits (60 ≤ 100).
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_subtask(Subtask::new(Time::new(30)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(30)).due_at(Time::new(100)));
+        b.add_edge(a, z, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(prefilter(&g, &platform(4), None), None);
+    }
+
+    #[test]
+    fn pinned_cross_processor_message_counts_toward_the_chain() {
+        // 10 + 10 wcet plus a pinned 85-item transfer: ef = 105 > 100.
+        // Unpinned, the same graph passes (20 ≤ 100).
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_subtask(Subtask::new(Time::new(10)).released_at(Time::ZERO));
+        let z = b.add_subtask(Subtask::new(Time::new(10)).due_at(Time::new(100)));
+        b.add_edge(a, z, 85).unwrap();
+        let g = b.build().unwrap();
+        let p = platform(4);
+        assert_eq!(prefilter(&g, &p, None), None);
+
+        let mut pins = Pinning::new();
+        pins.pin(a, ProcessorId::new(0)).unwrap();
+        pins.pin(z, ProcessorId::new(1)).unwrap();
+        let reject = prefilter(&g, &p, Some(&pins)).expect("must reject");
+        assert_eq!(reject.kind(), "chain-bound");
+
+        // Co-located pins transfer for free: passes again.
+        let mut same = Pinning::new();
+        same.pin(a, ProcessorId::new(2)).unwrap();
+        same.pin(z, ProcessorId::new(2)).unwrap();
+        assert_eq!(prefilter(&g, &p, Some(&same)), None);
+    }
+}

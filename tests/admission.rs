@@ -7,14 +7,17 @@
 //! path.
 
 use feast::{
-    AdmissionController, AdmissionService, AdmitConfig, AdmitError, AdmitRequest, Error, Scenario,
+    AdmissionController, AdmissionService, AdmitConfig, AdmitError, AdmitOutcome, AdmitRequest,
+    Error, Scenario,
 };
+use platform::Platform;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use slicing::PrefilterReject;
 use slicing::{CommEstimate, DeltaOp, GraphDelta, MetricKind};
 use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
-use taskgraph::{SubtaskId, TaskGraph, Time};
+use taskgraph::{Subtask, SubtaskId, TaskGraph, TaskGraphBuilder, Time};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +61,54 @@ fn graph(seed: u64) -> Arc<TaskGraph> {
             .find_map(|s| generate_seeded(&spec(), s).ok())
             .expect("a paper workload generates within 16 seed attempts"),
     )
+}
+
+/// A provably infeasible two-subtask chain: 200 time units of serial
+/// WCET against an end-to-end deadline of 50, so both the pre-filter's
+/// chain bound and the full slice + trial path must refuse it.
+fn infeasible_graph() -> Arc<TaskGraph> {
+    let mut b = TaskGraphBuilder::new();
+    let head = b.add_subtask(Subtask::new(Time::new(100)).released_at(Time::ZERO));
+    let tail = b.add_subtask(Subtask::new(Time::new(100)).due_at(Time::new(50)));
+    b.add_edge(head, tail, 1).unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+/// The platform an [`AdmissionController`] at `size` trials against,
+/// derived from the same scenario knobs the controller uses.
+fn controller_platform(size: usize) -> Platform {
+    let scenario = config(size).scenario;
+    Platform::homogeneous(size, scenario.topology.build(size, scenario.cost_per_item)).unwrap()
+}
+
+/// A randomized request mix like [`request_mix`], but admits draw from a
+/// pool of 3 template graphs so the cross-request slice cache sees
+/// repeats (and, at capacity 2, eviction churn).
+fn templated_mix(seed: u64, len: usize) -> Vec<AdmitRequest> {
+    let templates: Vec<Arc<TaskGraph>> = (0..3)
+        .map(|slot| graph((seed % 64) * 31 + slot * 17 + 1))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e3);
+    let mut requests = Vec::with_capacity(len);
+    let mut origin = 0i64;
+    for id in 0..len as u64 {
+        if id > 0 && rng.gen_range(0..4u32) == 0 {
+            let target = rng.gen_range(0..id);
+            let delta = GraphDelta::new().push(DeltaOp::SetWcet {
+                subtask: SubtaskId::new(rng.gen_range(0..8u32)),
+                wcet: Time::new(rng.gen_range(1..40i64)),
+            });
+            requests.push(AdmitRequest::Amend { id: target, delta });
+        } else {
+            origin += rng.gen_range(0..1_500i64);
+            requests.push(AdmitRequest::Admit {
+                id,
+                graph: Arc::clone(&templates[rng.gen_range(0..templates.len())]),
+                origin: Time::new(origin),
+            });
+        }
+    }
+    requests
 }
 
 /// A randomized request mix: admits at non-decreasing origins, with
@@ -160,6 +211,189 @@ proptest! {
         prop_assert_eq!(recovered.digest(), fresh.digest());
         prop_assert_eq!(recovered.residents(), fresh.residents());
     }
+
+    /// Slice-cache transparency: for any templated admit/amend mix, the
+    /// transcript (every outcome, the final digest, the resident count)
+    /// is bit-identical with the cache off, with the default cache, and
+    /// with a capacity-2 cache under eviction churn — the cache can make
+    /// admission faster, never different. Amendments of cache-hit
+    /// residents exercise the memoized-`SliceMemo` repair path.
+    #[test]
+    fn slice_cache_is_transcript_invisible(
+        seed in 0u64..1_000,
+        len in 6usize..14,
+    ) {
+        let requests = templated_mix(seed, len);
+        let drive = |cache: usize| {
+            let mut controller =
+                AdmissionController::new(config(8).with_slice_cache(cache)).unwrap();
+            let outcomes: Vec<AdmitOutcome> = requests
+                .iter()
+                .map(|request| AdmitOutcome::of(&controller.handle(request)))
+                .collect();
+            (outcomes, controller.digest(), controller.residents())
+        };
+        let off = drive(0);
+        let tiny = drive(2);
+        let on = drive(64);
+        // A differing transcript at capacity 2 means eviction churn leaked
+        // into outcomes; at 64 it means hits did.
+        prop_assert_eq!(&off, &tiny);
+        prop_assert_eq!(&off, &on);
+    }
+
+    /// Chain-bound conservativeness: whenever the pre-filter's critical-
+    /// path bound refuses a random chain, the full slice + trial path —
+    /// against the most permissive (empty) state — also refuses it.
+    #[test]
+    fn prefilter_chain_bound_is_conservative(
+        len in 2usize..6,
+        wcet_seed in 0u64..10_000,
+        deadline in 1i64..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(wcet_seed);
+        let wcets: Vec<i64> = (0..len).map(|_| rng.gen_range(1i64..120)).collect();
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        let last = wcets.len() - 1;
+        for (i, &w) in wcets.iter().enumerate() {
+            let mut subtask = Subtask::new(Time::new(w));
+            if i == 0 {
+                subtask = subtask.released_at(Time::ZERO);
+            }
+            if i == last {
+                subtask = subtask.due_at(Time::new(deadline));
+            }
+            let id = b.add_subtask(subtask);
+            if let Some(p) = prev {
+                b.add_edge(p, id, 1).unwrap();
+            }
+            prev = Some(id);
+        }
+        let graph = Arc::new(b.build().unwrap());
+
+        let pipeline = feast::Pipeline::new(&config(2).scenario);
+        if let Some(reject) = pipeline.prefilter(&graph, &controller_platform(2)) {
+            let chain_kind = matches!(reject, PrefilterReject::ChainBound { .. });
+            prop_assert!(chain_kind, "a pure chain can only trip the chain bound");
+            let mut full =
+                AdmissionController::new(config(2).with_prefilter(false)).unwrap();
+            let admitted = match full.admit(0, graph, Time::ZERO) {
+                Ok(verdict) => verdict.admitted,
+                Err(_) => false,
+            };
+            prop_assert!(
+                !admitted,
+                "chain bound refused a graph the full path admits (wcets {:?}, deadline {})",
+                wcets,
+                deadline
+            );
+        }
+    }
+
+    /// Capacity-bound conservativeness: whenever the pre-filter's total-
+    /// demand bound refuses a random fork graph (one source fanning out
+    /// to parallel sinks, so the chain bound stays quiet), the full
+    /// slice + trial path against an empty state also refuses it.
+    #[test]
+    fn prefilter_capacity_bound_is_conservative(
+        branches in 3usize..10,
+        wcet_seed in 0u64..10_000,
+        processors in 1usize..3,
+        slack in 0i64..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(wcet_seed ^ 0xcafe);
+        let branch_wcets: Vec<i64> = (0..branches).map(|_| rng.gen_range(5i64..60)).collect();
+        let source_wcet = 5i64;
+        // Every root-to-sink chain fits the window, so only the demand
+        // bound can fire.
+        let deadline = source_wcet
+            + branch_wcets.iter().copied().max().unwrap()
+            + slack;
+        let mut b = TaskGraphBuilder::new();
+        let source = b.add_subtask(
+            Subtask::new(Time::new(source_wcet)).released_at(Time::ZERO),
+        );
+        for &w in &branch_wcets {
+            let sink =
+                b.add_subtask(Subtask::new(Time::new(w)).due_at(Time::new(deadline)));
+            b.add_edge(source, sink, 1).unwrap();
+        }
+        let graph = Arc::new(b.build().unwrap());
+
+        let pipeline = feast::Pipeline::new(&config(processors).scenario);
+        if let Some(reject) = pipeline.prefilter(&graph, &controller_platform(processors)) {
+            if matches!(reject, PrefilterReject::CapacityBound { .. }) {
+                let mut full = AdmissionController::new(
+                    config(processors).with_prefilter(false),
+                )
+                .unwrap();
+                let admitted = match full.admit(0, graph, Time::ZERO) {
+                    Ok(verdict) => verdict.admitted,
+                    Err(_) => false,
+                };
+                prop_assert!(
+                    !admitted,
+                    "capacity bound refused a graph the full path admits \
+                     (branches {:?}, {} processors, deadline {})",
+                    branch_wcets,
+                    processors,
+                    deadline
+                );
+            }
+        }
+    }
+}
+
+/// Mixed-schema WAL compatibility: logs written before the pre-filter
+/// existed (or with it disabled) seal infeasible graphs as rejecting
+/// verdicts, while pre-filter-enabled sessions seal them as typed
+/// refusals. Recovery replays each record under the schema it was sealed
+/// with, so either kind of log recovers bit-identically under either
+/// config.
+#[test]
+fn mixed_schema_wal_recovers_across_prefilter_generations() {
+    // Old schema → new config: the sealed record stays a verdict.
+    let wal = TempPath::new("mixed-old");
+    let mut old =
+        AdmissionController::new(config(8).with_prefilter(false).durable(&wal.0)).unwrap();
+    old.admit(0, graph(3), Time::ZERO).unwrap();
+    let verdict = old.admit(1, infeasible_graph(), Time::new(100)).unwrap();
+    assert!(
+        !verdict.admitted,
+        "full path must reject the infeasible chain"
+    );
+    old.admit(2, graph(9), Time::new(200)).unwrap();
+    let digest = old.digest();
+    drop(old);
+
+    let (recovered, log) = AdmissionController::recover(config(8).with_prefilter(true), &wal.0)
+        .expect("pre-pre-filter WAL recovers under a pre-filter-enabled config");
+    assert_eq!(log.outcomes.len(), 3);
+    assert_eq!(recovered.digest(), digest);
+    assert_eq!(
+        log.prefilter_rejected(),
+        0,
+        "the sealed reject verdict must not be rewritten into a refusal"
+    );
+    assert!(matches!(&log.outcomes[1], AdmitOutcome::Verdict(v) if !v.admitted));
+
+    // New schema → old config: the sealed pre-filter refusal replays
+    // through the pre-filter even though the session has it disabled.
+    let wal = TempPath::new("mixed-new");
+    let mut new = AdmissionController::new(config(8).with_prefilter(true).durable(&wal.0)).unwrap();
+    new.admit(0, graph(3), Time::ZERO).unwrap();
+    let refused = new.admit(1, infeasible_graph(), Time::new(100));
+    assert!(matches!(refused, Err(AdmitError::Prefilter(_))));
+    new.admit(2, graph(9), Time::new(200)).unwrap();
+    let digest = new.digest();
+    drop(new);
+
+    let (recovered, log) = AdmissionController::recover(config(8).with_prefilter(false), &wal.0)
+        .expect("pre-filter-refusal WAL recovers under a pre-filter-off config");
+    assert_eq!(log.outcomes.len(), 3);
+    assert_eq!(recovered.digest(), digest);
+    assert_eq!(log.prefilter_rejected(), 1);
 }
 
 #[test]

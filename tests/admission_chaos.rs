@@ -19,7 +19,7 @@ use feast::{
 };
 use slicing::{CommEstimate, MetricKind};
 use taskgraph::gen::{generate_seeded, ExecVariation, WorkloadSpec};
-use taskgraph::{TaskGraph, Time};
+use taskgraph::{Subtask, TaskGraph, TaskGraphBuilder, Time};
 
 const CHILD_ENV: &str = "ADMIT_CHAOS_WAL";
 
@@ -41,17 +41,34 @@ fn graph(seed: u64) -> Arc<TaskGraph> {
     )
 }
 
+/// A provably infeasible chain (200 units of serial WCET, end-to-end
+/// deadline 50): the pre-filter refuses it, and the refusal is sealed to
+/// the WAL like any other conclusion.
+fn infeasible_graph() -> Arc<TaskGraph> {
+    let mut b = TaskGraphBuilder::new();
+    let head = b.add_subtask(Subtask::new(Time::new(100)).released_at(Time::ZERO));
+    let tail = b.add_subtask(Subtask::new(Time::new(100)).due_at(Time::new(50)));
+    b.add_edge(head, tail, 1).unwrap();
+    Arc::new(b.build().unwrap())
+}
+
 /// The workload child: drive a durable service until the parent kills us.
 /// The stream is far longer than the parent lets it run; every conclusion
 /// is sealed to the WAL before its verdict returns, so whatever prefix
-/// survives the SIGKILL is exactly the set of committed decisions.
+/// survives the SIGKILL is exactly the set of committed decisions. Every
+/// fifth request is provably infeasible, so the sealed prefix always
+/// carries pre-filter refusals for recovery to reproduce.
 fn run_child(wal: &str) -> ! {
     let config = config(8).with_workers(2).durable(wal);
     let service = AdmissionService::new(config).expect("child service starts");
     for id in 0..1_000_000u64 {
         let request = AdmitRequest::Admit {
             id,
-            graph: graph(id % 64 + 1),
+            graph: if id % 5 == 0 {
+                infeasible_graph()
+            } else {
+                graph(id % 64 + 1)
+            },
             origin: Time::new(i64::try_from(id).unwrap() * 500),
         };
         loop {
@@ -143,6 +160,17 @@ fn sigkill_mid_stream_recovers_every_sealed_verdict() {
         log.outcomes.len() >= observed,
         "lost sealed verdicts: observed {observed} before the kill, recovered {}",
         log.outcomes.len()
+    );
+
+    // The sealed prefix necessarily contains pre-filter refusals (every
+    // fifth request, starting at id 0, is provably infeasible), and each
+    // one was recovered as the refusal it was sealed as.
+    assert!(
+        log.prefilter_rejected() >= observed / 5,
+        "expected >= {} recovered pre-filter refusals in {} sealed records, found {}",
+        observed / 5,
+        log.outcomes.len(),
+        log.prefilter_rejected()
     );
 
     // Bit-identical replay: a fresh sequential controller fed the sealed

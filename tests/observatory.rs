@@ -119,8 +119,12 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
         admissions_worker_failed,
         admissions_evicted,
         admissions_structural_fallbacks,
+        admissions_prefiltered,
         admission_log_retries,
         admission_log_failures,
+        slice_cache_hits,
+        slice_cache_misses,
+        slice_cache_evictions,
         admission,
         admission_sojourn,
         generate,
@@ -151,8 +155,12 @@ fn for_every_field(snap: &MetricsSnapshot, check: impl Fn(&str, u64)) {
             "admissions_structural_fallbacks",
             *admissions_structural_fallbacks,
         ),
+        ("admissions_prefiltered", *admissions_prefiltered),
         ("admission_log_retries", *admission_log_retries),
         ("admission_log_failures", *admission_log_failures),
+        ("slice_cache_hits", *slice_cache_hits),
+        ("slice_cache_misses", *slice_cache_misses),
+        ("slice_cache_evictions", *slice_cache_evictions),
     ] {
         check(name, value);
     }
@@ -217,6 +225,10 @@ fn populated_registry() -> Registry {
     registry.count_admission_structural_fallback();
     registry.count_admission_log_retry();
     registry.count_admission_log_failure();
+    registry.count_admission_prefiltered();
+    registry.count_slice_cache_hit();
+    registry.count_slice_cache_miss();
+    registry.count_slice_cache_eviction();
     registry
 }
 
